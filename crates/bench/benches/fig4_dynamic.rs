@@ -1,0 +1,48 @@
+//! Criterion bench over the Figure 4 dynamic-scheduling comparison
+//! (tiny presets, 4-CMP machine; the figure binary runs full scale).
+
+use bench::{run_modes, small_machine, DYNAMIC_MODES};
+use criterion::{criterion_group, criterion_main, Criterion};
+use npb_kernels::Benchmark;
+use omp_ir::node::ScheduleSpec;
+use std::hint::black_box;
+
+fn fig4(c: &mut Criterion) {
+    let machine = small_machine();
+    let mut g = c.benchmark_group("fig4_dynamic");
+    g.sample_size(10);
+    for bm in Benchmark::ALL {
+        if !bm.in_dynamic_experiment() {
+            continue;
+        }
+        // Tiny presets with a small dynamic chunk.
+        let p = match bm {
+            Benchmark::Cg => npb_kernels::CgParams::tiny()
+                .with_schedule(Some(ScheduleSpec::dynamic(8)))
+                .build(),
+            Benchmark::Mg => npb_kernels::MgParams::tiny()
+                .with_schedule(Some(ScheduleSpec::dynamic(1)))
+                .build(),
+            Benchmark::Bt => npb_kernels::BtParams::tiny()
+                .with_schedule(Some(ScheduleSpec::dynamic(1)))
+                .build(),
+            Benchmark::Sp => npb_kernels::SpParams::tiny()
+                .with_schedule(Some(ScheduleSpec::dynamic(1)))
+                .build(),
+            Benchmark::Lu => unreachable!(),
+        };
+        for (label, mode, sync) in DYNAMIC_MODES {
+            g.bench_function(format!("{}/{}", bm.name(), label), |b| {
+                b.iter(|| {
+                    let rows =
+                        run_modes(black_box(&p), &machine, &[(label, mode, sync)]);
+                    black_box(rows[0].exec_cycles)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Ablation — OS interference (the IRIX effect).
+//!
+//! The paper runs under IRIX, which "does not recognize slipstream mode
+//! where A-stream and R-stream are scheduled and serviced independently",
+//! and whose scheduling noise penalizes barrier-heavy configurations:
+//! any interrupted straggler delays every barrier participant. This
+//! ablation turns on a deterministic timer-tick/daemon model and shows
+//! who suffers.
+
+use npb_kernels::Benchmark;
+use omp_rt::mode::{ExecMode, SlipSync};
+use slipstream::runner::{run_program, RunOptions};
+use slipstream::{MachineConfig, OsNoise, TimeClass};
+
+fn main() {
+    // ~10 us stolen every ~500 us per processor at 1.2 GHz.
+    let noise = OsNoise {
+        quantum_cycles: 600_000,
+        slice_cycles: 12_000,
+        seed: 42,
+    };
+    println!(
+        "OS-noise ablation: {} cycles stolen every ~{} cycles per CPU\n",
+        noise.slice_cycles, noise.quantum_cycles
+    );
+    println!(
+        "{:<6} {:<8} {:>12} {:>12} {:>9} {:>8}",
+        "bench", "mode", "quiet", "noisy", "slowdown", "os%"
+    );
+    for bm in [Benchmark::Mg, Benchmark::Cg] {
+        let p = bm.build_paper(None);
+        for (label, mode, sync) in [
+            ("single", ExecMode::Single, None),
+            ("double", ExecMode::Double, None),
+            ("slip-G0", ExecMode::Slipstream, Some(SlipSync::G0)),
+        ] {
+            let mut quiet_o = RunOptions::new(mode).with_machine(MachineConfig::paper());
+            quiet_o.sync = sync;
+            let quiet = run_program(&p, &quiet_o).unwrap();
+            let noisy_o = quiet_o.clone().with_os_noise(noise);
+            let noisy = run_program(&p, &noisy_o).unwrap();
+            println!(
+                "{:<6} {:<8} {:>12} {:>12} {:>8.1}% {:>7.1}%",
+                bm.name(),
+                label,
+                quiet.exec_cycles,
+                noisy.exec_cycles,
+                100.0 * (noisy.exec_cycles as f64 / quiet.exec_cycles as f64 - 1.0),
+                100.0 * noisy.r_breakdown.fraction(TimeClass::Os),
+            );
+        }
+        println!();
+    }
+    println!("Barrier-dense modes amplify the stolen slices: every");
+    println!("interrupted straggler delays all barrier participants.");
+}

@@ -1,0 +1,61 @@
+//! Ablation — A–R synchronization sweep beyond the paper's two points.
+//!
+//! The paper evaluates L1 and G0 and observes that looser synchronization
+//! trades timeliness against premature prefetches. This sweep runs
+//! {G0, G1, G2, L0, L1, L2, L4} on MG and CG to expose the full curve
+//! (deeper lookahead → more A-Only migration harm).
+
+use bench::run_modes;
+use dsm_sim::{FillClass, ReqKind};
+use npb_kernels::Benchmark;
+use omp_rt::mode::{ExecMode, SlipSync};
+use slipstream::MachineConfig;
+
+fn main() {
+    let machine = MachineConfig::paper();
+    let syncs: Vec<(String, SlipSync)> = [
+        (true, 0),
+        (true, 1),
+        (true, 2),
+        (false, 0),
+        (false, 1),
+        (false, 2),
+        (false, 4),
+    ]
+    .into_iter()
+    .map(|(global, tokens)| {
+        let s = SlipSync { global, tokens };
+        (s.label(), s)
+    })
+    .collect();
+
+    for bm in [Benchmark::Mg, Benchmark::Cg] {
+        let p = bm.build_paper(None);
+        let single = run_modes(&p, &machine, &[("single", ExecMode::Single, None)]);
+        let base = single[0].exec_cycles;
+        println!("--- {} (single = {} cycles) ---", bm.name(), base);
+        println!(
+            "{:<6} {:>10} {:>8} {:>9} {:>8} {:>8} {:>10}",
+            "sync", "cycles", "speedup", "A-timely", "A-late", "A-only", "rd-ex cov"
+        );
+        let modes: Vec<(&str, ExecMode, Option<SlipSync>)> = syncs
+            .iter()
+            .map(|(l, s)| (l.as_str(), ExecMode::Slipstream, Some(*s)))
+            .collect();
+        for r in run_modes(&p, &machine, &modes) {
+            println!(
+                "{:<6} {:>10} {:>8.3} {:>8.0}% {:>7.0}% {:>7.0}% {:>9.0}%",
+                r.label.trim_start_matches("slip-"),
+                r.exec_cycles,
+                base as f64 / r.exec_cycles as f64,
+                100.0 * r.fills.fraction(ReqKind::Read, FillClass::ATimely),
+                100.0 * r.fills.fraction(ReqKind::Read, FillClass::ALate),
+                100.0 * r.fills.fraction(ReqKind::Read, FillClass::AOnly),
+                100.0 * r.fills.a_coverage(ReqKind::ReadEx),
+            );
+        }
+        println!();
+    }
+    println!("Expected shape: tokens beyond L1/G1 grow A-Only (premature");
+    println!("prefetches migrate lines producers still own) and stop paying.");
+}

@@ -1,0 +1,46 @@
+//! Figure 3 — static scheduling: breakdown of shared-data memory
+//! requests for slipstream mode, one-token local (L1) vs zero-token
+//! global (G0).
+//!
+//! The paper's quoted averages: G0 A-timely reads 26% vs L1 46%; late
+//! reads 34% vs 15%; G0 read-exclusive coverage 58% vs 38%; premature
+//! (A-Only) 3% vs 8%.
+
+use bench::static_suite;
+use dsm_sim::{FillClass, ReqKind};
+use slipstream::report::{coverage_line, fills_table};
+use slipstream::MachineConfig;
+
+fn main() {
+    let machine = MachineConfig::paper();
+    println!("Figure 3: shared-request classification under static scheduling\n");
+    let suite = static_suite(&machine);
+    let mut avg = [[0.0f64; 4]; 2]; // [l1,g0] x [timely, late, only, rdex-cov]
+    for (bm, rows) in &suite {
+        println!("--- {} ---", bm.name());
+        let slip = &rows[2..4]; // slip-L1, slip-G0
+        println!("{}", fills_table(slip));
+        for (k, r) in slip.iter().enumerate() {
+            println!("{}", coverage_line(r));
+            avg[k][0] += r.fills.fraction(ReqKind::Read, FillClass::ATimely);
+            avg[k][1] += r.fills.fraction(ReqKind::Read, FillClass::ALate);
+            avg[k][2] += r.fills.fraction(ReqKind::Read, FillClass::AOnly);
+            avg[k][3] += r.fills.a_coverage(ReqKind::ReadEx);
+        }
+        println!();
+    }
+    let n = suite.len() as f64;
+    println!("==========================================================");
+    for (k, name, paper) in [
+        (0usize, "L1", "(paper: timely 46%, late 15%, premature 8%, rd-ex cov 38%)"),
+        (1, "G0", "(paper: timely 26%, late 34%, premature 3%, rd-ex cov 58%)"),
+    ] {
+        println!(
+            "{name} averages: A-timely {:.0}%, A-late {:.0}%, A-only {:.0}%, rd-ex coverage {:.0}%  {paper}",
+            100.0 * avg[k][0] / n,
+            100.0 * avg[k][1] / n,
+            100.0 * avg[k][2] / n,
+            100.0 * avg[k][3] / n,
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Figure 4 — dynamic scheduling: execution-time breakdown for the base
+//! case (one task per CMP) and slipstream with zero-token global
+//! synchronization, on BT, CG, MG, SP (LU excluded as in the paper).
+//!
+//! Paper: base-case scheduling overhead averages ~11%; slipstream gains
+//! 5% (MG) to 20% (SP), 12% on average.
+
+use bench::dynamic_suite;
+use dsm_sim::TimeClass;
+use slipstream::report::breakdown_table;
+use slipstream::MachineConfig;
+
+fn main() {
+    let machine = MachineConfig::paper();
+    println!("Figure 4: dynamic scheduling on {} CMPs\n", machine.num_cmps);
+    let t0 = std::time::Instant::now();
+    let suite = dynamic_suite(&machine);
+    let mut gains = Vec::new();
+    let mut scheds = Vec::new();
+    for (bm, rows) in &suite {
+        println!("--- {} ---", bm.name());
+        println!("{}", breakdown_table(rows));
+        let gain = rows[0].exec_cycles as f64 / rows[1].exec_cycles as f64 - 1.0;
+        gains.push(gain);
+        scheds.push(rows[0].r_breakdown.fraction(TimeClass::Scheduling));
+        println!("slipstream gain over base: {:+.1}%\n", 100.0 * gain);
+    }
+    let avg = gains.iter().sum::<f64>() / gains.len() as f64;
+    let avg_sched = scheds.iter().sum::<f64>() / scheds.len() as f64;
+    println!("==========================================================");
+    println!(
+        "average slipstream gain: {:+.1}%   (paper: 12% avg, 5%..20%)",
+        100.0 * avg
+    );
+    println!(
+        "average base scheduling overhead: {:.1}%  (paper: ~11%)",
+        100.0 * avg_sched
+    );
+    println!("(simulated {} runs in {:?})", suite.len() * 2, t0.elapsed());
+}

@@ -1,0 +1,40 @@
+//! Figure 5 — dynamic scheduling: breakdown of shared-data memory
+//! requests for slipstream (zero-token global).
+//!
+//! Paper averages: reads A-timely 28%, A-late 26%; read-exclusive
+//! A-timely 59%, A-late 2%.
+
+use bench::dynamic_suite;
+use dsm_sim::{FillClass, ReqKind};
+use slipstream::report::fills_table;
+use slipstream::MachineConfig;
+
+fn main() {
+    let machine = MachineConfig::paper();
+    println!("Figure 5: shared-request classification under dynamic scheduling\n");
+    let suite = dynamic_suite(&machine);
+    let mut rd = [0.0f64; 2];
+    let mut rx = [0.0f64; 2];
+    for (bm, rows) in &suite {
+        println!("--- {} ---", bm.name());
+        let slip = &rows[1..2];
+        println!("{}", fills_table(slip));
+        let f = &slip[0].fills;
+        rd[0] += f.fraction(ReqKind::Read, FillClass::ATimely);
+        rd[1] += f.fraction(ReqKind::Read, FillClass::ALate);
+        rx[0] += f.fraction(ReqKind::ReadEx, FillClass::ATimely);
+        rx[1] += f.fraction(ReqKind::ReadEx, FillClass::ALate);
+    }
+    let n = suite.len() as f64;
+    println!("==========================================================");
+    println!(
+        "read averages:    A-timely {:.0}%, A-late {:.0}%   (paper: 28%, 26%)",
+        100.0 * rd[0] / n,
+        100.0 * rd[1] / n
+    );
+    println!(
+        "read-ex averages: A-timely {:.0}%, A-late {:.0}%   (paper: 59%, 2%)",
+        100.0 * rx[0] / n,
+        100.0 * rx[1] / n
+    );
+}

@@ -1,0 +1,43 @@
+//! Machine-size sweep: the scalability story behind the paper's
+//! motivation ("for fewer number of CMPs, running in double mode can
+//! yield better performance... We focused on the region where these
+//! benchmarks benefit more from reducing the communication overheads").
+//!
+//! Sweeps the CMP count and reports, per benchmark, which mode wins —
+//! the crossover from parallelism (double) to communication reduction
+//! (slipstream) as the machine grows.
+
+use bench::{run_modes, STATIC_MODES};
+use npb_kernels::Benchmark;
+use slipstream::MachineConfig;
+
+fn main() {
+    let sizes = [2usize, 4, 8, 16];
+    println!("Machine-size sweep: speedup over single mode at each size\n");
+    for bm in Benchmark::ALL {
+        let p = bm.build_paper(None);
+        println!("--- {} ---", bm.name());
+        println!(
+            "{:>5} {:>9} {:>9} {:>9} {:>9}   winner",
+            "CMPs", "single", "double", "slip-L1", "slip-G0"
+        );
+        for n in sizes {
+            let mut m = MachineConfig::paper();
+            m.num_cmps = n;
+            let rows = run_modes(&p, &m, &STATIC_MODES);
+            let base = rows[0].exec_cycles as f64;
+            let speedups: Vec<f64> =
+                rows.iter().map(|r| base / r.exec_cycles as f64).collect();
+            let winner = rows
+                .iter()
+                .min_by_key(|r| r.exec_cycles)
+                .map(|r| r.label.clone())
+                .unwrap();
+            println!(
+                "{:>5} {:>9.3} {:>9.3} {:>9.3} {:>9.3}   {}",
+                n, speedups[0], speedups[1], speedups[2], speedups[3], winner
+            );
+        }
+        println!();
+    }
+}

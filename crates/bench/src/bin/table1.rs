@@ -1,0 +1,52 @@
+//! Table 1 — simulated system parameters.
+//!
+//! Echoes the machine configuration and asserts the derived end-to-end
+//! miss latencies the paper states (170 ns local, 290 ns minimum remote).
+
+use slipstream::MachineConfig;
+
+fn main() {
+    let c = MachineConfig::paper();
+    println!("Table 1: Simulated System Parameters");
+    println!("=====================================");
+    println!("CPU model              MIPSY-based CMP, in-order, blocking");
+    println!("Clock speed            {} GHz", c.clock_ghz);
+    println!("CMP nodes              {}", c.num_cmps);
+    println!("Processors per CMP     {}", c.cpus_per_cmp);
+    println!(
+        "L1 caches (I/D)        {} KB, {}-way, {}-cycle hit",
+        c.l1.size_bytes / 1024,
+        c.l1.associativity,
+        c.l1.hit_latency
+    );
+    println!(
+        "L2 cache (unified)     {} MB, {}-way, {}-cycle hit, shared per CMP",
+        c.l2.size_bytes / (1024 * 1024),
+        c.l2.associativity,
+        c.l2.hit_latency
+    );
+    println!("Line size              {} B", c.l1.line_bytes);
+    println!();
+    println!("Memory parameters (ns):");
+    println!("  BusTime              {}", c.mem_ns.bus_time);
+    println!("  PILocalDCTime        {}", c.mem_ns.pi_local_dc_time);
+    println!("  NILocalDCTime        {}", c.mem_ns.ni_local_dc_time);
+    println!("  NIRemoteDCTime       {}", c.mem_ns.ni_remote_dc_time);
+    println!("  NetTime              {}", c.mem_ns.net_time);
+    println!("  MemTime              {}", c.mem_ns.mem_time);
+    println!();
+    println!(
+        "Derived: local L2 miss  {} ns ({} cycles)",
+        c.local_miss_ns(),
+        c.local_miss_cycles()
+    );
+    println!(
+        "Derived: remote L2 miss {} ns ({} cycles, minimum)",
+        c.remote_miss_ns(),
+        c.remote_miss_cycles()
+    );
+    assert_eq!(c.local_miss_ns(), 170, "paper: local miss requires 170 ns");
+    assert_eq!(c.remote_miss_ns(), 290, "paper: minimum remote miss is 290 ns");
+    println!();
+    println!("(assertions passed: derived latencies match the paper)");
+}

@@ -1,0 +1,247 @@
+//! Experiment harness shared by the figure/table binaries and the
+//! Criterion benches.
+//!
+//! Each function regenerates the data behind one piece of the paper's
+//! evaluation (Section 5). Runs for different modes are independent
+//! simulations, so the suite executes them on host threads in parallel;
+//! each simulation itself is deterministic and single-threaded.
+
+#![warn(missing_docs)]
+
+use npb_kernels::{Benchmark, CgParams};
+use omp_ir::node::{Program, ScheduleSpec};
+use omp_rt::mode::{ExecMode, SlipSync};
+use omp_rt::RuntimeEnv;
+use serde::{Deserialize, Serialize};
+use slipstream::runner::{run_program, RunOptions, RunSummary};
+use slipstream::MachineConfig;
+
+/// The modes of the static-scheduling comparison (Figure 2), in the
+/// paper's order.
+pub const STATIC_MODES: [(&str, ExecMode, Option<SlipSync>); 4] = [
+    ("single", ExecMode::Single, None),
+    ("double", ExecMode::Double, None),
+    ("slip-L1", ExecMode::Slipstream, Some(SlipSync::L1)),
+    ("slip-G0", ExecMode::Slipstream, Some(SlipSync::G0)),
+];
+
+/// The modes of the dynamic-scheduling comparison (Figure 4): the paper
+/// compares against one task per CMP only, with zero-token global
+/// synchronization for slipstream.
+pub const DYNAMIC_MODES: [(&str, ExecMode, Option<SlipSync>); 2] = [
+    ("single", ExecMode::Single, None),
+    ("slip-G0", ExecMode::Slipstream, Some(SlipSync::G0)),
+];
+
+/// A serializable record of one run (what the figures plot).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Mode label.
+    pub mode: String,
+    /// Execution cycles.
+    pub cycles: u64,
+    /// Speedup vs the suite's single-mode run of the same benchmark.
+    pub speedup_vs_single: f64,
+    /// Time-breakdown fractions over R/solo streams, by class label.
+    pub breakdown: Vec<(String, f64)>,
+    /// Shared-read fill fractions by class label.
+    pub read_fills: Vec<(String, f64)>,
+    /// Shared read-exclusive fill fractions by class label.
+    pub readex_fills: Vec<(String, f64)>,
+    /// A-stream store conversions.
+    pub stores_converted: u64,
+    /// Dynamic-scheduler chunk grabs.
+    pub sched_grabs: u64,
+}
+
+impl RunRecord {
+    /// Build a record from a summary (speedup filled in by the caller).
+    pub fn from_summary(s: &RunSummary, speedup: f64) -> Self {
+        use dsm_sim::{ReqKind, TimeClass, FILL_CLASSES};
+        let classes = [
+            TimeClass::Busy,
+            TimeClass::MemStall,
+            TimeClass::Lock,
+            TimeClass::Barrier,
+            TimeClass::Scheduling,
+            TimeClass::JobWait,
+        ];
+        RunRecord {
+            benchmark: s.name.clone(),
+            mode: s.label.clone(),
+            cycles: s.exec_cycles,
+            speedup_vs_single: speedup,
+            breakdown: classes
+                .iter()
+                .map(|c| (c.label().to_string(), s.r_breakdown.fraction(*c)))
+                .collect(),
+            read_fills: FILL_CLASSES
+                .iter()
+                .map(|c| (c.label().to_string(), s.fills.fraction(ReqKind::Read, *c)))
+                .collect(),
+            readex_fills: FILL_CLASSES
+                .iter()
+                .map(|c| (c.label().to_string(), s.fills.fraction(ReqKind::ReadEx, *c)))
+                .collect(),
+            stores_converted: s.raw.stores_converted,
+            sched_grabs: s.raw.sched_grabs,
+        }
+    }
+}
+
+/// Build the program a benchmark uses in the dynamic experiment: CG with
+/// a chunk of half its static block (as the paper specifies), everything
+/// else with the compiler-default dynamic chunk.
+pub fn dynamic_program(bm: Benchmark, team: u64) -> Program {
+    let sched = if bm == Benchmark::Cg {
+        Some(ScheduleSpec::dynamic(
+            CgParams::paper().paper_dynamic_chunk(team),
+        ))
+    } else {
+        Some(ScheduleSpec::dynamic(1))
+    };
+    bm.build_paper(sched)
+}
+
+/// Run one benchmark under a list of modes (host-parallel). Returns the
+/// summaries in mode order.
+pub fn run_modes(
+    program: &Program,
+    machine: &MachineConfig,
+    modes: &[(&str, ExecMode, Option<SlipSync>)],
+) -> Vec<RunSummary> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = modes
+            .iter()
+            .map(|(_, mode, sync)| {
+                let machine = machine.clone();
+                scope.spawn(move || {
+                    let mut o = RunOptions::new(*mode).with_machine(machine);
+                    o.sync = *sync;
+                    o.env = RuntimeEnv::default();
+                    run_program(program, &o).expect("simulation failed")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+/// Run the full static-scheduling suite (Figures 2 and 3): every
+/// benchmark under the four static modes.
+pub fn static_suite(machine: &MachineConfig) -> Vec<(Benchmark, Vec<RunSummary>)> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = Benchmark::ALL
+            .iter()
+            .map(|bm| {
+                let machine = machine.clone();
+                scope.spawn(move || {
+                    let p = bm.build_paper(None);
+                    (*bm, run_modes(&p, &machine, &STATIC_MODES))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+/// Run the dynamic-scheduling suite (Figures 4 and 5): BT, CG, MG, SP
+/// (LU is excluded, as in the paper) under single and slip-G0.
+pub fn dynamic_suite(machine: &MachineConfig) -> Vec<(Benchmark, Vec<RunSummary>)> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = Benchmark::ALL
+            .iter()
+            .filter(|bm| bm.in_dynamic_experiment())
+            .map(|bm| {
+                let machine = machine.clone();
+                scope.spawn(move || {
+                    let p = dynamic_program(*bm, machine.num_cmps as u64);
+                    (*bm, run_modes(&p, &machine, &DYNAMIC_MODES))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+/// Records for a suite, with speedups normalized to each benchmark's
+/// single-mode run (the paper's normalization).
+pub fn to_records(suite: &[(Benchmark, Vec<RunSummary>)]) -> Vec<RunRecord> {
+    let mut out = Vec::new();
+    for (_, rows) in suite {
+        let base = rows[0].exec_cycles;
+        for r in rows {
+            out.push(RunRecord::from_summary(r, base as f64 / r.exec_cycles as f64));
+        }
+    }
+    out
+}
+
+/// The "best slipstream vs best(single, double)" headline number of the
+/// paper's Section 5.1, per benchmark.
+pub fn best_slip_gain(rows: &[RunSummary]) -> f64 {
+    let best_base = rows
+        .iter()
+        .filter(|r| !r.label.starts_with("slip"))
+        .map(|r| r.exec_cycles)
+        .min()
+        .expect("baseline modes present");
+    let best_slip = rows
+        .iter()
+        .filter(|r| r.label.starts_with("slip"))
+        .map(|r| r.exec_cycles)
+        .min()
+        .expect("slipstream modes present");
+    best_base as f64 / best_slip as f64 - 1.0
+}
+
+/// A fast machine/workload pair for Criterion runs and smoke tests: the
+/// paper machine shrunk to 4 CMPs with the tiny workload presets.
+pub fn small_machine() -> MachineConfig {
+    let mut m = MachineConfig::paper();
+    m.num_cmps = 4;
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_modes_produces_all_rows() {
+        let p = Benchmark::Cg.build_tiny();
+        let rows = run_modes(&p, &small_machine(), &STATIC_MODES);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].label, "single");
+        assert_eq!(rows[3].label, "slip-G0");
+        let gain = best_slip_gain(&rows);
+        assert!(gain.is_finite());
+    }
+
+    #[test]
+    fn records_normalize_to_single() {
+        let p = Benchmark::Mg.build_tiny();
+        let rows = run_modes(&p, &small_machine(), &DYNAMIC_MODES);
+        let suite = vec![(Benchmark::Mg, rows)];
+        let recs = to_records(&suite);
+        assert_eq!(recs.len(), 2);
+        assert!((recs[0].speedup_vs_single - 1.0).abs() < 1e-12);
+        assert!(recs[1].speedup_vs_single > 0.0);
+        // Serializes cleanly.
+        let js = serde_json::to_string(&recs).unwrap();
+        assert!(js.contains("slip-G0"));
+    }
+
+    #[test]
+    fn dynamic_program_uses_cg_half_block_chunk() {
+        let p = dynamic_program(Benchmark::Cg, 16);
+        let txt = format!("{:?}", p.body);
+        assert!(txt.contains("Dynamic"));
+        assert!(txt.contains("chunk: Some(16)"));
+        let p2 = dynamic_program(Benchmark::Sp, 16);
+        let txt2 = format!("{:?}", p2.body);
+        assert!(txt2.contains("chunk: Some(1)"));
+    }
+}

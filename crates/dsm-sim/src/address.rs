@@ -1,0 +1,207 @@
+//! Physical address layout of the simulated machine.
+//!
+//! The paper requires that "the virtual shared space must be either
+//! contiguous or non-contiguous but not interleaved with private space, to
+//! ease delineation of what is shared and what is not shared" (Section 3.1).
+//! We adopt the UNIX-process model the paper's implementation chose: one
+//! contiguous shared segment, plus one contiguous private segment per CPU.
+//!
+//! Shared lines are distributed round-robin (by line) across node memories,
+//! which determines each line's *home* directory. Private lines are homed on
+//! the owning CPU's node.
+
+use crate::config::MachineConfig;
+use serde::{Deserialize, Serialize};
+
+/// Identifies a processor in the machine (dense, `0..num_cpus`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CpuId(pub usize);
+
+/// Identifies a CMP node (dense, `0..num_cmps`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CmpId(pub usize);
+
+impl CpuId {
+    /// The CMP node this processor belongs to. (Named for the chip
+    /// multiprocessor, not comparison; `CpuId` also derives `Ord`.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn cmp(self, cfg: &MachineConfig) -> CmpId {
+        CmpId(self.0 / cfg.cpus_per_cmp)
+    }
+
+    /// Index of this processor within its CMP (0 or 1 for dual-core nodes).
+    pub fn local_index(self, cfg: &MachineConfig) -> usize {
+        self.0 % cfg.cpus_per_cmp
+    }
+}
+
+impl CmpId {
+    /// The `i`-th processor of this CMP.
+    pub fn cpu(self, cfg: &MachineConfig, i: usize) -> CpuId {
+        debug_assert!(i < cfg.cpus_per_cmp);
+        CpuId(self.0 * cfg.cpus_per_cmp + i)
+    }
+}
+
+/// Which segment an address belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Space {
+    /// Globally shared data (application arrays, runtime control state).
+    Shared,
+    /// Per-CPU private data (loop state, stack, private arrays).
+    Private,
+}
+
+/// A physical byte address in the simulated machine.
+pub type Addr = u64;
+
+/// A cache-line-granular address (byte address >> line shift).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LineAddr(pub u64);
+
+/// Size of each segment. Generous virtual sizes; only touched lines incur
+/// simulator state.
+const SHARED_BASE: Addr = 0x0000_0000_0000_0000;
+const SHARED_SIZE: Addr = 1 << 40;
+const PRIVATE_BASE: Addr = 1 << 44;
+const PRIVATE_STRIDE: Addr = 1 << 36;
+
+/// Address-space map for a configured machine.
+#[derive(Debug, Clone)]
+pub struct AddressMap {
+    line_shift: u32,
+    num_cmps: usize,
+    cpus_per_cmp: usize,
+}
+
+impl AddressMap {
+    /// Build the map for a machine configuration.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        debug_assert!(cfg.l1.line_bytes.is_power_of_two());
+        AddressMap {
+            line_shift: cfg.l1.line_bytes.trailing_zeros(),
+            num_cmps: cfg.num_cmps,
+            cpus_per_cmp: cfg.cpus_per_cmp,
+        }
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        1 << self.line_shift
+    }
+
+    /// First byte address of the shared segment.
+    pub fn shared_base(&self) -> Addr {
+        SHARED_BASE
+    }
+
+    /// First byte address of `cpu`'s private segment.
+    pub fn private_base(&self, cpu: CpuId) -> Addr {
+        PRIVATE_BASE + cpu.0 as u64 * PRIVATE_STRIDE
+    }
+
+    /// Classify a byte address.
+    pub fn space_of(&self, addr: Addr) -> Space {
+        if addr < SHARED_BASE + SHARED_SIZE {
+            Space::Shared
+        } else {
+            Space::Private
+        }
+    }
+
+    /// Which CPU owns a private address. Panics on shared addresses.
+    pub fn private_owner(&self, addr: Addr) -> CpuId {
+        assert_eq!(self.space_of(addr), Space::Private, "not a private address");
+        CpuId(((addr - PRIVATE_BASE) / PRIVATE_STRIDE) as usize)
+    }
+
+    /// The cache line containing a byte address.
+    pub fn line_of(&self, addr: Addr) -> LineAddr {
+        LineAddr(addr >> self.line_shift)
+    }
+
+    /// First byte address of a line.
+    pub fn line_base(&self, line: LineAddr) -> Addr {
+        line.0 << self.line_shift
+    }
+
+    /// Home node of a line: shared lines interleave round-robin across node
+    /// memories; private lines are homed on the owner's node.
+    pub fn home_of(&self, line: LineAddr) -> CmpId {
+        let base = self.line_base(line);
+        match self.space_of(base) {
+            Space::Shared => CmpId((line.0 as usize) % self.num_cmps),
+            Space::Private => {
+                let cpu = self.private_owner(base);
+                CmpId(cpu.0 / self.cpus_per_cmp)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> AddressMap {
+        AddressMap::new(&MachineConfig::paper())
+    }
+
+    #[test]
+    fn cpu_cmp_mapping_roundtrips() {
+        let cfg = MachineConfig::paper();
+        for i in 0..cfg.num_cpus() {
+            let cpu = CpuId(i);
+            let cmp = cpu.cmp(&cfg);
+            assert_eq!(cmp.cpu(&cfg, cpu.local_index(&cfg)), cpu);
+        }
+        assert_eq!(CpuId(0).cmp(&cfg), CmpId(0));
+        assert_eq!(CpuId(1).cmp(&cfg), CmpId(0));
+        assert_eq!(CpuId(2).cmp(&cfg), CmpId(1));
+        assert_eq!(CpuId(31).cmp(&cfg), CmpId(15));
+    }
+
+    #[test]
+    fn shared_and_private_spaces_do_not_interleave() {
+        let m = map();
+        assert_eq!(m.space_of(m.shared_base()), Space::Shared);
+        assert_eq!(m.space_of(m.shared_base() + 123_456_789), Space::Shared);
+        for cpu in [CpuId(0), CpuId(7), CpuId(31)] {
+            let b = m.private_base(cpu);
+            assert_eq!(m.space_of(b), Space::Private);
+            assert_eq!(m.private_owner(b), cpu);
+            assert_eq!(m.private_owner(b + 4096), cpu);
+        }
+    }
+
+    #[test]
+    fn shared_lines_interleave_across_homes() {
+        let m = map();
+        let lb = m.line_bytes();
+        let h0 = m.home_of(m.line_of(0));
+        let h1 = m.home_of(m.line_of(lb));
+        let h16 = m.home_of(m.line_of(16 * lb));
+        assert_ne!(h0, h1);
+        assert_eq!(h0, h16, "16 CMPs: every 16th line shares a home");
+    }
+
+    #[test]
+    fn private_lines_are_homed_locally() {
+        let m = map();
+        let cfg = MachineConfig::paper();
+        for i in 0..cfg.num_cpus() {
+            let cpu = CpuId(i);
+            let line = m.line_of(m.private_base(cpu) + 64 * 10);
+            assert_eq!(m.home_of(line), cpu.cmp(&cfg));
+        }
+    }
+
+    #[test]
+    fn line_geometry() {
+        let m = map();
+        assert_eq!(m.line_bytes(), 64);
+        assert_eq!(m.line_of(0), m.line_of(63));
+        assert_ne!(m.line_of(63), m.line_of(64));
+        assert_eq!(m.line_base(m.line_of(130)), 128);
+    }
+}

@@ -1,0 +1,116 @@
+//! Per-processor execution timeline.
+//!
+//! A [`CpuTimeline`] tracks where a simulated in-order processor is in time
+//! and attributes every elapsed cycle to a [`TimeClass`] bucket. The MIPSY
+//! model of the paper is approximated as one operation per cycle plus
+//! blocking memory stalls; instruction fetch is folded into busy cycles.
+
+use crate::engine::Cycle;
+use crate::stats::{CpuStats, TimeClass};
+
+/// Execution state of one simulated processor.
+#[derive(Debug, Default)]
+pub struct CpuTimeline {
+    now: Cycle,
+    /// Counters for this processor.
+    pub stats: CpuStats,
+}
+
+impl CpuTimeline {
+    /// A processor at cycle 0 with empty counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The processor's current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Execute `cycles` of work attributed to `class`.
+    pub fn busy(&mut self, cycles: Cycle, class: TimeClass) {
+        self.now += cycles;
+        self.stats.time.add(class, cycles);
+    }
+
+    /// Advance to absolute cycle `to`, attributing the gap to `class`.
+    /// `to` values in the past are ignored (no negative time).
+    pub fn advance_to(&mut self, to: Cycle, class: TimeClass) {
+        if to > self.now {
+            self.stats.time.add(class, to - self.now);
+            self.now = to;
+        }
+    }
+
+    /// Account a completed memory access: the access busy-executes for
+    /// `issue_cycles` (pipeline occupancy) and then stalls until `complete`.
+    /// The stall lands in `stall_class` (MemStall in user code, Scheduling
+    /// inside the runtime scheduler, ...).
+    pub fn mem_access(&mut self, issue_cycles: Cycle, complete: Cycle, stall_class: TimeClass) {
+        self.busy(issue_cycles, TimeClass::Busy);
+        self.advance_to(complete, stall_class);
+    }
+
+    /// Jump the clock without attribution — only for initial placement
+    /// before a processor has started executing.
+    pub fn place_at(&mut self, t: Cycle) {
+        debug_assert_eq!(self.stats.time.total(), 0, "placement after execution");
+        self.now = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_advances_and_attributes() {
+        let mut c = CpuTimeline::new();
+        c.busy(100, TimeClass::Busy);
+        c.busy(20, TimeClass::Scheduling);
+        assert_eq!(c.now(), 120);
+        assert_eq!(c.stats.time.get(TimeClass::Busy), 100);
+        assert_eq!(c.stats.time.get(TimeClass::Scheduling), 20);
+    }
+
+    #[test]
+    fn advance_to_ignores_past_targets() {
+        let mut c = CpuTimeline::new();
+        c.busy(50, TimeClass::Busy);
+        c.advance_to(40, TimeClass::MemStall);
+        assert_eq!(c.now(), 50);
+        assert_eq!(c.stats.time.get(TimeClass::MemStall), 0);
+        c.advance_to(80, TimeClass::MemStall);
+        assert_eq!(c.now(), 80);
+        assert_eq!(c.stats.time.get(TimeClass::MemStall), 30);
+    }
+
+    #[test]
+    fn mem_access_splits_issue_and_stall() {
+        let mut c = CpuTimeline::new();
+        // Issue takes 1 cycle; data arrives at cycle 349.
+        c.mem_access(1, 349, TimeClass::MemStall);
+        assert_eq!(c.now(), 349);
+        assert_eq!(c.stats.time.get(TimeClass::Busy), 1);
+        assert_eq!(c.stats.time.get(TimeClass::MemStall), 348);
+        assert_eq!(c.stats.time.total(), 349);
+    }
+
+    #[test]
+    fn fast_access_has_no_stall() {
+        let mut c = CpuTimeline::new();
+        c.busy(10, TimeClass::Busy);
+        // L1 hit completing within the issue cycle.
+        c.mem_access(1, 11, TimeClass::MemStall);
+        assert_eq!(c.stats.time.get(TimeClass::MemStall), 0);
+        assert_eq!(c.now(), 11);
+    }
+
+    #[test]
+    fn placement_sets_start_time() {
+        let mut c = CpuTimeline::new();
+        c.place_at(500);
+        assert_eq!(c.now(), 500);
+        assert_eq!(c.stats.time.total(), 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! BT — block-tridiagonal ADI solver.
+//!
+//! NPB BT carries 5×5 block systems along each line, making it the most
+//! compute-heavy of the suite (large `solve_compute`) with 40-byte grid
+//! points. The paper finds BT favours the conservative zero-token global
+//! synchronization: its sweeps rewrite the whole field every step, so an
+//! A-stream running a session ahead prefetches lines the producers are
+//! still writing.
+
+use crate::adi::AdiParams;
+use omp_ir::node::{Program, ScheduleSpec};
+use serde::{Deserialize, Serialize};
+
+/// BT workload parameters (thin wrapper over the shared ADI structure).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BtParams(pub AdiParams);
+
+impl BtParams {
+    /// Paper-scale preset: a 16³ grid (one z-plane per CMP... and per-thread solve unit), heavy block solves.
+    pub fn paper() -> Self {
+        BtParams(AdiParams {
+            name: "bt".into(),
+            n: 16,
+            iters: 3,
+            rhs_compute: 180,
+            solve_compute: 400,
+            elem_bytes: 40,
+            sched: None,
+        })
+    }
+
+    /// Tiny preset for tests.
+    pub fn tiny() -> Self {
+        BtParams(AdiParams {
+            name: "bt".into(),
+            n: 6,
+            iters: 1,
+            rhs_compute: 20,
+            solve_compute: 40,
+            elem_bytes: 40,
+            sched: None,
+        })
+    }
+
+    /// Override the worksharing schedule.
+    pub fn with_schedule(mut self, sched: Option<ScheduleSpec>) -> Self {
+        self.0 = self.0.with_schedule(sched);
+        self
+    }
+
+    /// Build the BT program.
+    pub fn build(&self) -> Program {
+        self.0.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omp_ir::validate::validate;
+
+    #[test]
+    fn presets_build_and_validate() {
+        validate(&BtParams::tiny().build()).unwrap();
+        let p = BtParams::paper().build();
+        validate(&p).unwrap();
+        assert_eq!(p.name, "bt");
+    }
+
+    #[test]
+    fn bt_is_compute_heavier_than_sp() {
+        let bt = BtParams::paper();
+        let sp = crate::sp::SpParams::paper();
+        assert!(bt.0.solve_compute > sp.0.solve_compute);
+    }
+}

@@ -1,0 +1,320 @@
+//! CG — conjugate gradient with an irregular sparse matrix.
+//!
+//! Structure follows NPB CG's inner iteration: a sparse mat-vec `q = A·p`
+//! whose gathers of `p` are the dominant irregular communication, two
+//! dot-product reductions, the `z`/`r` updates, and the `p` refresh.
+//! Because `p` is rewritten every iteration and gathered globally in the
+//! next mat-vec, every node re-fetches most of `p` each iteration — the
+//! migratory sharing slipstream targets. Random row lengths provide
+//! natural load imbalance.
+
+use crate::sparse::CsrPattern;
+use omp_ir::builder::BlockBuilder;
+use omp_ir::expr::{Expr, TableId, VarId};
+use omp_ir::node::{ArrayId, Node, Program, ReductionOp, ScheduleSpec};
+use omp_ir::ProgramBuilder;
+use serde::{Deserialize, Serialize};
+
+/// CG workload parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CgParams {
+    /// Vector length / matrix order.
+    pub n: usize,
+    /// Minimum nonzeros per row.
+    pub min_nnz: usize,
+    /// Maximum nonzeros per row.
+    pub max_nnz: usize,
+    /// CG iterations.
+    pub iters: i64,
+    /// Busy cycles per stored nonzero in the mat-vec.
+    pub compute_per_nnz: i64,
+    /// Sparsity-pattern seed.
+    pub seed: u64,
+    /// Worksharing schedule for the vector/matrix loops (`None` = compiler
+    /// default, static). The paper's dynamic experiment uses a chunk of
+    /// half the static block.
+    pub sched: Option<ScheduleSpec>,
+}
+
+impl CgParams {
+    /// Paper-scale preset (class-S-like order, scaled for 16 CMPs).
+    pub fn paper() -> Self {
+        CgParams {
+            n: 512,
+            min_nnz: 16,
+            max_nnz: 32,
+            iters: 6,
+            compute_per_nnz: 5,
+            seed: 0x5e_ed_c6,
+            sched: None,
+        }
+    }
+
+    /// Tiny preset for tests.
+    pub fn tiny() -> Self {
+        CgParams {
+            n: 96,
+            min_nnz: 2,
+            max_nnz: 5,
+            iters: 2,
+            compute_per_nnz: 3,
+            seed: 7,
+            sched: None,
+        }
+    }
+
+    /// Override the worksharing schedule (a `None` argument keeps the
+    /// current setting).
+    pub fn with_schedule(mut self, sched: Option<ScheduleSpec>) -> Self {
+        if sched.is_some() {
+            self.sched = sched;
+        }
+        self
+    }
+
+    /// The chunk the paper uses for CG's dynamic experiment: half the
+    /// static block assignment for a given team size.
+    pub fn paper_dynamic_chunk(&self, team: u64) -> u64 {
+        ((self.n as u64).div_ceil(team) / 2).max(1)
+    }
+
+    /// Build the CG program.
+    pub fn build(&self) -> Program {
+        let pat = CsrPattern::random(self.n, self.min_nnz, self.max_nnz, self.seed);
+        let n = self.n as i64;
+        let sched = self.sched;
+        let cpn = self.compute_per_nnz;
+        let iters = self.iters;
+
+        let mut b = ProgramBuilder::new("cg");
+        let row_ptr = b.table(pat.row_ptr.clone());
+        let col_idx = b.table(pat.col_idx.clone());
+        let a = b.shared_array("a", pat.nnz() as u64, 8);
+        let p = b.shared_array("p", self.n as u64, 8);
+        let q = b.shared_array("q", self.n as u64, 8);
+        let r = b.shared_array("r", self.n as u64, 8);
+        let z = b.shared_array("z", self.n as u64, 8);
+        // Scalar cells: d, alpha, rho, beta (they genuinely share a line,
+        // as CG's scalars do).
+        let scalars = b.shared_array("scalars", 4, 8);
+        let it = b.var();
+        let i = b.var();
+        let j = b.var();
+
+        // Serial init: read the problem description.
+        b.serial(|s| s.io(true, 16 * 1024));
+
+        b.parallel(move |reg| {
+            // Initial p = r (one streaming pass).
+            reg.par_for(sched, i, 0, n, move |body| {
+                body.compute(2);
+                body.store(p, Expr::v(i));
+                body.store(r, Expr::v(i));
+            });
+            reg.push(Node::For {
+                var: it,
+                begin: Expr::c(0),
+                end: Expr::c(iters),
+                step: 1,
+                body: Box::new(cg_iteration(CgIterCtx {
+                    sched,
+                    i,
+                    j,
+                    n,
+                    row_ptr,
+                    col_idx,
+                    a,
+                    p,
+                    q,
+                    r,
+                    z,
+                    scalars,
+                    cpn,
+                })),
+            });
+        });
+        b.serial(|s| s.io(false, 1024));
+        b.build()
+    }
+}
+
+struct CgIterCtx {
+    sched: Option<ScheduleSpec>,
+    i: VarId,
+    j: VarId,
+    n: i64,
+    row_ptr: TableId,
+    col_idx: TableId,
+    a: ArrayId,
+    p: ArrayId,
+    q: ArrayId,
+    r: ArrayId,
+    z: ArrayId,
+    scalars: ArrayId,
+    cpn: i64,
+}
+
+/// One CG iteration as an IR node.
+fn cg_iteration(c: CgIterCtx) -> Node {
+    let CgIterCtx {
+        sched,
+        i,
+        j,
+        n,
+        row_ptr,
+        col_idx,
+        a,
+        p,
+        q,
+        r,
+        z,
+        scalars,
+        cpn,
+    } = c;
+    let mut blk = BlockBuilder::default();
+
+    // q = A * p : irregular gather of p.
+    blk.par_for(sched, i, 0, n, |body| {
+        body.for_loop(
+            j,
+            Expr::v(i).index_into(row_ptr),
+            (Expr::v(i) + 1).index_into(row_ptr),
+            |inner| {
+                inner.load(a, Expr::v(j));
+                inner.load(p, Expr::v(j).index_into(col_idx));
+                inner.compute(cpn);
+            },
+        );
+        body.store(q, Expr::v(i));
+    });
+
+    // d = p . q (reduction into scalars[0]).
+    blk.par_for_reduce(sched, i, 0, n, ReductionOp::Sum, scalars, 0, |body| {
+        body.load(p, Expr::v(i));
+        body.load(q, Expr::v(i));
+        body.compute(2);
+    });
+
+    // Master computes alpha = rho / d; team waits.
+    blk.master(|m| {
+        m.load(scalars, 0);
+        m.compute(20);
+        m.store(scalars, 1);
+    });
+    blk.barrier();
+
+    // z += alpha*p ; r -= alpha*q.
+    blk.par_for(sched, i, 0, n, |body| {
+        body.load(scalars, 1);
+        body.load(p, Expr::v(i));
+        body.load(q, Expr::v(i));
+        body.load(z, Expr::v(i));
+        body.load(r, Expr::v(i));
+        body.compute(4);
+        body.store(z, Expr::v(i));
+        body.store(r, Expr::v(i));
+    });
+
+    // rho = r . r.
+    blk.par_for_reduce(sched, i, 0, n, ReductionOp::Sum, scalars, 2, |body| {
+        body.load(r, Expr::v(i));
+        body.compute(2);
+    });
+
+    // Master computes beta; team waits.
+    blk.master(|m| {
+        m.load(scalars, 2);
+        m.compute(20);
+        m.store(scalars, 3);
+    });
+    blk.barrier();
+
+    // p = r + beta * p  (rewrites the globally gathered vector).
+    blk.par_for(sched, i, 0, n, |body| {
+        body.load(scalars, 3);
+        body.load(r, Expr::v(i));
+        body.load(p, Expr::v(i));
+        body.compute(2);
+        body.store(p, Expr::v(i));
+    });
+
+    // Residual norm ||r|| for the convergence test (NPB CG reports it
+    // every iteration), reduced into the scalars line and inspected by
+    // the master.
+    blk.par_for_reduce(sched, i, 0, n, ReductionOp::Sum, scalars, 2, |body| {
+        body.load(r, Expr::v(i));
+        body.compute(2);
+    });
+    blk.master(|m| {
+        m.load(scalars, 2);
+        m.compute(30);
+    });
+    blk.barrier();
+
+    blk.into_node()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omp_ir::trace::trace;
+    use omp_ir::validate::validate;
+
+    #[test]
+    fn tiny_cg_builds_and_validates() {
+        let p = CgParams::tiny().build();
+        validate(&p).unwrap();
+        assert_eq!(p.name, "cg");
+    }
+
+    #[test]
+    fn paper_cg_builds_and_validates() {
+        let p = CgParams::paper().build();
+        validate(&p).unwrap();
+    }
+
+    #[test]
+    fn matvec_gathers_match_pattern_nnz() {
+        let params = CgParams::tiny();
+        let pat = CsrPattern::random(params.n, params.min_nnz, params.max_nnz, params.seed);
+        let p = params.build();
+        let t = trace(&p, 4);
+        // Per iteration: matvec 2*nnz; dot p.q 2n; update 5n; rho n;
+        // p refresh 3n; norm n; masters 3.
+        let n = params.n as u64;
+        let per_iter = 2 * pat.nnz() as u64 + 2 * n + 5 * n + n + 3 * n + n + 3;
+        let expected = params.iters as u64 * per_iter;
+        assert_eq!(t.total.loads, expected, "loads per CG run");
+        assert!(t.per_thread_deterministic);
+    }
+
+    #[test]
+    fn dynamic_chunk_is_half_static_block() {
+        let p = CgParams::paper();
+        assert_eq!(p.paper_dynamic_chunk(16), 16); // ceil(512/16)/2 = 16
+        assert_eq!(p.paper_dynamic_chunk(512), 1);
+    }
+
+    #[test]
+    fn schedule_override_applies() {
+        let p = CgParams::tiny()
+            .with_schedule(Some(ScheduleSpec::dynamic(8)))
+            .build();
+        validate(&p).unwrap();
+        let t = trace(&p, 4);
+        assert!(!t.per_thread_deterministic, "dynamic schedule in effect");
+    }
+
+    #[test]
+    fn stores_count_matches_structure() {
+        let params = CgParams::tiny();
+        let p = params.build();
+        let t = trace(&p, 4);
+        let n = params.n as u64;
+        // init 2n; per iter: q n + update 2n + p n + masters 2 + io none.
+        let expected = 2 * n + params.iters as u64 * (n + 2 * n + n + 2);
+        assert_eq!(t.total.stores, expected);
+        assert_eq!(t.total.io_in, 1);
+        assert_eq!(t.total.io_out, 1);
+    }
+}

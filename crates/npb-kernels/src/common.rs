@@ -1,0 +1,95 @@
+//! Shared workload-definition types.
+//!
+//! Each benchmark has a parameter struct with two presets: `paper()` —
+//! scaled problem sizes chosen, as in the paper, so that on 16 CMPs
+//! "communication starts to dominate execution time" while keeping the
+//! simulation tractable — and `tiny()` for fast unit/integration tests.
+
+use omp_ir::node::{Program, ScheduleSpec};
+use serde::{Deserialize, Serialize};
+
+/// The five NPB codes the paper evaluates (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// Block-tridiagonal ADI solver.
+    Bt,
+    /// Conjugate gradient with an irregular sparse matrix.
+    Cg,
+    /// SSOR solver with pipelined wavefront sweeps.
+    Lu,
+    /// Multigrid V-cycle.
+    Mg,
+    /// Scalar-pentadiagonal ADI solver.
+    Sp,
+}
+
+impl Benchmark {
+    /// All benchmarks in the paper's order.
+    pub const ALL: [Benchmark; 5] = [
+        Benchmark::Bt,
+        Benchmark::Cg,
+        Benchmark::Lu,
+        Benchmark::Mg,
+        Benchmark::Sp,
+    ];
+
+    /// Lower-case name (as in the paper's figures).
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Bt => "bt",
+            Benchmark::Cg => "cg",
+            Benchmark::Lu => "lu",
+            Benchmark::Mg => "mg",
+            Benchmark::Sp => "sp",
+        }
+    }
+
+    /// Build the benchmark at the paper-scale preset with an optional
+    /// worksharing schedule override (used by the dynamic-scheduling
+    /// experiments; `None` keeps the compiler default, which is static).
+    pub fn build_paper(self, sched: Option<ScheduleSpec>) -> Program {
+        match self {
+            Benchmark::Bt => crate::bt::BtParams::paper().with_schedule(sched).build(),
+            Benchmark::Cg => crate::cg::CgParams::paper().with_schedule(sched).build(),
+            Benchmark::Lu => crate::lu::LuParams::paper().with_schedule(sched).build(),
+            Benchmark::Mg => crate::mg::MgParams::paper().with_schedule(sched).build(),
+            Benchmark::Sp => crate::sp::SpParams::paper().with_schedule(sched).build(),
+        }
+    }
+
+    /// Build the benchmark at the fast test preset.
+    pub fn build_tiny(self) -> Program {
+        match self {
+            Benchmark::Bt => crate::bt::BtParams::tiny().build(),
+            Benchmark::Cg => crate::cg::CgParams::tiny().build(),
+            Benchmark::Lu => crate::lu::LuParams::tiny().build(),
+            Benchmark::Mg => crate::mg::MgParams::tiny().build(),
+            Benchmark::Sp => crate::sp::SpParams::tiny().build(),
+        }
+    }
+
+    /// Whether the benchmark participates in the dynamic-scheduling
+    /// experiment (the paper excludes LU: "static scheduling is
+    /// programmatically specified in this benchmark for a significant
+    /// portion of the code").
+    pub fn in_dynamic_experiment(self) -> bool {
+        self != Benchmark::Lu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_order_match_the_paper() {
+        let names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["bt", "cg", "lu", "mg", "sp"]);
+    }
+
+    #[test]
+    fn lu_is_excluded_from_dynamic() {
+        assert!(!Benchmark::Lu.in_dynamic_experiment());
+        assert!(Benchmark::Cg.in_dynamic_experiment());
+    }
+}

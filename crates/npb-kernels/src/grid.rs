@@ -1,0 +1,114 @@
+//! 3D grid index arithmetic for the structured-grid kernels.
+//!
+//! Grids are flattened x-fastest (`idx = x + nx*(y + ny*z)`), so a static
+//! block decomposition of a flat loop corresponds to z-slab decomposition
+//! — the layout that gives the ghost-plane communication structure of the
+//! NPB structured codes on a DSM machine.
+
+use omp_ir::expr::Expr;
+use serde::{Deserialize, Serialize};
+
+/// A 3D grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Grid3 {
+    /// Points along x (fastest-varying).
+    pub nx: i64,
+    /// Points along y.
+    pub ny: i64,
+    /// Points along z (slowest-varying; slab decomposition axis).
+    pub nz: i64,
+}
+
+impl Grid3 {
+    /// A cubic grid.
+    pub fn cube(n: i64) -> Self {
+        Grid3 {
+            nx: n,
+            ny: n,
+            nz: n,
+        }
+    }
+
+    /// Total points.
+    pub fn len(&self) -> i64 {
+        self.nx * self.ny * self.nz
+    }
+
+    /// True for a degenerate grid.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flat-index offset of the +x neighbour.
+    pub fn dx(&self) -> i64 {
+        1
+    }
+
+    /// Flat-index offset of the +y neighbour.
+    pub fn dy(&self) -> i64 {
+        self.nx
+    }
+
+    /// Flat-index offset of the +z neighbour (one plane).
+    pub fn dz(&self) -> i64 {
+        self.nx * self.ny
+    }
+
+    /// Clamped neighbour index expression: `i + off`, held inside the
+    /// grid. Clamping at the faces slightly perturbs boundary stencils,
+    /// which is irrelevant to timing and keeps expressions total.
+    pub fn nbr(&self, i: Expr, off: i64) -> Expr {
+        let n = self.len();
+        (i + Expr::c(off)).max(Expr::c(0)).min(Expr::c(n - 1))
+    }
+
+    /// The six face-neighbour offsets of a 7-point stencil.
+    pub fn stencil7_offsets(&self) -> [i64; 6] {
+        [
+            -self.dx(),
+            self.dx(),
+            -self.dy(),
+            self.dy(),
+            -self.dz(),
+            self.dz(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omp_ir::expr::SimpleCtx;
+
+    #[test]
+    fn offsets() {
+        let g = Grid3::cube(8);
+        assert_eq!(g.len(), 512);
+        assert_eq!(g.dx(), 1);
+        assert_eq!(g.dy(), 8);
+        assert_eq!(g.dz(), 64);
+        assert_eq!(g.stencil7_offsets(), [-1, 1, -8, 8, -64, 64]);
+    }
+
+    #[test]
+    fn nbr_clamps_at_faces() {
+        let g = Grid3::cube(4);
+        let ctx = SimpleCtx::new(0, 0, 1);
+        assert_eq!(g.nbr(Expr::c(10), 1).eval(&ctx), 11);
+        assert_eq!(g.nbr(Expr::c(0), -1).eval(&ctx), 0);
+        assert_eq!(g.nbr(Expr::c(63), 16).eval(&ctx), 63);
+    }
+
+    #[test]
+    fn non_cubic_grids() {
+        let g = Grid3 {
+            nx: 4,
+            ny: 8,
+            nz: 2,
+        };
+        assert_eq!(g.len(), 64);
+        assert_eq!(g.dy(), 4);
+        assert_eq!(g.dz(), 32);
+        assert!(!g.is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! # npb-kernels — NAS Parallel Benchmark analogues
+//!
+//! Scaled-down, structurally faithful versions of the five NPB 2.3 codes
+//! the paper evaluates (Table 2), expressed in the `omp-ir` kernel
+//! language: BT and SP (ADI solvers with directional line sweeps), CG
+//! (sparse conjugate gradient with irregular gathers and reductions), LU
+//! (SSOR with hyperplane wavefronts), and MG (multigrid V-cycles).
+//!
+//! A timing simulator consumes only addresses and control flow, so these
+//! kernels reproduce each benchmark's *reference structure* — sharing
+//! pattern, barrier cadence, compute-to-communication ratio, load
+//! imbalance — rather than its numerics. Problem sizes are scaled the way
+//! the paper scaled them: small enough that on 16 CMPs "communication
+//! starts to dominate execution time".
+
+#![warn(missing_docs)]
+
+pub mod adi;
+pub mod bt;
+pub mod cg;
+pub mod common;
+pub mod grid;
+pub mod lu;
+pub mod mg;
+pub mod sp;
+pub mod sparse;
+
+pub use bt::BtParams;
+pub use cg::CgParams;
+pub use common::Benchmark;
+pub use grid::Grid3;
+pub use lu::LuParams;
+pub use mg::MgParams;
+pub use sp::SpParams;
+pub use sparse::CsrPattern;

@@ -1,0 +1,311 @@
+//! LU — SSOR solver with wavefront (hyperplane) sweeps.
+//!
+//! NPB LU's lower/upper triangular solves carry a dependence along the
+//! sweep direction. We parallelize them over (y+z) diagonal wavefronts
+//! with whole x-lines as the work unit: each diagonal is a worksharing
+//! loop, so a sweep is a long pipeline of small phases with a barrier per
+//! diagonal, and every thread owns contiguous x-lines (no cache line is
+//! written by two threads). The OpenMP port specifies **static**
+//! scheduling programmatically for this portion, which is why the paper
+//! excludes LU from the dynamic-scheduling experiment; the rhs phase
+//! follows the schedule override like the other codes. LU shows the
+//! smallest slipstream gain in the paper (5%).
+
+use crate::grid::Grid3;
+use omp_ir::builder::BlockBuilder;
+use omp_ir::expr::{Expr, TableId, VarId};
+use omp_ir::node::{ArrayId, Node, Program, ScheduleSpec};
+use omp_ir::ProgramBuilder;
+use serde::{Deserialize, Serialize};
+
+/// LU workload parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LuParams {
+    /// Grid edge.
+    pub n: i64,
+    /// SSOR iterations.
+    pub iters: i64,
+    /// Busy cycles per point in the rhs/jacobian phase.
+    pub rhs_compute: i64,
+    /// Busy cycles per point in each triangular solve.
+    pub solve_compute: i64,
+    /// Worksharing schedule for the rhs phase only (the wavefront loops
+    /// are programmatically static, as in the NPB source).
+    pub sched: Option<ScheduleSpec>,
+}
+
+impl LuParams {
+    /// Paper-scale preset: a 12³ grid.
+    pub fn paper() -> Self {
+        LuParams {
+            n: 12,
+            iters: 2,
+            rhs_compute: 70,
+            solve_compute: 80,
+            sched: None,
+        }
+    }
+
+    /// Tiny preset for tests.
+    pub fn tiny() -> Self {
+        LuParams {
+            n: 5,
+            iters: 1,
+            rhs_compute: 20,
+            solve_compute: 25,
+            sched: None,
+        }
+    }
+
+    /// Override the rhs-phase schedule (wavefront loops stay static).
+    pub fn with_schedule(mut self, sched: Option<ScheduleSpec>) -> Self {
+        if sched.is_some() {
+            self.sched = sched;
+        }
+        self
+    }
+
+    /// Wavefront decomposition: x-line base indices grouped by the y+z
+    /// diagonal, plus the offsets of each diagonal in that list.
+    pub fn hyperplanes(&self) -> (Vec<i64>, Vec<i64>) {
+        let n = self.n;
+        let num_planes = (2 * n - 1) as usize;
+        let mut buckets: Vec<Vec<i64>> = vec![Vec::new(); num_planes];
+        for z in 0..n {
+            for y in 0..n {
+                // Base index of the x-line at (y, z).
+                buckets[(y + z) as usize].push(n * (y + n * z));
+            }
+        }
+        let mut lines = Vec::with_capacity((n * n) as usize);
+        let mut ptr = Vec::with_capacity(num_planes + 1);
+        ptr.push(0);
+        for b in buckets {
+            lines.extend(b);
+            ptr.push(lines.len() as i64);
+        }
+        (lines, ptr)
+    }
+
+    /// Build the LU program.
+    pub fn build(&self) -> Program {
+        let g = Grid3::cube(self.n);
+        let (lines, ptr) = self.hyperplanes();
+        let num_planes = 2 * self.n - 1;
+        let sched = self.sched;
+
+        let mut b = ProgramBuilder::new("lu");
+        let hp_lines = b.table(lines);
+        let hp_ptr = b.table(ptr);
+        let u = b.shared_array("u", g.len() as u64, 40);
+        let rhs = b.shared_array("rhs", g.len() as u64, 40);
+        let step = b.var();
+        let h = b.var();
+        let m = b.var();
+        let x = b.var();
+
+        b.serial(|s| s.io(true, 48 * 1024));
+        let iters = self.iters;
+        let rhs_c = self.rhs_compute;
+        let solve_c = self.solve_compute;
+        b.parallel(move |reg| {
+            reg.par_for(sched, m, 0, g.len(), move |body| {
+                body.compute(2);
+                body.store(u, Expr::v(m));
+            });
+            reg.push(Node::For {
+                var: step,
+                begin: Expr::c(0),
+                end: Expr::c(iters),
+                step: 1,
+                body: Box::new(ssor_iteration(SsorCtx {
+                    g,
+                    u,
+                    rhs,
+                    sched,
+                    h,
+                    m,
+                    hp_lines,
+                    hp_ptr,
+                    x,
+                    num_planes,
+                    rhs_c,
+                    solve_c,
+                })),
+            });
+        });
+        b.serial(|s| s.io(false, 1024));
+        b.build()
+    }
+}
+
+struct SsorCtx {
+    g: Grid3,
+    u: ArrayId,
+    rhs: ArrayId,
+    sched: Option<ScheduleSpec>,
+    h: VarId,
+    m: VarId,
+    x: VarId,
+    hp_lines: TableId,
+    hp_ptr: TableId,
+    num_planes: i64,
+    rhs_c: i64,
+    solve_c: i64,
+}
+
+fn ssor_iteration(c: SsorCtx) -> Node {
+    let SsorCtx {
+        g,
+        u,
+        rhs,
+        sched,
+        h,
+        m,
+        x,
+        hp_lines,
+        hp_ptr,
+        num_planes,
+        rhs_c,
+        solve_c,
+    } = c;
+    let mut blk = BlockBuilder::default();
+
+    // rhs / jacobian phase: stencil on u into rhs.
+    blk.par_for(sched, m, 0, g.len(), move |body| {
+        body.load(u, Expr::v(m));
+        for off in g.stencil7_offsets() {
+            body.load(u, g.nbr(Expr::v(m), off));
+        }
+        body.compute(rhs_c);
+        body.store(rhs, Expr::v(m));
+    });
+
+    // Lower-triangular sweep: diagonals in ascending order, whole
+    // x-lines per work item. Wavefront loops are *statically* scheduled
+    // regardless of the override (as in the NPB source).
+    blk.for_loop(h, 0, num_planes, move |plane| {
+        plane.par_for(
+            None,
+            m,
+            Expr::v(h).index_into(hp_ptr),
+            (Expr::v(h) + 1).index_into(hp_ptr),
+            move |line| {
+                line.for_loop(x, 0, g.nx, move |body| {
+                    let idx = Expr::v(m).index_into(hp_lines) + Expr::v(x);
+                    body.load(rhs, idx.clone());
+                    // Dependence direction: lower neighbours.
+                    for off in [-g.dx(), -g.dy(), -g.dz()] {
+                        body.load(rhs, g.nbr(idx.clone(), off));
+                    }
+                    body.compute(solve_c);
+                    body.store(rhs, idx);
+                });
+            },
+        );
+    });
+
+    // Upper-triangular sweep: diagonals in descending order.
+    blk.for_loop(h, 0, num_planes, move |plane| {
+        let rev = Expr::c(num_planes - 1) - Expr::v(h);
+        plane.par_for(
+            None,
+            m,
+            rev.clone().index_into(hp_ptr),
+            (rev + 1).index_into(hp_ptr),
+            move |line| {
+                line.for_loop(x, 0, g.nx, move |body| {
+                    let idx = Expr::v(m).index_into(hp_lines) + Expr::v(x);
+                    body.load(rhs, idx.clone());
+                    for off in [g.dx(), g.dy(), g.dz()] {
+                        body.load(u, g.nbr(idx.clone(), off));
+                    }
+                    body.compute(solve_c);
+                    body.store(u, idx);
+                });
+            },
+        );
+    });
+
+    blk.into_node()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omp_ir::trace::trace;
+    use omp_ir::validate::validate;
+
+    #[test]
+    fn presets_build_and_validate() {
+        validate(&LuParams::tiny().build()).unwrap();
+        let p = LuParams::paper().build();
+        validate(&p).unwrap();
+        assert_eq!(p.name, "lu");
+    }
+
+    #[test]
+    fn hyperplanes_partition_the_lines() {
+        let params = LuParams::tiny();
+        let (lines, ptr) = params.hyperplanes();
+        let n2 = (params.n * params.n) as usize;
+        assert_eq!(lines.len(), n2);
+        assert_eq!(*ptr.last().unwrap() as usize, n2);
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), n2, "each x-line appears exactly once");
+        // Diagonal sizes are unimodal: 1, 2, ... n ... 2, 1.
+        assert_eq!(ptr[1] - ptr[0], 1);
+        assert_eq!(ptr[ptr.len() - 1] - ptr[ptr.len() - 2], 1);
+        // Every base is a multiple of n (a whole x-line).
+        assert!(lines.iter().all(|b| b % params.n == 0));
+    }
+
+    #[test]
+    fn sweep_work_matches_structure() {
+        let params = LuParams::tiny();
+        let p = params.build();
+        let t = trace(&p, 4);
+        let n3 = (params.n * params.n * params.n) as u64;
+        // Loads per iteration: rhs 7*n3 + lower 4*n3 + upper 4*n3.
+        assert_eq!(t.total.loads, 15 * n3);
+        // Barrier count: init loop + per iter (rhs + 2 * planes) + region.
+        let planes = (2 * params.n - 1) as u64;
+        assert_eq!(t.barrier_episodes, 1 + (1 + 2 * planes) + 1);
+    }
+
+    #[test]
+    fn wavefront_ignores_schedule_override() {
+        // Even with a dynamic override, only the rhs phase changes — the
+        // wavefront loops stay static (per the NPB source).
+        let p = LuParams::tiny()
+            .with_schedule(Some(ScheduleSpec::dynamic(2)))
+            .build();
+        validate(&p).unwrap();
+        let dynamic_loops = count_dynamic(&p.body);
+        assert_eq!(dynamic_loops, 2, "init + rhs only (not 2*planes more)");
+    }
+
+    fn count_dynamic(n: &Node) -> usize {
+        match n {
+            Node::Seq(v) | Node::Sections(v) => v.iter().map(count_dynamic).sum(),
+            Node::For { body, .. }
+            | Node::Parallel { body, .. }
+            | Node::Single(body)
+            | Node::Master(body)
+            | Node::Critical { body, .. } => count_dynamic(body),
+            Node::ParFor { sched, body, .. } => {
+                let own = matches!(
+                    sched,
+                    Some(ScheduleSpec {
+                        kind: omp_ir::node::ScheduleKind::Dynamic,
+                        ..
+                    })
+                ) as usize;
+                own + count_dynamic(body)
+            }
+            _ => 0,
+        }
+    }
+}

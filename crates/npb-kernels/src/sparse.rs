@@ -1,0 +1,113 @@
+//! Random sparse-matrix pattern generation (CG's substrate).
+//!
+//! NPB CG builds a symmetric positive-definite matrix with a random
+//! sparsity pattern. Only the *pattern* matters to a timing simulator;
+//! values never flow. The CSR arrays become host-side index tables the
+//! kernel IR gathers through, producing the same irregular shared-memory
+//! reference stream.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A CSR sparsity pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrPattern {
+    /// Row count.
+    pub n: usize,
+    /// `row_ptr[i]..row_ptr[i+1]` indexes `col_idx` for row i.
+    pub row_ptr: Vec<i64>,
+    /// Column index of each stored nonzero.
+    pub col_idx: Vec<i64>,
+}
+
+impl CsrPattern {
+    /// Generate a pattern with `n` rows and row lengths uniform in
+    /// `[min_nnz, max_nnz]` (inclusive), deterministically from `seed`.
+    /// Column indices cluster around the diagonal with occasional long-
+    /// range entries, like the NPB generator's geometric fill pattern.
+    pub fn random(n: usize, min_nnz: usize, max_nnz: usize, seed: u64) -> Self {
+        assert!(n > 0 && min_nnz >= 1 && max_nnz >= min_nnz);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::new();
+        row_ptr.push(0);
+        for i in 0..n {
+            let nnz = rng.random_range(min_nnz..=max_nnz);
+            for k in 0..nnz {
+                let col = if k == 0 {
+                    i as i64 // always touch the diagonal
+                } else if rng.random_bool(0.7) {
+                    // Near-diagonal band.
+                    let span = (n / 16).max(2) as i64;
+                    (i as i64 + rng.random_range(-span..=span)).rem_euclid(n as i64)
+                } else {
+                    // Long-range entry (cross-node gather).
+                    rng.random_range(0..n as i64)
+                };
+                col_idx.push(col);
+            }
+            row_ptr.push(col_idx.len() as i64);
+        }
+        CsrPattern {
+            n,
+            row_ptr,
+            col_idx,
+        }
+    }
+
+    /// Total stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Number of nonzeros in row `i`.
+    pub fn row_len(&self, i: usize) -> usize {
+        (self.row_ptr[i + 1] - self.row_ptr[i]) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_is_well_formed() {
+        let p = CsrPattern::random(100, 3, 9, 42);
+        assert_eq!(p.row_ptr.len(), 101);
+        assert_eq!(*p.row_ptr.last().unwrap() as usize, p.nnz());
+        for i in 0..100 {
+            let l = p.row_len(i);
+            assert!((3..=9).contains(&l), "row {i} len {l}");
+        }
+        for &c in &p.col_idx {
+            assert!((0..100).contains(&c));
+        }
+    }
+
+    #[test]
+    fn pattern_is_deterministic_per_seed() {
+        let a = CsrPattern::random(50, 2, 6, 7);
+        let b = CsrPattern::random(50, 2, 6, 7);
+        let c = CsrPattern::random(50, 2, 6, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rows_touch_their_diagonal() {
+        let p = CsrPattern::random(64, 1, 4, 3);
+        for i in 0..64 {
+            let lo = p.row_ptr[i] as usize;
+            assert_eq!(p.col_idx[lo], i as i64);
+        }
+    }
+
+    #[test]
+    fn row_lengths_vary_for_load_imbalance() {
+        let p = CsrPattern::random(200, 3, 12, 11);
+        let lens: Vec<usize> = (0..200).map(|i| p.row_len(i)).collect();
+        let min = lens.iter().min().unwrap();
+        let max = lens.iter().max().unwrap();
+        assert!(max > min, "row lengths should vary");
+    }
+}

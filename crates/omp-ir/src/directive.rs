@@ -1,0 +1,571 @@
+//! Textual OpenMP directive parsing, including the paper's extension.
+//!
+//! The paper (Section 3.3) introduces:
+//!
+//! ```text
+//! !$OMP SLIPSTREAM([type] [, tokens])
+//! ```
+//!
+//! where `type` ∈ {GLOBAL_SYNC, LOCAL_SYNC, RUNTIME_SYNC} and `tokens` is
+//! the initial token count for A–R synchronization, plus an environment
+//! variable `OMP_SLIPSTREAM` taking the same arguments with the extra type
+//! `NONE` to disable slipstream at runtime.
+//!
+//! This module parses both the C (`#pragma omp ...`) and Fortran
+//! (`!$OMP ...`) spellings of the constructs the compiler extension
+//! touches, case-insensitively, into structured [`Directive`] values.
+
+use crate::node::{ReductionOp, ScheduleKind, ScheduleSpec, SlipSyncType, SlipstreamClause};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A parse failure, with a human-readable explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectiveError(pub String);
+
+impl fmt::Display for DirectiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "directive error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DirectiveError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, DirectiveError> {
+    Err(DirectiveError(msg.into()))
+}
+
+/// A parsed directive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Directive {
+    /// `parallel`, optionally carrying a region-scoped slipstream clause.
+    Parallel {
+        /// Region-scoped `slipstream(...)` clause.
+        slipstream: Option<SlipstreamClause>,
+    },
+    /// Worksharing `for` / `do`.
+    For {
+        /// `schedule(kind[, chunk])` clause.
+        schedule: Option<ScheduleSpec>,
+        /// `reduction(op: var)` clause (operator and variable name).
+        reduction: Option<(ReductionOp, String)>,
+        /// `nowait` clause.
+        nowait: bool,
+    },
+    /// `barrier`.
+    Barrier,
+    /// `single`.
+    Single,
+    /// `master`.
+    Master,
+    /// `critical [(name)]`.
+    Critical {
+        /// Optional section name.
+        name: Option<String>,
+    },
+    /// `atomic`.
+    Atomic,
+    /// `sections`.
+    Sections,
+    /// `flush`.
+    Flush,
+    /// The new `slipstream([type][, tokens])` directive.
+    Slipstream(SlipstreamClause),
+}
+
+/// Runtime slipstream setting parsed from `OMP_SLIPSTREAM`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EnvSlipstream {
+    /// `NONE`: slipstream disabled.
+    Disabled,
+    /// Enabled with a concrete sync type and token count.
+    Enabled {
+        /// Global or local token insertion.
+        sync: SlipSyncType,
+        /// Initial token count.
+        tokens: u64,
+    },
+}
+
+// ---------------------------------------------------------------- lexer --
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Num(u64),
+    LParen,
+    RParen,
+    Comma,
+    Colon,
+    Plus,
+}
+
+fn lex(s: &str) -> Result<Vec<Tok>, DirectiveError> {
+    let mut toks = Vec::new();
+    let mut chars = s.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                toks.push(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                toks.push(Tok::RParen);
+            }
+            ',' => {
+                chars.next();
+                toks.push(Tok::Comma);
+            }
+            ':' => {
+                chars.next();
+                toks.push(Tok::Colon);
+            }
+            '+' => {
+                chars.next();
+                toks.push(Tok::Plus);
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: u64 = 0;
+                while let Some(&d) = chars.peek() {
+                    if let Some(v) = d.to_digit(10) {
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|n| n.checked_add(v as u64))
+                            .ok_or_else(|| DirectiveError("numeric overflow".into()))?;
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Num(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '$' || c == '!' || c == '#' => {
+                let mut id = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' || d == '$' || d == '!' || d == '#' {
+                        id.push(d.to_ascii_lowercase());
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Ident(id));
+            }
+            other => return err(format!("unexpected character {other:?}")),
+        }
+    }
+    Ok(toks)
+}
+
+// --------------------------------------------------------------- parser --
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), DirectiveError> {
+        match self.next() {
+            Some(got) if got == t => Ok(()),
+            got => err(format!("expected {t:?}, got {got:?}")),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, DirectiveError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            got => err(format!("expected identifier, got {got:?}")),
+        }
+    }
+
+    fn num(&mut self) -> Result<u64, DirectiveError> {
+        match self.next() {
+            Some(Tok::Num(n)) => Ok(n),
+            got => err(format!("expected number, got {got:?}")),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.toks.len()
+    }
+}
+
+fn parse_sync_type(name: &str) -> Result<SlipSyncType, DirectiveError> {
+    match name {
+        "global_sync" => Ok(SlipSyncType::GlobalSync),
+        "local_sync" => Ok(SlipSyncType::LocalSync),
+        "runtime_sync" => Ok(SlipSyncType::RuntimeSync),
+        "none" => Ok(SlipSyncType::None),
+        other => err(format!("unknown slipstream sync type {other:?}")),
+    }
+}
+
+/// Parse a `slipstream(...)` argument list after the keyword. The clause
+/// may be empty (defaults), `(type)`, `(tokens)`, or `(type, tokens)`.
+fn parse_slipstream_args(p: &mut Parser) -> Result<SlipstreamClause, DirectiveError> {
+    let mut clause = SlipstreamClause::default();
+    if p.peek() != Some(&Tok::LParen) {
+        return Ok(clause);
+    }
+    p.expect(Tok::LParen)?;
+    match p.peek() {
+        Some(Tok::RParen) => {}
+        Some(Tok::Num(_)) => {
+            clause.tokens = p.num()?;
+        }
+        Some(Tok::Ident(_)) => {
+            let id = p.ident()?;
+            clause.sync = parse_sync_type(&id)?;
+            if p.peek() == Some(&Tok::Comma) {
+                p.next();
+                clause.tokens = p.num()?;
+            }
+        }
+        got => return err(format!("bad slipstream argument {got:?}")),
+    }
+    p.expect(Tok::RParen)?;
+    Ok(clause)
+}
+
+fn parse_schedule(p: &mut Parser) -> Result<ScheduleSpec, DirectiveError> {
+    p.expect(Tok::LParen)?;
+    let kind = match p.ident()?.as_str() {
+        "static" => ScheduleKind::Static,
+        "dynamic" => ScheduleKind::Dynamic,
+        "guided" => ScheduleKind::Guided,
+        "affinity" => ScheduleKind::Affinity,
+        "runtime" => ScheduleKind::Runtime,
+        other => return err(format!("unknown schedule kind {other:?}")),
+    };
+    let chunk = if p.peek() == Some(&Tok::Comma) {
+        p.next();
+        Some(p.num()?)
+    } else {
+        None
+    };
+    p.expect(Tok::RParen)?;
+    if chunk == Some(0) {
+        return err("schedule chunk must be positive");
+    }
+    Ok(ScheduleSpec { kind, chunk })
+}
+
+fn parse_reduction(p: &mut Parser) -> Result<(ReductionOp, String), DirectiveError> {
+    p.expect(Tok::LParen)?;
+    let op = match p.next() {
+        Some(Tok::Plus) => ReductionOp::Sum,
+        Some(Tok::Ident(id)) => match id.as_str() {
+            "max" => ReductionOp::Max,
+            "min" => ReductionOp::Min,
+            other => return err(format!("unknown reduction op {other:?}")),
+        },
+        got => return err(format!("expected reduction operator, got {got:?}")),
+    };
+    p.expect(Tok::Colon)?;
+    let var = p.ident()?;
+    p.expect(Tok::RParen)?;
+    Ok((op, var))
+}
+
+/// Parse one directive line. Accepts both `#pragma omp ...` and
+/// `!$OMP ...` spellings, case-insensitively; the sentinel may also be
+/// omitted entirely (`parallel slipstream(...)`).
+pub fn parse_directive(line: &str) -> Result<Directive, DirectiveError> {
+    let toks = lex(line)?;
+    let mut p = Parser { toks, pos: 0 };
+
+    // Strip the sentinel: `#pragma omp` or `!$omp`.
+    if let Some(Tok::Ident(id)) = p.peek() {
+        if id == "#pragma" {
+            p.next();
+            let omp = p.ident()?;
+            if omp != "omp" {
+                return err(format!("expected 'omp' after #pragma, got {omp:?}"));
+            }
+        } else if id == "!$omp" {
+            p.next();
+        }
+    }
+
+    let head = p.ident()?;
+    let d = match head.as_str() {
+        "parallel" => {
+            let mut slip = None;
+            while let Some(Tok::Ident(id)) = p.peek() {
+                match id.as_str() {
+                    "slipstream" => {
+                        p.next();
+                        slip = Some(parse_slipstream_args(&mut p)?);
+                    }
+                    other => return err(format!("unsupported parallel clause {other:?}")),
+                }
+            }
+            Directive::Parallel { slipstream: slip }
+        }
+        "for" | "do" => {
+            let mut schedule = None;
+            let mut reduction = None;
+            let mut nowait = false;
+            while let Some(Tok::Ident(id)) = p.peek().cloned() {
+                p.next();
+                match id.as_str() {
+                    "schedule" => schedule = Some(parse_schedule(&mut p)?),
+                    "reduction" => reduction = Some(parse_reduction(&mut p)?),
+                    "nowait" => nowait = true,
+                    other => return err(format!("unsupported for clause {other:?}")),
+                }
+            }
+            Directive::For {
+                schedule,
+                reduction,
+                nowait,
+            }
+        }
+        "barrier" => Directive::Barrier,
+        "single" => Directive::Single,
+        "master" => Directive::Master,
+        "atomic" => Directive::Atomic,
+        "sections" => Directive::Sections,
+        "flush" => Directive::Flush,
+        "critical" => {
+            let name = if p.peek() == Some(&Tok::LParen) {
+                p.next();
+                let n = p.ident()?;
+                p.expect(Tok::RParen)?;
+                Some(n)
+            } else {
+                None
+            };
+            Directive::Critical { name }
+        }
+        "slipstream" => Directive::Slipstream(parse_slipstream_args(&mut p)?),
+        other => return err(format!("unknown directive {other:?}")),
+    };
+
+    if !p.at_end() {
+        return err(format!("trailing tokens after directive: {:?}", p.peek()));
+    }
+    Ok(d)
+}
+
+/// Parse the `OMP_SLIPSTREAM` environment variable. Takes the same
+/// arguments as the directive, plus `NONE` to disable slipstream
+/// (paper Section 3.3). `RUNTIME_SYNC` is rejected here — the environment
+/// is where runtime resolution terminates.
+pub fn parse_omp_slipstream_env(value: &str) -> Result<EnvSlipstream, DirectiveError> {
+    let toks = lex(value)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut sync = SlipSyncType::GlobalSync;
+    let mut tokens = 0u64;
+    match p.peek() {
+        None => return err("empty OMP_SLIPSTREAM value"),
+        Some(Tok::Num(_)) => tokens = p.num()?,
+        Some(Tok::Ident(_)) => {
+            let id = p.ident()?;
+            sync = parse_sync_type(&id)?;
+            if p.peek() == Some(&Tok::Comma) {
+                p.next();
+                tokens = p.num()?;
+            }
+        }
+        got => return err(format!("bad OMP_SLIPSTREAM value {got:?}")),
+    }
+    if !p.at_end() {
+        return err("trailing tokens in OMP_SLIPSTREAM");
+    }
+    match sync {
+        SlipSyncType::None => Ok(EnvSlipstream::Disabled),
+        SlipSyncType::RuntimeSync => err("OMP_SLIPSTREAM cannot be RUNTIME_SYNC"),
+        s => Ok(EnvSlipstream::Enabled { sync: s, tokens }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_spelling() {
+        // The exact form from Section 3.3 of the paper.
+        let d = parse_directive("!$OMP SLIPSTREAM(GLOBAL_SYNC, 1)").unwrap();
+        assert_eq!(
+            d,
+            Directive::Slipstream(SlipstreamClause {
+                sync: SlipSyncType::GlobalSync,
+                tokens: 1
+            })
+        );
+    }
+
+    #[test]
+    fn parses_pragma_spelling_and_defaults() {
+        let d = parse_directive("#pragma omp slipstream").unwrap();
+        assert_eq!(d, Directive::Slipstream(SlipstreamClause::default()));
+        let d = parse_directive("#pragma omp slipstream(LOCAL_SYNC)").unwrap();
+        assert_eq!(
+            d,
+            Directive::Slipstream(SlipstreamClause {
+                sync: SlipSyncType::LocalSync,
+                tokens: 0
+            })
+        );
+        // Tokens-only form.
+        let d = parse_directive("#pragma omp slipstream(3)").unwrap();
+        assert_eq!(
+            d,
+            Directive::Slipstream(SlipstreamClause {
+                sync: SlipSyncType::GlobalSync,
+                tokens: 3
+            })
+        );
+    }
+
+    #[test]
+    fn parallel_with_slipstream_clause() {
+        let d = parse_directive("#pragma omp parallel slipstream(RUNTIME_SYNC, 2)").unwrap();
+        assert_eq!(
+            d,
+            Directive::Parallel {
+                slipstream: Some(SlipstreamClause {
+                    sync: SlipSyncType::RuntimeSync,
+                    tokens: 2
+                })
+            }
+        );
+    }
+
+    #[test]
+    fn for_with_all_clauses() {
+        let d = parse_directive("#pragma omp for schedule(dynamic, 4) reduction(+: err) nowait")
+            .unwrap();
+        assert_eq!(
+            d,
+            Directive::For {
+                schedule: Some(ScheduleSpec::dynamic(4)),
+                reduction: Some((ReductionOp::Sum, "err".into())),
+                nowait: true,
+            }
+        );
+    }
+
+    #[test]
+    fn schedule_kinds() {
+        for (txt, kind) in [
+            ("static", ScheduleKind::Static),
+            ("dynamic", ScheduleKind::Dynamic),
+            ("guided", ScheduleKind::Guided),
+            ("affinity", ScheduleKind::Affinity),
+            ("runtime", ScheduleKind::Runtime),
+        ] {
+            let d = parse_directive(&format!("#pragma omp for schedule({txt})")).unwrap();
+            assert_eq!(
+                d,
+                Directive::For {
+                    schedule: Some(ScheduleSpec { kind, chunk: None }),
+                    reduction: None,
+                    nowait: false
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn simple_directives() {
+        assert_eq!(parse_directive("#pragma omp barrier").unwrap(), Directive::Barrier);
+        assert_eq!(parse_directive("!$OMP SINGLE").unwrap(), Directive::Single);
+        assert_eq!(parse_directive("master").unwrap(), Directive::Master);
+        assert_eq!(parse_directive("#pragma omp atomic").unwrap(), Directive::Atomic);
+        assert_eq!(parse_directive("#pragma omp flush").unwrap(), Directive::Flush);
+        assert_eq!(parse_directive("#pragma omp sections").unwrap(), Directive::Sections);
+        assert_eq!(
+            parse_directive("#pragma omp critical (update)").unwrap(),
+            Directive::Critical {
+                name: Some("update".into())
+            }
+        );
+        assert_eq!(
+            parse_directive("#pragma omp critical").unwrap(),
+            Directive::Critical { name: None }
+        );
+    }
+
+    #[test]
+    fn reduction_min_max() {
+        for (txt, op) in [("max", ReductionOp::Max), ("min", ReductionOp::Min)] {
+            let d = parse_directive(&format!("#pragma omp for reduction({txt}: v)")).unwrap();
+            assert_eq!(
+                d,
+                Directive::For {
+                    schedule: None,
+                    reduction: Some((op, "v".into())),
+                    nowait: false
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_directive("#pragma omp warp_drive").is_err());
+        assert!(parse_directive("#pragma omp slipstream(SIDEWAYS_SYNC)").is_err());
+        assert!(parse_directive("#pragma omp for schedule(dynamic, 0)").is_err());
+        assert!(parse_directive("#pragma omp barrier extra").is_err());
+        assert!(parse_directive("#pragma acc parallel").is_err());
+        assert!(parse_directive("").is_err());
+    }
+
+    #[test]
+    fn env_variable_forms() {
+        assert_eq!(
+            parse_omp_slipstream_env("GLOBAL_SYNC,2").unwrap(),
+            EnvSlipstream::Enabled {
+                sync: SlipSyncType::GlobalSync,
+                tokens: 2
+            }
+        );
+        assert_eq!(
+            parse_omp_slipstream_env("local_sync").unwrap(),
+            EnvSlipstream::Enabled {
+                sync: SlipSyncType::LocalSync,
+                tokens: 0
+            }
+        );
+        assert_eq!(
+            parse_omp_slipstream_env("NONE").unwrap(),
+            EnvSlipstream::Disabled
+        );
+        assert_eq!(
+            parse_omp_slipstream_env("1").unwrap(),
+            EnvSlipstream::Enabled {
+                sync: SlipSyncType::GlobalSync,
+                tokens: 1
+            }
+        );
+        assert!(parse_omp_slipstream_env("RUNTIME_SYNC").is_err());
+        assert!(parse_omp_slipstream_env("").is_err());
+        assert!(parse_omp_slipstream_env("GLOBAL_SYNC,2,3").is_err());
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert!(parse_directive("#PRAGMA OMP PARALLEL").is_ok());
+        assert!(parse_omp_slipstream_env("Global_Sync, 1").is_ok());
+    }
+}

@@ -1,0 +1,332 @@
+//! Lowering parsed directives onto the builder API.
+//!
+//! This is the bridge between the textual OpenMP surface (what a
+//! programmer of the paper's system writes) and the kernel IR: pragma
+//! strings parse into [`Directive`]s, and the helpers here apply them to
+//! a [`ProgramBuilder`]/[`BlockBuilder`], so a kernel can be assembled the
+//! way annotated source reads:
+//!
+//! ```
+//! use omp_ir::lower::{Pragma, PragmaBlock};
+//! use omp_ir::{Expr, ProgramBuilder};
+//!
+//! let mut b = ProgramBuilder::new("annotated");
+//! let a = b.shared_array("a", 128, 8);
+//! let i = b.var();
+//! b.pragma_parallel("#pragma omp parallel slipstream(LOCAL_SYNC, 1)", move |r| {
+//!     r.pragma_for("#pragma omp for schedule(dynamic, 8)", i, 0, 128, move |body| {
+//!         body.load(a, Expr::v(i));
+//!     });
+//! })
+//! .unwrap();
+//! let p = b.build();
+//! assert_eq!(p.name, "annotated");
+//! ```
+
+use crate::builder::{BlockBuilder, ProgramBuilder};
+use crate::directive::{parse_directive, Directive, DirectiveError};
+use crate::expr::{Expr, VarId};
+use crate::node::ReductionOp;
+
+fn err<T>(msg: impl Into<String>) -> Result<T, DirectiveError> {
+    Err(DirectiveError(msg.into()))
+}
+
+/// Pragma-driven construction, mirroring annotated source.
+pub trait Pragma {
+    /// `#pragma omp parallel [slipstream(...)]` introducing a region.
+    fn pragma_parallel(
+        &mut self,
+        pragma: &str,
+        f: impl FnOnce(&mut BlockBuilder),
+    ) -> Result<(), DirectiveError>;
+
+    /// A standalone `#pragma omp slipstream(...)` in the serial part
+    /// (global setting).
+    fn pragma_slipstream(&mut self, pragma: &str) -> Result<(), DirectiveError>;
+}
+
+impl Pragma for ProgramBuilder {
+    fn pragma_parallel(
+        &mut self,
+        pragma: &str,
+        f: impl FnOnce(&mut BlockBuilder),
+    ) -> Result<(), DirectiveError> {
+        match parse_directive(pragma)? {
+            Directive::Parallel { slipstream } => {
+                self.parallel_with(slipstream, f);
+                Ok(())
+            }
+            other => err(format!("expected a parallel directive, got {other:?}")),
+        }
+    }
+
+    fn pragma_slipstream(&mut self, pragma: &str) -> Result<(), DirectiveError> {
+        match parse_directive(pragma)? {
+            Directive::Slipstream(clause) => {
+                self.slipstream(clause);
+                Ok(())
+            }
+            other => err(format!("expected a slipstream directive, got {other:?}")),
+        }
+    }
+}
+
+/// Pragma-driven constructs inside a region.
+pub trait PragmaBlock {
+    /// `#pragma omp for [schedule(...)] [reduction(op: target)] [nowait]`
+    /// over `var in begin..end`. A reduction clause requires the target to
+    /// be resolvable: pass it through [`PragmaBlock::pragma_for_reduce`]
+    /// instead (the textual variable name cannot name an IR array).
+    fn pragma_for(
+        &mut self,
+        pragma: &str,
+        var: VarId,
+        begin: impl Into<Expr>,
+        end: impl Into<Expr>,
+        f: impl FnOnce(&mut BlockBuilder),
+    ) -> Result<(), DirectiveError>;
+
+    /// `#pragma omp for reduction(op: x)` with the reduction target bound
+    /// to an IR array cell (the lowering of the named variable).
+    #[allow(clippy::too_many_arguments)]
+    fn pragma_for_reduce(
+        &mut self,
+        pragma: &str,
+        var: VarId,
+        begin: impl Into<Expr>,
+        end: impl Into<Expr>,
+        target: crate::node::ArrayId,
+        target_index: impl Into<Expr>,
+        f: impl FnOnce(&mut BlockBuilder),
+    ) -> Result<(), DirectiveError>;
+
+    /// A simple construct pragma: `barrier`, `single`, `master`,
+    /// `critical [(name)]`, `flush`, or `sections` (with `f` building the
+    /// body; ignored for `barrier`/`flush`).
+    fn pragma_construct(
+        &mut self,
+        pragma: &str,
+        f: impl FnOnce(&mut BlockBuilder),
+    ) -> Result<(), DirectiveError>;
+}
+
+impl PragmaBlock for BlockBuilder {
+    fn pragma_for(
+        &mut self,
+        pragma: &str,
+        var: VarId,
+        begin: impl Into<Expr>,
+        end: impl Into<Expr>,
+        f: impl FnOnce(&mut BlockBuilder),
+    ) -> Result<(), DirectiveError> {
+        match parse_directive(pragma)? {
+            Directive::For {
+                schedule,
+                reduction: None,
+                nowait,
+            } => {
+                if nowait {
+                    self.par_for_nowait(schedule, var, begin, end, f);
+                } else {
+                    self.par_for(schedule, var, begin, end, f);
+                }
+                Ok(())
+            }
+            Directive::For {
+                reduction: Some(_), ..
+            } => err("reduction clause needs pragma_for_reduce (to bind the target)"),
+            other => err(format!("expected a for directive, got {other:?}")),
+        }
+    }
+
+    fn pragma_for_reduce(
+        &mut self,
+        pragma: &str,
+        var: VarId,
+        begin: impl Into<Expr>,
+        end: impl Into<Expr>,
+        target: crate::node::ArrayId,
+        target_index: impl Into<Expr>,
+        f: impl FnOnce(&mut BlockBuilder),
+    ) -> Result<(), DirectiveError> {
+        match parse_directive(pragma)? {
+            Directive::For {
+                schedule,
+                reduction: Some((op, _name)),
+                nowait,
+            } => {
+                if nowait {
+                    return err("reduction loops keep their implicit barrier");
+                }
+                let op = match op {
+                    ReductionOp::Sum => ReductionOp::Sum,
+                    ReductionOp::Max => ReductionOp::Max,
+                    ReductionOp::Min => ReductionOp::Min,
+                };
+                self.par_for_reduce(schedule, var, begin, end, op, target, target_index, f);
+                Ok(())
+            }
+            Directive::For {
+                reduction: None, ..
+            } => err("pragma_for_reduce requires a reduction clause"),
+            other => err(format!("expected a for directive, got {other:?}")),
+        }
+    }
+
+    fn pragma_construct(
+        &mut self,
+        pragma: &str,
+        f: impl FnOnce(&mut BlockBuilder),
+    ) -> Result<(), DirectiveError> {
+        match parse_directive(pragma)? {
+            Directive::Barrier => {
+                self.barrier();
+                Ok(())
+            }
+            Directive::Flush => {
+                self.flush();
+                Ok(())
+            }
+            Directive::Single => {
+                self.single(f);
+                Ok(())
+            }
+            Directive::Master => {
+                self.master(f);
+                Ok(())
+            }
+            Directive::Critical { name } => {
+                self.critical(name.as_deref().unwrap_or("<unnamed>"), f);
+                Ok(())
+            }
+            Directive::Sections => {
+                // A single textual `sections` pragma builds one section
+                // body; multi-section forms use the builder API directly.
+                let mut f = Some(f);
+                self.sections(1, move |_, b| {
+                    if let Some(f) = f.take() {
+                        f(b);
+                    }
+                });
+                Ok(())
+            }
+            other => err(format!("not a construct directive: {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{Node, ScheduleSpec, SlipSyncType};
+    use crate::validate::validate;
+
+    #[test]
+    fn annotated_program_assembles_and_validates() {
+        let mut b = ProgramBuilder::new("ann");
+        let a = b.shared_array("a", 64, 8);
+        let sum = b.shared_array("sum", 1, 8);
+        let i = b.var();
+        b.pragma_slipstream("!$OMP SLIPSTREAM(RUNTIME_SYNC)").unwrap();
+        b.pragma_parallel("#pragma omp parallel", move |r| {
+            r.pragma_for("#pragma omp for schedule(dynamic, 4)", i, 0, 64, move |body| {
+                body.load(a, Expr::v(i));
+            })
+            .unwrap();
+            r.pragma_construct("#pragma omp barrier", |_| {}).unwrap();
+            r.pragma_for_reduce(
+                "#pragma omp for reduction(+: total)",
+                i,
+                0,
+                64,
+                sum,
+                0,
+                move |body| {
+                    body.load(a, Expr::v(i));
+                },
+            )
+            .unwrap();
+            r.pragma_construct("#pragma omp single", |s| s.compute(5)).unwrap();
+            r.pragma_construct("#pragma omp critical (u)", |c| c.store(a, 0))
+                .unwrap();
+            r.pragma_construct("#pragma omp flush", |_| {}).unwrap();
+        })
+        .unwrap();
+        let p = b.build();
+        validate(&p).unwrap();
+        // The global setting came through.
+        let has_runtime_set = matches!(
+            &p.body,
+            Node::Seq(v) if v.iter().any(|n| matches!(
+                n,
+                Node::SlipstreamSet(c) if c.sync == SlipSyncType::RuntimeSync
+            ))
+        );
+        assert!(has_runtime_set);
+    }
+
+    #[test]
+    fn parallel_pragma_carries_slipstream_clause() {
+        let mut b = ProgramBuilder::new("pc");
+        b.pragma_parallel("#pragma omp parallel slipstream(LOCAL_SYNC, 2)", |_| {})
+            .unwrap();
+        let p = b.build();
+        match &p.body {
+            Node::Parallel { slipstream, .. } => {
+                let c = slipstream.expect("clause attached");
+                assert_eq!(c.sync, SlipSyncType::LocalSync);
+                assert_eq!(c.tokens, 2);
+            }
+            other => panic!("expected Parallel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nowait_and_schedule_flow_through() {
+        let mut b = ProgramBuilder::new("nw");
+        let a = b.shared_array("a", 8, 8);
+        let i = b.var();
+        b.pragma_parallel("#pragma omp parallel", move |r| {
+            r.pragma_for("#pragma omp for schedule(guided, 2) nowait", i, 0, 8, move |x| {
+                x.load(a, Expr::v(i));
+            })
+            .unwrap();
+        })
+        .unwrap();
+        let p = b.build();
+        fn find_parfor(n: &Node) -> Option<(Option<ScheduleSpec>, bool)> {
+            match n {
+                Node::ParFor { sched, nowait, .. } => Some((*sched, *nowait)),
+                Node::Seq(v) => v.iter().find_map(find_parfor),
+                Node::Parallel { body, .. } => find_parfor(body),
+                _ => None,
+            }
+        }
+        let (sched, nowait) = find_parfor(&p.body).unwrap();
+        assert!(nowait);
+        assert_eq!(
+            sched,
+            Some(ScheduleSpec {
+                kind: crate::node::ScheduleKind::Guided,
+                chunk: Some(2)
+            })
+        );
+    }
+
+    #[test]
+    fn wrong_directive_kinds_are_rejected() {
+        let mut b = ProgramBuilder::new("bad");
+        assert!(b.pragma_parallel("#pragma omp barrier", |_| {}).is_err());
+        assert!(b.pragma_slipstream("#pragma omp parallel").is_err());
+        let mut blk = BlockBuilder::default();
+        let i = VarId(0);
+        assert!(blk
+            .pragma_for("#pragma omp parallel", i, 0, 4, |_| {})
+            .is_err());
+        assert!(blk
+            .pragma_for("#pragma omp for reduction(+: x)", i, 0, 4, |_| {})
+            .is_err(), "reduction requires pragma_for_reduce");
+        assert!(blk.pragma_construct("#pragma omp for", |_| {}).is_err());
+    }
+}

@@ -1,0 +1,330 @@
+//! Static validation of kernel IR programs.
+//!
+//! The checks mirror what the Omni-based compiler of the paper guarantees
+//! before emitting runtime calls: shared/private discipline is explicit,
+//! worksharing constructs appear only inside parallel regions, barriers
+//! are not nested inside worksharing bodies, and every id is in range.
+
+use crate::expr::Expr;
+use crate::node::{Node, Program};
+
+/// A validation failure with a path-like location description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// All problems found (never empty).
+    pub problems: Vec<String>,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid program: {}", self.problems.join("; "))
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ctx {
+    /// Serial part: only the master executes.
+    Serial,
+    /// Directly inside a parallel region.
+    Parallel,
+    /// Inside a worksharing/synchronization body within a region.
+    Worksharing,
+}
+
+struct Validator<'p> {
+    program: &'p Program,
+    problems: Vec<String>,
+}
+
+impl<'p> Validator<'p> {
+    fn expr(&mut self, e: &Expr, what: &str) {
+        if let Some(v) = e.max_var() {
+            if v >= self.program.num_vars {
+                self.problems
+                    .push(format!("{what}: variable v{v} out of range (num_vars={})", self.program.num_vars));
+            }
+        }
+        if let Some(t) = e.max_table() {
+            if t as usize >= self.program.tables.len() {
+                self.problems
+                    .push(format!("{what}: table t{t} out of range"));
+            }
+        }
+    }
+
+    fn array(&mut self, id: crate::node::ArrayId, what: &str) -> Option<&'p crate::node::ArrayDecl> {
+        if id.0 as usize >= self.program.arrays.len() {
+            self.problems.push(format!("{what}: array a{} undeclared", id.0));
+            None
+        } else {
+            Some(&self.program.arrays[id.0 as usize])
+        }
+    }
+
+    fn node(&mut self, n: &Node, ctx: Ctx) {
+        match n {
+            Node::Seq(v) => {
+                for c in v {
+                    self.node(c, ctx);
+                }
+            }
+            Node::Compute(e) => self.expr(e, "compute"),
+            Node::Load { array, index } => {
+                self.array(*array, "load");
+                self.expr(index, "load index");
+            }
+            Node::Store { array, index } => {
+                self.array(*array, "store");
+                self.expr(index, "store index");
+            }
+            Node::For { var, begin, end, body, .. } => {
+                if var.0 >= self.program.num_vars {
+                    self.problems.push(format!("for: variable v{} out of range", var.0));
+                }
+                self.expr(begin, "for begin");
+                self.expr(end, "for end");
+                self.node(body, ctx);
+            }
+            Node::Parallel { body, .. } => {
+                if ctx != Ctx::Serial {
+                    self.problems
+                        .push("nested parallel regions are not supported".into());
+                }
+                self.node(body, Ctx::Parallel);
+            }
+            Node::SlipstreamSet(_) => {
+                if ctx != Ctx::Serial {
+                    self.problems.push(
+                        "SLIPSTREAM global setting is only valid in the serial part".into(),
+                    );
+                }
+            }
+            Node::ParFor {
+                var,
+                begin,
+                end,
+                body,
+                reduction,
+                ..
+            } => {
+                if ctx != Ctx::Parallel {
+                    self.problems.push(match ctx {
+                        Ctx::Serial => "worksharing 'for' outside a parallel region".into(),
+                        _ => "worksharing 'for' may not nest inside another construct".into(),
+                    });
+                }
+                if var.0 >= self.program.num_vars {
+                    self.problems.push(format!("parfor: variable v{} out of range", var.0));
+                }
+                self.expr(begin, "parfor begin");
+                self.expr(end, "parfor end");
+                if let Some(r) = reduction {
+                    if let Some(decl) = self.array(r.target, "reduction target") {
+                        if !decl.shared {
+                            self.problems
+                                .push(format!("reduction target '{}' must be shared", decl.name));
+                        }
+                    }
+                    self.expr(&r.index, "reduction index");
+                }
+                self.node(body, Ctx::Worksharing);
+            }
+            Node::Barrier => {
+                if ctx != Ctx::Parallel {
+                    self.problems.push(match ctx {
+                        Ctx::Serial => "barrier outside a parallel region".into(),
+                        _ => "barrier inside a worksharing/synchronization body".into(),
+                    });
+                }
+            }
+            Node::Single(body) | Node::Master(body) => {
+                if ctx != Ctx::Parallel {
+                    self.problems
+                        .push("single/master must appear directly inside a parallel region".into());
+                }
+                self.node(body, Ctx::Worksharing);
+            }
+            Node::Critical { body, .. } => {
+                if ctx == Ctx::Serial {
+                    self.problems.push("critical outside a parallel region".into());
+                }
+                self.node(body, Ctx::Worksharing);
+            }
+            Node::Atomic { array, index } => {
+                if ctx == Ctx::Serial {
+                    self.problems.push("atomic outside a parallel region".into());
+                }
+                if let Some(decl) = self.array(*array, "atomic") {
+                    if !decl.shared {
+                        self.problems
+                            .push(format!("atomic target '{}' must be shared", decl.name));
+                    }
+                }
+                self.expr(index, "atomic index");
+            }
+            Node::Sections(secs) => {
+                if ctx != Ctx::Parallel {
+                    self.problems
+                        .push("sections must appear directly inside a parallel region".into());
+                }
+                if secs.is_empty() {
+                    self.problems.push("sections construct with no sections".into());
+                }
+                for s in secs {
+                    self.node(s, Ctx::Worksharing);
+                }
+            }
+            Node::Flush => {
+                if ctx == Ctx::Serial {
+                    self.problems.push("flush outside a parallel region".into());
+                }
+            }
+            Node::Io { bytes, .. } => {
+                if *bytes == 0 {
+                    self.problems.push("zero-byte I/O operation".into());
+                }
+            }
+        }
+    }
+}
+
+/// Validate a program. Returns every problem found.
+pub fn validate(program: &Program) -> Result<(), ValidationError> {
+    let mut v = Validator {
+        program,
+        problems: Vec::new(),
+    };
+    v.node(&program.body, Ctx::Serial);
+    if v.problems.is_empty() {
+        Ok(())
+    } else {
+        Err(ValidationError {
+            problems: v.problems,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::expr::Expr;
+    use crate::node::{ReductionOp, SlipstreamClause};
+
+    #[test]
+    fn valid_program_passes() {
+        let mut b = ProgramBuilder::new("ok");
+        let a = b.shared_array("a", 10, 8);
+        let r = b.shared_array("r", 1, 8);
+        let i = b.var();
+        b.slipstream(SlipstreamClause::default());
+        b.parallel(|reg| {
+            reg.par_for_reduce(None, i, 0, 10, ReductionOp::Sum, r, 0, |body| {
+                body.load(a, Expr::v(i));
+            });
+            reg.barrier();
+            reg.single(|s| s.compute(1));
+            reg.critical("c", |c| c.store(a, 0));
+            reg.atomic(a, 0);
+        });
+        validate(&b.build()).unwrap();
+    }
+
+    #[test]
+    fn worksharing_outside_region_fails() {
+        let mut b = ProgramBuilder::new("bad");
+        let i = b.var();
+        b.serial(|s| {
+            s.par_for(None, i, 0, 10, |body| body.compute(1));
+        });
+        let e = validate(&b.build()).unwrap_err();
+        assert!(e.problems[0].contains("outside a parallel region"));
+    }
+
+    #[test]
+    fn nested_parallel_fails() {
+        let mut b = ProgramBuilder::new("bad");
+        b.parallel(|r| {
+            r.push(Node::Parallel {
+                body: Box::new(Node::nop()),
+                slipstream: None,
+            });
+        });
+        let e = validate(&b.build()).unwrap_err();
+        assert!(e.problems.iter().any(|p| p.contains("nested parallel")));
+    }
+
+    #[test]
+    fn barrier_inside_worksharing_fails() {
+        let mut b = ProgramBuilder::new("bad");
+        let i = b.var();
+        b.parallel(|r| {
+            r.par_for(None, i, 0, 4, |body| body.barrier());
+        });
+        let e = validate(&b.build()).unwrap_err();
+        assert!(e
+            .problems
+            .iter()
+            .any(|p| p.contains("barrier inside a worksharing")));
+    }
+
+    #[test]
+    fn out_of_range_ids_fail() {
+        use crate::node::{ArrayId, Node};
+        use crate::expr::VarId;
+        let p = Program {
+            name: "bad".into(),
+            arrays: vec![],
+            tables: vec![],
+            num_vars: 0,
+            body: Node::Parallel {
+                body: Box::new(Node::Seq(vec![
+                    Node::Load {
+                        array: ArrayId(3),
+                        index: Expr::v(VarId(9)),
+                    },
+                    Node::Compute(Expr::c(7).index_into(crate::expr::TableId(1))),
+                ])),
+                slipstream: None,
+            },
+        };
+        let e = validate(&p).unwrap_err();
+        assert!(e.problems.iter().any(|p| p.contains("array a3")));
+        assert!(e.problems.iter().any(|p| p.contains("variable v9")));
+        assert!(e.problems.iter().any(|p| p.contains("table t1")));
+    }
+
+    #[test]
+    fn reduction_target_must_be_shared() {
+        let mut b = ProgramBuilder::new("bad");
+        let p = b.private_array("priv", 1, 8);
+        let i = b.var();
+        b.parallel(|r| {
+            r.par_for_reduce(None, i, 0, 4, ReductionOp::Sum, p, 0, |body| {
+                body.compute(1)
+            });
+        });
+        let e = validate(&b.build()).unwrap_err();
+        assert!(e.problems.iter().any(|p| p.contains("must be shared")));
+    }
+
+    #[test]
+    fn slipstream_set_inside_region_fails() {
+        let mut b = ProgramBuilder::new("bad");
+        b.parallel(|r| {
+            r.push(Node::SlipstreamSet(SlipstreamClause::default()));
+        });
+        let e = validate(&b.build()).unwrap_err();
+        assert!(e.problems.iter().any(|p| p.contains("serial part")));
+    }
+
+    #[test]
+    fn empty_sections_fail() {
+        let mut b = ProgramBuilder::new("bad");
+        b.parallel(|r| r.sections(0, |_, _| {}));
+        let e = validate(&b.build()).unwrap_err();
+        assert!(e.problems.iter().any(|p| p.contains("no sections")));
+    }
+}

@@ -1,0 +1,224 @@
+//! Property-based tests of the IR layer: worksharing partition
+//! exactness, expression totality, directive-parser robustness, and
+//! tracer consistency.
+
+use omp_ir::expr::{BinOp, Expr, SimpleCtx, TableId, VarId};
+use omp_ir::node::{ScheduleKind, ScheduleSpec};
+use omp_ir::wsloop;
+use proptest::prelude::*;
+
+/// Strategy for random expression trees over one variable and one table.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-100i64..100).prop_map(Expr::Const),
+        Just(Expr::Var(VarId(0))),
+        Just(Expr::ThreadId),
+        Just(Expr::NumThreads),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), 0usize..7).prop_map(|(a, b, op)| {
+                let op = [
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::Div,
+                    BinOp::Mod,
+                    BinOp::Min,
+                    BinOp::Max,
+                ][op];
+                Expr::Bin(op, Box::new(a), Box::new(b))
+            }),
+            inner.prop_map(|e| Expr::Table(TableId(0), Box::new(e))),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn static_block_partitions_exactly(
+        begin in -50i64..50,
+        len in 0i64..500,
+        step in 1u64..7,
+        nthreads in 1u64..33,
+    ) {
+        let end = begin + len;
+        let mut seen = std::collections::HashSet::new();
+        for tid in 0..nthreads {
+            let c = wsloop::static_block(begin, end, step, nthreads, tid);
+            let mut i = c.lo.max(begin);
+            while i < c.hi {
+                prop_assert!(seen.insert(i), "iteration {i} assigned twice");
+                i += step as i64;
+            }
+        }
+        let mut expected = 0u64;
+        let mut i = begin;
+        while i < end {
+            prop_assert!(seen.contains(&i), "iteration {i} unassigned");
+            expected += 1;
+            i += step as i64;
+        }
+        prop_assert_eq!(seen.len() as u64, expected);
+    }
+
+    #[test]
+    fn static_chunked_partitions_exactly(
+        len in 0i64..400,
+        step in 1u64..5,
+        nthreads in 1u64..17,
+        chunk in 1u64..9,
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        for tid in 0..nthreads {
+            for c in wsloop::static_chunked(0, len, step, nthreads, tid, chunk) {
+                let mut i = c.lo;
+                while i < c.hi {
+                    prop_assert!(seen.insert(i), "iteration {i} assigned twice");
+                    i += step as i64;
+                }
+            }
+        }
+        prop_assert_eq!(seen.len() as u64, wsloop::trip_count(0, len, step));
+    }
+
+    #[test]
+    fn dynamic_and_guided_exhaust_the_space(
+        len in 0i64..400,
+        chunk in 1u64..9,
+        nthreads in 1u64..9,
+        guided in prop::bool::ANY,
+    ) {
+        let mut start = 0u64;
+        let mut covered = 0i64;
+        let mut last_size = u64::MAX;
+        loop {
+            let r = if guided {
+                wsloop::guided_next(0, len, 1, start, nthreads, chunk)
+            } else {
+                wsloop::dynamic_next(0, len, 1, start, chunk)
+            };
+            match r {
+                Some((c, next)) => {
+                    prop_assert!(c.hi > c.lo, "empty chunk handed out");
+                    prop_assert_eq!(c.lo, covered, "chunks must be contiguous");
+                    covered = c.hi;
+                    if guided {
+                        let size = c.trip_count(1);
+                        prop_assert!(size <= last_size, "guided sizes grow");
+                        last_size = size;
+                    }
+                    start = next;
+                }
+                None => break,
+            }
+        }
+        prop_assert_eq!(covered, len.max(0));
+    }
+
+    #[test]
+    fn expressions_are_total(e in arb_expr(), v in -1000i64..1000) {
+        let mut ctx = SimpleCtx::new(1, 3, 8);
+        ctx.vars[0] = v;
+        ctx.tables.push(vec![5, -3, 99]);
+        // Must never panic (division by zero, overflow, table range).
+        let _ = e.eval(&ctx);
+        // And be deterministic.
+        prop_assert_eq!(e.eval(&ctx), e.eval(&ctx));
+    }
+
+    #[test]
+    fn expr_bounds_metadata_is_sound(e in arb_expr()) {
+        // max_var/max_table never under-report: evaluating with exactly
+        // that many slots must not panic.
+        let nvars = e.max_var().map_or(0, |v| v + 1) as usize;
+        let mut ctx = SimpleCtx::new(nvars.max(1), 0, 4);
+        if e.max_table().is_some() {
+            ctx.tables.push(vec![1, 2, 3]);
+        }
+        let _ = e.eval(&ctx);
+    }
+
+    #[test]
+    fn directive_parser_never_panics(s in "[ -~]{0,60}") {
+        let _ = omp_ir::parse_directive(&s);
+        let _ = omp_ir::parse_omp_slipstream_env(&s);
+    }
+
+    #[test]
+    fn schedule_directives_roundtrip(
+        kind in 0usize..3,
+        chunk in prop::option::of(1u64..100),
+    ) {
+        let kname = ["static", "dynamic", "guided"][kind];
+        let txt = match chunk {
+            Some(c) => format!("#pragma omp for schedule({kname}, {c})"),
+            None => format!("#pragma omp for schedule({kname})"),
+        };
+        let d = omp_ir::parse_directive(&txt).unwrap();
+        let expected = ScheduleSpec {
+            kind: [ScheduleKind::Static, ScheduleKind::Dynamic, ScheduleKind::Guided][kind],
+            chunk,
+        };
+        prop_assert_eq!(
+            d,
+            omp_ir::Directive::For {
+                schedule: Some(expected),
+                reduction: None,
+                nowait: false
+            }
+        );
+    }
+
+    #[test]
+    fn slipstream_directive_roundtrips(
+        sync in 0usize..3,
+        tokens in 0u64..100,
+    ) {
+        use omp_ir::node::{SlipSyncType, SlipstreamClause};
+        let sname = ["GLOBAL_SYNC", "LOCAL_SYNC", "RUNTIME_SYNC"][sync];
+        let txt = format!("!$OMP SLIPSTREAM({sname}, {tokens})");
+        let d = omp_ir::parse_directive(&txt).unwrap();
+        let expected = SlipstreamClause {
+            sync: [
+                SlipSyncType::GlobalSync,
+                SlipSyncType::LocalSync,
+                SlipSyncType::RuntimeSync,
+            ][sync],
+            tokens,
+        };
+        prop_assert_eq!(d, omp_ir::Directive::Slipstream(expected));
+    }
+
+    #[test]
+    fn tracer_totals_scale_with_iterations(reps in 1i64..6) {
+        use omp_ir::ProgramBuilder;
+        let mut b = ProgramBuilder::new("scale");
+        let a = b.shared_array("a", 64, 8);
+        let r_var = b.var();
+        let i = b.var();
+        b.parallel(move |reg| {
+            reg.push(omp_ir::node::Node::For {
+                var: r_var,
+                begin: Expr::c(0),
+                end: Expr::c(reps),
+                step: 1,
+                body: Box::new(omp_ir::node::Node::ParFor {
+                    sched: None,
+                    var: i,
+                    begin: Expr::c(0),
+                    end: Expr::c(64),
+                    body: Box::new(omp_ir::node::Node::Load {
+                        array: a,
+                        index: Expr::v(i),
+                    }),
+                    reduction: None,
+                    nowait: false,
+                }),
+            });
+        });
+        let t = omp_ir::trace(&b.build(), 4);
+        prop_assert_eq!(t.total.loads, 64 * reps as u64);
+        prop_assert_eq!(t.barrier_episodes, reps as u64 + 1);
+    }
+}

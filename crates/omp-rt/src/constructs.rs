@@ -1,0 +1,150 @@
+//! Per-region bookkeeping for single/sections constructs and dynamic
+//! loops.
+//!
+//! Within one execution of a parallel region, every *dynamic encounter* of
+//! a `single`, `sections`, or scheduler-driven `for` needs a shared state
+//! object that all team members agree on. Because the programs are SPMD
+//! (all threads execute the same construct sequence — validated IR
+//! guarantees this), each thread can identify a construct instance by its
+//! per-thread encounter index; the arena materializes state on first
+//! touch.
+
+use crate::schedule::{AffinityState, DynLoopState};
+use serde::{Deserialize, Serialize};
+
+/// Claim state of one `single` instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SingleState {
+    claimed: bool,
+}
+
+impl SingleState {
+    /// Attempt to claim execution; true for the first caller only.
+    pub fn claim(&mut self) -> bool {
+        !std::mem::replace(&mut self.claimed, true)
+    }
+}
+
+/// Assignment state of one `sections` instance.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SectionsState {
+    next: usize,
+}
+
+impl SectionsState {
+    /// Claim the next unexecuted section of `total`; `None` when all are
+    /// claimed.
+    pub fn claim(&mut self, total: usize) -> Option<usize> {
+        if self.next < total {
+            let s = self.next;
+            self.next += 1;
+            Some(s)
+        } else {
+            None
+        }
+    }
+}
+
+/// Shared construct state for one region execution.
+#[derive(Debug, Default)]
+pub struct ConstructArena {
+    singles: Vec<SingleState>,
+    sections: Vec<SectionsState>,
+    dyn_loops: Vec<DynLoopState>,
+    affinity_loops: Vec<AffinityState>,
+}
+
+fn get_or_grow<T: Default>(v: &mut Vec<T>, idx: usize) -> &mut T {
+    if idx >= v.len() {
+        v.resize_with(idx + 1, T::default);
+    }
+    &mut v[idx]
+}
+
+impl ConstructArena {
+    /// Fresh arena (start of a region execution).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// State of the `idx`-th `single` encounter in this region.
+    pub fn single(&mut self, idx: usize) -> &mut SingleState {
+        get_or_grow(&mut self.singles, idx)
+    }
+
+    /// State of the `idx`-th `sections` encounter.
+    pub fn sections(&mut self, idx: usize) -> &mut SectionsState {
+        get_or_grow(&mut self.sections, idx)
+    }
+
+    /// State of the `idx`-th scheduler-driven loop encounter.
+    pub fn dyn_loop(&mut self, idx: usize) -> &mut DynLoopState {
+        get_or_grow(&mut self.dyn_loops, idx)
+    }
+
+    /// State of the `idx`-th affinity-scheduled loop encounter.
+    pub fn affinity_loop(&mut self, idx: usize) -> &mut AffinityState {
+        get_or_grow(&mut self.affinity_loops, idx)
+    }
+
+    /// Total chunk grabs across all dynamic and affinity loops
+    /// (diagnostic).
+    pub fn total_grabs(&self) -> u64 {
+        self.dyn_loops.iter().map(|d| d.grabs).sum::<u64>()
+            + self.affinity_loops.iter().map(|a| a.grabs).sum::<u64>()
+    }
+
+    /// Total steals across all affinity loops (diagnostic).
+    pub fn total_steals(&self) -> u64 {
+        self.affinity_loops.iter().map(|a| a.steals).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ResolvedSchedule;
+
+    #[test]
+    fn single_claims_once() {
+        let mut a = ConstructArena::new();
+        assert!(a.single(0).claim());
+        assert!(!a.single(0).claim());
+        assert!(a.single(1).claim(), "distinct encounters are independent");
+    }
+
+    #[test]
+    fn sections_assign_each_once() {
+        let mut a = ConstructArena::new();
+        let s = a.sections(0);
+        assert_eq!(s.claim(3), Some(0));
+        assert_eq!(s.claim(3), Some(1));
+        assert_eq!(s.claim(3), Some(2));
+        assert_eq!(s.claim(3), None);
+    }
+
+    #[test]
+    fn dyn_loops_are_per_encounter() {
+        let mut a = ConstructArena::new();
+        let c0 = a
+            .dyn_loop(0)
+            .next_chunk(ResolvedSchedule::Dynamic(5), 0, 10, 1, 2)
+            .unwrap();
+        assert_eq!((c0.lo, c0.hi), (0, 5));
+        // A different encounter starts fresh.
+        let c1 = a
+            .dyn_loop(1)
+            .next_chunk(ResolvedSchedule::Dynamic(5), 0, 10, 1, 2)
+            .unwrap();
+        assert_eq!((c1.lo, c1.hi), (0, 5));
+        assert_eq!(a.total_grabs(), 2);
+    }
+
+    #[test]
+    fn arena_grows_sparsely() {
+        let mut a = ConstructArena::new();
+        assert!(a.single(5).claim());
+        assert!(a.single(2).claim());
+        assert!(!a.single(5).claim());
+    }
+}

@@ -1,0 +1,167 @@
+//! Runtime environment control.
+//!
+//! OpenMP exposes runtime knobs through environment variables; the paper
+//! adds `OMP_SLIPSTREAM` in the same spirit so that "a single executable
+//! image can be used with and without slipstream support". This module
+//! holds the parsed environment ([`RuntimeEnv`]) and can populate it from
+//! real process environment variables or from explicit strings (the way
+//! the benchmark harness drives it).
+
+use omp_ir::directive::{parse_omp_slipstream_env, DirectiveError, EnvSlipstream};
+use omp_ir::node::{ScheduleKind, ScheduleSpec};
+use serde::{Deserialize, Serialize};
+
+/// Parsed runtime environment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuntimeEnv {
+    /// `OMP_NUM_THREADS`: requested team size (`None` = one per processor,
+    /// adjusted for the execution mode).
+    pub num_threads: Option<u64>,
+    /// `OMP_SCHEDULE`: the schedule used by `schedule(runtime)` loops.
+    pub schedule: ScheduleSpec,
+    /// `OMP_SLIPSTREAM`: runtime slipstream control (None = variable
+    /// unset; slipstream directives with `RUNTIME_SYNC` then fall back to
+    /// the implementation default).
+    pub slipstream: Option<EnvSlipstream>,
+}
+
+impl Default for RuntimeEnv {
+    fn default() -> Self {
+        RuntimeEnv {
+            num_threads: None,
+            schedule: ScheduleSpec {
+                kind: ScheduleKind::Static,
+                chunk: None,
+            },
+            slipstream: None,
+        }
+    }
+}
+
+impl RuntimeEnv {
+    /// Parse `OMP_SCHEDULE`-style text (`"dynamic,4"`, `"static"`, ...).
+    pub fn parse_schedule(value: &str) -> Result<ScheduleSpec, DirectiveError> {
+        let mut parts = value.split(',').map(str::trim);
+        let kind = match parts
+            .next()
+            .unwrap_or_default()
+            .to_ascii_lowercase()
+            .as_str()
+        {
+            "static" => ScheduleKind::Static,
+            "dynamic" => ScheduleKind::Dynamic,
+            "guided" => ScheduleKind::Guided,
+            "affinity" => ScheduleKind::Affinity,
+            other => {
+                return Err(DirectiveError(format!(
+                    "bad OMP_SCHEDULE kind {other:?}"
+                )))
+            }
+        };
+        let chunk = match parts.next() {
+            None | Some("") => None,
+            Some(n) => {
+                let v: u64 = n
+                    .parse()
+                    .map_err(|_| DirectiveError(format!("bad OMP_SCHEDULE chunk {n:?}")))?;
+                if v == 0 {
+                    return Err(DirectiveError("OMP_SCHEDULE chunk must be positive".into()));
+                }
+                Some(v)
+            }
+        };
+        if parts.next().is_some() {
+            return Err(DirectiveError("trailing OMP_SCHEDULE fields".into()));
+        }
+        Ok(ScheduleSpec { kind, chunk })
+    }
+
+    /// Apply one variable by name. Unknown names are ignored (they belong
+    /// to other subsystems), bad values are errors.
+    pub fn set_var(&mut self, name: &str, value: &str) -> Result<(), DirectiveError> {
+        match name {
+            "OMP_NUM_THREADS" => {
+                let v: u64 = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| DirectiveError(format!("bad OMP_NUM_THREADS {value:?}")))?;
+                if v == 0 {
+                    return Err(DirectiveError("OMP_NUM_THREADS must be positive".into()));
+                }
+                self.num_threads = Some(v);
+            }
+            "OMP_SCHEDULE" => self.schedule = Self::parse_schedule(value)?,
+            "OMP_SLIPSTREAM" => self.slipstream = Some(parse_omp_slipstream_env(value)?),
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Build from the real process environment (used by example binaries).
+    pub fn from_process_env() -> Self {
+        let mut env = RuntimeEnv::default();
+        for name in ["OMP_NUM_THREADS", "OMP_SCHEDULE", "OMP_SLIPSTREAM"] {
+            if let Ok(v) = std::env::var(name) {
+                // Ignore malformed real-environment values rather than
+                // failing startup, mirroring libgomp behaviour.
+                let _ = env.set_var(name, &v);
+            }
+        }
+        env
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omp_ir::node::SlipSyncType;
+
+    #[test]
+    fn defaults() {
+        let e = RuntimeEnv::default();
+        assert_eq!(e.num_threads, None);
+        assert_eq!(e.schedule.kind, ScheduleKind::Static);
+        assert_eq!(e.slipstream, None);
+    }
+
+    #[test]
+    fn schedule_parsing() {
+        assert_eq!(
+            RuntimeEnv::parse_schedule("dynamic,4").unwrap(),
+            ScheduleSpec::dynamic(4)
+        );
+        assert_eq!(
+            RuntimeEnv::parse_schedule("GUIDED").unwrap().kind,
+            ScheduleKind::Guided
+        );
+        assert!(RuntimeEnv::parse_schedule("dynamic,0").is_err());
+        assert!(RuntimeEnv::parse_schedule("fancy").is_err());
+        assert!(RuntimeEnv::parse_schedule("static,2,3").is_err());
+    }
+
+    #[test]
+    fn set_var_routes_values() {
+        let mut e = RuntimeEnv::default();
+        e.set_var("OMP_NUM_THREADS", "16").unwrap();
+        e.set_var("OMP_SCHEDULE", "guided, 8").unwrap();
+        e.set_var("OMP_SLIPSTREAM", "LOCAL_SYNC,1").unwrap();
+        e.set_var("PATH", "/usr/bin").unwrap(); // ignored
+        assert_eq!(e.num_threads, Some(16));
+        assert_eq!(e.schedule.chunk, Some(8));
+        assert_eq!(
+            e.slipstream,
+            Some(EnvSlipstream::Enabled {
+                sync: SlipSyncType::LocalSync,
+                tokens: 1
+            })
+        );
+    }
+
+    #[test]
+    fn invalid_values_error() {
+        let mut e = RuntimeEnv::default();
+        assert!(e.set_var("OMP_NUM_THREADS", "0").is_err());
+        assert!(e.set_var("OMP_NUM_THREADS", "lots").is_err());
+        assert!(e.set_var("OMP_SLIPSTREAM", "SIDEWAYS").is_err());
+    }
+}

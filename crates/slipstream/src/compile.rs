@@ -1,0 +1,443 @@
+//! "Back half" of the compiler: lower a validated [`omp_ir::Program`] into
+//! the flat, address-resolved form the execution engine interprets.
+//!
+//! Lowering performs what the paper's modified Omni compiler does before
+//! emitting runtime calls:
+//!
+//! * lay out **shared arrays** in the contiguous shared segment and
+//!   **private arrays** at per-thread offsets in each processor's private
+//!   segment (Section 3.1's "shared space is not interleaved with private
+//!   space" requirement);
+//! * resolve `critical` names to runtime lock ids;
+//! * flatten the node tree into an arena so interpreter frames are plain
+//!   indices.
+
+use dsm_sim::{Addr, AddressMap};
+use omp_ir::expr::{Expr, VarId};
+use omp_ir::node::{
+    ArrayId, Node, Program, Reduction, ScheduleSpec, SlipstreamClause,
+};
+use omp_ir::validate::{validate, ValidationError};
+use std::collections::HashMap;
+
+/// Index of a flattened node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub u32);
+
+/// Resolved placement of an array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayLayout {
+    /// Diagnostic name.
+    pub name: String,
+    /// Shared (one copy in the global segment) or private (one copy per
+    /// thread at this offset within each private segment).
+    pub shared: bool,
+    /// Absolute base address for shared arrays; offset from each CPU's
+    /// private base for private arrays.
+    pub base: Addr,
+    /// Bytes per element.
+    pub elem_bytes: u64,
+    /// Element count.
+    pub len: u64,
+}
+
+/// Flattened IR node (children are [`NodeId`]s).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FNode {
+    /// Ordered children.
+    Seq(Vec<NodeId>),
+    /// Busy cycles.
+    Compute(Expr),
+    /// Demand load.
+    Load {
+        /// Source array.
+        array: ArrayId,
+        /// Index expression.
+        index: Expr,
+    },
+    /// Demand store.
+    Store {
+        /// Target array.
+        array: ArrayId,
+        /// Index expression.
+        index: Expr,
+    },
+    /// Sequential loop.
+    For {
+        /// Induction variable.
+        var: VarId,
+        /// Start expression.
+        begin: Expr,
+        /// End expression.
+        end: Expr,
+        /// Positive step.
+        step: u64,
+        /// Body node.
+        body: NodeId,
+    },
+    /// Parallel region.
+    Parallel {
+        /// Body node.
+        body: NodeId,
+        /// Region-scoped slipstream clause.
+        slipstream: Option<SlipstreamClause>,
+    },
+    /// Serial-part global slipstream setting.
+    SlipstreamSet(SlipstreamClause),
+    /// Worksharing loop.
+    ParFor {
+        /// Schedule clause.
+        sched: Option<ScheduleSpec>,
+        /// Induction variable.
+        var: VarId,
+        /// Start expression.
+        begin: Expr,
+        /// End expression.
+        end: Expr,
+        /// Body node.
+        body: NodeId,
+        /// Reduction clause.
+        reduction: Option<Reduction>,
+        /// Suppress the implicit end barrier.
+        nowait: bool,
+    },
+    /// Explicit barrier.
+    Barrier,
+    /// `single` construct.
+    Single(NodeId),
+    /// `master` construct.
+    Master(NodeId),
+    /// Critical section with its resolved lock id.
+    Critical {
+        /// Runtime lock index.
+        lock: usize,
+        /// Protected body.
+        body: NodeId,
+    },
+    /// Atomic update.
+    Atomic {
+        /// Target array.
+        array: ArrayId,
+        /// Index expression.
+        index: Expr,
+    },
+    /// `sections` construct.
+    Sections(Vec<NodeId>),
+    /// `flush` directive.
+    Flush,
+    /// I/O operation.
+    Io {
+        /// Input (true) or output.
+        input: bool,
+        /// Transfer size in bytes.
+        bytes: u64,
+    },
+}
+
+/// A lowered, address-resolved program.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// Program name.
+    pub name: String,
+    /// Node arena.
+    pub nodes: Vec<FNode>,
+    /// Entry node (the serial body).
+    pub root: NodeId,
+    /// Array placements, indexed by [`ArrayId`].
+    pub arrays: Vec<ArrayLayout>,
+    /// Host-side index tables.
+    pub tables: Vec<Vec<i64>>,
+    /// Private variable slots per thread.
+    pub num_vars: u32,
+    /// Number of distinct critical locks.
+    pub num_critical_locks: usize,
+    /// First shared address free for runtime objects (after user arrays).
+    pub runtime_base: Addr,
+}
+
+impl CompiledProgram {
+    /// The flattened node at `id`.
+    pub fn node(&self, id: NodeId) -> &FNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Byte address of `array[index]` for the thread on `cpu` (private
+    /// arrays replicate per processor).
+    pub fn element_addr(&self, map: &AddressMap, cpu: dsm_sim::CpuId, array: ArrayId, index: i64) -> Addr {
+        let a = &self.arrays[array.0 as usize];
+        // Clamp out-of-range indices into the array rather than wandering
+        // into a neighbouring array's lines: timing kernels may probe edges.
+        let idx = index.clamp(0, a.len as i64 - 1) as u64;
+        let off = a.base + idx * a.elem_bytes;
+        if a.shared {
+            off
+        } else {
+            map.private_base(cpu) + off
+        }
+    }
+}
+
+struct Lowerer {
+    nodes: Vec<FNode>,
+    locks: HashMap<String, usize>,
+}
+
+impl Lowerer {
+    fn push(&mut self, n: FNode) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(n);
+        id
+    }
+
+    fn lower(&mut self, n: &Node) -> NodeId {
+        match n {
+            Node::Seq(v) => {
+                let kids: Vec<NodeId> = v.iter().map(|c| self.lower(c)).collect();
+                self.push(FNode::Seq(kids))
+            }
+            Node::Compute(e) => self.push(FNode::Compute(e.clone())),
+            Node::Load { array, index } => self.push(FNode::Load {
+                array: *array,
+                index: index.clone(),
+            }),
+            Node::Store { array, index } => self.push(FNode::Store {
+                array: *array,
+                index: index.clone(),
+            }),
+            Node::For {
+                var,
+                begin,
+                end,
+                step,
+                body,
+            } => {
+                let b = self.lower(body);
+                self.push(FNode::For {
+                    var: *var,
+                    begin: begin.clone(),
+                    end: end.clone(),
+                    step: *step,
+                    body: b,
+                })
+            }
+            Node::Parallel { body, slipstream } => {
+                let b = self.lower(body);
+                self.push(FNode::Parallel {
+                    body: b,
+                    slipstream: *slipstream,
+                })
+            }
+            Node::SlipstreamSet(c) => self.push(FNode::SlipstreamSet(*c)),
+            Node::ParFor {
+                sched,
+                var,
+                begin,
+                end,
+                body,
+                reduction,
+                nowait,
+            } => {
+                let b = self.lower(body);
+                self.push(FNode::ParFor {
+                    sched: *sched,
+                    var: *var,
+                    begin: begin.clone(),
+                    end: end.clone(),
+                    body: b,
+                    reduction: reduction.clone(),
+                    nowait: *nowait,
+                })
+            }
+            Node::Barrier => self.push(FNode::Barrier),
+            Node::Single(body) => {
+                let b = self.lower(body);
+                self.push(FNode::Single(b))
+            }
+            Node::Master(body) => {
+                let b = self.lower(body);
+                self.push(FNode::Master(b))
+            }
+            Node::Critical { name, body } => {
+                let next = self.locks.len();
+                let lock = *self.locks.entry(name.clone()).or_insert(next);
+                let b = self.lower(body);
+                self.push(FNode::Critical { lock, body: b })
+            }
+            Node::Atomic { array, index } => self.push(FNode::Atomic {
+                array: *array,
+                index: index.clone(),
+            }),
+            Node::Sections(secs) => {
+                let kids: Vec<NodeId> = secs.iter().map(|c| self.lower(c)).collect();
+                self.push(FNode::Sections(kids))
+            }
+            Node::Flush => self.push(FNode::Flush),
+            Node::Io { input, bytes } => self.push(FNode::Io {
+                input: *input,
+                bytes: *bytes,
+            }),
+        }
+    }
+}
+
+/// Align up to a cache-line boundary.
+fn line_align(a: Addr, line: u64) -> Addr {
+    a.div_ceil(line) * line
+}
+
+/// Lower a program for a machine. Fails if the program is invalid.
+pub fn compile(program: &Program, map: &AddressMap) -> Result<CompiledProgram, ValidationError> {
+    validate(program)?;
+    let line = map.line_bytes();
+
+    // Shared arrays after a small guard page; private arrays at per-thread
+    // offsets starting past a guard page of each private segment.
+    let mut shared_cursor: Addr = map.shared_base() + line;
+    let mut private_cursor: Addr = line;
+    let mut arrays = Vec::with_capacity(program.arrays.len());
+    for decl in &program.arrays {
+        let bytes = line_align(decl.len * decl.elem_bytes, line);
+        let base = if decl.shared {
+            let b = shared_cursor;
+            shared_cursor += bytes + line; // one guard line between arrays
+            b
+        } else {
+            let b = private_cursor;
+            private_cursor += bytes + line;
+            b
+        };
+        arrays.push(ArrayLayout {
+            name: decl.name.clone(),
+            shared: decl.shared,
+            base,
+            elem_bytes: decl.elem_bytes,
+            len: decl.len,
+        });
+    }
+
+    let mut lw = Lowerer {
+        nodes: Vec::with_capacity(program.node_count()),
+        locks: HashMap::new(),
+    };
+    let root = lw.lower(&program.body);
+    Ok(CompiledProgram {
+        name: program.name.clone(),
+        nodes: lw.nodes,
+        root,
+        arrays,
+        tables: program.tables.clone(),
+        num_vars: program.num_vars,
+        num_critical_locks: lw.locks.len(),
+        runtime_base: line_align(shared_cursor + line, line),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_sim::{CpuId, MachineConfig};
+    use omp_ir::builder::ProgramBuilder;
+    use omp_ir::expr::Expr;
+
+    fn map() -> AddressMap {
+        AddressMap::new(&MachineConfig::paper())
+    }
+
+    #[test]
+    fn arrays_are_line_aligned_and_disjoint() {
+        let mut b = ProgramBuilder::new("layout");
+        let a = b.shared_array("a", 100, 8); // 800B -> 832 aligned
+        let c = b.shared_array("c", 7, 4);
+        let p = b.private_array("p", 33, 8);
+        let i = b.var();
+        b.parallel(|r| {
+            r.par_for(None, i, 0, 10, |body| {
+                body.load(a, Expr::v(i));
+                body.load(c, Expr::v(i));
+                body.store(p, Expr::v(i));
+            });
+        });
+        let cp = compile(&b.build(), &map()).unwrap();
+        let la = &cp.arrays[0];
+        let lc = &cp.arrays[1];
+        assert_eq!(la.base % 64, 0);
+        assert!(lc.base >= la.base + 100 * 8 + 64, "guard line between arrays");
+        assert!(cp.runtime_base > lc.base + 7 * 4);
+        assert!(!cp.arrays[2].shared);
+    }
+
+    #[test]
+    fn private_arrays_replicate_per_cpu() {
+        let mut b = ProgramBuilder::new("priv");
+        let p = b.private_array("p", 16, 8);
+        b.parallel(|r| r.store(p, 3));
+        let cp = compile(&b.build(), &map()).unwrap();
+        let m = map();
+        let a0 = cp.element_addr(&m, CpuId(0), omp_ir::node::ArrayId(0), 3);
+        let a1 = cp.element_addr(&m, CpuId(1), omp_ir::node::ArrayId(0), 3);
+        assert_ne!(a0, a1);
+        assert_eq!(m.space_of(a0), dsm_sim::Space::Private);
+        assert_eq!(m.private_owner(a0), CpuId(0));
+        assert_eq!(m.private_owner(a1), CpuId(1));
+    }
+
+    #[test]
+    fn shared_element_addresses_are_common() {
+        let mut b = ProgramBuilder::new("shared");
+        let s = b.shared_array("s", 16, 8);
+        b.parallel(|r| r.store(s, 5));
+        let cp = compile(&b.build(), &map()).unwrap();
+        let m = map();
+        let a0 = cp.element_addr(&m, CpuId(0), omp_ir::node::ArrayId(0), 5);
+        let a9 = cp.element_addr(&m, CpuId(9), omp_ir::node::ArrayId(0), 5);
+        assert_eq!(a0, a9);
+        assert_eq!(m.space_of(a0), dsm_sim::Space::Shared);
+    }
+
+    #[test]
+    fn out_of_range_indices_clamp() {
+        let mut b = ProgramBuilder::new("clamp");
+        let s = b.shared_array("s", 4, 8);
+        b.parallel(|r| r.load(s, 0));
+        let cp = compile(&b.build(), &map()).unwrap();
+        let m = map();
+        let hi = cp.element_addr(&m, CpuId(0), omp_ir::node::ArrayId(0), 99);
+        let last = cp.element_addr(&m, CpuId(0), omp_ir::node::ArrayId(0), 3);
+        assert_eq!(hi, last);
+        let lo = cp.element_addr(&m, CpuId(0), omp_ir::node::ArrayId(0), -5);
+        let first = cp.element_addr(&m, CpuId(0), omp_ir::node::ArrayId(0), 0);
+        assert_eq!(lo, first);
+    }
+
+    #[test]
+    fn critical_names_share_locks() {
+        let mut b = ProgramBuilder::new("locks");
+        let s = b.shared_array("s", 1, 8);
+        b.parallel(|r| {
+            r.critical("a", |c| c.store(s, 0));
+            r.critical("b", |c| c.store(s, 0));
+            r.critical("a", |c| c.store(s, 0));
+        });
+        let cp = compile(&b.build(), &map()).unwrap();
+        assert_eq!(cp.num_critical_locks, 2);
+        let locks: Vec<usize> = cp
+            .nodes
+            .iter()
+            .filter_map(|n| match n {
+                FNode::Critical { lock, .. } => Some(*lock),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(locks.len(), 3);
+        assert_eq!(locks[0], locks[2]);
+        assert_ne!(locks[0], locks[1]);
+    }
+
+    #[test]
+    fn invalid_programs_fail_compilation() {
+        let mut b = ProgramBuilder::new("bad");
+        let i = b.var();
+        b.serial(|s| s.par_for(None, i, 0, 10, |body| body.compute(1)));
+        assert!(compile(&b.build(), &map()).is_err());
+    }
+}

@@ -1,0 +1,2016 @@
+//! The execution engine: interprets compiled programs on the simulated
+//! machine in single, double, or slipstream mode.
+//!
+//! Every simulated processor runs an interpreter over the flattened IR.
+//! Leaf operations (compute, loads, stores) charge the processor's
+//! timeline directly through the memory system; constructs push protocol
+//! frames whose stages issue the same shared-memory and pair-register
+//! operations the paper's modified Omni runtime performs:
+//!
+//! * **job dispatch** — the master stores to a job flag line; pool slaves
+//!   wake and load it (job-wait time);
+//! * **construct barriers** — arrivals are stores to the barrier line;
+//!   in slipstream mode the R-stream inserts a token at entry (local
+//!   sync) or exit (global sync) while the A-stream consumes one instead
+//!   of arriving (Figure 1);
+//! * **dynamic/guided scheduling** — chunk grabs serialize through a
+//!   scheduler lock and counter line; the R-stream publishes each grab to
+//!   its A-stream over the pair semaphore (Section 3.2.2);
+//! * **critical/atomic/reduction** — lock-protected updates, with the
+//!   per-construct A-stream policy of Section 3.1 applied;
+//! * **divergence detection and recovery** — the R-stream checks token
+//!   accumulation at barriers and re-seeds a diverged A-stream from its
+//!   own state.
+
+use crate::compile::{CompiledProgram, FNode, NodeId};
+use crate::pairing::{Decision, PairState};
+use crate::policy::{AAction, AStreamPolicy};
+use dsm_sim::{
+    AccessKind, Addr, AddressMap, Barrier, CmpId, CpuId, CpuTimeline, Cycle, EventQueue,
+    Lock, MachineConfig, MemSystem, StreamRole, TimeClass,
+};
+use omp_ir::expr::{EvalCtx, Expr, TableId, VarId};
+use omp_ir::node::{ArrayId, Reduction, SlipstreamClause};
+use omp_ir::trace::OpCounts;
+use omp_ir::wsloop::Chunk;
+use omp_rt::constructs::ConstructArena;
+use omp_rt::mode::{resolve_region, ExecMode, RegionSlip, SlipSync};
+use omp_rt::schedule::{resolve_schedule, static_chunks, ResolvedSchedule};
+use omp_rt::team::{CpuAssignment, TeamLayout};
+use omp_rt::RuntimeEnv;
+
+/// Deterministic OS-interference model: every processor loses a slice of
+/// `slice_cycles` roughly every `quantum_cycles` (timer ticks, daemons),
+/// with per-processor stagger derived from `seed`. The paper notes that
+/// IRIX "does not recognize slipstream mode where A-stream and R-stream
+/// are scheduled and serviced independently"; this knob lets experiments
+/// include that interference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OsNoise {
+    /// Mean cycles between interruptions per processor.
+    pub quantum_cycles: Cycle,
+    /// Cycles stolen per interruption.
+    pub slice_cycles: Cycle,
+    /// Stagger seed (runs are deterministic for a fixed seed).
+    pub seed: u64,
+}
+
+fn mix64(mut x: u64) -> u64 {
+    // splitmix64 finalizer.
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Tunable engine parameters beyond the machine model.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// The simulated machine.
+    pub machine: MachineConfig,
+    /// Processor usage mode.
+    pub mode: ExecMode,
+    /// Runtime environment (`OMP_*` variables).
+    pub env: RuntimeEnv,
+    /// A-stream construct policy.
+    pub policy: AStreamPolicy,
+    /// Busy cycles to compute a static chunk assignment.
+    pub static_sched_cycles: u64,
+    /// Busy cycles of scheduler arithmetic per dynamic grab (on top of the
+    /// lock and counter traffic).
+    pub dynamic_sched_cycles: u64,
+    /// Fixed busy cycles per I/O operation.
+    pub io_fixed_cycles: u64,
+    /// Additional busy cycles per 8 bytes of I/O.
+    pub io_cycles_per_8_bytes: u64,
+    /// Cycles a recovered A-stream pays to restart.
+    pub recovery_cycles: u64,
+    /// Unconsumed-token slack before the R-stream suspects divergence.
+    pub divergence_slack: u64,
+    /// Fault injection: `(tid, epoch)` pairs at which the A-stream
+    /// diverges instead of skipping its `epoch`-th construct barrier.
+    pub inject_divergence: Vec<(u64, u64)>,
+    /// Optional OS-interference model.
+    pub os_noise: Option<OsNoise>,
+    /// Hard cap on simulated cycles (deadlock/livelock watchdog).
+    pub max_cycles: Cycle,
+    /// Hard cap on scheduler events processed.
+    pub max_events: u64,
+}
+
+impl EngineConfig {
+    /// Defaults for a machine and mode.
+    pub fn new(machine: MachineConfig, mode: ExecMode) -> Self {
+        EngineConfig {
+            machine,
+            mode,
+            env: RuntimeEnv::default(),
+            policy: AStreamPolicy::paper(),
+            static_sched_cycles: 15,
+            dynamic_sched_cycles: 6,
+            io_fixed_cycles: 2000,
+            io_cycles_per_8_bytes: 1,
+            recovery_cycles: 400,
+            divergence_slack: 1,
+            inject_divergence: Vec::new(),
+            os_noise: None,
+            max_cycles: 50_000_000_000,
+            max_events: 2_000_000_000,
+        }
+    }
+}
+
+/// Aggregated outcome of one simulated run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Wall-clock of the run: the master's completion cycle.
+    pub exec_cycles: Cycle,
+    /// Per-processor statistics (indexed by CPU id; idle CPUs are empty).
+    pub cpu_stats: Vec<dsm_sim::CpuStats>,
+    /// Role of each processor during the run.
+    pub roles: Vec<StreamRole>,
+    /// Shared-fill classification (Figures 3 and 5).
+    pub fill_counts: dsm_sim::FillCounts,
+    /// Execution-time breakdown aggregated over R/solo streams.
+    pub r_breakdown: dsm_sim::TimeBreakdown,
+    /// Execution-time breakdown aggregated over A-streams.
+    pub a_breakdown: dsm_sim::TimeBreakdown,
+    /// User-level operation totals for R/solo streams (oracle checks).
+    pub user_r: OpCounts,
+    /// User-level operation totals for A-streams.
+    pub user_a: OpCounts,
+    /// Dynamic-scheduler chunk grabs.
+    pub sched_grabs: u64,
+    /// Affinity-scheduler steals (subset of the grabs).
+    pub sched_steals: u64,
+    /// Divergence recoveries performed.
+    pub recoveries: u64,
+    /// A-stream shared stores converted to read-exclusive prefetches.
+    pub stores_converted: u64,
+    /// A-stream shared stores skipped outright.
+    pub stores_skipped: u64,
+    /// Machine-wide counters (traffic, contention, invalidations).
+    pub machine: dsm_sim::MachineCounters,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Ready,
+    Parked,
+    PoolIdle,
+    Done,
+}
+
+#[derive(Debug, Clone)]
+enum Frame {
+    Seq {
+        node: NodeId,
+        idx: usize,
+    },
+    For {
+        var: VarId,
+        cur: i64,
+        end: i64,
+        step: u64,
+        body: NodeId,
+    },
+    /// Iterate a list of contiguous chunks of a worksharing loop.
+    ChunkIter {
+        var: VarId,
+        chunks: Vec<Chunk>,
+        ci: usize,
+        cur: i64,
+        body: NodeId,
+    },
+    /// Reduction combine + implicit barrier after a worksharing loop.
+    LoopEnd {
+        node: NodeId,
+        stage: u8,
+    },
+    /// Barrier protocol. `internal` region-end barriers are never token-
+    /// skipped by A-streams.
+    Bar {
+        internal: bool,
+        stage: u8,
+    },
+    SingleP {
+        node: NodeId,
+        enc: usize,
+        stage: u8,
+    },
+    SectionsP {
+        node: NodeId,
+        enc: usize,
+        stage: u8,
+        claimed: usize,
+    },
+    /// Dynamic/guided worksharing protocol.
+    DynP {
+        node: NodeId,
+        enc: usize,
+        sched: ResolvedSchedule,
+        lo: i64,
+        hi: i64,
+        stage: u8,
+        chunk: Chunk,
+    },
+    CritP {
+        lock: usize,
+        body: NodeId,
+        stage: u8,
+    },
+    /// Reduction combine: lock, load, op, store, unlock.
+    RedP {
+        red: Reduction,
+        stage: u8,
+    },
+    /// Master's path through a `Parallel` node.
+    RegionP {
+        node: NodeId,
+        stage: u8,
+    },
+    /// Region-end (internal) barrier then return-to-pool for slaves.
+    RegionEndP {
+        stage: u8,
+    },
+    /// Slave pool loop.
+    PoolWait,
+    IoP {
+        input: bool,
+        bytes: u64,
+        stage: u8,
+    },
+}
+
+struct CpuState {
+    timeline: CpuTimeline,
+    assign: CpuAssignment,
+    role: StreamRole,
+    tid: u64,
+    frames: Vec<Frame>,
+    vars: Vec<i64>,
+    status: Status,
+    next_wake: Cycle,
+    park_class: TimeClass,
+    pending_class: Option<TimeClass>,
+    /// Per-region construct encounter counters.
+    singles_seen: usize,
+    sections_seen: usize,
+    dynloops_seen: usize,
+    /// Job generations consumed from the pool.
+    jobs_taken: u64,
+    /// Next OS interruption (when the noise model is on).
+    next_interrupt: Cycle,
+    /// Count of interruptions suffered (diagnostic).
+    interrupts: u64,
+    user: OpCounts,
+    stores_converted: u64,
+    stores_skipped: u64,
+}
+
+impl CpuState {
+    fn reset_encounters(&mut self) {
+        self.singles_seen = 0;
+        self.sections_seen = 0;
+        self.dynloops_seen = 0;
+    }
+}
+
+struct ExprView<'a> {
+    vars: &'a [i64],
+    tid: i64,
+    nthreads: i64,
+    tables: &'a [Vec<i64>],
+}
+
+impl EvalCtx for ExprView<'_> {
+    fn var(&self, v: VarId) -> i64 {
+        self.vars[v.0 as usize]
+    }
+    fn thread_id(&self) -> i64 {
+        self.tid
+    }
+    fn num_threads(&self) -> i64 {
+        self.nthreads
+    }
+    fn table(&self, t: TableId, idx: i64) -> i64 {
+        let tab = &self.tables[t.0 as usize];
+        if tab.is_empty() {
+            return 0;
+        }
+        tab[idx.clamp(0, tab.len() as i64 - 1) as usize]
+    }
+}
+
+/// The execution engine for one run.
+pub struct Engine<'p> {
+    cp: &'p CompiledProgram,
+    cfg: EngineConfig,
+    layout: TeamLayout,
+    map: AddressMap,
+    ms: MemSystem,
+    q: EventQueue,
+    cpus: Vec<CpuState>,
+    pairs: Vec<PairState>,
+    construct_barrier: Barrier,
+    region_barrier: Barrier,
+    critical_locks: Vec<Lock>,
+    reduction_lock: Lock,
+    sched_locks: Vec<Lock>,
+    sched_counter_lines: Vec<Addr>,
+    /// Per-(loop encounter, thread) scheduler locks for the affinity
+    /// extension; each thread's lock line is homed on its own node so
+    /// own-queue grabs stay node-local.
+    affinity_locks: Vec<Vec<Lock>>,
+    single_lines: Vec<Addr>,
+    sections_lines: Vec<Addr>,
+    arena: ConstructArena,
+    global_slip: Option<SlipstreamClause>,
+    region_slip: RegionSlip,
+    current_region: Option<NodeId>,
+    job_gen: u64,
+    job_flag: Addr,
+    // Homed-line bump allocator state.
+    alloc_next: Vec<u64>,
+    alloc_base_line: u64,
+    master_done: bool,
+    events: u64,
+    sched_grabs_total: u64,
+    sched_steals_total: u64,
+}
+
+const MASTER: usize = 0; // the master's OpenMP thread id
+
+impl<'p> Engine<'p> {
+    /// Build an engine for a compiled program.
+    pub fn new(cp: &'p CompiledProgram, cfg: EngineConfig) -> Self {
+        let layout =
+            TeamLayout::new(&cfg.machine, cfg.mode).with_max_threads(cfg.env.num_threads);
+        let mut ms = MemSystem::new(&cfg.machine);
+        ms.set_self_invalidation(
+            cfg.mode == ExecMode::Slipstream && cfg.policy.self_invalidation,
+        );
+        let map = AddressMap::new(&cfg.machine);
+        let base_line = cp.runtime_base / map.line_bytes();
+        let mut eng = Engine {
+            cp,
+            layout,
+            map,
+            ms,
+            q: EventQueue::new(),
+            cpus: Vec::new(),
+            pairs: Vec::new(),
+            construct_barrier: Barrier::new(1, 0),
+            region_barrier: Barrier::new(1, 0),
+            critical_locks: Vec::new(),
+            reduction_lock: Lock::new(0),
+            sched_locks: Vec::new(),
+            sched_counter_lines: Vec::new(),
+            affinity_locks: Vec::new(),
+            single_lines: Vec::new(),
+            sections_lines: Vec::new(),
+            arena: ConstructArena::new(),
+            global_slip: None,
+            region_slip: RegionSlip::Off,
+            current_region: None,
+            job_gen: 0,
+            job_flag: 0,
+            alloc_next: vec![0; cfg.machine.num_cmps],
+            alloc_base_line: base_line,
+            master_done: false,
+            events: 0,
+            sched_grabs_total: 0,
+            sched_steals_total: 0,
+            cfg,
+        };
+        eng.init();
+        eng
+    }
+
+    fn init(&mut self) {
+        let ncpus = self.cfg.machine.num_cpus();
+        let team = self.layout.team_size();
+
+        // Runtime shared lines.
+        let bar_line = self.alloc_line(CmpId(0));
+        let region_bar_line = self.alloc_line(CmpId(0));
+        self.job_flag = self.alloc_line(CmpId(0));
+        self.reduction_lock = Lock::new(self.alloc_line(CmpId(0)));
+        for _ in 0..self.cp.num_critical_locks {
+            let addr = self.alloc_line(CmpId(0));
+            self.critical_locks.push(Lock::new(addr));
+        }
+
+        let active_streams = self.layout.active_cpus().len();
+        self.construct_barrier = Barrier::new(team as usize, bar_line);
+        self.region_barrier = Barrier::new(active_streams, region_bar_line);
+
+        // Pairs (slipstream only).
+        if self.cfg.mode == ExecMode::Slipstream {
+            for tid in 0..team {
+                let r = self.layout.worker_cpu(tid);
+                let a = self.layout.astream_cpu(tid).expect("slipstream layout");
+                let cmp = CmpId(tid as usize);
+                let decision = self.alloc_line(cmp);
+                self.pairs.push(PairState::new(
+                    tid,
+                    r,
+                    a,
+                    SlipSync::G0,
+                    0, // token semaphore is a pair register, not memory
+                    0, // scheduling semaphore likewise
+                    decision,
+                ));
+            }
+        }
+
+        // Processor states.
+        for i in 0..ncpus {
+            let assign = self.layout.assignment_of(CpuId(i));
+            let (role, tid) = match assign {
+                CpuAssignment::Worker { tid } => (
+                    if self.cfg.mode == ExecMode::Slipstream {
+                        StreamRole::R
+                    } else {
+                        StreamRole::Solo
+                    },
+                    tid,
+                ),
+                CpuAssignment::AStream { tid } => (StreamRole::A, tid),
+                CpuAssignment::Idle => (StreamRole::Solo, 0),
+            };
+            self.ms.set_role(CpuId(i), role);
+            let frames = match assign {
+                CpuAssignment::Idle => Vec::new(),
+                _ if tid as usize == MASTER => vec![Frame::Seq {
+                    node: self.cp.root,
+                    idx: 0,
+                }],
+                _ => vec![Frame::PoolWait],
+            };
+            // A Seq frame over a non-Seq root still works because we
+            // normalize below.
+            self.cpus.push(CpuState {
+                timeline: CpuTimeline::new(),
+                assign,
+                role,
+                tid,
+                frames,
+                vars: vec![0; self.cp.num_vars as usize],
+                status: if assign == CpuAssignment::Idle {
+                    Status::Done
+                } else {
+                    Status::Ready
+                },
+                next_wake: 0,
+                park_class: TimeClass::JobWait,
+                pending_class: None,
+                singles_seen: 0,
+                sections_seen: 0,
+                dynloops_seen: 0,
+                jobs_taken: 0,
+                next_interrupt: 0,
+                interrupts: 0,
+                user: OpCounts::default(),
+                stores_converted: 0,
+                stores_skipped: 0,
+            });
+        }
+
+        // Stagger the first OS interruption per processor.
+        if let Some(noise) = self.cfg.os_noise {
+            for (i, c) in self.cpus.iter_mut().enumerate() {
+                c.next_interrupt =
+                    mix64(noise.seed ^ (i as u64).wrapping_mul(0x9E37)) % noise.quantum_cycles.max(1);
+            }
+        }
+
+        // Schedule all non-idle processors at cycle 0.
+        for i in 0..ncpus {
+            if self.cpus[i].status == Status::Ready {
+                self.q.schedule(0, CpuId(i));
+            }
+        }
+    }
+
+    /// Allocate a fresh shared runtime line homed on `home`.
+    fn alloc_line(&mut self, home: CmpId) -> Addr {
+        let n = self.cfg.machine.num_cmps as u64;
+        let k = self.alloc_next[home.0];
+        self.alloc_next[home.0] += 1;
+        let first = self.alloc_base_line;
+        let offset = (home.0 as u64 + n - (first % n)) % n;
+        let line = first + offset + k * n;
+        debug_assert_eq!(line % n, home.0 as u64);
+        line * self.map.line_bytes()
+    }
+
+    fn get_sched_lock(&mut self, enc: usize) -> usize {
+        while self.sched_locks.len() <= enc {
+            let addr = self.alloc_line(CmpId(self.sched_locks.len() % self.cfg.machine.num_cmps));
+            self.sched_locks.push(Lock::new(addr));
+            let caddr = self.alloc_line(CmpId(
+                self.sched_counter_lines.len() % self.cfg.machine.num_cmps,
+            ));
+            self.sched_counter_lines.push(caddr);
+        }
+        enc
+    }
+
+    fn get_affinity_locks(&mut self, enc: usize) {
+        let team = self.layout.team_size() as usize;
+        while self.affinity_locks.len() <= enc {
+            let mut row = Vec::with_capacity(team);
+            for t in 0..team {
+                let home = CmpId(t % self.cfg.machine.num_cmps);
+                let addr = self.alloc_line(home);
+                row.push(Lock::new(addr));
+            }
+            self.affinity_locks.push(row);
+        }
+    }
+
+    fn get_single_line(&mut self, enc: usize) -> Addr {
+        while self.single_lines.len() <= enc {
+            let a = self.alloc_line(CmpId(self.single_lines.len() % self.cfg.machine.num_cmps));
+            self.single_lines.push(a);
+        }
+        self.single_lines[enc]
+    }
+
+    fn get_sections_line(&mut self, enc: usize) -> Addr {
+        while self.sections_lines.len() <= enc {
+            let a = self.alloc_line(CmpId(self.sections_lines.len() % self.cfg.machine.num_cmps));
+            self.sections_lines.push(a);
+        }
+        self.sections_lines[enc]
+    }
+
+    // ------------------------------------------------------- primitives --
+
+    fn eval(&self, ci: usize, e: &Expr) -> i64 {
+        let c = &self.cpus[ci];
+        e.eval(&ExprView {
+            vars: &c.vars,
+            tid: c.tid as i64,
+            nthreads: self.layout.team_size() as i64,
+            tables: &self.cp.tables,
+        })
+    }
+
+    fn busy(&mut self, ci: usize, cycles: u64, class: TimeClass) {
+        self.cpus[ci].timeline.busy(cycles, class);
+    }
+
+    fn mem(&mut self, ci: usize, addr: Addr, kind: AccessKind, class: TimeClass) {
+        let now = self.cpus[ci].timeline.now();
+        let r = self
+            .ms
+            .access(CpuId(ci), addr, kind, now, &mut self.cpus[ci].timeline.stats);
+        self.cpus[ci].timeline.mem_access(1, r.complete, class);
+    }
+
+    fn element_addr(&self, ci: usize, array: ArrayId, index: i64) -> Addr {
+        self.cp.element_addr(&self.map, CpuId(ci), array, index)
+    }
+
+    fn park(&mut self, ci: usize, class: TimeClass) {
+        debug_assert_eq!(self.cpus[ci].status, Status::Ready);
+        self.cpus[ci].status = Status::Parked;
+        self.cpus[ci].park_class = class;
+    }
+
+    fn park_pool(&mut self, ci: usize) {
+        self.cpus[ci].status = Status::PoolIdle;
+        self.cpus[ci].park_class = TimeClass::JobWait;
+    }
+
+    fn wake(&mut self, cpu: CpuId, t: Cycle) {
+        let c = &mut self.cpus[cpu.0];
+        debug_assert!(
+            matches!(c.status, Status::Parked | Status::PoolIdle),
+            "waking a non-parked cpu {cpu:?}"
+        );
+        c.pending_class = Some(c.park_class);
+        c.status = Status::Ready;
+        let t = t.max(c.timeline.now());
+        c.next_wake = t;
+        self.q.schedule(t, cpu);
+    }
+
+    fn yield_self(&mut self, ci: usize) {
+        let t = self.cpus[ci].timeline.now();
+        self.cpus[ci].next_wake = t;
+        self.q.schedule(t, CpuId(ci));
+    }
+
+    fn is_a(&self, ci: usize) -> bool {
+        self.cpus[ci].role == StreamRole::A
+    }
+
+    fn pair_of(&self, ci: usize) -> Option<usize> {
+        if self.cfg.mode == ExecMode::Slipstream {
+            let tid = self.cpus[ci].tid as usize;
+            if tid < self.pairs.len() {
+                return Some(tid);
+            }
+        }
+        None
+    }
+
+    fn slip_active(&self) -> Option<SlipSync> {
+        match self.region_slip {
+            RegionSlip::On(s) => Some(s),
+            RegionSlip::Off => None,
+        }
+    }
+
+    // ------------------------------------------------------ entry logic --
+
+    /// Begin executing `node` on `ci`: leaves act immediately; containers
+    /// push frames.
+    fn enter(&mut self, ci: usize, node: NodeId) {
+        let role_a = self.is_a(ci);
+        match self.cp.node(node).clone() {
+            FNode::Seq(_) => self.cpus[ci].frames.push(Frame::Seq { node, idx: 0 }),
+            FNode::Compute(e) => {
+                let cyc = self.eval(ci, &e).max(0) as u64;
+                self.cpus[ci].user.compute_cycles += cyc;
+                self.busy(ci, cyc, TimeClass::Busy);
+            }
+            FNode::Load { array, index } => {
+                let idx = self.eval(ci, &index);
+                let addr = self.element_addr(ci, array, idx);
+                self.cpus[ci].user.loads += 1;
+                self.mem(ci, addr, AccessKind::Load, TimeClass::MemStall);
+            }
+            FNode::Store { array, index } => {
+                let idx = self.eval(ci, &index);
+                let addr = self.element_addr(ci, array, idx);
+                self.cpus[ci].user.stores += 1;
+                let shared = self.cp.arrays[array.0 as usize].shared;
+                if role_a && shared {
+                    self.a_shared_store(ci, addr);
+                } else {
+                    self.mem(ci, addr, AccessKind::Store, TimeClass::MemStall);
+                }
+            }
+            FNode::Atomic { array, index } => {
+                let idx = self.eval(ci, &index);
+                let addr = self.element_addr(ci, array, idx);
+                self.cpus[ci].user.atomics += 1;
+                if role_a {
+                    if self.cfg.policy.atomic == AAction::Execute {
+                        self.a_shared_store(ci, addr);
+                    }
+                    // Skip otherwise.
+                } else {
+                    // Read-modify-write under hardware atomicity.
+                    self.busy(ci, 2, TimeClass::Busy);
+                    self.mem(ci, addr, AccessKind::Store, TimeClass::MemStall);
+                }
+            }
+            FNode::For {
+                var,
+                begin,
+                end,
+                step,
+                body,
+            } => {
+                let lo = self.eval(ci, &begin);
+                let hi = self.eval(ci, &end);
+                self.cpus[ci].frames.push(Frame::For {
+                    var,
+                    cur: lo,
+                    end: hi,
+                    step,
+                    body,
+                });
+            }
+            FNode::Parallel { .. } => {
+                // Only master streams reach Parallel nodes (slaves get the
+                // region through dispatch).
+                self.cpus[ci].frames.push(Frame::RegionP { node, stage: 0 });
+            }
+            FNode::SlipstreamSet(clause) => {
+                if !role_a {
+                    self.global_slip = Some(clause);
+                }
+                self.busy(ci, 1, TimeClass::Busy);
+            }
+            FNode::ParFor {
+                sched,
+                var,
+                begin,
+                end,
+                body,
+                nowait: _,
+                reduction: _,
+            } => {
+                let lo = self.eval(ci, &begin);
+                let hi = self.eval(ci, &end);
+                let resolved = resolve_schedule(sched, self.cfg.env.schedule);
+                match resolved {
+                    ResolvedSchedule::StaticBlock | ResolvedSchedule::StaticChunked(_) => {
+                        // Each thread computes its chunks independently.
+                        self.busy(ci, self.cfg.static_sched_cycles, TimeClass::Scheduling);
+                        let tid = self.cpus[ci].tid;
+                        let chunks =
+                            static_chunks(resolved, lo, hi, 1, self.layout.team_size(), tid);
+                        self.cpus[ci].frames.push(Frame::LoopEnd { node, stage: 0 });
+                        self.cpus[ci].frames.push(Frame::ChunkIter {
+                            var,
+                            chunks,
+                            ci: 0,
+                            cur: i64::MIN,
+                            body,
+                        });
+                    }
+                    ResolvedSchedule::Dynamic(_)
+                    | ResolvedSchedule::Guided(_)
+                    | ResolvedSchedule::Affinity(_) => {
+                        let enc = self.cpus[ci].dynloops_seen;
+                        self.cpus[ci].dynloops_seen += 1;
+                        self.get_sched_lock(enc);
+                        if resolved.is_affinity() {
+                            self.get_affinity_locks(enc);
+                        }
+                        self.cpus[ci].frames.push(Frame::LoopEnd { node, stage: 0 });
+                        self.cpus[ci].frames.push(Frame::DynP {
+                            node,
+                            enc,
+                            sched: resolved,
+                            lo,
+                            hi,
+                            stage: 0,
+                            chunk: Chunk { lo: 0, hi: 0 },
+                        });
+                    }
+                }
+            }
+            FNode::Barrier => {
+                self.cpus[ci].frames.push(Frame::Bar {
+                    internal: false,
+                    stage: 0,
+                });
+            }
+            FNode::Single(_) => {
+                let enc = self.cpus[ci].singles_seen;
+                self.cpus[ci].singles_seen += 1;
+                self.cpus[ci].frames.push(Frame::SingleP {
+                    node,
+                    enc,
+                    stage: 0,
+                });
+            }
+            FNode::Master(body) => {
+                let is_master_tid = self.cpus[ci].tid as usize == MASTER;
+                let execute = if role_a {
+                    is_master_tid && self.cfg.policy.master == AAction::Execute
+                } else {
+                    is_master_tid
+                };
+                if execute {
+                    self.enter(ci, body);
+                }
+            }
+            FNode::Critical { lock, body } => {
+                if role_a {
+                    // Execute only under the ablation policy; the paper's
+                    // A-stream skips critical sections to avoid migrating
+                    // protected data.
+                    if self.cfg.policy.critical == AAction::Execute {
+                        self.enter(ci, body);
+                    }
+                } else {
+                    self.cpus[ci].frames.push(Frame::CritP {
+                        lock,
+                        body,
+                        stage: 0,
+                    });
+                }
+            }
+            FNode::Sections(_) => {
+                let enc = self.cpus[ci].sections_seen;
+                self.cpus[ci].sections_seen += 1;
+                self.cpus[ci].frames.push(Frame::SectionsP {
+                    node,
+                    enc,
+                    stage: 0,
+                    claimed: 0,
+                });
+            }
+            FNode::Flush => {
+                // Hardware-coherent machine: flush maps to void; the
+                // A-stream skips it entirely.
+                if !role_a {
+                    self.busy(ci, 1, TimeClass::Busy);
+                }
+            }
+            FNode::Io { input, bytes } => {
+                self.cpus[ci].frames.push(Frame::IoP {
+                    input,
+                    bytes,
+                    stage: 0,
+                });
+            }
+        }
+    }
+
+    /// A-stream shared store: convert to a read-exclusive prefetch when in
+    /// the same barrier session as the R-stream and an MSHR is free;
+    /// otherwise skip (paper Section 5.1).
+    fn a_shared_store(&mut self, ci: usize, addr: Addr) {
+        let convert = self.cfg.policy.convert_shared_stores
+            && self
+                .pair_of(ci)
+                .map(|p| self.pairs[p].same_session())
+                .unwrap_or(false)
+            && {
+                let cmp = CpuId(ci).cmp(&self.cfg.machine);
+                let now = self.cpus[ci].timeline.now();
+                self.ms.mshr_free(cmp, now)
+            };
+        if convert {
+            self.cpus[ci].stores_converted += 1;
+            self.cpus[ci].timeline.stats.stores_converted += 1;
+            self.mem(ci, addr, AccessKind::PrefetchEx, TimeClass::Busy);
+        } else {
+            self.cpus[ci].stores_skipped += 1;
+            self.cpus[ci].timeline.stats.stores_skipped += 1;
+            self.busy(ci, 1, TimeClass::Busy);
+        }
+    }
+
+    // --------------------------------------------------------- stepping --
+
+    /// Execute protocol steps for `ci` until it parks, finishes, or runs
+    /// past the next pending event. Returns `Err` on watchdog trip.
+    fn run_cpu(&mut self, ci: usize) -> Result<(), String> {
+        // Account the time spent parked.
+        let t = self.cpus[ci].next_wake;
+        if let Some(class) = self.cpus[ci].pending_class.take() {
+            self.cpus[ci].timeline.advance_to(t, class);
+        }
+        let mut steps: u64 = 0;
+        loop {
+            steps += 1;
+            if steps > 50_000_000 {
+                return Err(format!("cpu {ci} made no blocking progress (livelock?)"));
+            }
+            if self.cpus[ci].status != Status::Ready {
+                return Ok(()); // parked by the step
+            }
+            if self.cpus[ci].frames.is_empty() {
+                self.cpus[ci].status = Status::Done;
+                if self.cpus[ci].tid as usize == MASTER && !self.is_a(ci) {
+                    self.master_done = true;
+                }
+                return Ok(());
+            }
+            if self.cpus[ci].timeline.now() > self.cfg.max_cycles {
+                return Err(format!(
+                    "cpu {ci} exceeded max_cycles={} (deadlock or runaway kernel)",
+                    self.cfg.max_cycles
+                ));
+            }
+            // Yield once we have advanced past the next pending event so
+            // other processors observe memory in time order.
+            if let Some(h) = self.q.peek_time() {
+                if self.cpus[ci].timeline.now() > h {
+                    self.yield_self(ci);
+                    return Ok(());
+                }
+            }
+            // OS interference: steal a slice when the quantum expires.
+            if let Some(noise) = self.cfg.os_noise {
+                let now = self.cpus[ci].timeline.now();
+                if now >= self.cpus[ci].next_interrupt {
+                    self.cpus[ci].timeline.busy(noise.slice_cycles, TimeClass::Os);
+                    self.cpus[ci].interrupts += 1;
+                    let jitter = mix64(
+                        noise.seed ^ now ^ ((ci as u64) << 32),
+                    ) % (noise.quantum_cycles / 4).max(1);
+                    self.cpus[ci].next_interrupt =
+                        now + noise.slice_cycles + noise.quantum_cycles + jitter
+                            - noise.quantum_cycles / 8;
+                }
+            }
+            self.step_once(ci);
+        }
+    }
+
+    fn step_once(&mut self, ci: usize) {
+        let fr = self.cpus[ci].frames.pop().expect("step with no frames");
+        match fr {
+            Frame::Seq { node, idx } => {
+                let kids = match self.cp.node(node) {
+                    FNode::Seq(v) => v.clone(),
+                    _ => {
+                        // Normalized singleton (non-Seq root).
+                        if idx == 0 {
+                            self.cpus[ci].frames.push(Frame::Seq { node, idx: 1 });
+                            self.enter(ci, node);
+                        }
+                        return;
+                    }
+                };
+                if idx < kids.len() {
+                    self.cpus[ci].frames.push(Frame::Seq {
+                        node,
+                        idx: idx + 1,
+                    });
+                    self.enter(ci, kids[idx]);
+                }
+            }
+            Frame::For {
+                var,
+                cur,
+                end,
+                step,
+                body,
+            } => {
+                if cur < end {
+                    self.cpus[ci].vars[var.0 as usize] = cur;
+                    self.cpus[ci].frames.push(Frame::For {
+                        var,
+                        cur: cur + step as i64,
+                        end,
+                        step,
+                        body,
+                    });
+                    self.busy(ci, self.cfg.machine.loop_overhead_cycles, TimeClass::Busy);
+                    self.enter(ci, body);
+                }
+            }
+            Frame::ChunkIter {
+                var,
+                chunks,
+                ci: cidx,
+                cur,
+                body,
+            } => {
+                // Find the next iteration, moving across chunks. `cur`
+                // starts at i64::MIN so the first iteration is chunk.lo.
+                let mut cidx = cidx;
+                let mut cur = cur;
+                loop {
+                    if cidx >= chunks.len() {
+                        return; // all chunks done; frame dropped
+                    }
+                    let ch = chunks[cidx];
+                    let v = cur.max(ch.lo);
+                    if v < ch.hi {
+                        self.cpus[ci].vars[var.0 as usize] = v;
+                        self.cpus[ci].frames.push(Frame::ChunkIter {
+                            var,
+                            chunks,
+                            ci: cidx,
+                            cur: v + 1,
+                            body,
+                        });
+                        self.busy(ci, self.cfg.machine.loop_overhead_cycles, TimeClass::Busy);
+                        self.enter(ci, body);
+                        return;
+                    }
+                    cidx += 1;
+                    cur = i64::MIN;
+                }
+            }
+            Frame::LoopEnd { node, stage } => self.loop_end(ci, node, stage),
+            Frame::Bar { internal, stage } => self.barrier_step(ci, internal, stage),
+            Frame::SingleP { node, enc, stage } => self.single_step(ci, node, enc, stage),
+            Frame::SectionsP {
+                node,
+                enc,
+                stage,
+                claimed,
+            } => self.sections_step(ci, node, enc, stage, claimed),
+            Frame::DynP {
+                node,
+                enc,
+                sched,
+                lo,
+                hi,
+                stage,
+                chunk,
+            } => self.dyn_step(ci, node, enc, sched, lo, hi, stage, chunk),
+            Frame::CritP { lock, body, stage } => self.critical_step(ci, lock, body, stage),
+            Frame::RedP { red, stage } => self.reduction_step(ci, red, stage),
+            Frame::RegionP { node, stage } => self.region_step(ci, node, stage),
+            Frame::RegionEndP { stage } => self.region_end_step(ci, stage),
+            Frame::PoolWait => self.pool_step(ci),
+            Frame::IoP {
+                input,
+                bytes,
+                stage,
+            } => self.io_step(ci, input, bytes, stage),
+        }
+    }
+
+    // -------------------------------------------------------- protocols --
+
+    /// R-stream: insert a token and wake the A-stream if it was waiting.
+    fn insert_token(&mut self, ci: usize) {
+        if let Some(p) = self.pair_of(ci) {
+            if self.slip_active().is_some() {
+                self.busy(ci, self.cfg.machine.pair_register_cycles, TimeClass::Busy);
+                let woken = self.pairs[p].tokens.signal();
+                let t = self.cpus[ci].timeline.now();
+                if let Some(a_cpu) = woken {
+                    self.wake(a_cpu, t);
+                }
+            }
+        }
+    }
+
+    /// R-stream divergence check at a barrier; recovers the A-stream if
+    /// tokens have accumulated unconsumed.
+    fn check_divergence(&mut self, ci: usize) {
+        let Some(p) = self.pair_of(ci) else { return };
+        if self.slip_active().is_none() {
+            return;
+        }
+        self.busy(ci, 2, TimeClass::Busy); // compare token count
+        let suspected =
+            self.pairs[p].diverged || self.pairs[p].divergence_suspected(self.cfg.divergence_slack);
+        if suspected && self.pairs[p].diverged {
+            self.recover_astream(ci, p);
+        }
+    }
+
+    /// Rebuild the A-stream's state from the R-stream's current state. The
+    /// R-stream is sitting at a barrier: the A-stream resumes as if it had
+    /// just consumed the token for that barrier.
+    fn recover_astream(&mut self, ci: usize, p: usize) {
+        let a_cpu = self.pairs[p].a_cpu;
+        let sync = self.pairs[p].sync;
+        // Clone R's continuation. R's top frame is the in-progress barrier
+        // protocol; A resumes right after it.
+        let mut frames = self.cpus[ci].frames.clone();
+        // Drop R's current barrier frame if present (R pushes it back
+        // before calling protocols, so the stack here is already past it).
+        let vars = self.cpus[ci].vars.clone();
+        let r_epoch = self.pairs[p].r_epoch;
+        // Also discard any published-but-unconsumed scheduling decisions,
+        // together with their semaphore tokens (a stale token with no
+        // matching decision would corrupt the next handshake).
+        self.pairs[p].decisions.clear();
+        self.pairs[p].sched_sem.reset(0);
+        self.pairs[p].tokens.reset(sync.tokens);
+        self.pairs[p].diverged = false;
+        self.pairs[p].recoveries += 1;
+        self.pairs[p].a_epoch = r_epoch;
+
+        let ai = a_cpu.0;
+        self.cpus[ai].vars = vars;
+        std::mem::swap(&mut self.cpus[ai].frames, &mut frames);
+        self.cpus[ai].singles_seen = self.cpus[ci].singles_seen;
+        self.cpus[ai].sections_seen = self.cpus[ci].sections_seen;
+        self.cpus[ai].dynloops_seen = self.cpus[ci].dynloops_seen;
+        self.cpus[ai].jobs_taken = self.cpus[ci].jobs_taken;
+        self.cpus[ai].timeline.stats.recoveries += 1;
+        let t = self.cpus[ci].timeline.now() + self.cfg.recovery_cycles;
+        // The A-stream is parked (diverged); wake it into recovery.
+        self.cpus[ai].park_class = TimeClass::Recovery;
+        self.wake(a_cpu, t);
+    }
+
+    /// Barrier protocol. Stages: 0 = entry (A: token consume; R: local
+    /// token insert + arrive), 1 = A woken with a granted token,
+    /// 2 = R woken by release (post-wait flag load + global token insert).
+    fn barrier_step(&mut self, ci: usize, internal: bool, stage: u8) {
+        let role_a = self.is_a(ci);
+        if role_a && !internal {
+            if let Some(sync) = self.slip_active() {
+                let _ = sync;
+                match stage {
+                    0 => {
+                        // Fault injection: diverge instead of consuming.
+                        let p = self.pair_of(ci).expect("A-stream without pair");
+                        let tid = self.cpus[ci].tid;
+                        let epoch = self.pairs[p].a_epoch;
+                        if self.cfg.inject_divergence.contains(&(tid, epoch)) {
+                            self.pairs[p].diverged = true;
+                            // Wander: park forever until recovered.
+                            self.park(ci, TimeClass::AStreamWait);
+                            return;
+                        }
+                        self.busy(ci, self.cfg.machine.pair_register_cycles, TimeClass::Busy);
+                        let granted = self.pairs[p].tokens.wait(CpuId(ci));
+                        if granted {
+                            self.pairs[p].a_epoch += 1;
+                            self.cpus[ci].timeline.stats.barriers += 1;
+                        } else {
+                            self.cpus[ci].frames.push(Frame::Bar { internal, stage: 1 });
+                            self.park(ci, TimeClass::AStreamWait);
+                        }
+                    }
+                    1 => {
+                        let p = self.pair_of(ci).expect("A-stream without pair");
+                        self.pairs[p].a_epoch += 1;
+                        self.cpus[ci].timeline.stats.barriers += 1;
+                    }
+                    _ => unreachable!("A-stream barrier stage"),
+                }
+                return;
+            }
+            // Slipstream off for this region: A skips construct barriers
+            // without tokens.
+            return;
+        }
+
+        // R-stream or solo (or any stream at an internal barrier).
+        match stage {
+            0 => {
+                if !internal && !role_a {
+                    self.check_divergence(ci);
+                    if let Some(sync) = self.slip_active() {
+                        if !sync.global {
+                            // Local sync: token inserted at barrier entry.
+                            self.insert_token(ci);
+                            if let Some(p) = self.pair_of(ci) {
+                                self.pairs[p].r_epoch += 1;
+                            }
+                        }
+                    }
+                }
+                // Arrive: fetch-and-increment of the barrier counter — a
+                // read-modify-write that migrates the line to this node.
+                let bar_addr = if internal {
+                    self.region_barrier.addr
+                } else {
+                    self.construct_barrier.addr
+                };
+                self.mem(ci, bar_addr, AccessKind::Load, TimeClass::Barrier);
+                self.mem(ci, bar_addr, AccessKind::Store, TimeClass::Barrier);
+                self.cpus[ci].timeline.stats.barriers += 1;
+                let released = {
+                    let bar = if internal {
+                        &mut self.region_barrier
+                    } else {
+                        &mut self.construct_barrier
+                    };
+                    bar.arrive(CpuId(ci))
+                };
+                match released {
+                    Some(waiters) => {
+                        let t = self.cpus[ci].timeline.now();
+                        for w in waiters {
+                            self.wake(w, t);
+                        }
+                        // The releasing arriver proceeds directly.
+                        self.barrier_exit(ci, internal, false);
+                    }
+                    None => {
+                        self.cpus[ci].frames.push(Frame::Bar { internal, stage: 2 });
+                        self.park(ci, TimeClass::Barrier);
+                    }
+                }
+            }
+            2 => {
+                // Woken by the release: re-read the flag line (it was
+                // invalidated by the releasing store).
+                self.barrier_exit(ci, internal, true);
+            }
+            _ => unreachable!("barrier stage"),
+        }
+    }
+
+    fn barrier_exit(&mut self, ci: usize, internal: bool, reload_flag: bool) {
+        // Global sync: the token is inserted "before exiting the barrier"
+        // (paper Section 2.2) — at release detection, ahead of the
+        // R-stream's own exit path (flag re-read, pipeline resumption), so
+        // the A-stream gets a head start of the R-stream's exit overhead.
+        if !internal && !self.is_a(ci) {
+            if let Some(sync) = self.slip_active() {
+                if sync.global {
+                    self.insert_token(ci);
+                    if let Some(p) = self.pair_of(ci) {
+                        self.pairs[p].r_epoch += 1;
+                    }
+                }
+            }
+        }
+        if reload_flag {
+            let addr = if internal {
+                self.region_barrier.addr
+            } else {
+                self.construct_barrier.addr
+            };
+            self.mem(ci, addr, AccessKind::Load, TimeClass::Barrier);
+        }
+    }
+
+    /// Worksharing loop end: reduction combine, then the implicit barrier
+    /// unless `nowait`.
+    fn loop_end(&mut self, ci: usize, node: NodeId, stage: u8) {
+        let (reduction, nowait) = match self.cp.node(node) {
+            FNode::ParFor {
+                reduction, nowait, ..
+            } => (reduction.clone(), *nowait),
+            _ => unreachable!("LoopEnd on non-ParFor"),
+        };
+        match stage {
+            0 => {
+                self.cpus[ci].frames.push(Frame::LoopEnd { node, stage: 1 });
+                if let Some(red) = reduction {
+                    if self.is_a(ci) {
+                        // Policy: the A-stream runs reduction bodies as
+                        // user code but skips the shared combine.
+                        if self.cfg.policy.reduction_combine == AAction::Execute {
+                            self.cpus[ci].frames.push(Frame::RedP { red, stage: 0 });
+                        }
+                    } else {
+                        self.cpus[ci].frames.push(Frame::RedP { red, stage: 0 });
+                    }
+                }
+            }
+            1 => {
+                if !nowait {
+                    self.cpus[ci].frames.push(Frame::Bar {
+                        internal: false,
+                        stage: 0,
+                    });
+                }
+            }
+            _ => unreachable!("loop_end stage"),
+        }
+    }
+
+    /// Reduction combine: serialize through the reduction lock and update
+    /// the shared target cell.
+    fn reduction_step(&mut self, ci: usize, red: Reduction, stage: u8) {
+        match stage {
+            0 => {
+                // Acquire the reduction lock.
+                self.mem(
+                    ci,
+                    self.reduction_lock.addr,
+                    AccessKind::Store,
+                    TimeClass::Lock,
+                );
+                if self.reduction_lock.acquire(CpuId(ci)) {
+                    self.cpus[ci].frames.push(Frame::RedP { red, stage: 1 });
+                } else {
+                    self.cpus[ci].frames.push(Frame::RedP { red, stage: 1 });
+                    self.park(ci, TimeClass::Lock);
+                }
+            }
+            1 => {
+                // Combine: load target, apply op, store target, release.
+                let idx = self.eval(ci, &red.index);
+                let addr = self.element_addr(ci, red.target, idx);
+                self.mem(ci, addr, AccessKind::Load, TimeClass::MemStall);
+                self.busy(ci, 3, TimeClass::Busy);
+                self.mem(ci, addr, AccessKind::Store, TimeClass::MemStall);
+                self.mem(
+                    ci,
+                    self.reduction_lock.addr,
+                    AccessKind::Store,
+                    TimeClass::Lock,
+                );
+                let next = self.reduction_lock.release(CpuId(ci));
+                let t = self.cpus[ci].timeline.now();
+                if let Some(w) = next {
+                    self.wake(w, t);
+                }
+            }
+            _ => unreachable!("reduction stage"),
+        }
+    }
+
+    fn critical_step(&mut self, ci: usize, lock: usize, body: NodeId, stage: u8) {
+        match stage {
+            0 => {
+                self.mem(
+                    ci,
+                    self.critical_locks[lock].addr,
+                    AccessKind::Store,
+                    TimeClass::Lock,
+                );
+                let granted = self.critical_locks[lock].acquire(CpuId(ci));
+                self.cpus[ci].frames.push(Frame::CritP {
+                    lock,
+                    body,
+                    stage: 1,
+                });
+                if granted {
+                    self.enter(ci, body);
+                } else {
+                    // On wake the lock is already ours; re-read the lock
+                    // line then run the body.
+                    self.cpus[ci].frames.pop();
+                    self.cpus[ci].frames.push(Frame::CritP {
+                        lock,
+                        body,
+                        stage: 2,
+                    });
+                    self.park(ci, TimeClass::Lock);
+                }
+            }
+            2 => {
+                // Woken as the new holder.
+                self.mem(
+                    ci,
+                    self.critical_locks[lock].addr,
+                    AccessKind::Load,
+                    TimeClass::Lock,
+                );
+                self.cpus[ci].frames.push(Frame::CritP {
+                    lock,
+                    body,
+                    stage: 1,
+                });
+                self.enter(ci, body);
+            }
+            1 => {
+                // Body finished: release.
+                self.mem(
+                    ci,
+                    self.critical_locks[lock].addr,
+                    AccessKind::Store,
+                    TimeClass::Lock,
+                );
+                let next = self.critical_locks[lock].release(CpuId(ci));
+                let t = self.cpus[ci].timeline.now();
+                if let Some(w) = next {
+                    self.wake(w, t);
+                }
+            }
+            _ => unreachable!("critical stage"),
+        }
+    }
+
+    fn single_step(&mut self, ci: usize, node: NodeId, enc: usize, stage: u8) {
+        let body = match self.cp.node(node) {
+            FNode::Single(b) => *b,
+            _ => unreachable!("SingleP on non-Single"),
+        };
+        if self.is_a(ci) && self.slip_active().is_some() {
+            // Skip the body; the implicit end barrier is a construct
+            // barrier (token consume).
+            self.cpus[ci].frames.push(Frame::Bar {
+                internal: false,
+                stage: 0,
+            });
+            return;
+        }
+        match stage {
+            0 => {
+                // Claim via an atomic on the single's flag line.
+                let line = self.get_single_line(enc);
+                self.mem(ci, line, AccessKind::Store, TimeClass::Scheduling);
+                let won = self.arena.single(enc).claim();
+                self.cpus[ci].frames.push(Frame::SingleP {
+                    node,
+                    enc,
+                    stage: 1,
+                });
+                if won {
+                    self.enter(ci, body);
+                }
+            }
+            1 => {
+                // Implicit end barrier.
+                self.cpus[ci].frames.push(Frame::Bar {
+                    internal: false,
+                    stage: 0,
+                });
+            }
+            _ => unreachable!("single stage"),
+        }
+    }
+
+    fn sections_step(&mut self, ci: usize, node: NodeId, enc: usize, stage: u8, claimed: usize) {
+        let secs = match self.cp.node(node) {
+            FNode::Sections(v) => v.clone(),
+            _ => unreachable!("SectionsP on non-Sections"),
+        };
+        let role_a = self.is_a(ci) && self.slip_active().is_some();
+        if role_a {
+            // A-stream mirrors its R-stream's claimed sections through the
+            // pair semaphore (dynamic assignment ⇒ SyncWithR).
+            if self.cfg.policy.sections != AAction::SyncWithR {
+                // Ablation: skip sections entirely.
+                self.cpus[ci].frames.push(Frame::Bar {
+                    internal: false,
+                    stage: 0,
+                });
+                return;
+            }
+            match stage {
+                0 => {
+                    let p = self.pair_of(ci).expect("A without pair");
+                    self.busy(ci, self.cfg.machine.pair_register_cycles, TimeClass::Busy);
+                    let granted = self.pairs[p].sched_sem.wait(CpuId(ci));
+                    self.cpus[ci].frames.push(Frame::SectionsP {
+                        node,
+                        enc,
+                        stage: 1,
+                        claimed,
+                    });
+                    if !granted {
+                        self.park(ci, TimeClass::AStreamWait);
+                    }
+                }
+                1 => {
+                    let p = self.pair_of(ci).expect("A without pair");
+                    match self.pairs[p].take_decision() {
+                        Decision::Section(s) => {
+                            let daddr = self.pairs[p].decision_addr;
+                            self.mem(ci, daddr, AccessKind::Load, TimeClass::Busy);
+                            self.cpus[ci].frames.push(Frame::SectionsP {
+                                node,
+                                enc,
+                                stage: 0,
+                                claimed,
+                            });
+                            self.enter(ci, secs[s]);
+                        }
+                        Decision::End => {
+                            self.cpus[ci].frames.push(Frame::Bar {
+                                internal: false,
+                                stage: 0,
+                            });
+                        }
+                        other => panic!("unexpected decision in sections: {other:?}"),
+                    }
+                }
+                _ => unreachable!("A sections stage"),
+            }
+            return;
+        }
+        match stage {
+            0 => {
+                // Grab the next section index.
+                let line = self.get_sections_line(enc);
+                self.mem(ci, line, AccessKind::Store, TimeClass::Scheduling);
+                match self.arena.sections(enc).claim(secs.len()) {
+                    Some(s) => {
+                        self.publish_decision(ci, Decision::Section(s));
+                        self.cpus[ci].frames.push(Frame::SectionsP {
+                            node,
+                            enc,
+                            stage: 0,
+                            claimed: claimed + 1,
+                        });
+                        self.enter(ci, secs[s]);
+                    }
+                    None => {
+                        self.publish_decision(ci, Decision::End);
+                        self.cpus[ci].frames.push(Frame::Bar {
+                            internal: false,
+                            stage: 0,
+                        });
+                    }
+                }
+            }
+            _ => unreachable!("sections stage"),
+        }
+    }
+
+    /// R-stream: publish a scheduling decision for the A-stream (store to
+    /// the pair decision line + pair-register signal).
+    fn publish_decision(&mut self, ci: usize, d: Decision) {
+        if self.is_a(ci) || self.slip_active().is_none() {
+            return;
+        }
+        if let Some(p) = self.pair_of(ci) {
+            let daddr = self.pairs[p].decision_addr;
+            self.mem(ci, daddr, AccessKind::Store, TimeClass::Busy);
+            self.busy(ci, self.cfg.machine.pair_register_cycles, TimeClass::Busy);
+            let woken = self.pairs[p].publish(d);
+            let t = self.cpus[ci].timeline.now();
+            if let Some(a) = woken {
+                self.wake(a, t);
+            }
+        }
+    }
+
+    /// Dynamic/guided loop protocol.
+    ///
+    /// R/solo stages: 0 = acquire scheduler lock (or park), 2 = woken as
+    /// lock holder, 1 = grab chunk under the lock and release, 3 = chunk
+    /// body done, grab again.
+    /// A-stream stages: 10 = wait on pair semaphore, 11 = consume
+    /// decision.
+    #[allow(clippy::too_many_arguments)]
+    fn dyn_step(
+        &mut self,
+        ci: usize,
+        node: NodeId,
+        enc: usize,
+        sched: ResolvedSchedule,
+        lo: i64,
+        hi: i64,
+        stage: u8,
+        chunk: Chunk,
+    ) {
+        let body = match self.cp.node(node) {
+            FNode::ParFor { body, .. } => *body,
+            _ => unreachable!("DynP on non-ParFor"),
+        };
+        let role_a = self.is_a(ci) && self.slip_active().is_some();
+        if role_a {
+            match stage {
+                0 | 10 => {
+                    // Wait for the R-stream's scheduling decision (the
+                    // syscall hardware semaphore of Section 3.2.2).
+                    let p = self.pair_of(ci).expect("A without pair");
+                    self.busy(ci, self.cfg.machine.pair_register_cycles, TimeClass::Busy);
+                    let granted = self.pairs[p].sched_sem.wait(CpuId(ci));
+                    self.cpus[ci].frames.push(Frame::DynP {
+                        node,
+                        enc,
+                        sched,
+                        lo,
+                        hi,
+                        stage: 11,
+                        chunk,
+                    });
+                    if !granted {
+                        self.park(ci, TimeClass::AStreamWait);
+                    }
+                }
+                11 => {
+                    let p = self.pair_of(ci).expect("A without pair");
+                    match self.pairs[p].take_decision() {
+                        Decision::Chunk(c) => {
+                            let daddr = self.pairs[p].decision_addr;
+                            self.mem(ci, daddr, AccessKind::Load, TimeClass::Busy);
+                            self.cpus[ci].frames.push(Frame::DynP {
+                                node,
+                                enc,
+                                sched,
+                                lo,
+                                hi,
+                                stage: 10,
+                                chunk: c,
+                            });
+                            let var = self.parfor_var(node);
+                            self.cpus[ci].frames.push(Frame::ChunkIter {
+                                var,
+                                chunks: vec![c],
+                                ci: 0,
+                                cur: i64::MIN,
+                                body,
+                            });
+                        }
+                        Decision::End => {} // fall through to LoopEnd
+                        other => panic!("unexpected decision in dyn loop: {other:?}"),
+                    }
+                }
+                _ => unreachable!("A dyn stage"),
+            }
+            return;
+        }
+
+        let lock_id = enc;
+        let tid = self.cpus[ci].tid as usize;
+        let affinity = sched.is_affinity();
+        match stage {
+            0 => {
+                // Serialize through the scheduler lock: the shared counter
+                // lock for dynamic/guided, the thread's own queue lock for
+                // affinity (node-local in the common case).
+                let laddr = if affinity {
+                    self.affinity_locks[lock_id][tid].addr
+                } else {
+                    self.sched_locks[lock_id].addr
+                };
+                self.mem(ci, laddr, AccessKind::Store, TimeClass::Scheduling);
+                let granted = if affinity {
+                    self.affinity_locks[lock_id][tid].acquire(CpuId(ci))
+                } else {
+                    self.sched_locks[lock_id].acquire(CpuId(ci))
+                };
+                self.cpus[ci].frames.push(Frame::DynP {
+                    node,
+                    enc,
+                    sched,
+                    lo,
+                    hi,
+                    stage: if granted { 1 } else { 2 },
+                    chunk,
+                });
+                if !granted {
+                    self.park(ci, TimeClass::Scheduling);
+                }
+            }
+            2 => {
+                // Woken as lock holder: re-read the lock line.
+                let laddr = if affinity {
+                    self.affinity_locks[lock_id][tid].addr
+                } else {
+                    self.sched_locks[lock_id].addr
+                };
+                self.mem(ci, laddr, AccessKind::Load, TimeClass::Scheduling);
+                self.cpus[ci].frames.push(Frame::DynP {
+                    node,
+                    enc,
+                    sched,
+                    lo,
+                    hi,
+                    stage: 1,
+                    chunk,
+                });
+            }
+            1 => {
+                // Holding the lock: read and update the scheduler state.
+                // The lock word and counter share a cache line (one
+                // migration per grab brings both), so the counter accesses
+                // hit in the L1 after the acquire.
+                let caddr = if affinity {
+                    self.affinity_locks[lock_id][tid].addr
+                } else {
+                    self.sched_locks[lock_id].addr
+                };
+                self.mem(ci, caddr, AccessKind::Load, TimeClass::Scheduling);
+                self.busy(ci, self.cfg.dynamic_sched_cycles, TimeClass::Scheduling);
+                let next = if let ResolvedSchedule::Affinity(chunk) = sched {
+                    // Lazy init of the per-thread queues.
+                    let team = self.layout.team_size();
+                    let n = omp_ir::wsloop::trip_count(lo, hi, 1);
+                    if !self.arena.affinity_loop(enc).is_initialized() {
+                        *self.arena.affinity_loop(enc) =
+                            omp_rt::schedule::AffinityState::init(n, team);
+                    }
+                    let grab = self
+                        .arena
+                        .affinity_loop(enc)
+                        .next_chunk(tid as u64, chunk, lo, 1);
+                    if let Some(g) = grab {
+                        if g.stolen {
+                            // Touch the victim's queue line (remote): the
+                            // cost of the steal.
+                            let vaddr = self.affinity_locks[lock_id][g.victim as usize].addr;
+                            self.mem(ci, vaddr, AccessKind::Load, TimeClass::Scheduling);
+                            self.mem(ci, vaddr, AccessKind::Store, TimeClass::Scheduling);
+                        }
+                    }
+                    grab.map(|g| g.chunk)
+                } else {
+                    self.arena
+                        .dyn_loop(enc)
+                        .next_chunk(sched, lo, hi, 1, self.layout.team_size())
+                };
+                self.mem(ci, caddr, AccessKind::Store, TimeClass::Scheduling);
+                let (woken, t) = if affinity {
+                    let w = self.affinity_locks[lock_id][tid].release(CpuId(ci));
+                    (w, self.cpus[ci].timeline.now())
+                } else {
+                    let laddr = self.sched_locks[lock_id].addr;
+                    self.mem(ci, laddr, AccessKind::Store, TimeClass::Scheduling);
+                    let w = self.sched_locks[lock_id].release(CpuId(ci));
+                    (w, self.cpus[ci].timeline.now())
+                };
+                if let Some(w) = woken {
+                    self.wake(w, t);
+                }
+                match next {
+                    Some(c) => {
+                        self.publish_decision(ci, Decision::Chunk(c));
+                        self.cpus[ci].frames.push(Frame::DynP {
+                            node,
+                            enc,
+                            sched,
+                            lo,
+                            hi,
+                            stage: 0,
+                            chunk: c,
+                        });
+                        let var = self.parfor_var(node);
+                        self.cpus[ci].frames.push(Frame::ChunkIter {
+                            var,
+                            chunks: vec![c],
+                            ci: 0,
+                            cur: i64::MIN,
+                            body,
+                        });
+                    }
+                    None => {
+                        self.publish_decision(ci, Decision::End);
+                        // Fall through to LoopEnd (reduction + barrier).
+                    }
+                }
+            }
+            _ => unreachable!("dyn stage"),
+        }
+    }
+
+    fn parfor_var(&self, node: NodeId) -> VarId {
+        match self.cp.node(node) {
+            FNode::ParFor { var, .. } => *var,
+            _ => unreachable!("parfor_var on non-ParFor"),
+        }
+    }
+
+    /// Master's path through a `Parallel` node.
+    ///
+    /// R-master (stage 0): resolve slipstream, configure region state,
+    /// dispatch the job to the pool, publish RegionGo to its A-stream, and
+    /// enter the body. A-master: wait for RegionGo (stages 0/1/2), then
+    /// enter. The matching region-end barrier is pushed beneath the body.
+    fn region_step(&mut self, ci: usize, node: NodeId, stage: u8) {
+        let (body, clause) = match self.cp.node(node) {
+            FNode::Parallel { body, slipstream } => (*body, *slipstream),
+            _ => unreachable!("RegionP on non-Parallel"),
+        };
+        let role_a = self.is_a(ci);
+
+        if role_a {
+            // The A-master may run ahead of its R-master in serial code;
+            // it must not enter the region before the R-master configures
+            // it. Synchronize through the pair semaphore.
+            match stage {
+                0 => {
+                    let p = self.pair_of(ci).expect("A-master without pair");
+                    self.busy(ci, self.cfg.machine.pair_register_cycles, TimeClass::Busy);
+                    let granted = self.pairs[p].sched_sem.wait(CpuId(ci));
+                    self.cpus[ci].frames.push(Frame::RegionP { node, stage: 1 });
+                    if !granted {
+                        self.park(ci, TimeClass::AStreamWait);
+                    }
+                }
+                1 => {
+                    let p = self.pair_of(ci).expect("A-master without pair");
+                    let d = self.pairs[p].take_decision();
+                    debug_assert_eq!(d, Decision::RegionGo);
+                    self.cpus[ci].jobs_taken += 1;
+                    self.cpus[ci].reset_encounters();
+                    self.cpus[ci].frames.push(Frame::RegionEndP { stage: 0 });
+                    if self.region_slip != RegionSlip::Off {
+                        self.enter(ci, body);
+                    }
+                }
+                _ => unreachable!("A-master region stage"),
+            }
+            return;
+        }
+
+        debug_assert_eq!(stage, 0);
+        let resolved = if self.cfg.mode == ExecMode::Slipstream {
+            resolve_region(clause, self.global_slip, self.cfg.env.slipstream)
+        } else {
+            RegionSlip::Off
+        };
+
+        // R-master configures shared region state exactly once.
+        self.region_slip = resolved;
+        self.current_region = Some(body);
+        self.sched_grabs_total += self.arena.total_grabs();
+        self.sched_steals_total += self.arena.total_steals();
+        self.arena = ConstructArena::new();
+        self.sched_locks.clear();
+        self.sched_counter_lines.clear();
+        self.affinity_locks.clear();
+        self.single_lines.clear();
+        self.sections_lines.clear();
+        if let RegionSlip::On(sync) = resolved {
+            for p in &mut self.pairs {
+                // A fresh region restarts token allocation (Fig. 1).
+                p.start_region(sync);
+            }
+        }
+        // Dispatch: one store to the job flag; every pool slave wakes and
+        // re-reads the flag line.
+        self.job_gen += 1;
+        self.mem(ci, self.job_flag, AccessKind::Store, TimeClass::Scheduling);
+        let t = self.cpus[ci].timeline.now();
+        let pool: Vec<CpuId> = (0..self.cpus.len())
+            .filter(|i| self.cpus[*i].status == Status::PoolIdle)
+            .map(CpuId)
+            .collect();
+        for w in pool {
+            self.wake(w, t);
+        }
+        // Release the A-master into the region.
+        if self.cfg.mode == ExecMode::Slipstream {
+            if let Some(p) = self.pair_of(ci) {
+                let woken = self.pairs[p].publish(Decision::RegionGo);
+                let t = self.cpus[ci].timeline.now();
+                if let Some(a) = woken {
+                    self.wake(a, t);
+                }
+            }
+        }
+
+        self.cpus[ci].jobs_taken += 1;
+        self.cpus[ci].reset_encounters();
+        self.cpus[ci].frames.push(Frame::RegionEndP { stage: 0 });
+        self.enter(ci, body);
+    }
+
+    /// Region-end internal barrier; slaves then return to the pool.
+    fn region_end_step(&mut self, ci: usize, stage: u8) {
+        match stage {
+            0 => {
+                // Recover a diverged A-stream before it deadlocks the
+                // internal barrier. The clone must include this region-end
+                // step itself, so the recovered A-stream arrives at the
+                // barrier like everyone else.
+                if !self.is_a(ci) {
+                    if let Some(p) = self.pair_of(ci) {
+                        if self.pairs[p].diverged {
+                            self.cpus[ci].frames.push(Frame::RegionEndP { stage: 0 });
+                            self.recover_astream(ci, p);
+                            self.cpus[ci].frames.pop();
+                        }
+                    }
+                }
+                self.cpus[ci].frames.push(Frame::RegionEndP { stage: 1 });
+                self.cpus[ci].frames.push(Frame::Bar {
+                    internal: true,
+                    stage: 0,
+                });
+            }
+            1 => {
+                // Past the barrier. Slaves go back to the pool; masters
+                // continue with serial code.
+                if self.cpus[ci].tid as usize != MASTER {
+                    self.cpus[ci].frames.clear();
+                    self.cpus[ci].frames.push(Frame::PoolWait);
+                }
+            }
+            _ => unreachable!("region end stage"),
+        }
+    }
+
+    /// Slave pool loop: wait for a job generation, then run the region.
+    fn pool_step(&mut self, ci: usize) {
+        if self.cpus[ci].jobs_taken < self.job_gen {
+            // A job is (or became) available.
+            self.cpus[ci].jobs_taken += 1;
+            self.cpus[ci].reset_encounters();
+            // Spin-exit: read the job flag (invalidated by the master's
+            // dispatch store).
+            self.mem(ci, self.job_flag, AccessKind::Load, TimeClass::JobWait);
+            let body = self.current_region.expect("dispatch without a region");
+            self.cpus[ci].frames.push(Frame::RegionEndP { stage: 0 });
+            let skip_body = self.is_a(ci) && self.region_slip == RegionSlip::Off;
+            if !skip_body {
+                self.enter(ci, body);
+            }
+        } else {
+            self.cpus[ci].frames.push(Frame::PoolWait);
+            self.park_pool(ci);
+        }
+    }
+
+    /// I/O protocol: never executed by the A-stream; inputs synchronize
+    /// the pair through the scheduling semaphore.
+    fn io_step(&mut self, ci: usize, input: bool, bytes: u64, stage: u8) {
+        let role_a = self.is_a(ci);
+        if role_a {
+            if !input || self.cfg.mode != ExecMode::Slipstream {
+                return; // outputs (and non-slipstream) are simply skipped
+            }
+            match stage {
+                0 => {
+                    let p = self.pair_of(ci).expect("A without pair");
+                    self.busy(ci, self.cfg.machine.pair_register_cycles, TimeClass::Busy);
+                    let granted = self.pairs[p].sched_sem.wait(CpuId(ci));
+                    if granted {
+                        let d = self.pairs[p].take_decision();
+                        debug_assert_eq!(d, Decision::IoDone);
+                    } else {
+                        self.cpus[ci].frames.push(Frame::IoP {
+                            input,
+                            bytes,
+                            stage: 1,
+                        });
+                        self.park(ci, TimeClass::AStreamWait);
+                    }
+                }
+                1 => {
+                    let p = self.pair_of(ci).expect("A without pair");
+                    let d = self.pairs[p].take_decision();
+                    debug_assert_eq!(d, Decision::IoDone);
+                }
+                _ => unreachable!("A io stage"),
+            }
+            return;
+        }
+        // R/solo: charge the I/O latency, then release the A-stream for
+        // inputs.
+        if input {
+            self.cpus[ci].user.io_in += 1;
+        } else {
+            self.cpus[ci].user.io_out += 1;
+        }
+        let cost = self.cfg.io_fixed_cycles + (bytes / 8) * self.cfg.io_cycles_per_8_bytes;
+        self.busy(ci, cost, TimeClass::Busy);
+        if input && self.cfg.mode == ExecMode::Slipstream {
+            if let Some(p) = self.pair_of(ci) {
+                let woken = self.pairs[p].publish(Decision::IoDone);
+                let t = self.cpus[ci].timeline.now();
+                if let Some(a) = woken {
+                    self.wake(a, t);
+                }
+            }
+        }
+    }
+
+    // -------------------------------------------------------- main loop --
+
+    /// Run to completion. Returns the aggregated results.
+    pub fn run(mut self) -> Result<RunResult, String> {
+        while let Some((t, cpu)) = self.q.pop() {
+            if self.master_done {
+                break;
+            }
+            self.events += 1;
+            if self.events > self.cfg.max_events {
+                return Err("event budget exhausted (runaway simulation)".into());
+            }
+            let c = &self.cpus[cpu.0];
+            if c.status != Status::Ready || c.next_wake != t {
+                continue; // stale event
+            }
+            self.run_cpu(cpu.0)?;
+        }
+        if !self.master_done {
+            // Queue drained without the master finishing: deadlock.
+            let stuck: Vec<String> = self
+                .cpus
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| !matches!(c.status, Status::Done))
+                .map(|(i, c)| format!("cpu{i}:{:?}@{}", c.status, c.timeline.now()))
+                .collect();
+            return Err(format!("deadlock: master never finished; stuck: {stuck:?}"));
+        }
+        Ok(self.finish())
+    }
+
+    fn finish(mut self) -> RunResult {
+        let master_ci = self.layout.master_cpu().0;
+        let end = self.cpus[master_ci].timeline.now();
+        // Attribute the tail of every stream's timeline up to program end.
+        for c in self.cpus.iter_mut() {
+            if c.assign == CpuAssignment::Idle {
+                continue;
+            }
+            let class = match c.status {
+                Status::Parked | Status::PoolIdle => c.park_class,
+                _ => TimeClass::JobWait,
+            };
+            c.timeline.advance_to(end, class);
+        }
+        self.ms.finish();
+
+        let mut r_breakdown = dsm_sim::TimeBreakdown::new();
+        let mut a_breakdown = dsm_sim::TimeBreakdown::new();
+        let mut user_r = OpCounts::default();
+        let mut user_a = OpCounts::default();
+        let mut stores_converted = 0;
+        let mut stores_skipped = 0;
+        for c in &self.cpus {
+            match c.role {
+                StreamRole::A if c.assign != CpuAssignment::Idle => {
+                    a_breakdown.merge(&c.timeline.stats.time);
+                    merge_ops(&mut user_a, &c.user);
+                    stores_converted += c.stores_converted;
+                    stores_skipped += c.stores_skipped;
+                }
+                _ if c.assign != CpuAssignment::Idle => {
+                    r_breakdown.merge(&c.timeline.stats.time);
+                    merge_ops(&mut user_r, &c.user);
+                }
+                _ => {}
+            }
+        }
+        let recoveries = self.pairs.iter().map(|p| p.recoveries).sum();
+        let machine = self.ms.machine_counters();
+        RunResult {
+            exec_cycles: end,
+            roles: self.cpus.iter().map(|c| c.role).collect(),
+            cpu_stats: self
+                .cpus
+                .iter()
+                .map(|c| c.timeline.stats.clone())
+                .collect(),
+            fill_counts: self.ms.classifier.counts,
+            r_breakdown,
+            a_breakdown,
+            user_r,
+            user_a,
+            sched_grabs: self.sched_grabs_total + self.arena.total_grabs(),
+            sched_steals: self.sched_steals_total + self.arena.total_steals(),
+            recoveries,
+            stores_converted,
+            stores_skipped,
+            machine,
+        }
+    }
+}
+
+fn merge_ops(into: &mut OpCounts, from: &OpCounts) {
+    into.loads += from.loads;
+    into.stores += from.stores;
+    into.atomics += from.atomics;
+    into.compute_cycles += from.compute_cycles;
+    into.io_in += from.io_in;
+    into.io_out += from.io_out;
+}

@@ -1,0 +1,42 @@
+//! # slipstream — slipstream execution mode for OpenMP-style programs
+//!
+//! The primary contribution of *Extending OpenMP to Support Slipstream
+//! Execution Mode* (Ibrahim & Byrd, IPPS 2003), rebuilt in Rust on a
+//! simulated CMP-based DSM multiprocessor:
+//!
+//! * each CMP node runs one OpenMP task redundantly as an **R-stream**
+//!   (real) and an **A-stream** (advanced, reduced) sharing the node's L2;
+//! * the A-stream skips synchronization and shared-memory stores
+//!   (converting eligible stores into read-exclusive prefetches), runs
+//!   ahead, and warms the shared L2 for its R-stream;
+//! * a **token semaphore** bounds the A-stream's lead (local vs global
+//!   insertion, configurable initial tokens — Figure 1 of the paper) and
+//!   doubles as the divergence detector;
+//! * **dynamic scheduling** adds a pair handshake: the R-stream publishes
+//!   each chunk grab, the A-stream mirrors it (Section 3.2.2);
+//! * the `SLIPSTREAM` directive and `OMP_SLIPSTREAM` environment variable
+//!   select behaviour per region at run time, with one binary serving
+//!   single, double, and slipstream modes.
+//!
+//! The [`runner`] module is the public entry point: compile a program once
+//! and run it under any mode/synchronization combination.
+
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod exec;
+pub mod pairing;
+pub mod policy;
+pub mod report;
+pub mod runner;
+
+pub use compile::{compile, CompiledProgram};
+pub use exec::{Engine, EngineConfig, OsNoise, RunResult};
+pub use pairing::{Decision, PairState};
+pub use policy::{AAction, AStreamPolicy};
+pub use runner::{run_program, RunOptions, RunSummary};
+
+// Re-export the pieces users need to drive a simulation end-to-end.
+pub use dsm_sim::{FillClass, FillCounts, MachineConfig, ReqKind, StreamRole, TimeClass};
+pub use omp_ir::{Program, ProgramBuilder};
+pub use omp_rt::{ExecMode, RuntimeEnv, SlipSync};

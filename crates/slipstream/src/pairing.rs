@@ -1,0 +1,194 @@
+//! A–R pair state: token semaphores, scheduling handshake, epochs.
+//!
+//! Each CMP node in slipstream mode hosts one pair. The pair owns:
+//!
+//! * the **token semaphore** of Figure 1 — the R-stream inserts a token
+//!   per construct barrier (at entry for local sync, at exit for global
+//!   sync); the A-stream consumes one to skip the barrier and blocks when
+//!   none are available;
+//! * the **scheduling/syscall semaphore** — initialized to zero; used for
+//!   the dynamic-scheduling handshake (the R-stream publishes its chunk
+//!   decision and signals; the A-stream waits and mirrors it) and for
+//!   input-operation synchronization;
+//! * **epoch counters** — barrier sessions passed by each stream, used to
+//!   gate store→prefetch conversion ("the A-stream is in the same session
+//!   with its R-stream") and to detect divergence.
+
+use dsm_sim::{Addr, CpuId, Semaphore};
+use omp_ir::wsloop::Chunk;
+use omp_rt::mode::SlipSync;
+use std::collections::VecDeque;
+
+/// A scheduling decision the R-stream publishes for its A-stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// A dynamic/guided loop chunk.
+    Chunk(Chunk),
+    /// A claimed section index.
+    Section(usize),
+    /// An input operation completed; the A-stream may proceed past it
+    /// ("the A-stream should see the same image of the data that the
+    /// R-stream sees").
+    IoDone,
+    /// The R-master finished configuring a parallel region; the A-master
+    /// may enter it (region state is shared runtime data the A-stream
+    /// must observe consistently).
+    RegionGo,
+    /// The R-stream exhausted the construct; the A-stream moves on.
+    End,
+}
+
+/// State of one A–R pair.
+#[derive(Debug)]
+pub struct PairState {
+    /// The shared OpenMP thread id of the pair.
+    pub tid: u64,
+    /// The R-stream's processor.
+    pub r_cpu: CpuId,
+    /// The A-stream's processor.
+    pub a_cpu: CpuId,
+    /// Synchronization method for the current region.
+    pub sync: SlipSync,
+    /// The token semaphore (pair-shared hardware register).
+    pub tokens: Semaphore,
+    /// The scheduling/syscall semaphore (initialized to zero; paper
+    /// Section 2.2).
+    pub sched_sem: Semaphore,
+    /// Published scheduling decisions, consumed in FIFO order.
+    pub decisions: VecDeque<Decision>,
+    /// Shared line the R-stream writes decisions to (the A-stream reads it
+    /// after each signal).
+    pub decision_addr: Addr,
+    /// Barrier sessions completed by the R-stream in the current region.
+    pub r_epoch: u64,
+    /// Barrier sessions completed (skipped) by the A-stream.
+    pub a_epoch: u64,
+    /// The A-stream has diverged and stopped making useful progress.
+    pub diverged: bool,
+    /// Number of recoveries performed on this pair.
+    pub recoveries: u64,
+}
+
+impl PairState {
+    /// Build the pair for thread `tid`.
+    pub fn new(
+        tid: u64,
+        r_cpu: CpuId,
+        a_cpu: CpuId,
+        sync: SlipSync,
+        token_addr: Addr,
+        sched_addr: Addr,
+        decision_addr: Addr,
+    ) -> Self {
+        PairState {
+            tid,
+            r_cpu,
+            a_cpu,
+            sync,
+            tokens: Semaphore::new(sync.tokens, token_addr),
+            sched_sem: Semaphore::new(0, sched_addr),
+            decisions: VecDeque::new(),
+            decision_addr,
+            r_epoch: 0,
+            a_epoch: 0,
+            diverged: false,
+            recoveries: 0,
+        }
+    }
+
+    /// Reconfigure at the start of a parallel region: reset tokens to the
+    /// region's initial count and align epochs. ("At the beginning of a
+    /// parallel region, a number of tokens is allocated...") Serial-part
+    /// handshake decisions (I/O, region-go) may still be in flight and are
+    /// preserved.
+    pub fn start_region(&mut self, sync: SlipSync) {
+        self.sync = sync;
+        self.tokens.reset(sync.tokens);
+        self.r_epoch = 0;
+        self.a_epoch = 0;
+    }
+
+    /// True when both streams are in the same barrier session — the
+    /// store-conversion gate.
+    pub fn same_session(&self) -> bool {
+        self.r_epoch == self.a_epoch
+    }
+
+    /// Divergence heuristic evaluated by the R-stream at a barrier: tokens
+    /// accumulating unconsumed beyond the initial allocation plus slack
+    /// mean the A-stream is no longer visiting barriers.
+    pub fn divergence_suspected(&self, slack: u64) -> bool {
+        self.tokens.count() > self.sync.tokens + slack
+    }
+
+    /// Publish a scheduling decision (R-stream side). Returns the parked
+    /// A-stream processor to wake, if it was waiting on the semaphore.
+    pub fn publish(&mut self, d: Decision) -> Option<CpuId> {
+        self.decisions.push_back(d);
+        self.sched_sem.signal()
+    }
+
+    /// Consume the next published decision (A-stream side, after a
+    /// successful semaphore wait).
+    pub fn take_decision(&mut self) -> Decision {
+        self.decisions
+            .pop_front()
+            .expect("semaphore granted but no decision published")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(sync: SlipSync) -> PairState {
+        PairState::new(0, CpuId(0), CpuId(1), sync, 0x100, 0x140, 0x180)
+    }
+
+    #[test]
+    fn region_start_resets_tokens() {
+        let mut p = pair(SlipSync::L1);
+        assert_eq!(p.tokens.count(), 1);
+        p.tokens.wait(CpuId(1));
+        p.start_region(SlipSync::G0);
+        assert_eq!(p.tokens.count(), 0);
+        assert!(p.sync.global);
+        assert!(p.same_session());
+    }
+
+    #[test]
+    fn session_tracking() {
+        let mut p = pair(SlipSync::G0);
+        assert!(p.same_session());
+        p.a_epoch += 1;
+        assert!(!p.same_session());
+        p.r_epoch += 1;
+        assert!(p.same_session());
+    }
+
+    #[test]
+    fn divergence_heuristic() {
+        let mut p = pair(SlipSync::G0);
+        assert!(!p.divergence_suspected(1));
+        // R inserts tokens that A never consumes.
+        p.tokens.signal();
+        assert!(!p.divergence_suspected(1), "one unconsumed token is slack");
+        p.tokens.signal();
+        assert!(p.divergence_suspected(1));
+    }
+
+    #[test]
+    fn handshake_fifo() {
+        let mut p = pair(SlipSync::G0);
+        // A arrives first: parks on the semaphore.
+        assert!(!p.sched_sem.wait(CpuId(1)));
+        // R publishes: wakes A.
+        let woken = p.publish(Decision::Chunk(Chunk { lo: 0, hi: 8 }));
+        assert_eq!(woken, Some(CpuId(1)));
+        assert_eq!(p.take_decision(), Decision::Chunk(Chunk { lo: 0, hi: 8 }));
+        // R publishes ahead; A consumes without parking.
+        assert_eq!(p.publish(Decision::End), None);
+        assert!(p.sched_sem.wait(CpuId(1)));
+        assert_eq!(p.take_decision(), Decision::End);
+    }
+}

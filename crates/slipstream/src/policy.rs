@@ -1,0 +1,123 @@
+//! The A-stream policy table (paper Section 3.1).
+//!
+//! The paper specifies, construct by construct, what the advanced stream
+//! does: skip synchronization and shared stores, skip `single` and
+//! `critical`, execute `master` and `atomic`, treat `flush` as void, run
+//! reduction bodies but not the shared combine, never perform I/O, and
+//! synchronize with the R-stream at dynamic scheduling points. The table
+//! is explicit data so ablation benches can flip individual rows.
+
+use serde::{Deserialize, Serialize};
+
+/// What the A-stream does when it reaches a construct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AAction {
+    /// Execute the construct like the R-stream.
+    Execute,
+    /// Skip the construct entirely.
+    Skip,
+    /// Wait for the R-stream's decision (dynamic scheduling handshake).
+    SyncWithR,
+}
+
+/// Per-construct A-stream policy. [`AStreamPolicy::paper`] encodes the
+/// paper's table; individual rows can be overridden for ablation studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AStreamPolicy {
+    /// `single` sections: skipped — "there is no clear way an A-stream can
+    /// tell that its R-stream will execute this section".
+    pub single: AAction,
+    /// `master` sections: executed — "the R-stream to execute this section
+    /// is predetermined a priori".
+    pub master: AAction,
+    /// `critical` sections: skipped — "they may cause unnecessary
+    /// migration of data".
+    pub critical: AAction,
+    /// `atomic` updates: executed (as read-exclusive prefetches) — "the
+    /// data prefetched by the A-stream are highly likely not to be
+    /// migrated".
+    pub atomic: AAction,
+    /// Reduction loop bodies execute as user code; this row governs the
+    /// shared combine step (inside a critical section → skipped).
+    pub reduction_combine: AAction,
+    /// Convert shared stores into read-exclusive prefetches when the
+    /// A-stream is in the same barrier session as its R-stream and an MSHR
+    /// is free; otherwise the store is skipped.
+    pub convert_shared_stores: bool,
+    /// `sections` under dynamic assignment synchronize with the R-stream.
+    pub sections: AAction,
+    /// Slipstream self-invalidation (paper Section 2): A-stream reads of
+    /// dirty remote lines hint the producer to write back and drop its
+    /// copy. The paper ties this optimization to one-token-global
+    /// synchronization; it defaults off (the evaluated configuration).
+    pub self_invalidation: bool,
+}
+
+impl AStreamPolicy {
+    /// The exact policy of paper Section 3.1.
+    pub fn paper() -> Self {
+        AStreamPolicy {
+            single: AAction::Skip,
+            master: AAction::Execute,
+            critical: AAction::Skip,
+            atomic: AAction::Execute,
+            reduction_combine: AAction::Skip,
+            convert_shared_stores: true,
+            sections: AAction::SyncWithR,
+            self_invalidation: false,
+        }
+    }
+
+    /// Extension: enable self-invalidation hints.
+    pub fn with_self_invalidation(mut self) -> Self {
+        self.self_invalidation = true;
+        self
+    }
+
+    /// Ablation: no store conversion (A-stream skips shared stores
+    /// outright).
+    pub fn without_store_conversion(mut self) -> Self {
+        self.convert_shared_stores = false;
+        self
+    }
+
+    /// Ablation: A-stream executes critical sections too.
+    pub fn with_critical_execution(mut self) -> Self {
+        self.critical = AAction::Execute;
+        self
+    }
+}
+
+impl Default for AStreamPolicy {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_policy_matches_section_3_1() {
+        let p = AStreamPolicy::paper();
+        assert_eq!(p.single, AAction::Skip);
+        assert_eq!(p.master, AAction::Execute);
+        assert_eq!(p.critical, AAction::Skip);
+        assert_eq!(p.atomic, AAction::Execute);
+        assert_eq!(p.reduction_combine, AAction::Skip);
+        assert_eq!(p.sections, AAction::SyncWithR);
+        assert!(p.convert_shared_stores);
+    }
+
+    #[test]
+    fn ablations_flip_rows() {
+        let p = AStreamPolicy::paper().without_store_conversion();
+        assert!(!p.convert_shared_stores);
+        let p = AStreamPolicy::paper().with_critical_execution();
+        assert_eq!(p.critical, AAction::Execute);
+        let p = AStreamPolicy::paper().with_self_invalidation();
+        assert!(p.self_invalidation);
+        assert!(!AStreamPolicy::paper().self_invalidation, "off by default");
+    }
+}

@@ -1,0 +1,132 @@
+//! Text tables for the experiment harness (the "figures" of the repro).
+
+use crate::runner::RunSummary;
+use dsm_sim::{FillClass, ReqKind, TimeClass, FILL_CLASSES};
+
+/// Render the Figure 2/4-style table: speedups over the first (baseline)
+/// summary plus the per-bucket execution-time breakdown.
+pub fn breakdown_table(rows: &[RunSummary]) -> String {
+    let mut s = String::new();
+    let baseline = match rows.first() {
+        Some(r) => r.exec_cycles,
+        None => return s,
+    };
+    let classes = [
+        TimeClass::Busy,
+        TimeClass::MemStall,
+        TimeClass::Lock,
+        TimeClass::Barrier,
+        TimeClass::Scheduling,
+        TimeClass::JobWait,
+    ];
+    s.push_str(&format!(
+        "{:<12} {:>12} {:>8}",
+        "mode", "cycles", "speedup"
+    ));
+    for c in classes {
+        s.push_str(&format!(" {:>10}", c.label()));
+    }
+    s.push('\n');
+    for r in rows {
+        s.push_str(&format!(
+            "{:<12} {:>12} {:>8.3}",
+            r.label,
+            r.exec_cycles,
+            r.speedup_vs(baseline)
+        ));
+        for c in classes {
+            s.push_str(&format!(" {:>9.1}%", 100.0 * r.r_fraction(c)));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Render the Figure 3/5-style table: shared-request classification for
+/// read and read-exclusive fills.
+pub fn fills_table(rows: &[RunSummary]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("{:<12} {:<8}", "mode", "kind"));
+    for c in FILL_CLASSES {
+        s.push_str(&format!(" {:>9}", c.label()));
+    }
+    s.push_str(&format!(" {:>9}\n", "total"));
+    for r in rows {
+        for (kind, kname) in [(ReqKind::Read, "read"), (ReqKind::ReadEx, "read-ex")] {
+            s.push_str(&format!("{:<12} {:<8}", r.label, kname));
+            for c in FILL_CLASSES {
+                s.push_str(&format!(" {:>8.1}%", 100.0 * r.fills.fraction(kind, c)));
+            }
+            s.push_str(&format!(" {:>9}\n", r.fills.total(kind)));
+        }
+    }
+    s
+}
+
+/// One-line summary of the A-stream usefulness metrics the paper quotes
+/// in Section 5.1 (timely/late coverage, premature prefetches).
+pub fn coverage_line(r: &RunSummary) -> String {
+    format!(
+        "{}: read A-timely {:.0}%, A-late {:.0}%, A-only {:.0}%; rd-ex coverage {:.0}%; both-streams(read) {:.0}%",
+        r.label,
+        100.0 * r.fills.fraction(ReqKind::Read, FillClass::ATimely),
+        100.0 * r.fills.fraction(ReqKind::Read, FillClass::ALate),
+        100.0 * r.fills.fraction(ReqKind::Read, FillClass::AOnly),
+        100.0 * r.fills.a_coverage(ReqKind::ReadEx),
+        100.0 * r.fills.both_streams_fraction(ReqKind::Read),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::RunResult;
+    use dsm_sim::{FillCounts, TimeBreakdown};
+    use omp_ir::trace::OpCounts;
+
+    fn dummy(label: &str, cycles: u64) -> RunSummary {
+        RunSummary {
+            name: "t".into(),
+            label: label.into(),
+            exec_cycles: cycles,
+            r_breakdown: TimeBreakdown::new(),
+            a_breakdown: TimeBreakdown::new(),
+            fills: FillCounts::default(),
+            raw: RunResult {
+                exec_cycles: cycles,
+                cpu_stats: vec![],
+                roles: vec![],
+                fill_counts: FillCounts::default(),
+                r_breakdown: TimeBreakdown::new(),
+                a_breakdown: TimeBreakdown::new(),
+                user_r: OpCounts::default(),
+                user_a: OpCounts::default(),
+                sched_grabs: 0,
+                sched_steals: 0,
+                recoveries: 0,
+                stores_converted: 0,
+                stores_skipped: 0,
+                machine: dsm_sim::MachineCounters::default(),
+            },
+        }
+    }
+
+    #[test]
+    fn tables_render_and_normalize_to_first_row() {
+        let rows = vec![dummy("single", 1000), dummy("slip-G0", 800)];
+        let t = breakdown_table(&rows);
+        assert!(t.contains("single"));
+        assert!(t.contains("slip-G0"));
+        assert!(t.contains("1.250"), "800 vs 1000 baseline: 1.25x\n{t}");
+        let f = fills_table(&rows);
+        assert!(f.contains("read-ex"));
+        assert!(f.contains("A-Timely"));
+        let c = coverage_line(&rows[1]);
+        assert!(c.starts_with("slip-G0"));
+    }
+
+    #[test]
+    fn empty_rows_render_empty() {
+        assert!(breakdown_table(&[]).is_empty());
+    }
+}

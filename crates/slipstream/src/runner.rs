@@ -1,0 +1,217 @@
+//! High-level entry point: compile once, run under any mode.
+//!
+//! A [`RunSummary`] contains everything the paper's figures plot: the
+//! execution time, the per-bucket time breakdown (Figures 2 and 4), and
+//! the shared-request classification (Figures 3 and 5).
+
+use crate::compile::{compile, CompiledProgram};
+use crate::exec::{Engine, EngineConfig, RunResult};
+use crate::policy::AStreamPolicy;
+use dsm_sim::{AddressMap, Cycle, FillCounts, MachineConfig, TimeBreakdown, TimeClass};
+use omp_ir::directive::EnvSlipstream;
+use omp_ir::node::{Program, SlipSyncType};
+use omp_rt::mode::{ExecMode, SlipSync};
+use omp_rt::RuntimeEnv;
+
+/// Options for one run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// The machine to simulate (defaults to Table 1).
+    pub machine: MachineConfig,
+    /// Processor usage mode.
+    pub mode: ExecMode,
+    /// A–R synchronization override. When `Some`, it is injected through
+    /// the `OMP_SLIPSTREAM` environment variable — the same runtime path a
+    /// user of the paper's system would use to switch synchronization
+    /// without recompiling.
+    pub sync: Option<SlipSync>,
+    /// Base runtime environment (schedule default, thread cap, ...).
+    pub env: RuntimeEnv,
+    /// A-stream construct policy (ablations flip rows).
+    pub policy: AStreamPolicy,
+    /// Divergence fault injection: `(tid, epoch)` points.
+    pub inject_divergence: Vec<(u64, u64)>,
+    /// Optional OS-interference model (timer ticks / daemons).
+    pub os_noise: Option<crate::exec::OsNoise>,
+}
+
+impl RunOptions {
+    /// Paper-default options for a mode.
+    pub fn new(mode: ExecMode) -> Self {
+        RunOptions {
+            machine: MachineConfig::paper(),
+            mode,
+            sync: None,
+            env: RuntimeEnv::default(),
+            policy: AStreamPolicy::paper(),
+            inject_divergence: Vec::new(),
+            os_noise: None,
+        }
+    }
+
+    /// Set the A–R synchronization (slipstream mode).
+    pub fn with_sync(mut self, sync: SlipSync) -> Self {
+        self.sync = Some(sync);
+        self
+    }
+
+    /// Replace the machine model.
+    pub fn with_machine(mut self, machine: MachineConfig) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    /// Replace the runtime environment.
+    pub fn with_env(mut self, env: RuntimeEnv) -> Self {
+        self.env = env;
+        self
+    }
+
+    /// Replace the A-stream policy.
+    pub fn with_policy(mut self, policy: AStreamPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Enable the OS-interference model.
+    pub fn with_os_noise(mut self, noise: crate::exec::OsNoise) -> Self {
+        self.os_noise = Some(noise);
+        self
+    }
+}
+
+/// Everything a figure needs from one run.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Program name.
+    pub name: String,
+    /// Mode label (`single`, `double`, `slip-G0`, ...).
+    pub label: String,
+    /// Execution time in cycles (master completion).
+    pub exec_cycles: Cycle,
+    /// Time breakdown over R/solo streams.
+    pub r_breakdown: TimeBreakdown,
+    /// Time breakdown over A-streams (empty outside slipstream mode).
+    pub a_breakdown: TimeBreakdown,
+    /// Shared-fill classification.
+    pub fills: FillCounts,
+    /// Raw result for deeper inspection.
+    pub raw: RunResult,
+}
+
+impl RunSummary {
+    /// Speedup of this run relative to a baseline execution time.
+    pub fn speedup_vs(&self, baseline_cycles: Cycle) -> f64 {
+        baseline_cycles as f64 / self.exec_cycles as f64
+    }
+
+    /// Fraction of R/solo time in a bucket.
+    pub fn r_fraction(&self, class: TimeClass) -> f64 {
+        self.r_breakdown.fraction(class)
+    }
+}
+
+fn mode_label(mode: ExecMode, sync: Option<SlipSync>) -> String {
+    match (mode, sync) {
+        (ExecMode::Slipstream, Some(s)) => format!("slip-{}", s.label()),
+        (ExecMode::Slipstream, None) => "slip-G0".to_string(),
+        (m, _) => m.label().to_string(),
+    }
+}
+
+/// Compile and run `program` under `opts`.
+///
+/// ```
+/// use slipstream::runner::{run_program, RunOptions};
+/// use slipstream::{ExecMode, MachineConfig, SlipSync};
+/// use omp_ir::{Expr, ProgramBuilder};
+///
+/// let mut b = ProgramBuilder::new("doc");
+/// let a = b.shared_array("a", 256, 8);
+/// let i = b.var();
+/// b.parallel(move |r| {
+///     r.par_for(None, i, 0, 256, move |body| {
+///         body.load(a, Expr::v(i));
+///     });
+/// });
+/// let program = b.build();
+///
+/// let mut machine = MachineConfig::paper();
+/// machine.num_cmps = 4;
+/// let opts = RunOptions::new(ExecMode::Slipstream)
+///     .with_machine(machine)
+///     .with_sync(SlipSync::L1);
+/// let summary = run_program(&program, &opts).unwrap();
+/// assert_eq!(summary.raw.user_r.loads, 256);
+/// assert_eq!(summary.raw.user_a.loads, 256); // the A-streams prefetched it
+/// ```
+pub fn run_program(program: &Program, opts: &RunOptions) -> Result<RunSummary, String> {
+    let map = AddressMap::new(&opts.machine);
+    let cp = compile(program, &map).map_err(|e| e.to_string())?;
+    run_compiled(&cp, program.name.clone(), opts)
+}
+
+/// Run an already-compiled program (reuse across modes).
+pub fn run_compiled(
+    cp: &CompiledProgram,
+    name: String,
+    opts: &RunOptions,
+) -> Result<RunSummary, String> {
+    let mut cfg = EngineConfig::new(opts.machine.clone(), opts.mode);
+    cfg.env = opts.env.clone();
+    cfg.policy = opts.policy;
+    cfg.inject_divergence = opts.inject_divergence.clone();
+    cfg.os_noise = opts.os_noise;
+    if let Some(sync) = opts.sync {
+        // Route the synchronization choice through OMP_SLIPSTREAM, as the
+        // paper's runtime does ("we changed the synchronization method as
+        // well as activating/deactivating slipstream at runtime while
+        // using the same binary").
+        cfg.env.slipstream = Some(EnvSlipstream::Enabled {
+            sync: if sync.global {
+                SlipSyncType::GlobalSync
+            } else {
+                SlipSyncType::LocalSync
+            },
+            tokens: sync.tokens,
+        });
+    }
+    let label = mode_label(opts.mode, opts.sync);
+    let engine = Engine::new(cp, cfg);
+    let raw = engine.run()?;
+    Ok(RunSummary {
+        name,
+        label,
+        exec_cycles: raw.exec_cycles,
+        r_breakdown: raw.r_breakdown,
+        a_breakdown: raw.a_breakdown,
+        fills: raw.fill_counts,
+        raw,
+    })
+}
+
+/// Run the three-way comparison of the paper's Figure 2 for one program:
+/// single, double, slipstream-L1, slipstream-G0. Returns the summaries in
+/// that order.
+pub fn run_figure2_modes(
+    program: &Program,
+    machine: &MachineConfig,
+    env: &RuntimeEnv,
+) -> Result<Vec<RunSummary>, String> {
+    let map = AddressMap::new(machine);
+    let cp = compile(program, &map).map_err(|e| e.to_string())?;
+    let mut out = Vec::new();
+    for (mode, sync) in [
+        (ExecMode::Single, None),
+        (ExecMode::Double, None),
+        (ExecMode::Slipstream, Some(SlipSync::L1)),
+        (ExecMode::Slipstream, Some(SlipSync::G0)),
+    ] {
+        let mut o = RunOptions::new(mode)
+            .with_machine(machine.clone())
+            .with_env(env.clone());
+        o.sync = sync;
+        out.push(run_compiled(&cp, program.name.clone(), &o)?);
+    }
+    Ok(out)
+}

@@ -1,0 +1,78 @@
+//! Tour of the directive surface: parsing the paper's `SLIPSTREAM`
+//! extension in both Fortran and C spellings, the `OMP_SLIPSTREAM`
+//! environment variable, and the resolution precedence of Section 3.3.
+//!
+//! ```sh
+//! cargo run --example directive_tour
+//! ```
+
+use omp_ir::directive::EnvSlipstream;
+use omp_rt::mode::{resolve_region, RegionSlip};
+use slipstream_openmp::prelude::*;
+
+fn show(line: &str) {
+    match parse_directive(line) {
+        Ok(d) => println!("  {line:<55} => {d:?}"),
+        Err(e) => println!("  {line:<55} => ERROR: {e}"),
+    }
+}
+
+fn main() {
+    println!("directive parsing (both spellings, case-insensitive):");
+    show("!$OMP SLIPSTREAM(GLOBAL_SYNC, 1)");
+    show("#pragma omp slipstream(LOCAL_SYNC)");
+    show("#pragma omp slipstream(2)");
+    show("#pragma omp parallel slipstream(RUNTIME_SYNC)");
+    show("#pragma omp for schedule(dynamic, 4) reduction(+: err) nowait");
+    show("#pragma omp critical (queue)");
+    show("#pragma omp slipstream(SIDEWAYS)"); // rejected
+
+    println!("\nOMP_SLIPSTREAM environment values:");
+    for v in ["GLOBAL_SYNC,2", "local_sync", "NONE", "RUNTIME_SYNC"] {
+        match parse_omp_slipstream_env(v) {
+            Ok(e) => println!("  {v:<20} => {e:?}"),
+            Err(e) => println!("  {v:<20} => ERROR: {e}"),
+        }
+    }
+
+    println!("\nresolution precedence (region > global > default; env via RUNTIME_SYNC):");
+    let region = Some(SlipstreamClause {
+        sync: SlipSyncType::LocalSync,
+        tokens: 1,
+    });
+    let global = Some(SlipstreamClause {
+        sync: SlipSyncType::GlobalSync,
+        tokens: 0,
+    });
+    let env = Some(EnvSlipstream::Enabled {
+        sync: SlipSyncType::GlobalSync,
+        tokens: 2,
+    });
+    for (name, r, g, e) in [
+        ("region L1 beats global G0", region, global, None),
+        ("global G0 when region silent", None, global, None),
+        ("default when nothing set", None, None, None),
+        (
+            "RUNTIME_SYNC defers to env G2",
+            Some(SlipstreamClause {
+                sync: SlipSyncType::RuntimeSync,
+                tokens: 0,
+            }),
+            None,
+            env,
+        ),
+        (
+            "env NONE kills everything",
+            region,
+            global,
+            Some(EnvSlipstream::Disabled),
+        ),
+    ] {
+        let resolved = resolve_region(r, g, e);
+        let txt = match resolved {
+            RegionSlip::Off => "OFF".to_string(),
+            RegionSlip::On(s) => format!("ON ({})", s.label()),
+        };
+        println!("  {name:<32} => {txt}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Quickstart: define a kernel with OpenMP-style worksharing, run it in
+//! all three execution modes on the paper's 16-CMP machine, and print the
+//! comparison the paper's Figure 2 makes.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use npb_kernels::Grid3;
+use slipstream_openmp::prelude::*;
+
+fn main() {
+    // A 3D Jacobi sweep, plane-parallel (`!$omp do` on the outer z loop),
+    // ping-ponging between two fields: slab neighbours exchange ghost
+    // planes every step — the communication pattern slipstream targets.
+    let g = Grid3::cube(20);
+    let steps = 4i64;
+    let mut pb = ProgramBuilder::new("quickstart");
+    let t0 = pb.shared_array("t0", g.len() as u64, 8);
+    let t1 = pb.shared_array("t1", g.len() as u64, 8);
+    let s = pb.var();
+    let q = pb.var();
+    let i = pb.var();
+    pb.parallel(move |region| {
+        region.push(omp_ir::node::Node::For {
+            var: s,
+            begin: Expr::c(0),
+            end: Expr::c(steps),
+            step: 1,
+            body: Box::new({
+                let mut blk = omp_ir::BlockBuilder::default();
+                for (src, dst) in [(t0, t1), (t1, t0)] {
+                    blk.par_for(None, q, 0, g.nz, move |plane| {
+                        plane.for_loop(
+                            i,
+                            Expr::v(q) * g.dz(),
+                            (Expr::v(q) + 1) * g.dz(),
+                            move |cell| {
+                                cell.load(src, Expr::v(i));
+                                for off in g.stencil7_offsets() {
+                                    cell.load(src, g.nbr(Expr::v(i), off));
+                                }
+                                cell.compute(18);
+                                cell.store(dst, Expr::v(i));
+                            },
+                        );
+                    });
+                }
+                blk.into_node()
+            }),
+        });
+    });
+    let program = pb.build();
+
+    let machine = MachineConfig::paper();
+    println!(
+        "machine: {} dual-processor CMPs, remote miss {} ns\n",
+        machine.num_cmps,
+        machine.remote_miss_ns()
+    );
+
+    // One compiled image, four ways to run it (the paper's comparison).
+    let rows = run_figure2_modes(&program, &machine, &RuntimeEnv::default())
+        .expect("simulation failed");
+    println!("{}", breakdown_table(&rows));
+    for r in &rows[2..] {
+        println!("{}", coverage_line(r));
+    }
+
+    let best_slip = rows[2..].iter().map(|r| r.exec_cycles).min().unwrap();
+    let best_base = rows[..2].iter().map(|r| r.exec_cycles).min().unwrap();
+    println!(
+        "\nslipstream gain over best(single, double): {:+.1}%",
+        100.0 * (best_base as f64 / best_slip as f64 - 1.0)
+    );
+}

@@ -1,0 +1,75 @@
+//! Domain example: an iterative sparse solver under dynamic scheduling.
+//!
+//! Irregular row lengths motivate `schedule(dynamic)`; the example shows
+//! the paper's Section 3.2.2 machinery at work — the R-stream publishes
+//! every chunk grab to its A-stream over the pair semaphore — and
+//! contrasts static against dynamic scheduling in both single and
+//! slipstream modes.
+//!
+//! ```sh
+//! cargo run --release --example sparse_solver
+//! ```
+
+use npb_kernels::CgParams;
+use omp_ir::node::ScheduleSpec;
+use slipstream_openmp::prelude::*;
+
+fn main() {
+    let machine = MachineConfig::paper();
+    let team = machine.num_cmps as u64;
+
+    // A CG-style solver with strongly imbalanced rows.
+    let params = CgParams {
+        n: 640,
+        min_nnz: 4,
+        max_nnz: 40,
+        iters: 4,
+        compute_per_nnz: 6,
+        seed: 0xD1CE,
+        sched: None,
+    };
+    let chunk = params.paper_dynamic_chunk(team);
+
+    println!("sparse solver: n={}, rows 4..40 nnz, dynamic chunk {}\n", params.n, chunk);
+    println!(
+        "{:<22} {:>12} {:>10} {:>8}",
+        "configuration", "cycles", "sched%", "grabs"
+    );
+    for (name, sched, mode, sync) in [
+        ("static / single", None, ExecMode::Single, None),
+        (
+            "dynamic / single",
+            Some(ScheduleSpec::dynamic(chunk)),
+            ExecMode::Single,
+            None,
+        ),
+        (
+            "static / slipstream",
+            None,
+            ExecMode::Slipstream,
+            Some(SlipSync::L1),
+        ),
+        (
+            "dynamic / slipstream",
+            Some(ScheduleSpec::dynamic(chunk)),
+            ExecMode::Slipstream,
+            Some(SlipSync::G0),
+        ),
+    ] {
+        let p = params.clone().with_schedule(sched).build();
+        let mut o = RunOptions::new(mode).with_machine(machine.clone());
+        o.sync = sync;
+        let r = run_program(&p, &o).expect("simulation failed");
+        println!(
+            "{:<22} {:>12} {:>9.1}% {:>8}",
+            name,
+            r.exec_cycles,
+            100.0 * r.r_breakdown.fraction(TimeClass::Scheduling),
+            r.raw.sched_grabs,
+        );
+    }
+    println!();
+    println!("Under dynamic scheduling the A-stream mirrors its R-stream's");
+    println!("chunks through the pair handshake (paper Section 3.2.2), so the");
+    println!("irregular assignment stays consistent across the pair.");
+}

@@ -1,0 +1,59 @@
+//! Bit-reproducibility: the simulator is a deterministic discrete-event
+//! machine, so identical inputs give identical cycle counts, breakdowns,
+//! and classifications — across every kernel and mode.
+
+use npb_kernels::Benchmark;
+use slipstream_openmp::prelude::*;
+
+fn machine() -> MachineConfig {
+    let mut m = MachineConfig::paper();
+    m.num_cmps = 4;
+    m
+}
+
+#[test]
+fn every_kernel_and_mode_is_bit_reproducible() {
+    let m = machine();
+    for bm in Benchmark::ALL {
+        let p = bm.build_tiny();
+        for (mode, sync) in [
+            (ExecMode::Single, None),
+            (ExecMode::Double, None),
+            (ExecMode::Slipstream, Some(SlipSync::G0)),
+            (ExecMode::Slipstream, Some(SlipSync::L1)),
+        ] {
+            let mut o = RunOptions::new(mode).with_machine(m.clone());
+            o.sync = sync;
+            let a = run_program(&p, &o).unwrap();
+            let b = run_program(&p, &o).unwrap();
+            assert_eq!(a.exec_cycles, b.exec_cycles, "{} {mode:?}", bm.name());
+            assert_eq!(
+                a.r_breakdown, b.r_breakdown,
+                "{} {mode:?} breakdown",
+                bm.name()
+            );
+            assert_eq!(a.fills, b.fills, "{} {mode:?} fills", bm.name());
+        }
+    }
+}
+
+#[test]
+fn workload_generation_is_seeded() {
+    // Two builds of the same benchmark are identical programs.
+    let a = Benchmark::Cg.build_paper(None);
+    let b = Benchmark::Cg.build_paper(None);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn machine_size_changes_results_but_not_work() {
+    let p = Benchmark::Sp.build_tiny();
+    let mut m4 = MachineConfig::paper();
+    m4.num_cmps = 4;
+    let mut m8 = MachineConfig::paper();
+    m8.num_cmps = 8;
+    let r4 = run_program(&p, &RunOptions::new(ExecMode::Single).with_machine(m4)).unwrap();
+    let r8 = run_program(&p, &RunOptions::new(ExecMode::Single).with_machine(m8)).unwrap();
+    assert_eq!(r4.raw.user_r.loads, r8.raw.user_r.loads, "same program work");
+    assert_ne!(r4.exec_cycles, r8.exec_cycles, "different machines, different time");
+}

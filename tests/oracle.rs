@@ -1,0 +1,129 @@
+//! Semantic oracle: every NPB kernel, in every execution mode, performs
+//! exactly the user-level work the reference tracer predicts.
+
+use npb_kernels::Benchmark;
+use omp_ir::trace::trace;
+use slipstream_openmp::prelude::*;
+
+fn small_machine() -> MachineConfig {
+    let mut m = MachineConfig::paper();
+    m.num_cmps = 4;
+    m
+}
+
+#[test]
+fn all_kernels_match_trace_in_single_mode() {
+    let m = small_machine();
+    for bm in Benchmark::ALL {
+        let p = bm.build_tiny();
+        let oracle = trace(&p, 4);
+        let r = run_program(&p, &RunOptions::new(ExecMode::Single).with_machine(m.clone()))
+            .unwrap_or_else(|e| panic!("{}: {e}", bm.name()));
+        assert_eq!(r.raw.user_r.loads, oracle.total.loads, "{} loads", bm.name());
+        assert_eq!(r.raw.user_r.stores, oracle.total.stores, "{} stores", bm.name());
+        assert_eq!(
+            r.raw.user_r.compute_cycles,
+            oracle.total.compute_cycles,
+            "{} compute",
+            bm.name()
+        );
+        assert_eq!(r.raw.user_r.io_in, oracle.total.io_in, "{} io", bm.name());
+    }
+}
+
+#[test]
+fn all_kernels_match_trace_in_double_mode() {
+    let m = small_machine();
+    for bm in Benchmark::ALL {
+        let p = bm.build_tiny();
+        let oracle = trace(&p, 8); // 4 CMPs x 2 processors
+        let r = run_program(&p, &RunOptions::new(ExecMode::Double).with_machine(m.clone()))
+            .unwrap_or_else(|e| panic!("{}: {e}", bm.name()));
+        assert_eq!(r.raw.user_r.loads, oracle.total.loads, "{} loads", bm.name());
+        assert_eq!(r.raw.user_r.stores, oracle.total.stores, "{} stores", bm.name());
+    }
+}
+
+#[test]
+fn all_kernels_match_trace_in_slipstream_mode() {
+    let m = small_machine();
+    for bm in Benchmark::ALL {
+        let p = bm.build_tiny();
+        let oracle = trace(&p, 4);
+        for sync in [SlipSync::G0, SlipSync::L1] {
+            let r = run_program(
+                &p,
+                &RunOptions::new(ExecMode::Slipstream)
+                    .with_machine(m.clone())
+                    .with_sync(sync),
+            )
+            .unwrap_or_else(|e| panic!("{} {}: {e}", bm.name(), sync.label()));
+            // The R-side performs exactly the program's work.
+            assert_eq!(
+                r.raw.user_r.loads,
+                oracle.total.loads,
+                "{} {} R loads",
+                bm.name(),
+                sync.label()
+            );
+            assert_eq!(
+                r.raw.user_r.stores,
+                oracle.total.stores,
+                "{} {} R stores",
+                bm.name(),
+                sync.label()
+            );
+            // The A-side never performs I/O and never demand-stores to
+            // shared memory (every shared store converts or skips).
+            assert_eq!(r.raw.user_a.io_in + r.raw.user_a.io_out, 0, "{}", bm.name());
+            assert!(
+                r.raw.stores_converted + r.raw.stores_skipped > 0,
+                "{} A-stream saw shared stores",
+                bm.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn dynamic_schedules_preserve_totals() {
+    use omp_ir::node::ScheduleSpec;
+    let m = small_machine();
+    for bm in Benchmark::ALL {
+        if !bm.in_dynamic_experiment() {
+            continue;
+        }
+        let p_static = bm.build_tiny();
+        let oracle = trace(&p_static, 4);
+        // Rebuild with a dynamic schedule; totals must be identical.
+        let p_dyn = match bm {
+            Benchmark::Cg => npb_kernels::CgParams::tiny()
+                .with_schedule(Some(ScheduleSpec::dynamic(4)))
+                .build(),
+            Benchmark::Mg => npb_kernels::MgParams::tiny()
+                .with_schedule(Some(ScheduleSpec::dynamic(1)))
+                .build(),
+            Benchmark::Bt => npb_kernels::BtParams::tiny()
+                .with_schedule(Some(ScheduleSpec::dynamic(1)))
+                .build(),
+            Benchmark::Sp => npb_kernels::SpParams::tiny()
+                .with_schedule(Some(ScheduleSpec::dynamic(1)))
+                .build(),
+            Benchmark::Lu => unreachable!(),
+        };
+        for mode in [ExecMode::Single, ExecMode::Slipstream] {
+            let mut o = RunOptions::new(mode).with_machine(m.clone());
+            if mode == ExecMode::Slipstream {
+                o = o.with_sync(SlipSync::G0);
+            }
+            let r = run_program(&p_dyn, &o).unwrap();
+            assert_eq!(
+                r.raw.user_r.loads,
+                oracle.total.loads,
+                "{} dynamic {mode:?} loads",
+                bm.name()
+            );
+            assert!(r.raw.sched_grabs > 0, "{} used the scheduler", bm.name());
+        }
+    }
+}
