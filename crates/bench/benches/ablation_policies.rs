@@ -1,35 +1,25 @@
-//! Criterion bench over A-stream policy ablations (SP tiny preset).
+//! Timing bench over A-stream policy ablations (SP tiny preset).
 
-use bench::small_machine;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{bench_point, small_machine};
 use npb_kernels::Benchmark;
 use omp_rt::mode::{ExecMode, SlipSync};
 use slipstream::policy::AStreamPolicy;
 use slipstream::runner::{run_program, RunOptions};
-use std::hint::black_box;
 
-fn policies(c: &mut Criterion) {
+fn main() {
     let machine = small_machine();
     let p = Benchmark::Sp.build_tiny();
-    let mut g = c.benchmark_group("ablation_policies");
-    g.sample_size(10);
     for (name, policy) in [
         ("paper", AStreamPolicy::paper()),
         ("no-conversion", AStreamPolicy::paper().without_store_conversion()),
         ("exec-critical", AStreamPolicy::paper().with_critical_execution()),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut o = RunOptions::new(ExecMode::Slipstream)
-                    .with_machine(machine.clone())
-                    .with_policy(policy);
-                o.sync = Some(SlipSync::G0);
-                black_box(run_program(black_box(&p), &o).unwrap().exec_cycles)
-            })
+        bench_point(&format!("ablation_policies/{name}"), 10, || {
+            let mut o = RunOptions::new(ExecMode::Slipstream)
+                .with_machine(machine.clone())
+                .with_policy(policy);
+            o.sync = Some(SlipSync::G0);
+            run_program(&p, &o).unwrap().exec_cycles
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, policies);
-criterion_main!(benches);

@@ -1,31 +1,16 @@
-//! Criterion bench over the token-synchronization sweep (MG tiny preset).
+//! Timing bench over the token-synchronization sweep (MG tiny preset).
 
-use bench::{run_modes, small_machine};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{bench_point, run_modes, small_machine};
 use npb_kernels::Benchmark;
 use omp_rt::mode::{ExecMode, SlipSync};
-use std::hint::black_box;
 
-fn tokens(c: &mut Criterion) {
+fn main() {
     let machine = small_machine();
     let p = Benchmark::Mg.build_tiny();
-    let mut g = c.benchmark_group("ablation_tokens");
-    g.sample_size(10);
     for (global, tokens) in [(true, 0), (true, 1), (false, 1), (false, 4)] {
         let s = SlipSync { global, tokens };
-        g.bench_function(s.label(), |b| {
-            b.iter(|| {
-                let rows = run_modes(
-                    black_box(&p),
-                    &machine,
-                    &[("slip", ExecMode::Slipstream, Some(s))],
-                );
-                black_box(rows[0].exec_cycles)
-            })
+        bench_point(&format!("ablation_tokens/{}", s.label()), 10, || {
+            run_modes(&p, &machine, &[("slip", ExecMode::Slipstream, Some(s))])[0].exec_cycles
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, tokens);
-criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! Criterion bench over the Figure 2 static-scheduling comparison.
+//! Timing bench over the Figure 2 static-scheduling comparison.
 //!
 //! Each benchmark point simulates one NPB analogue under one execution
 //! mode on a 4-CMP machine with the tiny workload preset (so `cargo
@@ -6,29 +6,17 @@
 //! machine. The measured quantity is simulator wall time; the simulated
 //! cycle counts are what the figure reports.
 
-use bench::{run_modes, small_machine, STATIC_MODES};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{bench_point, run_modes, small_machine, STATIC_MODES};
 use npb_kernels::Benchmark;
-use std::hint::black_box;
 
-fn fig2(c: &mut Criterion) {
+fn main() {
     let machine = small_machine();
-    let mut g = c.benchmark_group("fig2_static");
-    g.sample_size(10);
     for bm in Benchmark::ALL {
         let p = bm.build_tiny();
         for (label, mode, sync) in STATIC_MODES {
-            g.bench_function(format!("{}/{}", bm.name(), label), |b| {
-                b.iter(|| {
-                    let rows =
-                        run_modes(black_box(&p), &machine, &[(label, mode, sync)]);
-                    black_box(rows[0].exec_cycles)
-                })
+            bench_point(&format!("fig2_static/{}/{}", bm.name(), label), 10, || {
+                run_modes(&p, &machine, &[(label, mode, sync)])[0].exec_cycles
             });
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, fig2);
-criterion_main!(benches);

@@ -1,16 +1,12 @@
-//! Criterion bench over the Figure 4 dynamic-scheduling comparison
+//! Timing bench over the Figure 4 dynamic-scheduling comparison
 //! (tiny presets, 4-CMP machine; the figure binary runs full scale).
 
-use bench::{run_modes, small_machine, DYNAMIC_MODES};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{bench_point, run_modes, small_machine, DYNAMIC_MODES};
 use npb_kernels::Benchmark;
 use omp_ir::node::ScheduleSpec;
-use std::hint::black_box;
 
-fn fig4(c: &mut Criterion) {
+fn main() {
     let machine = small_machine();
-    let mut g = c.benchmark_group("fig4_dynamic");
-    g.sample_size(10);
     for bm in Benchmark::ALL {
         if !bm.in_dynamic_experiment() {
             continue;
@@ -32,17 +28,9 @@ fn fig4(c: &mut Criterion) {
             Benchmark::Lu => unreachable!(),
         };
         for (label, mode, sync) in DYNAMIC_MODES {
-            g.bench_function(format!("{}/{}", bm.name(), label), |b| {
-                b.iter(|| {
-                    let rows =
-                        run_modes(black_box(&p), &machine, &[(label, mode, sync)]);
-                    black_box(rows[0].exec_cycles)
-                })
+            bench_point(&format!("fig4_dynamic/{}/{}", bm.name(), label), 10, || {
+                run_modes(&p, &machine, &[(label, mode, sync)])[0].exec_cycles
             });
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, fig4);
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! results to `target/experiments.json`, plus a Markdown summary to
 //! stdout (the source for EXPERIMENTS.md's measured columns).
 
-use bench::{best_slip_gain, dynamic_suite, static_suite, to_records};
+use bench::{best_slip_gain, dynamic_suite, static_suite, to_records, RunRecord};
 use dsm_sim::{FillClass, ReqKind, TimeClass};
 use slipstream::MachineConfig;
 
@@ -15,7 +15,7 @@ fn main() {
     // JSON dump.
     let mut records = to_records(&stat);
     records.extend(to_records(&dynm));
-    let json = serde_json::to_string_pretty(&records).expect("serialize");
+    let json = RunRecord::to_json_array(&records);
     std::fs::create_dir_all("target").ok();
     std::fs::write("target/experiments.json", &json).expect("write json");
 

@@ -1,5 +1,5 @@
 //! Experiment harness shared by the figure/table binaries and the
-//! Criterion benches.
+//! timing benches.
 //!
 //! Each function regenerates the data behind one piece of the paper's
 //! evaluation (Section 5). Runs for different modes are independent
@@ -12,7 +12,6 @@ use npb_kernels::{Benchmark, CgParams};
 use omp_ir::node::{Program, ScheduleSpec};
 use omp_rt::mode::{ExecMode, SlipSync};
 use omp_rt::RuntimeEnv;
-use serde::{Deserialize, Serialize};
 use slipstream::runner::{run_program, RunOptions, RunSummary};
 use slipstream::MachineConfig;
 
@@ -33,8 +32,8 @@ pub const DYNAMIC_MODES: [(&str, ExecMode, Option<SlipSync>); 2] = [
     ("slip-G0", ExecMode::Slipstream, Some(SlipSync::G0)),
 ];
 
-/// A serializable record of one run (what the figures plot).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// A record of one run (what the figures plot), serializable to JSON.
+#[derive(Debug, Clone)]
 pub struct RunRecord {
     /// Benchmark name.
     pub benchmark: String,
@@ -56,7 +55,55 @@ pub struct RunRecord {
     pub sched_grabs: u64,
 }
 
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_pairs(pairs: &[(String, f64)]) -> String {
+    let items: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("[\"{}\",{}]", json_escape(k), v))
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
 impl RunRecord {
+    /// Serialize to a JSON object (the workspace carries no serde
+    /// dependency; records are flat enough to emit by hand).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"benchmark\":\"{}\",\"mode\":\"{}\",\"cycles\":{},\
+             \"speedup_vs_single\":{},\"breakdown\":{},\"read_fills\":{},\
+             \"readex_fills\":{},\"stores_converted\":{},\"sched_grabs\":{}}}",
+            json_escape(&self.benchmark),
+            json_escape(&self.mode),
+            self.cycles,
+            self.speedup_vs_single,
+            json_pairs(&self.breakdown),
+            json_pairs(&self.read_fills),
+            json_pairs(&self.readex_fills),
+            self.stores_converted,
+            self.sched_grabs,
+        )
+    }
+
+    /// Serialize a list of records to a JSON array.
+    pub fn to_json_array(records: &[RunRecord]) -> String {
+        let items: Vec<String> = records.iter().map(|r| r.to_json()).collect();
+        format!("[{}]", items.join(",\n"))
+    }
+
     /// Build a record from a summary (speedup filled in by the caller).
     pub fn from_summary(s: &RunSummary, speedup: f64) -> Self {
         use dsm_sim::{ReqKind, TimeClass, FILL_CLASSES};
@@ -197,7 +244,27 @@ pub fn best_slip_gain(rows: &[RunSummary]) -> f64 {
     best_base as f64 / best_slip as f64 - 1.0
 }
 
-/// A fast machine/workload pair for Criterion runs and smoke tests: the
+/// Time a closure `iters` times and print a one-line report with the
+/// best wall time. The `benches/` entry points are plain `harness =
+/// false` mains built on this (the workspace carries no criterion
+/// dependency); the returned value is the last simulated cycle count so
+/// the work cannot be optimized away.
+pub fn bench_point(name: &str, iters: u32, mut f: impl FnMut() -> u64) -> u64 {
+    let mut best = u128::MAX;
+    let mut out = 0u64;
+    for _ in 0..iters {
+        let t0 = std::time::Instant::now();
+        out = std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_nanos());
+    }
+    println!(
+        "{name:<40} {:>10.3} ms/iter (best of {iters})",
+        best as f64 / 1e6
+    );
+    out
+}
+
+/// A fast machine/workload pair for timing runs and smoke tests: the
 /// paper machine shrunk to 4 CMPs with the tiny workload presets.
 pub fn small_machine() -> MachineConfig {
     let mut m = MachineConfig::paper();
@@ -230,7 +297,7 @@ mod tests {
         assert!((recs[0].speedup_vs_single - 1.0).abs() < 1e-12);
         assert!(recs[1].speedup_vs_single > 0.0);
         // Serializes cleanly.
-        let js = serde_json::to_string(&recs).unwrap();
+        let js = RunRecord::to_json_array(&recs);
         assert!(js.contains("slip-G0"));
     }
 

@@ -11,14 +11,13 @@
 //! the owning CPU's node.
 
 use crate::config::MachineConfig;
-use serde::{Deserialize, Serialize};
 
 /// Identifies a processor in the machine (dense, `0..num_cpus`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CpuId(pub usize);
 
 /// Identifies a CMP node (dense, `0..num_cmps`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CmpId(pub usize);
 
 impl CpuId {
@@ -44,7 +43,7 @@ impl CmpId {
 }
 
 /// Which segment an address belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Space {
     /// Globally shared data (application arrays, runtime control state).
     Shared,
@@ -56,7 +55,7 @@ pub enum Space {
 pub type Addr = u64;
 
 /// A cache-line-granular address (byte address >> line shift).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LineAddr(pub u64);
 
 /// Size of each segment. Generous virtual sizes; only touched lines incur

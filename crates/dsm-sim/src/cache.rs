@@ -7,11 +7,10 @@
 
 use crate::address::LineAddr;
 use crate::config::CacheConfig;
-use serde::{Deserialize, Serialize};
 
 /// Coherence state of a cached line (MSI without the I — absent means
 /// invalid).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LineState {
     /// Read-only copy; other caches may also hold it.
     Shared,

@@ -22,10 +22,9 @@ use crate::address::{CmpId, LineAddr};
 use crate::engine::Cycle;
 use crate::stats::StreamRole;
 use crate::util::FastMap;
-use serde::{Deserialize, Serialize};
 
 /// What kind of ownership a fill acquired.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReqKind {
     /// GetS: a read (shared) copy.
     Read,
@@ -35,7 +34,7 @@ pub enum ReqKind {
 }
 
 /// Final category of one fill.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FillClass {
     /// A-stream fill, R-stream used it after completion.
     ATimely,
@@ -96,7 +95,7 @@ struct FillRecord {
 }
 
 /// Counts of fills per (kind, class).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FillCounts {
     counts: [[u64; FILL_CLASSES.len()]; 2],
 }

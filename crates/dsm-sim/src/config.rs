@@ -7,10 +7,9 @@
 //! below are the SimOS memory-system parameters the paper lists verbatim
 //! (in nanoseconds); we convert them to CPU cycles at the configured clock.
 
-use serde::{Deserialize, Serialize};
 
 /// Geometry and latency of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: u64,
@@ -34,7 +33,7 @@ impl CacheConfig {
 /// These are the SimOS parameter names; the derivation of end-to-end miss
 /// latencies is documented on [`MachineConfig::local_miss_ns`] and
 /// [`MachineConfig::remote_miss_ns`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemoryTimingNs {
     /// Time on a node's processor/memory bus per transfer.
     pub bus_time: u64,
@@ -51,7 +50,7 @@ pub struct MemoryTimingNs {
 }
 
 /// Full machine description.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
     /// Number of CMP nodes in the system (the paper simulates 16).
     pub num_cmps: usize,

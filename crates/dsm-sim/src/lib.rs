@@ -36,6 +36,7 @@ pub mod engine;
 pub mod memory;
 pub mod memsys;
 pub mod network;
+pub mod rng;
 pub mod stats;
 pub mod sync;
 mod util;
@@ -50,5 +51,6 @@ pub use engine::{Cycle, EventQueue, Resource};
 pub use memory::MemoryControllers;
 pub use memsys::{AccessKind, AccessResult, MachineCounters, MemSystem};
 pub use network::Network;
+pub use rng::SplitMix64;
 pub use stats::{CpuStats, StreamRole, TimeBreakdown, TimeClass, TIME_CLASSES};
 pub use sync::{Barrier, Lock, Semaphore};

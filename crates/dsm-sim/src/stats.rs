@@ -7,10 +7,9 @@
 //! code the CPU is conceptually executing (runtime scheduler code stalls
 //! count as scheduling, user code stalls as memory, ...).
 
-use serde::{Deserialize, Serialize};
 
 /// Which redundant stream a processor is running.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StreamRole {
     /// Normal execution (single or double mode): not paired.
     Solo,
@@ -32,7 +31,7 @@ impl StreamRole {
 }
 
 /// Buckets of the execution-time breakdown.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TimeClass {
     /// Instruction execution (compute + cache-hit accesses).
     Busy,
@@ -105,7 +104,7 @@ impl TimeClass {
 }
 
 /// Cycles attributed to each [`TimeClass`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TimeBreakdown {
     cycles: [u64; TIME_CLASSES.len()],
 }
@@ -150,7 +149,7 @@ impl TimeBreakdown {
 }
 
 /// Per-CPU counters.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CpuStats {
     /// Time attribution for this CPU.
     pub time: TimeBreakdown,
@@ -172,6 +171,16 @@ pub struct CpuStats {
     pub barriers: u64,
     /// Divergence recoveries this CPU underwent.
     pub recoveries: u64,
+    /// Recoveries forced by the watchdog timeout (a subset of
+    /// `recoveries`): the pair's R side waited at a barrier past the
+    /// watchdog deadline and recovery was initiated without the usual
+    /// token-slack evidence.
+    pub watchdog_recoveries: u64,
+    /// Faults the injection framework fired against this CPU's stream.
+    pub faults_injected: u64,
+    /// 1 if this CPU's pair was demoted to single-stream mode after
+    /// exhausting its recovery budget, else 0.
+    pub demotions: u64,
 }
 
 #[cfg(test)]

@@ -203,6 +203,19 @@ impl Semaphore {
         self.consumed = 0;
     }
 
+    /// Reset to `tokens`, evicting any parked waiters. Returns the
+    /// evicted processors so the caller can re-dispatch them; none of
+    /// them is granted a token. Recovery paths use this when a fault has
+    /// left a processor parked in the queue (plain [`Semaphore::reset`]
+    /// insists the queue is empty).
+    pub fn force_reset(&mut self, tokens: u64) -> Vec<CpuId> {
+        let evicted: Vec<CpuId> = self.queue.drain(..).collect();
+        self.count = tokens;
+        self.inserted = 0;
+        self.consumed = 0;
+        evicted
+    }
+
     /// Parked processors.
     pub fn queue_len(&self) -> usize {
         self.queue.len()
@@ -285,6 +298,20 @@ mod tests {
         s.reset(5);
         assert_eq!(s.count(), 5);
         assert_eq!(s.inserted, 0);
+    }
+
+    #[test]
+    fn semaphore_force_reset_evicts_waiters() {
+        let mut s = Semaphore::new(0, 0);
+        assert!(!s.wait(CpuId(4)));
+        assert!(!s.wait(CpuId(7)));
+        let evicted = s.force_reset(3);
+        assert_eq!(evicted, vec![CpuId(4), CpuId(7)]);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.queue_len(), 0);
+        assert_eq!(s.inserted, 0);
+        // The evicted processors were not granted tokens.
+        assert_eq!(s.consumed, 0);
     }
 
     #[test]

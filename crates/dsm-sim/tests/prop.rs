@@ -1,13 +1,13 @@
-//! Property-based tests of the machine substrate: the cache against a
+//! Property-style tests of the machine substrate: the cache against a
 //! naive reference model, directory state-machine invariants, resource
 //! window consistency, classifier conservation, and whole-memory-system
-//! coherence.
+//! coherence. Inputs are generated from seeded [`SplitMix64`] streams so
+//! every run is deterministic and reproducible by seed.
 
 use dsm_sim::{
     AccessKind, Addr, CacheConfig, CmpId, CpuId, CpuStats, DirState, Directory, LineAddr,
-    LineState, MachineConfig, MemSystem, Resource, SetAssocCache,
+    LineState, MachineConfig, MemSystem, Resource, SetAssocCache, SplitMix64,
 };
-use proptest::prelude::*;
 
 // ------------------------------------------------------------- cache ---
 
@@ -46,11 +46,11 @@ impl RefCache {
     }
 }
 
-proptest! {
-    #[test]
-    fn cache_matches_reference_lru(
-        lines in prop::collection::vec(0u64..64, 1..300),
-    ) {
+#[test]
+fn cache_matches_reference_lru() {
+    for seed in 0..40u64 {
+        let mut g = SplitMix64::new(0xCAC4E ^ seed);
+        let n = 1 + g.below(300) as usize;
         // 4 sets x 2 ways.
         let cfg = CacheConfig {
             size_bytes: 512,
@@ -60,34 +60,43 @@ proptest! {
         };
         let mut dut = SetAssocCache::new(&cfg);
         let mut reference = RefCache::new(cfg.num_sets(), 2);
-        for l in lines {
+        for _ in 0..n {
+            let l = g.below(64);
             let line = LineAddr(l);
             let dut_hit = dut.access(line).is_some();
             let (ref_hit, ref_victim) = reference.access_fill(l);
-            prop_assert_eq!(dut_hit, ref_hit, "hit/miss divergence on {}", l);
+            assert_eq!(dut_hit, ref_hit, "hit/miss divergence on {l} (seed {seed})");
             if !dut_hit {
                 let victim = dut.insert(line, LineState::Shared);
-                prop_assert_eq!(victim.map(|v| v.line.0), ref_victim,
-                    "victim divergence on {}", l);
+                assert_eq!(
+                    victim.map(|v| v.line.0),
+                    ref_victim,
+                    "victim divergence on {l} (seed {seed})"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn directory_invariants_hold(
-        ops in prop::collection::vec((0u8..4, 0u64..8, 0usize..4), 1..200),
-    ) {
+#[test]
+fn directory_invariants_hold() {
+    for seed in 0..40u64 {
+        let mut g = SplitMix64::new(0xD14 ^ seed);
+        let n = 1 + g.below(200) as usize;
         let mut d = Directory::new();
         // Shadow: which cmps believe they hold each line, and in what state.
         let mut holders: std::collections::HashMap<u64, Vec<(usize, bool)>> =
             std::collections::HashMap::new();
-        for (op, line_raw, cmp) in ops {
+        for _ in 0..n {
+            let op = g.below(4) as u8;
+            let line_raw = g.below(8);
+            let cmp = g.below(4) as usize;
             let line = LineAddr(line_raw);
             let h = holders.entry(line_raw).or_default();
             match op {
                 0 => {
                     let o = d.get_s(line, CmpId(cmp));
-                    prop_assert!(o.invalidate.is_empty(), "GetS never invalidates");
+                    assert!(o.invalidate.is_empty(), "GetS never invalidates");
                     // An owner re-reading its own Modified line keeps
                     // ownership (silent); otherwise any dirty owner is
                     // downgraded to a sharer alongside the requester.
@@ -103,7 +112,7 @@ proptest! {
                 1 => {
                     let o = d.get_x(line, CmpId(cmp));
                     for v in &o.invalidate {
-                        prop_assert_ne!(v.0, cmp, "requester never invalidates itself");
+                        assert_ne!(v.0, cmp, "requester never invalidates itself");
                     }
                     h.clear();
                     h.push((cmp, true));
@@ -119,53 +128,68 @@ proptest! {
             }
             // Invariants against the shadow.
             match d.state_of(line) {
-                DirState::Uncached => prop_assert!(h.is_empty()),
+                DirState::Uncached => assert!(h.is_empty()),
                 DirState::Shared(mask) => {
-                    prop_assert!(mask != 0, "Shared with empty sharer set");
+                    assert!(mask != 0, "Shared with empty sharer set");
                     for (c, m) in h.iter() {
-                        prop_assert!(!m, "Modified holder under Shared state");
-                        prop_assert!(mask & (1 << c) != 0, "holder missing from mask");
+                        assert!(!m, "Modified holder under Shared state");
+                        assert!(mask & (1 << c) != 0, "holder missing from mask");
                     }
                 }
                 DirState::Modified(owner) => {
-                    prop_assert_eq!(h.len(), 1);
-                    prop_assert_eq!(h[0], (owner.0, true));
+                    assert_eq!(h.len(), 1);
+                    assert_eq!(h[0], (owner.0, true));
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn resource_windows_never_overlap(
-        reqs in prop::collection::vec((0u64..10_000, 1u64..200), 1..100),
-    ) {
+#[test]
+fn resource_windows_never_overlap() {
+    for seed in 0..40u64 {
+        let mut g = SplitMix64::new(0x4E50 ^ seed);
+        let n = 1 + g.below(100) as usize;
         let mut r = Resource::new();
         let mut windows: Vec<(u64, u64)> = Vec::new();
-        for (now, occ) in reqs {
+        for _ in 0..n {
+            let now = g.below(10_000);
+            let occ = 1 + g.below(199);
             let done = r.acquire(now, occ);
             let start = done - occ;
-            prop_assert!(start >= now, "service cannot start before the request");
+            assert!(start >= now, "service cannot start before the request");
             for &(s, e) in &windows {
-                prop_assert!(done <= s || start >= e,
-                    "window [{start},{done}) overlaps [{s},{e})");
+                assert!(
+                    done <= s || start >= e,
+                    "window [{start},{done}) overlaps [{s},{e})"
+                );
             }
             windows.push((start, done));
         }
     }
+}
 
-    #[test]
-    fn memory_system_coherence_invariant(
-        ops in prop::collection::vec((0usize..8, 0u64..32, prop::bool::ANY), 1..250),
-    ) {
+#[test]
+fn memory_system_coherence_invariant() {
+    for seed in 0..24u64 {
+        let mut g = SplitMix64::new(0xC0445 ^ seed);
+        let n = 1 + g.below(250) as usize;
         let mut cfg = MachineConfig::paper();
         cfg.num_cmps = 4;
         let mut ms = MemSystem::new(&cfg);
         let mut st = CpuStats::default();
         let base = ms.map().shared_base();
         let mut t = 0u64;
-        for (cpu, line, is_store) in ops {
+        for _ in 0..n {
+            let cpu = g.below(8) as usize;
+            let line = g.below(32);
+            let is_store = g.chance(0.5);
             let addr: Addr = base + line * 64;
-            let kind = if is_store { AccessKind::Store } else { AccessKind::Load };
+            let kind = if is_store {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
             let res = ms.access(CpuId(cpu), addr, kind, t, &mut st);
             t = res.complete + 1;
             // Single-writer invariant: at most one L2 holds any line
@@ -177,23 +201,28 @@ proptest! {
                 .iter()
                 .filter(|s| **s == Some(LineState::Modified))
                 .count();
-            prop_assert!(modified <= 1, "two Modified copies: {states:?}");
+            assert!(modified <= 1, "two Modified copies: {states:?}");
             if modified == 1 {
                 let holders = states.iter().filter(|s| s.is_some()).count();
-                prop_assert_eq!(holders, 1, "Modified alongside Shared: {:?}", states);
+                assert_eq!(holders, 1, "Modified alongside Shared: {states:?}");
             }
         }
     }
+}
 
-    #[test]
-    fn classifier_conserves_fills(
-        events in prop::collection::vec((0u8..3, 0u64..16, prop::bool::ANY), 1..200),
-    ) {
-        use dsm_sim::{Classifier, ReqKind, StreamRole, FILL_CLASSES};
+#[test]
+fn classifier_conserves_fills() {
+    use dsm_sim::{Classifier, ReqKind, StreamRole, FILL_CLASSES};
+    for seed in 0..40u64 {
+        let mut g = SplitMix64::new(0xF111 ^ seed);
+        let n = 1 + g.below(200) as usize;
         let mut cl = Classifier::new();
         let mut fills = 0u64;
         let mut t = 0u64;
-        for (op, line, is_a) in events {
+        for _ in 0..n {
+            let op = g.below(3) as u8;
+            let line = g.below(16);
+            let is_a = g.chance(0.5);
             t += 10;
             let who = if is_a { StreamRole::A } else { StreamRole::R };
             match op {
@@ -210,7 +239,7 @@ proptest! {
             .iter()
             .map(|c| cl.counts.get(ReqKind::Read, *c))
             .sum();
-        prop_assert_eq!(classified, fills, "every fill classified exactly once");
-        prop_assert_eq!(cl.live_records(), 0);
+        assert_eq!(classified, fills, "every fill classified exactly once");
+        assert_eq!(cl.live_records(), 0);
     }
 }

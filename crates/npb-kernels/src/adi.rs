@@ -14,10 +14,9 @@ use omp_ir::builder::BlockBuilder;
 use omp_ir::expr::{Expr, VarId};
 use omp_ir::node::{ArrayId, Node, Program, ScheduleSpec};
 use omp_ir::ProgramBuilder;
-use serde::{Deserialize, Serialize};
 
 /// Parameters shared by BT and SP.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AdiParams {
     /// Benchmark name ("bt" or "sp").
     pub name: String,

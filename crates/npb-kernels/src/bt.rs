@@ -9,10 +9,9 @@
 
 use crate::adi::AdiParams;
 use omp_ir::node::{Program, ScheduleSpec};
-use serde::{Deserialize, Serialize};
 
 /// BT workload parameters (thin wrapper over the shared ADI structure).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BtParams(pub AdiParams);
 
 impl BtParams {

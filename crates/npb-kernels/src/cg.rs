@@ -13,10 +13,9 @@ use omp_ir::builder::BlockBuilder;
 use omp_ir::expr::{Expr, TableId, VarId};
 use omp_ir::node::{ArrayId, Node, Program, ReductionOp, ScheduleSpec};
 use omp_ir::ProgramBuilder;
-use serde::{Deserialize, Serialize};
 
 /// CG workload parameters.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CgParams {
     /// Vector length / matrix order.
     pub n: usize,

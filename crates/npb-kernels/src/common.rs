@@ -6,10 +6,9 @@
 //! simulation tractable — and `tiny()` for fast unit/integration tests.
 
 use omp_ir::node::{Program, ScheduleSpec};
-use serde::{Deserialize, Serialize};
 
 /// The five NPB codes the paper evaluates (Table 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Benchmark {
     /// Block-tridiagonal ADI solver.
     Bt,

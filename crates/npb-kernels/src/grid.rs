@@ -6,10 +6,9 @@
 //! NPB structured codes on a DSM machine.
 
 use omp_ir::expr::Expr;
-use serde::{Deserialize, Serialize};
 
 /// A 3D grid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Grid3 {
     /// Points along x (fastest-varying).
     pub nx: i64,

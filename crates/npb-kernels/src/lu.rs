@@ -16,10 +16,9 @@ use omp_ir::builder::BlockBuilder;
 use omp_ir::expr::{Expr, TableId, VarId};
 use omp_ir::node::{ArrayId, Node, Program, ScheduleSpec};
 use omp_ir::ProgramBuilder;
-use serde::{Deserialize, Serialize};
 
 /// LU workload parameters.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LuParams {
     /// Grid edge.
     pub n: i64,

@@ -13,10 +13,9 @@ use omp_ir::builder::BlockBuilder;
 use omp_ir::expr::{Expr, VarId};
 use omp_ir::node::{ArrayId, Node, Program, ReductionOp, ScheduleSpec};
 use omp_ir::ProgramBuilder;
-use serde::{Deserialize, Serialize};
 
 /// MG workload parameters.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MgParams {
     /// Finest grid edge (power of two).
     pub nx: i64,

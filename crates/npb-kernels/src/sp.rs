@@ -7,10 +7,9 @@
 
 use crate::adi::AdiParams;
 use omp_ir::node::{Program, ScheduleSpec};
-use serde::{Deserialize, Serialize};
 
 /// SP workload parameters (thin wrapper over the shared ADI structure).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpParams(pub AdiParams);
 
 impl SpParams {

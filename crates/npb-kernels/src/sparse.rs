@@ -6,8 +6,31 @@
 //! kernel IR gathers through, producing the same irregular shared-memory
 //! reference stream.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// Minimal splitmix64 generator (npb-kernels depends only on omp-ir, so
+/// it carries its own copy rather than pulling in dsm-sim for one RNG).
+struct Rng64(u64);
+
+impl Rng64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((self.next() as u128 * bound as u128) >> 64) as u64
+    }
+
+    fn range_inclusive(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo) as u64 + 1) as i64
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
 
 /// A CSR sparsity pattern.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,22 +50,22 @@ impl CsrPattern {
     /// range entries, like the NPB generator's geometric fill pattern.
     pub fn random(n: usize, min_nnz: usize, max_nnz: usize, seed: u64) -> Self {
         assert!(n > 0 && min_nnz >= 1 && max_nnz >= min_nnz);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64(seed);
         let mut row_ptr = Vec::with_capacity(n + 1);
         let mut col_idx = Vec::new();
         row_ptr.push(0);
         for i in 0..n {
-            let nnz = rng.random_range(min_nnz..=max_nnz);
+            let nnz = rng.range_inclusive(min_nnz as i64, max_nnz as i64) as usize;
             for k in 0..nnz {
                 let col = if k == 0 {
                     i as i64 // always touch the diagonal
-                } else if rng.random_bool(0.7) {
+                } else if rng.chance(0.7) {
                     // Near-diagonal band.
                     let span = (n / 16).max(2) as i64;
-                    (i as i64 + rng.random_range(-span..=span)).rem_euclid(n as i64)
+                    (i as i64 + rng.range_inclusive(-span, span)).rem_euclid(n as i64)
                 } else {
                     // Long-range entry (cross-node gather).
-                    rng.random_range(0..n as i64)
+                    rng.range_inclusive(0, n as i64 - 1)
                 };
                 col_idx.push(col);
             }

@@ -16,7 +16,6 @@
 //! touches, case-insensitively, into structured [`Directive`] values.
 
 use crate::node::{ReductionOp, ScheduleKind, ScheduleSpec, SlipSyncType, SlipstreamClause};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A parse failure, with a human-readable explanation.
@@ -36,7 +35,7 @@ fn err<T>(msg: impl Into<String>) -> Result<T, DirectiveError> {
 }
 
 /// A parsed directive.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Directive {
     /// `parallel`, optionally carrying a region-scoped slipstream clause.
     Parallel {
@@ -74,7 +73,7 @@ pub enum Directive {
 }
 
 /// Runtime slipstream setting parsed from `OMP_SLIPSTREAM`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EnvSlipstream {
     /// `NONE`: slipstream disabled.
     Disabled,

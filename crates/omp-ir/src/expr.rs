@@ -8,19 +8,18 @@
 //! never read simulated shared memory, so the A-stream computes the same
 //! addresses and trip counts as its R-stream by construction.
 
-use serde::{Deserialize, Serialize};
 use std::ops;
 
 /// A private integer variable slot (loop counters, temporaries).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VarId(pub u32);
 
 /// A read-only host-side integer table (e.g., sparse row pointers).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TableId(pub u32);
 
 /// Binary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BinOp {
     /// Wrapping addition.
     Add,
@@ -39,7 +38,7 @@ pub enum BinOp {
 }
 
 /// An integer expression tree.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Expr {
     /// Literal constant.
     Const(i64),

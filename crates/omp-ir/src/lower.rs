@@ -26,7 +26,6 @@
 use crate::builder::{BlockBuilder, ProgramBuilder};
 use crate::directive::{parse_directive, Directive, DirectiveError};
 use crate::expr::{Expr, VarId};
-use crate::node::ReductionOp;
 
 fn err<T>(msg: impl Into<String>) -> Result<T, DirectiveError> {
     Err(DirectiveError(msg.into()))
@@ -159,11 +158,6 @@ impl PragmaBlock for BlockBuilder {
                 if nowait {
                     return err("reduction loops keep their implicit barrier");
                 }
-                let op = match op {
-                    ReductionOp::Sum => ReductionOp::Sum,
-                    ReductionOp::Max => ReductionOp::Max,
-                    ReductionOp::Min => ReductionOp::Min,
-                };
                 self.par_for_reduce(schedule, var, begin, end, op, target, target_index, f);
                 Ok(())
             }

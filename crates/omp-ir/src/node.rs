@@ -13,10 +13,9 @@
 //! only the reference stream and control flow matter.
 
 use crate::expr::{Expr, TableId, VarId};
-use serde::{Deserialize, Serialize};
 
 /// A declared array (a contiguous region of simulated memory).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ArrayDecl {
     /// Diagnostic name.
     pub name: String,
@@ -30,11 +29,11 @@ pub struct ArrayDecl {
 }
 
 /// Handle to a declared array.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ArrayId(pub u32);
 
 /// OpenMP worksharing schedule kinds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScheduleKind {
     /// Blocked static assignment computed independently by each thread.
     Static,
@@ -52,7 +51,7 @@ pub enum ScheduleKind {
 }
 
 /// A schedule clause: kind plus optional chunk size.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScheduleSpec {
     /// The schedule kind.
     pub kind: ScheduleKind,
@@ -96,7 +95,7 @@ impl ScheduleSpec {
 
 /// Reduction operators (only the access pattern matters to the simulator,
 /// but the operator is kept for fidelity and reporting).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReductionOp {
     /// `reduction(+: x)`
     Sum,
@@ -108,7 +107,7 @@ pub enum ReductionOp {
 
 /// A reduction clause on a worksharing loop: each thread accumulates
 /// privately during the loop, then combines into the shared target cell.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Reduction {
     /// The operator.
     pub op: ReductionOp,
@@ -119,7 +118,7 @@ pub struct Reduction {
 }
 
 /// Synchronization type of the `SLIPSTREAM` directive (paper Section 3.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SlipSyncType {
     /// Token inserted when the R-stream *exits* a barrier (globally
     /// synchronized A-stream).
@@ -134,7 +133,7 @@ pub enum SlipSyncType {
 }
 
 /// A `!$OMP SLIPSTREAM([type][, tokens])` clause.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SlipstreamClause {
     /// Synchronization type; the paper's implementation defaults to global.
     pub sync: SlipSyncType,
@@ -152,7 +151,7 @@ impl Default for SlipstreamClause {
 }
 
 /// One node of the kernel IR.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Node {
     /// Execute children in order.
     Seq(Vec<Node>),
@@ -257,7 +256,7 @@ impl Node {
 }
 
 /// A complete program: declarations plus the serial body.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     /// Diagnostic name (benchmark name).
     pub name: String,

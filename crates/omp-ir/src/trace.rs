@@ -14,10 +14,9 @@
 use crate::expr::{SimpleCtx, VarId};
 use crate::node::{Node, Program, ScheduleKind, ScheduleSpec};
 use crate::wsloop;
-use serde::{Deserialize, Serialize};
 
 /// Operation counts for one thread (or totals across the team).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OpCounts {
     /// User loads.
     pub loads: u64,
@@ -45,7 +44,7 @@ impl OpCounts {
 }
 
 /// Result of tracing a program at a given team size.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceSummary {
     /// Team size used.
     pub num_threads: u64,

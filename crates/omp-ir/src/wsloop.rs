@@ -5,10 +5,9 @@
 //! here with no machine state attached. Iteration spaces are normalized to
 //! `begin..end` with a positive step.
 
-use serde::{Deserialize, Serialize};
 
 /// A contiguous chunk of the iteration space: `lo..hi` stepping by `step`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Chunk {
     /// First iteration value (inclusive).
     pub lo: i64,

@@ -1,94 +1,123 @@
-//! Property-based tests of the IR layer: worksharing partition
+//! Property-style tests of the IR layer: worksharing partition
 //! exactness, expression totality, directive-parser robustness, and
-//! tracer consistency.
+//! tracer consistency. Inputs come from a local seeded splitmix64
+//! stream (omp-ir carries no dependencies, so the generator is inlined
+//! here rather than borrowed from dsm-sim).
 
 use omp_ir::expr::{BinOp, Expr, SimpleCtx, TableId, VarId};
 use omp_ir::node::{ScheduleKind, ScheduleSpec};
 use omp_ir::wsloop;
-use proptest::prelude::*;
 
-/// Strategy for random expression trees over one variable and one table.
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (-100i64..100).prop_map(Expr::Const),
-        Just(Expr::Var(VarId(0))),
-        Just(Expr::ThreadId),
-        Just(Expr::NumThreads),
-    ];
-    leaf.prop_recursive(4, 32, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), 0usize..7).prop_map(|(a, b, op)| {
-                let op = [
-                    BinOp::Add,
-                    BinOp::Sub,
-                    BinOp::Mul,
-                    BinOp::Div,
-                    BinOp::Mod,
-                    BinOp::Min,
-                    BinOp::Max,
-                ][op];
-                Expr::Bin(op, Box::new(a), Box::new(b))
-            }),
-            inner.prop_map(|e| Expr::Table(TableId(0), Box::new(e))),
-        ]
-    })
+/// Minimal splitmix64 for seeded test inputs.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo) as u64) as i64
+    }
 }
 
-proptest! {
-    #[test]
-    fn static_block_partitions_exactly(
-        begin in -50i64..50,
-        len in 0i64..500,
-        step in 1u64..7,
-        nthreads in 1u64..33,
-    ) {
+/// Random expression tree over one variable and one table, depth-bounded.
+fn arb_expr(g: &mut Rng, depth: u32) -> Expr {
+    let leafy = depth == 0 || g.below(3) == 0;
+    if leafy {
+        match g.below(4) {
+            0 => Expr::Const(g.range(-100, 100)),
+            1 => Expr::Var(VarId(0)),
+            2 => Expr::ThreadId,
+            _ => Expr::NumThreads,
+        }
+    } else if g.below(8) == 0 {
+        Expr::Table(TableId(0), Box::new(arb_expr(g, depth - 1)))
+    } else {
+        let op = [
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::Mod,
+            BinOp::Min,
+            BinOp::Max,
+        ][g.below(7) as usize];
+        Expr::Bin(
+            op,
+            Box::new(arb_expr(g, depth - 1)),
+            Box::new(arb_expr(g, depth - 1)),
+        )
+    }
+}
+
+#[test]
+fn static_block_partitions_exactly() {
+    for seed in 0..60u64 {
+        let mut g = Rng(0x57A71C ^ seed);
+        let begin = g.range(-50, 50);
+        let len = g.range(0, 500);
+        let step = 1 + g.below(6);
+        let nthreads = 1 + g.below(32);
         let end = begin + len;
         let mut seen = std::collections::HashSet::new();
         for tid in 0..nthreads {
             let c = wsloop::static_block(begin, end, step, nthreads, tid);
             let mut i = c.lo.max(begin);
             while i < c.hi {
-                prop_assert!(seen.insert(i), "iteration {i} assigned twice");
+                assert!(seen.insert(i), "iteration {i} assigned twice (seed {seed})");
                 i += step as i64;
             }
         }
         let mut expected = 0u64;
         let mut i = begin;
         while i < end {
-            prop_assert!(seen.contains(&i), "iteration {i} unassigned");
+            assert!(seen.contains(&i), "iteration {i} unassigned (seed {seed})");
             expected += 1;
             i += step as i64;
         }
-        prop_assert_eq!(seen.len() as u64, expected);
+        assert_eq!(seen.len() as u64, expected);
     }
+}
 
-    #[test]
-    fn static_chunked_partitions_exactly(
-        len in 0i64..400,
-        step in 1u64..5,
-        nthreads in 1u64..17,
-        chunk in 1u64..9,
-    ) {
+#[test]
+fn static_chunked_partitions_exactly() {
+    for seed in 0..60u64 {
+        let mut g = Rng(0xC4C4 ^ seed);
+        let len = g.range(0, 400);
+        let step = 1 + g.below(4);
+        let nthreads = 1 + g.below(16);
+        let chunk = 1 + g.below(8);
         let mut seen = std::collections::HashSet::new();
         for tid in 0..nthreads {
             for c in wsloop::static_chunked(0, len, step, nthreads, tid, chunk) {
                 let mut i = c.lo;
                 while i < c.hi {
-                    prop_assert!(seen.insert(i), "iteration {i} assigned twice");
+                    assert!(seen.insert(i), "iteration {i} assigned twice (seed {seed})");
                     i += step as i64;
                 }
             }
         }
-        prop_assert_eq!(seen.len() as u64, wsloop::trip_count(0, len, step));
+        assert_eq!(seen.len() as u64, wsloop::trip_count(0, len, step));
     }
+}
 
-    #[test]
-    fn dynamic_and_guided_exhaust_the_space(
-        len in 0i64..400,
-        chunk in 1u64..9,
-        nthreads in 1u64..9,
-        guided in prop::bool::ANY,
-    ) {
+#[test]
+fn dynamic_and_guided_exhaust_the_space() {
+    for seed in 0..60u64 {
+        let mut g = Rng(0xD1_6D ^ seed);
+        let len = g.range(0, 400);
+        let chunk = 1 + g.below(8);
+        let nthreads = 1 + g.below(8);
+        let guided = g.below(2) == 1;
         let mut start = 0u64;
         let mut covered = 0i64;
         let mut last_size = u64::MAX;
@@ -100,12 +129,12 @@ proptest! {
             };
             match r {
                 Some((c, next)) => {
-                    prop_assert!(c.hi > c.lo, "empty chunk handed out");
-                    prop_assert_eq!(c.lo, covered, "chunks must be contiguous");
+                    assert!(c.hi > c.lo, "empty chunk handed out");
+                    assert_eq!(c.lo, covered, "chunks must be contiguous");
                     covered = c.hi;
                     if guided {
                         let size = c.trip_count(1);
-                        prop_assert!(size <= last_size, "guided sizes grow");
+                        assert!(size <= last_size, "guided sizes grow");
                         last_size = size;
                     }
                     start = next;
@@ -113,22 +142,31 @@ proptest! {
                 None => break,
             }
         }
-        prop_assert_eq!(covered, len.max(0));
+        assert_eq!(covered, len.max(0));
     }
+}
 
-    #[test]
-    fn expressions_are_total(e in arb_expr(), v in -1000i64..1000) {
+#[test]
+fn expressions_are_total() {
+    for seed in 0..200u64 {
+        let mut g = Rng(0x707A1 ^ seed);
+        let e = arb_expr(&mut g, 4);
+        let v = g.range(-1000, 1000);
         let mut ctx = SimpleCtx::new(1, 3, 8);
         ctx.vars[0] = v;
         ctx.tables.push(vec![5, -3, 99]);
         // Must never panic (division by zero, overflow, table range).
         let _ = e.eval(&ctx);
         // And be deterministic.
-        prop_assert_eq!(e.eval(&ctx), e.eval(&ctx));
+        assert_eq!(e.eval(&ctx), e.eval(&ctx));
     }
+}
 
-    #[test]
-    fn expr_bounds_metadata_is_sound(e in arb_expr()) {
+#[test]
+fn expr_bounds_metadata_is_sound() {
+    for seed in 0..200u64 {
+        let mut g = Rng(0xB0BD ^ seed);
+        let e = arb_expr(&mut g, 4);
         // max_var/max_table never under-report: evaluating with exactly
         // that many slots must not panic.
         let nvars = e.max_var().map_or(0, |v| v + 1) as usize;
@@ -138,60 +176,71 @@ proptest! {
         }
         let _ = e.eval(&ctx);
     }
+}
 
-    #[test]
-    fn directive_parser_never_panics(s in "[ -~]{0,60}") {
+#[test]
+fn directive_parser_never_panics() {
+    for seed in 0..400u64 {
+        let mut g = Rng(0xFA25E ^ seed);
+        let len = g.below(61) as usize;
+        let s: String = (0..len)
+            .map(|_| (b' ' + g.below(95) as u8) as char)
+            .collect();
         let _ = omp_ir::parse_directive(&s);
         let _ = omp_ir::parse_omp_slipstream_env(&s);
     }
+}
 
-    #[test]
-    fn schedule_directives_roundtrip(
-        kind in 0usize..3,
-        chunk in prop::option::of(1u64..100),
-    ) {
-        let kname = ["static", "dynamic", "guided"][kind];
-        let txt = match chunk {
-            Some(c) => format!("#pragma omp for schedule({kname}, {c})"),
-            None => format!("#pragma omp for schedule({kname})"),
-        };
-        let d = omp_ir::parse_directive(&txt).unwrap();
-        let expected = ScheduleSpec {
-            kind: [ScheduleKind::Static, ScheduleKind::Dynamic, ScheduleKind::Guided][kind],
-            chunk,
-        };
-        prop_assert_eq!(
-            d,
-            omp_ir::Directive::For {
-                schedule: Some(expected),
-                reduction: None,
-                nowait: false
-            }
-        );
+#[test]
+fn schedule_directives_roundtrip() {
+    for kind in 0usize..3 {
+        for chunk in [None, Some(1u64), Some(7), Some(99)] {
+            let kname = ["static", "dynamic", "guided"][kind];
+            let txt = match chunk {
+                Some(c) => format!("#pragma omp for schedule({kname}, {c})"),
+                None => format!("#pragma omp for schedule({kname})"),
+            };
+            let d = omp_ir::parse_directive(&txt).unwrap();
+            let expected = ScheduleSpec {
+                kind: [ScheduleKind::Static, ScheduleKind::Dynamic, ScheduleKind::Guided][kind],
+                chunk,
+            };
+            assert_eq!(
+                d,
+                omp_ir::Directive::For {
+                    schedule: Some(expected),
+                    reduction: None,
+                    nowait: false
+                }
+            );
+        }
     }
+}
 
-    #[test]
-    fn slipstream_directive_roundtrips(
-        sync in 0usize..3,
-        tokens in 0u64..100,
-    ) {
-        use omp_ir::node::{SlipSyncType, SlipstreamClause};
-        let sname = ["GLOBAL_SYNC", "LOCAL_SYNC", "RUNTIME_SYNC"][sync];
-        let txt = format!("!$OMP SLIPSTREAM({sname}, {tokens})");
-        let d = omp_ir::parse_directive(&txt).unwrap();
-        let expected = SlipstreamClause {
-            sync: [
-                SlipSyncType::GlobalSync,
-                SlipSyncType::LocalSync,
-                SlipSyncType::RuntimeSync,
-            ][sync],
-            tokens,
-        };
-        prop_assert_eq!(d, omp_ir::Directive::Slipstream(expected));
+#[test]
+fn slipstream_directive_roundtrips() {
+    use omp_ir::node::{SlipSyncType, SlipstreamClause};
+    for sync in 0usize..3 {
+        for tokens in [0u64, 1, 5, 99] {
+            let sname = ["GLOBAL_SYNC", "LOCAL_SYNC", "RUNTIME_SYNC"][sync];
+            let txt = format!("!$OMP SLIPSTREAM({sname}, {tokens})");
+            let d = omp_ir::parse_directive(&txt).unwrap();
+            let expected = SlipstreamClause {
+                sync: [
+                    SlipSyncType::GlobalSync,
+                    SlipSyncType::LocalSync,
+                    SlipSyncType::RuntimeSync,
+                ][sync],
+                tokens,
+            };
+            assert_eq!(d, omp_ir::Directive::Slipstream(expected));
+        }
     }
+}
 
-    #[test]
-    fn tracer_totals_scale_with_iterations(reps in 1i64..6) {
+#[test]
+fn tracer_totals_scale_with_iterations() {
+    for reps in 1i64..6 {
         use omp_ir::ProgramBuilder;
         let mut b = ProgramBuilder::new("scale");
         let a = b.shared_array("a", 64, 8);
@@ -218,7 +267,7 @@ proptest! {
             });
         });
         let t = omp_ir::trace(&b.build(), 4);
-        prop_assert_eq!(t.total.loads, 64 * reps as u64);
-        prop_assert_eq!(t.barrier_episodes, reps as u64 + 1);
+        assert_eq!(t.total.loads, 64 * reps as u64);
+        assert_eq!(t.barrier_episodes, reps as u64 + 1);
     }
 }

@@ -10,10 +10,9 @@
 //! touch.
 
 use crate::schedule::{AffinityState, DynLoopState};
-use serde::{Deserialize, Serialize};
 
 /// Claim state of one `single` instance.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SingleState {
     claimed: bool,
 }
@@ -26,7 +25,7 @@ impl SingleState {
 }
 
 /// Assignment state of one `sections` instance.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SectionsState {
     next: usize,
 }

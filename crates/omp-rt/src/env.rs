@@ -9,10 +9,9 @@
 
 use omp_ir::directive::{parse_omp_slipstream_env, DirectiveError, EnvSlipstream};
 use omp_ir::node::{ScheduleKind, ScheduleSpec};
-use serde::{Deserialize, Serialize};
 
 /// Parsed runtime environment.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RuntimeEnv {
     /// `OMP_NUM_THREADS`: requested team size (`None` = one per processor,
     /// adjusted for the execution mode).

@@ -16,10 +16,9 @@
 
 use omp_ir::directive::EnvSlipstream;
 use omp_ir::node::{SlipSyncType, SlipstreamClause};
-use serde::{Deserialize, Serialize};
 
 /// How the machine's processors are used for a run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExecMode {
     /// One task per CMP; the sibling processor idles.
     Single,
@@ -41,7 +40,7 @@ impl ExecMode {
 }
 
 /// Fully resolved A–R synchronization for one parallel region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SlipSync {
     /// True: tokens inserted when the R-stream *exits* the barrier
     /// (global). False: inserted at barrier *entry* (local).
@@ -68,8 +67,45 @@ impl SlipSync {
     }
 }
 
+/// Runtime operating mode of one A–R pair.
+///
+/// A run starts every pair in [`PairMode::Slipstream`]. When a pair
+/// exhausts its divergence-recovery budget (see the execution layer's
+/// `RecoveryPolicy`), the runtime demotes it to
+/// [`PairMode::DegradedSingle`] for the remainder of the run: the R-stream
+/// keeps executing the program normally, while the A-stream stays in
+/// lockstep through region dispatch and the region-end barrier but skips
+/// region bodies — exactly the behaviour of a region with slipstream
+/// resolved [`RegionSlip::Off`], applied to one pair instead of the whole
+/// team. Demotion is one-way; re-promotion would require re-validating the
+/// A-stream's reduced program against a healthy architectural state, which
+/// the paper's runtime does not attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PairMode {
+    /// Healthy: the A-stream runs ahead and the pair cooperates.
+    Slipstream,
+    /// Demoted after exceeding the recovery budget: the pair runs its task
+    /// single-stream; the A processor idles through region bodies.
+    DegradedSingle,
+}
+
+impl PairMode {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PairMode::Slipstream => "slipstream",
+            PairMode::DegradedSingle => "degraded-single",
+        }
+    }
+
+    /// True once the pair has been demoted.
+    pub fn is_demoted(self) -> bool {
+        matches!(self, PairMode::DegradedSingle)
+    }
+}
+
 /// Outcome of resolving a region's slipstream behaviour.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RegionSlip {
     /// Slipstream disabled for this region: A-streams idle through it.
     Off,
@@ -275,5 +311,12 @@ mod tests {
         assert_eq!(SlipSync::G0.label(), "G0");
         assert_eq!(SlipSync::L1.label(), "L1");
         assert_eq!(ExecMode::Slipstream.label(), "slipstream");
+    }
+
+    #[test]
+    fn pair_mode_demotion_classifies() {
+        assert!(!PairMode::Slipstream.is_demoted());
+        assert!(PairMode::DegradedSingle.is_demoted());
+        assert_eq!(PairMode::DegradedSingle.label(), "degraded-single");
     }
 }

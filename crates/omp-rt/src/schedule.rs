@@ -9,10 +9,9 @@
 
 use omp_ir::node::{ScheduleKind, ScheduleSpec};
 use omp_ir::wsloop::{self, Chunk};
-use serde::{Deserialize, Serialize};
 
 /// A schedule with all runtime defaults applied.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ResolvedSchedule {
     /// One contiguous block per thread.
     StaticBlock,
@@ -75,7 +74,7 @@ pub fn resolve_schedule(spec: Option<ScheduleSpec>, env_default: ScheduleSpec) -
 
 /// Shared state of one dynamic/guided loop instance: the index of the
 /// first unassigned iteration. Lives behind the scheduler lock.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DynLoopState {
     next_iter: u64,
     /// Chunks handed out so far (diagnostic; drives the Fig. 4 scheduling
@@ -127,7 +126,7 @@ impl DynLoopState {
 /// block and drains it from the front in chunks; a thread whose range is
 /// empty steals a chunk from the *tail* of the most-loaded thread's
 /// range, preserving the victim's front-of-queue affinity.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AffinityState {
     /// Per-thread remaining iteration-index ranges `(next, end)`.
     per_thread: Vec<(u64, u64)>,

@@ -16,10 +16,9 @@
 
 use crate::mode::ExecMode;
 use dsm_sim::{CmpId, CpuId, MachineConfig};
-use serde::{Deserialize, Serialize};
 
 /// Role of a processor in a laid-out team.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CpuAssignment {
     /// Runs OpenMP thread `tid` (solo or R-stream).
     Worker {
@@ -36,7 +35,7 @@ pub enum CpuAssignment {
 }
 
 /// The static thread↔processor mapping for a run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TeamLayout {
     /// Execution mode.
     pub mode: ExecMode,

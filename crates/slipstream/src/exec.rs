@@ -23,8 +23,9 @@
 //!   own state.
 
 use crate::compile::{CompiledProgram, FNode, NodeId};
+use crate::faults::{FaultEvent, FaultKind, FaultPlan, FaultSite, PairLedger};
 use crate::pairing::{Decision, PairState};
-use crate::policy::{AAction, AStreamPolicy};
+use crate::policy::{AAction, AStreamPolicy, RecoveryPolicy};
 use dsm_sim::{
     AccessKind, Addr, AddressMap, Barrier, CmpId, CpuId, CpuTimeline, Cycle, EventQueue,
     Lock, MachineConfig, MemSystem, StreamRole, TimeClass,
@@ -34,7 +35,7 @@ use omp_ir::node::{ArrayId, Reduction, SlipstreamClause};
 use omp_ir::trace::OpCounts;
 use omp_ir::wsloop::Chunk;
 use omp_rt::constructs::ConstructArena;
-use omp_rt::mode::{resolve_region, ExecMode, RegionSlip, SlipSync};
+use omp_rt::mode::{resolve_region, ExecMode, PairMode, RegionSlip, SlipSync};
 use omp_rt::schedule::{resolve_schedule, static_chunks, ResolvedSchedule};
 use omp_rt::team::{CpuAssignment, TeamLayout};
 use omp_rt::RuntimeEnv;
@@ -83,12 +84,14 @@ pub struct EngineConfig {
     pub io_fixed_cycles: u64,
     /// Additional busy cycles per 8 bytes of I/O.
     pub io_cycles_per_8_bytes: u64,
-    /// Cycles a recovered A-stream pays to restart.
-    pub recovery_cycles: u64,
-    /// Unconsumed-token slack before the R-stream suspects divergence.
-    pub divergence_slack: u64,
-    /// Fault injection: `(tid, epoch)` pairs at which the A-stream
+    /// Divergence detection and recovery knobs (watchdog, retry budget,
+    /// restart cost, token slack).
+    pub recovery: RecoveryPolicy,
+    /// Fault-injection plan fired at the engine's hook points.
+    pub faults: FaultPlan,
+    /// Legacy fault injection: `(tid, epoch)` pairs at which the A-stream
     /// diverges instead of skipping its `epoch`-th construct barrier.
+    /// Converted into [`FaultKind::Wander`] events at engine build.
     pub inject_divergence: Vec<(u64, u64)>,
     /// Optional OS-interference model.
     pub os_noise: Option<OsNoise>,
@@ -110,8 +113,8 @@ impl EngineConfig {
             dynamic_sched_cycles: 6,
             io_fixed_cycles: 2000,
             io_cycles_per_8_bytes: 1,
-            recovery_cycles: 400,
-            divergence_slack: 1,
+            recovery: RecoveryPolicy::paper(),
+            faults: FaultPlan::none(),
             inject_divergence: Vec::new(),
             os_noise: None,
             max_cycles: 50_000_000_000,
@@ -145,6 +148,13 @@ pub struct RunResult {
     pub sched_steals: u64,
     /// Divergence recoveries performed.
     pub recoveries: u64,
+    /// Recoveries forced by the barrier watchdog (subset of `recoveries`).
+    pub watchdog_recoveries: u64,
+    /// Pairs demoted to single-stream mode after exhausting the recovery
+    /// budget.
+    pub demotions: u64,
+    /// Per-pair resilience ledger (empty outside slipstream mode).
+    pub pair_ledgers: Vec<PairLedger>,
     /// A-stream shared stores converted to read-exclusive prefetches.
     pub stores_converted: u64,
     /// A-stream shared stores skipped outright.
@@ -266,6 +276,11 @@ struct CpuState {
     user: OpCounts,
     stores_converted: u64,
     stores_skipped: u64,
+    /// Armed watchdog deadline while parked at the region-end barrier.
+    watchdog_deadline: Option<Cycle>,
+    /// Barrier generation the watchdog was armed for (disarms the stale
+    /// deadline once the barrier makes progress).
+    watchdog_gen: u64,
 }
 
 impl CpuState {
@@ -337,13 +352,25 @@ pub struct Engine<'p> {
     events: u64,
     sched_grabs_total: u64,
     sched_steals_total: u64,
+    /// One flag per `cfg.faults` event: fired yet?
+    fault_fired: Vec<bool>,
 }
 
 const MASTER: usize = 0; // the master's OpenMP thread id
 
 impl<'p> Engine<'p> {
     /// Build an engine for a compiled program.
-    pub fn new(cp: &'p CompiledProgram, cfg: EngineConfig) -> Self {
+    pub fn new(cp: &'p CompiledProgram, mut cfg: EngineConfig) -> Self {
+        // The legacy injection interface maps onto wander faults.
+        for &(tid, epoch) in &cfg.inject_divergence {
+            cfg.faults.events.push(FaultEvent {
+                kind: FaultKind::Wander,
+                tid,
+                seq: epoch,
+                arg: 0,
+            });
+        }
+        let fault_fired = vec![false; cfg.faults.events.len()];
         let layout =
             TeamLayout::new(&cfg.machine, cfg.mode).with_max_threads(cfg.env.num_threads);
         let mut ms = MemSystem::new(&cfg.machine);
@@ -381,6 +408,7 @@ impl<'p> Engine<'p> {
             events: 0,
             sched_grabs_total: 0,
             sched_steals_total: 0,
+            fault_fired,
             cfg,
         };
         eng.init();
@@ -474,6 +502,8 @@ impl<'p> Engine<'p> {
                 user: OpCounts::default(),
                 stores_converted: 0,
                 stores_skipped: 0,
+                watchdog_deadline: None,
+                watchdog_gen: 0,
             });
         }
 
@@ -623,6 +653,58 @@ impl<'p> Engine<'p> {
             RegionSlip::On(s) => Some(s),
             RegionSlip::Off => None,
         }
+    }
+
+    /// Slipstream synchronization in effect for `ci`'s pair: the region's
+    /// setting, masked off for pairs demoted to single-stream mode.
+    fn slip_on(&self, ci: usize) -> Option<SlipSync> {
+        let s = self.slip_active()?;
+        match self.pair_of(ci) {
+            Some(p) if self.pairs[p].demoted() => None,
+            _ => Some(s),
+        }
+    }
+
+    fn pair_demoted(&self, ci: usize) -> bool {
+        self.pair_of(ci)
+            .map(|p| self.pairs[p].demoted())
+            .unwrap_or(false)
+    }
+
+    /// Fire the first unfired fault scheduled for `(site, tid, seq)`, if
+    /// any. Each event fires at most once; firings are recorded in the
+    /// victim pair's ledger.
+    fn fault_at(&mut self, site: FaultSite, tid: u64, seq: u64) -> Option<FaultEvent> {
+        for i in 0..self.cfg.faults.events.len() {
+            let e = self.cfg.faults.events[i];
+            if !self.fault_fired[i] && e.kind.site() == site && e.tid == tid && e.seq == seq {
+                self.fault_fired[i] = true;
+                if (tid as usize) < self.pairs.len() {
+                    self.pairs[tid as usize].faults_injected += 1;
+                    let ai = self.pairs[tid as usize].a_cpu.0;
+                    self.cpus[ai].timeline.stats.faults_injected += 1;
+                }
+                return Some(e);
+            }
+        }
+        None
+    }
+
+    /// True if the A-stream currently holds a construct lock (possible
+    /// only under ablation policies that execute critical sections);
+    /// re-seeding it then would orphan the lock.
+    fn a_holds_lock(&self, a: CpuId) -> bool {
+        self.reduction_lock.holder() == Some(a)
+            || self.critical_locks.iter().any(|l| l.holder() == Some(a))
+    }
+
+    /// A-stream handshake failure (lost signal, corrupted or missing
+    /// decision): mark the pair diverged and park until the R-stream
+    /// re-seeds us. The A-stream is speculative, so giving up on the
+    /// handshake is always safe.
+    fn a_diverge(&mut self, ci: usize, p: usize) {
+        self.pairs[p].diverged = true;
+        self.park(ci, TimeClass::AStreamWait);
     }
 
     // ------------------------------------------------------ entry logic --
@@ -821,6 +903,7 @@ impl<'p> Engine<'p> {
     /// the same barrier session as the R-stream and an MSHR is free;
     /// otherwise skip (paper Section 5.1).
     fn a_shared_store(&mut self, ci: usize, addr: Addr) {
+        let store_seq = self.cpus[ci].stores_converted + self.cpus[ci].stores_skipped;
         let convert = self.cfg.policy.convert_shared_stores
             && self
                 .pair_of(ci)
@@ -834,7 +917,21 @@ impl<'p> Engine<'p> {
         if convert {
             self.cpus[ci].stores_converted += 1;
             self.cpus[ci].timeline.stats.stores_converted += 1;
-            self.mem(ci, addr, AccessKind::PrefetchEx, TimeClass::Busy);
+            let mut target = addr;
+            if let Some(p) = self.pair_of(ci) {
+                let tid = self.pairs[p].tid;
+                if let Some(ev) = self.fault_at(FaultSite::AStore, tid, store_seq) {
+                    if ev.kind == FaultKind::StalePrefetch {
+                        // Failed self-invalidation: the prefetch lands on
+                        // the pair's decision line instead of the intended
+                        // one, polluting the cache with a stale line. R's
+                        // correctness is unaffected; the pair just loses
+                        // the prefetch benefit.
+                        target = self.pairs[p].decision_addr;
+                    }
+                }
+            }
+            self.mem(ci, target, AccessKind::PrefetchEx, TimeClass::Busy);
         } else {
             self.cpus[ci].stores_skipped += 1;
             self.cpus[ci].timeline.stats.stores_skipped += 1;
@@ -1011,11 +1108,32 @@ impl<'p> Engine<'p> {
     // -------------------------------------------------------- protocols --
 
     /// R-stream: insert a token and wake the A-stream if it was waiting.
+    /// Fault hook: `TokenLoss` drops the signal, `TokenDup` doubles it.
     fn insert_token(&mut self, ci: usize) {
         if let Some(p) = self.pair_of(ci) {
-            if self.slip_active().is_some() {
+            if self.slip_on(ci).is_some() {
                 self.busy(ci, self.cfg.machine.pair_register_cycles, TimeClass::Busy);
+                let tid = self.pairs[p].tid;
+                let seq = self.pairs[p].token_seq;
+                self.pairs[p].token_seq = seq.wrapping_add(1);
+                let fault = self
+                    .fault_at(FaultSite::TokenInsert, tid, seq)
+                    .map(|e| e.kind);
+                if fault == Some(FaultKind::TokenLoss) {
+                    // The pair-register write is lost: the semaphore never
+                    // sees the insertion, so the A-stream may strand on an
+                    // empty semaphore. The barrier watchdog is the backstop.
+                    return;
+                }
                 let woken = self.pairs[p].tokens.signal();
+                let woken = if fault == Some(FaultKind::TokenDup) {
+                    // Replayed write: a second token lets the A-stream run
+                    // one session further ahead than the policy allows. The
+                    // slack heuristic at the next R barrier spots it.
+                    woken.or(self.pairs[p].tokens.signal())
+                } else {
+                    woken
+                };
                 let t = self.cpus[ci].timeline.now();
                 if let Some(a_cpu) = woken {
                     self.wake(a_cpu, t);
@@ -1025,55 +1143,232 @@ impl<'p> Engine<'p> {
     }
 
     /// R-stream divergence check at a barrier; recovers the A-stream if
-    /// tokens have accumulated unconsumed.
+    /// it is known-diverged or tokens have accumulated unconsumed.
     fn check_divergence(&mut self, ci: usize) {
         let Some(p) = self.pair_of(ci) else { return };
-        if self.slip_active().is_none() {
+        if self.slip_on(ci).is_none() {
             return;
         }
         self.busy(ci, 2, TimeClass::Busy); // compare token count
-        let suspected =
-            self.pairs[p].diverged || self.pairs[p].divergence_suspected(self.cfg.divergence_slack);
-        if suspected && self.pairs[p].diverged {
+        let suspected = self.pairs[p].diverged
+            || self.pairs[p]
+                .divergence_suspected(self.cfg.recovery.divergence_slack);
+        if suspected {
             self.recover_astream(ci, p);
         }
     }
 
-    /// Rebuild the A-stream's state from the R-stream's current state. The
-    /// R-stream is sitting at a barrier: the A-stream resumes as if it had
-    /// just consumed the token for that barrier.
+    /// Recover pair `p`'s A-stream from R-stream `ci`'s current state, if
+    /// the A-stream is actually lost. An A-stream that is ahead and
+    /// healthy — parked at the region-end barrier, waiting on a lock, or
+    /// already done — must not be re-seeded: yanking it would corrupt
+    /// barrier arrival counts or orphan a held lock.
     fn recover_astream(&mut self, ci: usize, p: usize) {
         let a_cpu = self.pairs[p].a_cpu;
+        let ai = a_cpu.0;
+        match self.cpus[ai].status {
+            Status::Done | Status::PoolIdle => {
+                self.pairs[p].diverged = false;
+                return;
+            }
+            Status::Parked
+                if !matches!(
+                    self.cpus[ai].park_class,
+                    TimeClass::AStreamWait | TimeClass::Recovery
+                ) =>
+            {
+                // Parked at a barrier or on a lock: it is ahead of R, not
+                // lost. Clear the (false) suspicion and move on.
+                self.pairs[p].diverged = false;
+                return;
+            }
+            _ => {}
+        }
+        if self.a_holds_lock(a_cpu) {
+            self.pairs[p].diverged = false;
+            return;
+        }
+        let frames = self.cpus[ci].frames.clone();
+        let now = self.cpus[ci].timeline.now();
+        self.reseed_astream(ci, p, frames, false, now);
+    }
+
+    /// Re-seed pair `p`'s A-stream with the continuation `frames` (cloned
+    /// from R-stream `ci`, possibly transformed by the caller), charging
+    /// the recovery cost and enforcing the bounded-retry budget. The
+    /// recovery ledger distinguishes watchdog-forced recoveries.
+    fn reseed_astream(
+        &mut self,
+        ci: usize,
+        p: usize,
+        frames: Vec<Frame>,
+        watchdog: bool,
+        now: Cycle,
+    ) {
+        let a_cpu = self.pairs[p].a_cpu;
+        let ai = a_cpu.0;
         let sync = self.pairs[p].sync;
-        // Clone R's continuation. R's top frame is the in-progress barrier
-        // protocol; A resumes right after it.
-        let mut frames = self.cpus[ci].frames.clone();
-        // Drop R's current barrier frame if present (R pushes it back
-        // before calling protocols, so the stack here is already past it).
-        let vars = self.cpus[ci].vars.clone();
-        let r_epoch = self.pairs[p].r_epoch;
-        // Also discard any published-but-unconsumed scheduling decisions,
-        // together with their semaphore tokens (a stale token with no
-        // matching decision would corrupt the next handshake).
+        // Discard published-but-unconsumed scheduling decisions together
+        // with their semaphore tokens, and evict the A-stream from any
+        // semaphore queue it is stranded in (a stale waiter entry would
+        // hand the re-seeded stream a phantom grant later).
         self.pairs[p].decisions.clear();
-        self.pairs[p].sched_sem.reset(0);
-        self.pairs[p].tokens.reset(sync.tokens);
+        let _ = self.pairs[p].sched_sem.force_reset(0);
+        let _ = self.pairs[p].tokens.force_reset(sync.tokens);
         self.pairs[p].diverged = false;
         self.pairs[p].recoveries += 1;
+        if watchdog {
+            self.pairs[p].watchdog_recoveries += 1;
+            self.cpus[ai].timeline.stats.watchdog_recoveries += 1;
+        }
+        let r_epoch = self.pairs[p].r_epoch;
         self.pairs[p].a_epoch = r_epoch;
-
-        let ai = a_cpu.0;
-        self.cpus[ai].vars = vars;
-        std::mem::swap(&mut self.cpus[ai].frames, &mut frames);
+        self.cpus[ai].timeline.stats.recoveries += 1;
+        if !self.pairs[p].demoted()
+            && self.pairs[p].recoveries > self.cfg.recovery.max_recoveries_per_pair
+        {
+            // Retrying is judged futile: degrade gracefully instead.
+            self.demote_pair(ci, p, now);
+            return;
+        }
+        self.cpus[ai].vars = self.cpus[ci].vars.clone();
+        self.cpus[ai].frames = frames;
         self.cpus[ai].singles_seen = self.cpus[ci].singles_seen;
         self.cpus[ai].sections_seen = self.cpus[ci].sections_seen;
         self.cpus[ai].dynloops_seen = self.cpus[ci].dynloops_seen;
         self.cpus[ai].jobs_taken = self.cpus[ci].jobs_taken;
-        self.cpus[ai].timeline.stats.recoveries += 1;
-        let t = self.cpus[ci].timeline.now() + self.cfg.recovery_cycles;
-        // The A-stream is parked (diverged); wake it into recovery.
-        self.cpus[ai].park_class = TimeClass::Recovery;
-        self.wake(a_cpu, t);
+        let t = now + self.cfg.recovery.recovery_cycles;
+        match self.cpus[ai].status {
+            Status::Parked => {
+                self.cpus[ai].park_class = TimeClass::Recovery;
+                self.wake(a_cpu, t);
+            }
+            _ => {
+                // Ready (e.g. mid-stall-burst with a queued event): the new
+                // frames take effect at its next dispatch; just charge the
+                // re-seed cost.
+                self.cpus[ai]
+                    .timeline
+                    .busy(self.cfg.recovery.recovery_cycles, TimeClass::Recovery);
+            }
+        }
+    }
+
+    /// Demote pair `p` to single-stream mode: the A-stream abandons the
+    /// region body and proceeds straight to the region-end barrier (the
+    /// team layout counts it there), and the R-stream stops inserting
+    /// tokens and publishing decisions for it ([`Engine::slip_on`]).
+    fn demote_pair(&mut self, ci: usize, p: usize, now: Cycle) {
+        let a_cpu = self.pairs[p].a_cpu;
+        let ai = a_cpu.0;
+        self.pairs[p].mode = PairMode::DegradedSingle;
+        self.pairs[p].demoted_at = Some(now);
+        self.cpus[ai].timeline.stats.demotions = 1;
+        // The A-stream's remaining obligation is the region-end barrier.
+        // Rebuild its continuation as R's enclosing region-end protocol
+        // with the body dropped; a worker A outside any region frame just
+        // waits for the end.
+        let frames = match self.cpus[ci]
+            .frames
+            .iter()
+            .rposition(|f| matches!(f, Frame::RegionEndP { .. }))
+        {
+            Some(idx) => {
+                let mut f = self.cpus[ci].frames[..=idx].to_vec();
+                f[idx] = Frame::RegionEndP { stage: 0 };
+                f
+            }
+            None => vec![Frame::RegionEndP { stage: 0 }],
+        };
+        self.cpus[ai].vars = self.cpus[ci].vars.clone();
+        self.cpus[ai].frames = frames;
+        let t = now + self.cfg.recovery.recovery_cycles;
+        match self.cpus[ai].status {
+            Status::Parked => {
+                self.cpus[ai].park_class = TimeClass::Recovery;
+                self.wake(a_cpu, t);
+            }
+            _ => {
+                self.cpus[ai]
+                    .timeline
+                    .busy(self.cfg.recovery.recovery_cycles, TimeClass::Recovery);
+            }
+        }
+    }
+
+    /// Arm the barrier watchdog for R-stream `ci`, parked at the
+    /// region-end barrier. If the deadline passes while it is still
+    /// parked in the same barrier generation, stuck A-streams are forced
+    /// through recovery instead of deadlocking the run.
+    fn arm_watchdog(&mut self, ci: usize, now: Cycle) {
+        if self.cfg.recovery.watchdog_cycles == 0 || self.slip_active().is_none() {
+            return;
+        }
+        let deadline = now + self.cfg.recovery.watchdog_cycles;
+        self.cpus[ci].watchdog_deadline = Some(deadline);
+        self.cpus[ci].watchdog_gen = self.region_barrier.generation();
+        self.q.schedule(deadline, CpuId(ci));
+    }
+
+    /// Watchdog deadline reached for `ci`. Validate it is still stuck at
+    /// the same region-end barrier, then force-recover every stranded
+    /// A-stream (token loss / lost signals leave the A parked where no
+    /// slack heuristic ever fires).
+    fn watchdog_fire(&mut self, ci: usize, t: Cycle) {
+        self.cpus[ci].watchdog_deadline = None;
+        if self.cpus[ci].status != Status::Parked
+            || self.cpus[ci].park_class != TimeClass::Barrier
+            || self.region_barrier.generation() != self.cpus[ci].watchdog_gen
+            || !matches!(
+                self.cpus[ci].frames.last(),
+                Some(Frame::Bar { internal: true, .. })
+            )
+        {
+            return; // stale: the barrier released in the meantime
+        }
+        let mut recovered = false;
+        for p in 0..self.pairs.len() {
+            let a_cpu = self.pairs[p].a_cpu;
+            let ai = a_cpu.0;
+            // Stuck means: parked somewhere other than this barrier.
+            let stuck = match self.cpus[ai].status {
+                Status::Parked => self.cpus[ai].park_class != TimeClass::Barrier,
+                _ => false,
+            };
+            if !stuck || self.a_holds_lock(a_cpu) {
+                continue;
+            }
+            // Re-seed only from an R-stream that is itself parked inside
+            // the region-end barrier protocol: rebuild its continuation so
+            // the A-stream arrives at that barrier itself. An R still
+            // working through the region makes progress on its own and
+            // recovers its A at its next divergence check instead.
+            let ri = self.pairs[p].r_cpu.0;
+            let mut frames = self.cpus[ri].frames.clone();
+            match frames.last() {
+                Some(Frame::Bar { internal: true, .. }) => {
+                    let top = frames.len() - 1;
+                    frames[top] = Frame::Bar {
+                        internal: true,
+                        stage: 0,
+                    };
+                }
+                _ => continue,
+            }
+            self.pairs[p].diverged = true;
+            self.reseed_astream(ri, p, frames, true, t);
+            recovered = true;
+        }
+        if !recovered {
+            // Nothing was recoverable right now (e.g. A-streams merely
+            // slow and still Ready, or their R-streams still mid-region).
+            // Re-arm; if the machine is truly wedged the event-queue
+            // drain reports the deadlock.
+            let progressing = self.cpus.iter().any(|c| c.status == Status::Ready);
+            if progressing {
+                self.arm_watchdog(ci, t);
+            }
+        }
     }
 
     /// Barrier protocol. Stages: 0 = entry (A: token consume; R: local
@@ -1082,24 +1377,31 @@ impl<'p> Engine<'p> {
     fn barrier_step(&mut self, ci: usize, internal: bool, stage: u8) {
         let role_a = self.is_a(ci);
         if role_a && !internal {
-            if let Some(sync) = self.slip_active() {
+            if let Some(sync) = self.slip_on(ci) {
                 let _ = sync;
                 match stage {
                     0 => {
-                        // Fault injection: diverge instead of consuming.
                         let p = self.pair_of(ci).expect("A-stream without pair");
                         let tid = self.cpus[ci].tid;
                         let epoch = self.pairs[p].a_epoch;
-                        if self.cfg.inject_divergence.contains(&(tid, epoch)) {
-                            self.pairs[p].diverged = true;
-                            // Wander: park forever until recovered.
-                            self.park(ci, TimeClass::AStreamWait);
-                            return;
+                        match self.fault_at(FaultSite::ABarrier, tid, epoch) {
+                            Some(ev) if ev.kind == FaultKind::Wander => {
+                                // Wander off the control path: diverge and
+                                // park until recovered.
+                                self.a_diverge(ci, p);
+                                return;
+                            }
+                            Some(ev) if ev.kind == FaultKind::StallBurst => {
+                                // OS preemption burst on the A processor:
+                                // lose the cycles, then proceed normally.
+                                self.busy(ci, ev.arg, TimeClass::Os);
+                            }
+                            _ => {}
                         }
                         self.busy(ci, self.cfg.machine.pair_register_cycles, TimeClass::Busy);
                         let granted = self.pairs[p].tokens.wait(CpuId(ci));
                         if granted {
-                            self.pairs[p].a_epoch += 1;
+                            self.pairs[p].bump_a_epoch();
                             self.cpus[ci].timeline.stats.barriers += 1;
                         } else {
                             self.cpus[ci].frames.push(Frame::Bar { internal, stage: 1 });
@@ -1108,15 +1410,15 @@ impl<'p> Engine<'p> {
                     }
                     1 => {
                         let p = self.pair_of(ci).expect("A-stream without pair");
-                        self.pairs[p].a_epoch += 1;
+                        self.pairs[p].bump_a_epoch();
                         self.cpus[ci].timeline.stats.barriers += 1;
                     }
                     _ => unreachable!("A-stream barrier stage"),
                 }
                 return;
             }
-            // Slipstream off for this region: A skips construct barriers
-            // without tokens.
+            // Slipstream off for this region (or the pair is demoted): A
+            // skips construct barriers without tokens.
             return;
         }
 
@@ -1125,12 +1427,12 @@ impl<'p> Engine<'p> {
             0 => {
                 if !internal && !role_a {
                     self.check_divergence(ci);
-                    if let Some(sync) = self.slip_active() {
+                    if let Some(sync) = self.slip_on(ci) {
                         if !sync.global {
                             // Local sync: token inserted at barrier entry.
                             self.insert_token(ci);
                             if let Some(p) = self.pair_of(ci) {
-                                self.pairs[p].r_epoch += 1;
+                                self.pairs[p].bump_r_epoch();
                             }
                         }
                     }
@@ -1165,6 +1467,13 @@ impl<'p> Engine<'p> {
                     None => {
                         self.cpus[ci].frames.push(Frame::Bar { internal, stage: 2 });
                         self.park(ci, TimeClass::Barrier);
+                        if internal && !role_a {
+                            // R-streams waiting at the region-end barrier
+                            // arm the divergence watchdog: a stranded
+                            // A-stream would otherwise deadlock the team.
+                            let now = self.cpus[ci].timeline.now();
+                            self.arm_watchdog(ci, now);
+                        }
                     }
                 }
             }
@@ -1183,11 +1492,11 @@ impl<'p> Engine<'p> {
         // R-stream's own exit path (flag re-read, pipeline resumption), so
         // the A-stream gets a head start of the R-stream's exit overhead.
         if !internal && !self.is_a(ci) {
-            if let Some(sync) = self.slip_active() {
+            if let Some(sync) = self.slip_on(ci) {
                 if sync.global {
                     self.insert_token(ci);
                     if let Some(p) = self.pair_of(ci) {
-                        self.pairs[p].r_epoch += 1;
+                        self.pairs[p].bump_r_epoch();
                     }
                 }
             }
@@ -1347,7 +1656,7 @@ impl<'p> Engine<'p> {
             FNode::Single(b) => *b,
             _ => unreachable!("SingleP on non-Single"),
         };
-        if self.is_a(ci) && self.slip_active().is_some() {
+        if self.is_a(ci) && self.slip_on(ci).is_some() {
             // Skip the body; the implicit end barrier is a construct
             // barrier (token consume).
             self.cpus[ci].frames.push(Frame::Bar {
@@ -1387,7 +1696,7 @@ impl<'p> Engine<'p> {
             FNode::Sections(v) => v.clone(),
             _ => unreachable!("SectionsP on non-Sections"),
         };
-        let role_a = self.is_a(ci) && self.slip_active().is_some();
+        let role_a = self.is_a(ci) && self.slip_on(ci).is_some();
         if role_a {
             // A-stream mirrors its R-stream's claimed sections through the
             // pair semaphore (dynamic assignment ⇒ SyncWithR).
@@ -1417,7 +1726,7 @@ impl<'p> Engine<'p> {
                 1 => {
                     let p = self.pair_of(ci).expect("A without pair");
                     match self.pairs[p].take_decision() {
-                        Decision::Section(s) => {
+                        Some(Decision::Section(s)) if s < secs.len() => {
                             let daddr = self.pairs[p].decision_addr;
                             self.mem(ci, daddr, AccessKind::Load, TimeClass::Busy);
                             self.cpus[ci].frames.push(Frame::SectionsP {
@@ -1428,13 +1737,17 @@ impl<'p> Engine<'p> {
                             });
                             self.enter(ci, secs[s]);
                         }
-                        Decision::End => {
+                        Some(Decision::End) => {
                             self.cpus[ci].frames.push(Frame::Bar {
                                 internal: false,
                                 stage: 0,
                             });
                         }
-                        other => panic!("unexpected decision in sections: {other:?}"),
+                        // Empty queue (lost signal) or a decision that
+                        // makes no sense here (corruption): the A-stream
+                        // can no longer follow its R-stream. Diverge; the
+                        // R-stream recovers it at its next barrier check.
+                        _ => self.a_diverge(ci, p),
                     }
                 }
                 _ => unreachable!("A sections stage"),
@@ -1473,18 +1786,43 @@ impl<'p> Engine<'p> {
     /// R-stream: publish a scheduling decision for the A-stream (store to
     /// the pair decision line + pair-register signal).
     fn publish_decision(&mut self, ci: usize, d: Decision) {
-        if self.is_a(ci) || self.slip_active().is_none() {
+        if self.is_a(ci) || self.slip_on(ci).is_none() {
             return;
         }
         if let Some(p) = self.pair_of(ci) {
-            let daddr = self.pairs[p].decision_addr;
-            self.mem(ci, daddr, AccessKind::Store, TimeClass::Busy);
-            self.busy(ci, self.cfg.machine.pair_register_cycles, TimeClass::Busy);
-            let woken = self.pairs[p].publish(d);
-            let t = self.cpus[ci].timeline.now();
-            if let Some(a) = woken {
-                self.wake(a, t);
+            self.publish_pair(ci, p, d);
+        }
+    }
+
+    /// Publish `d` on pair `p`'s handshake, with the `Publish`-site fault
+    /// hooks: `SignalLoss` enqueues the decision but drops the semaphore
+    /// signal (the A-stream is never woken for it); `DecisionCorrupt`
+    /// delivers a well-formed but wrong decision.
+    fn publish_pair(&mut self, ci: usize, p: usize, d: Decision) {
+        let daddr = self.pairs[p].decision_addr;
+        self.mem(ci, daddr, AccessKind::Store, TimeClass::Busy);
+        self.busy(ci, self.cfg.machine.pair_register_cycles, TimeClass::Busy);
+        let tid = self.pairs[p].tid;
+        let seq = self.pairs[p].publish_seq;
+        self.pairs[p].publish_seq = seq.wrapping_add(1);
+        let d = match self.fault_at(FaultSite::Publish, tid, seq).map(|e| e.kind) {
+            Some(FaultKind::SignalLoss) => {
+                // The decision reaches the queue but the sched_sem signal
+                // is lost: an A-stream parked on the semaphore strands
+                // until the watchdog or a slack check recovers it.
+                self.pairs[p].decisions.push_back(d);
+                return;
             }
+            Some(FaultKind::DecisionCorrupt) => match d {
+                Decision::RegionGo => Decision::End,
+                _ => Decision::RegionGo,
+            },
+            _ => d,
+        };
+        let woken = self.pairs[p].publish(d);
+        let t = self.cpus[ci].timeline.now();
+        if let Some(a) = woken {
+            self.wake(a, t);
         }
     }
 
@@ -1511,7 +1849,7 @@ impl<'p> Engine<'p> {
             FNode::ParFor { body, .. } => *body,
             _ => unreachable!("DynP on non-ParFor"),
         };
-        let role_a = self.is_a(ci) && self.slip_active().is_some();
+        let role_a = self.is_a(ci) && self.slip_on(ci).is_some();
         if role_a {
             match stage {
                 0 | 10 => {
@@ -1536,7 +1874,7 @@ impl<'p> Engine<'p> {
                 11 => {
                     let p = self.pair_of(ci).expect("A without pair");
                     match self.pairs[p].take_decision() {
-                        Decision::Chunk(c) => {
+                        Some(Decision::Chunk(c)) => {
                             let daddr = self.pairs[p].decision_addr;
                             self.mem(ci, daddr, AccessKind::Load, TimeClass::Busy);
                             self.cpus[ci].frames.push(Frame::DynP {
@@ -1557,8 +1895,10 @@ impl<'p> Engine<'p> {
                                 body,
                             });
                         }
-                        Decision::End => {} // fall through to LoopEnd
-                        other => panic!("unexpected decision in dyn loop: {other:?}"),
+                        Some(Decision::End) => {} // fall through to LoopEnd
+                        // Lost signal or corrupted decision: diverge and
+                        // wait for the R-stream to recover this pair.
+                        _ => self.a_diverge(ci, p),
                     }
                 }
                 _ => unreachable!("A dyn stage"),
@@ -1735,13 +2075,19 @@ impl<'p> Engine<'p> {
                 }
                 1 => {
                     let p = self.pair_of(ci).expect("A-master without pair");
-                    let d = self.pairs[p].take_decision();
-                    debug_assert_eq!(d, Decision::RegionGo);
-                    self.cpus[ci].jobs_taken += 1;
-                    self.cpus[ci].reset_encounters();
-                    self.cpus[ci].frames.push(Frame::RegionEndP { stage: 0 });
-                    if self.region_slip != RegionSlip::Off {
-                        self.enter(ci, body);
+                    match self.pairs[p].take_decision() {
+                        Some(Decision::RegionGo) => {
+                            self.cpus[ci].jobs_taken += 1;
+                            self.cpus[ci].reset_encounters();
+                            self.cpus[ci].frames.push(Frame::RegionEndP { stage: 0 });
+                            if self.region_slip != RegionSlip::Off && !self.pairs[p].demoted() {
+                                self.enter(ci, body);
+                            }
+                        }
+                        // Lost or corrupted region-go handshake: the
+                        // A-master cannot enter the region. Diverge; the
+                        // watchdog reseeds it at the region end.
+                        _ => self.a_diverge(ci, p),
                     }
                 }
                 _ => unreachable!("A-master region stage"),
@@ -1788,11 +2134,7 @@ impl<'p> Engine<'p> {
         // Release the A-master into the region.
         if self.cfg.mode == ExecMode::Slipstream {
             if let Some(p) = self.pair_of(ci) {
-                let woken = self.pairs[p].publish(Decision::RegionGo);
-                let t = self.cpus[ci].timeline.now();
-                if let Some(a) = woken {
-                    self.wake(a, t);
-                }
+                self.publish_pair(ci, p, Decision::RegionGo);
             }
         }
 
@@ -1848,7 +2190,8 @@ impl<'p> Engine<'p> {
             self.mem(ci, self.job_flag, AccessKind::Load, TimeClass::JobWait);
             let body = self.current_region.expect("dispatch without a region");
             self.cpus[ci].frames.push(Frame::RegionEndP { stage: 0 });
-            let skip_body = self.is_a(ci) && self.region_slip == RegionSlip::Off;
+            let skip_body =
+                self.is_a(ci) && (self.region_slip == RegionSlip::Off || self.pair_demoted(ci));
             if !skip_body {
                 self.enter(ci, body);
             }
@@ -1872,8 +2215,10 @@ impl<'p> Engine<'p> {
                     self.busy(ci, self.cfg.machine.pair_register_cycles, TimeClass::Busy);
                     let granted = self.pairs[p].sched_sem.wait(CpuId(ci));
                     if granted {
-                        let d = self.pairs[p].take_decision();
-                        debug_assert_eq!(d, Decision::IoDone);
+                        match self.pairs[p].take_decision() {
+                            Some(Decision::IoDone) => {}
+                            _ => self.a_diverge(ci, p),
+                        }
                     } else {
                         self.cpus[ci].frames.push(Frame::IoP {
                             input,
@@ -1885,8 +2230,10 @@ impl<'p> Engine<'p> {
                 }
                 1 => {
                     let p = self.pair_of(ci).expect("A without pair");
-                    let d = self.pairs[p].take_decision();
-                    debug_assert_eq!(d, Decision::IoDone);
+                    match self.pairs[p].take_decision() {
+                        Some(Decision::IoDone) => {}
+                        _ => self.a_diverge(ci, p),
+                    }
                 }
                 _ => unreachable!("A io stage"),
             }
@@ -1903,11 +2250,7 @@ impl<'p> Engine<'p> {
         self.busy(ci, cost, TimeClass::Busy);
         if input && self.cfg.mode == ExecMode::Slipstream {
             if let Some(p) = self.pair_of(ci) {
-                let woken = self.pairs[p].publish(Decision::IoDone);
-                let t = self.cpus[ci].timeline.now();
-                if let Some(a) = woken {
-                    self.wake(a, t);
-                }
+                self.publish_pair(ci, p, Decision::IoDone);
             }
         }
     }
@@ -1925,6 +2268,12 @@ impl<'p> Engine<'p> {
                 return Err("event budget exhausted (runaway simulation)".into());
             }
             let c = &self.cpus[cpu.0];
+            if c.status == Status::Parked && c.watchdog_deadline == Some(t) {
+                // Watchdog deadline for an R-stream parked at the
+                // region-end barrier.
+                self.watchdog_fire(cpu.0, t);
+                continue;
+            }
             if c.status != Status::Ready || c.next_wake != t {
                 continue; // stale event
             }
@@ -1982,6 +2331,20 @@ impl<'p> Engine<'p> {
             }
         }
         let recoveries = self.pairs.iter().map(|p| p.recoveries).sum();
+        let watchdog_recoveries = self.pairs.iter().map(|p| p.watchdog_recoveries).sum();
+        let pair_ledgers: Vec<PairLedger> = self
+            .pairs
+            .iter()
+            .map(|p| PairLedger {
+                tid: p.tid,
+                mode: p.mode,
+                faults_injected: p.faults_injected,
+                recoveries: p.recoveries,
+                watchdog_recoveries: p.watchdog_recoveries,
+                demoted_at: p.demoted_at,
+            })
+            .collect();
+        let demotions = pair_ledgers.iter().filter(|l| l.demoted()).count() as u64;
         let machine = self.ms.machine_counters();
         RunResult {
             exec_cycles: end,
@@ -1999,6 +2362,9 @@ impl<'p> Engine<'p> {
             sched_grabs: self.sched_grabs_total + self.arena.total_grabs(),
             sched_steals: self.sched_steals_total + self.arena.total_steals(),
             recoveries,
+            watchdog_recoveries,
+            demotions,
+            pair_ledgers,
             stores_converted,
             stores_skipped,
             machine,

@@ -25,6 +25,7 @@
 
 pub mod compile;
 pub mod exec;
+pub mod faults;
 pub mod pairing;
 pub mod policy;
 pub mod report;
@@ -32,11 +33,12 @@ pub mod runner;
 
 pub use compile::{compile, CompiledProgram};
 pub use exec::{Engine, EngineConfig, OsNoise, RunResult};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultSite, PairLedger};
 pub use pairing::{Decision, PairState};
-pub use policy::{AAction, AStreamPolicy};
+pub use policy::{AAction, AStreamPolicy, RecoveryPolicy};
 pub use runner::{run_program, RunOptions, RunSummary};
 
 // Re-export the pieces users need to drive a simulation end-to-end.
 pub use dsm_sim::{FillClass, FillCounts, MachineConfig, ReqKind, StreamRole, TimeClass};
 pub use omp_ir::{Program, ProgramBuilder};
-pub use omp_rt::{ExecMode, RuntimeEnv, SlipSync};
+pub use omp_rt::{ExecMode, PairMode, RuntimeEnv, SlipSync};

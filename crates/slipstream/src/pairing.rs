@@ -12,11 +12,14 @@
 //!   input-operation synchronization;
 //! * **epoch counters** — barrier sessions passed by each stream, used to
 //!   gate store→prefetch conversion ("the A-stream is in the same session
-//!   with its R-stream") and to detect divergence.
+//!   with its R-stream") and to detect divergence;
+//! * the pair's **operating mode** and recovery ledger — a pair that
+//!   exhausts its recovery budget is demoted to single-stream mode
+//!   ([`PairMode::DegradedSingle`]) for the rest of the run.
 
 use dsm_sim::{Addr, CpuId, Semaphore};
 use omp_ir::wsloop::Chunk;
-use omp_rt::mode::SlipSync;
+use omp_rt::mode::{PairMode, SlipSync};
 use std::collections::VecDeque;
 
 /// A scheduling decision the R-stream publishes for its A-stream.
@@ -67,6 +70,21 @@ pub struct PairState {
     pub diverged: bool,
     /// Number of recoveries performed on this pair.
     pub recoveries: u64,
+    /// Subset of `recoveries` forced by the barrier watchdog.
+    pub watchdog_recoveries: u64,
+    /// Faults the injection framework fired against this pair.
+    pub faults_injected: u64,
+    /// Operating mode; demotion to [`PairMode::DegradedSingle`] is
+    /// one-way.
+    pub mode: PairMode,
+    /// Simulated cycle of demotion, if demoted.
+    pub demoted_at: Option<u64>,
+    /// Running count of token insertions by the R-stream, across the whole
+    /// run (fault-hook sequence key; wraps).
+    pub token_seq: u64,
+    /// Running count of decision publications by the R-stream, across the
+    /// whole run (fault-hook sequence key; wraps).
+    pub publish_seq: u64,
 }
 
 impl PairState {
@@ -93,6 +111,12 @@ impl PairState {
             a_epoch: 0,
             diverged: false,
             recoveries: 0,
+            watchdog_recoveries: 0,
+            faults_injected: 0,
+            mode: PairMode::Slipstream,
+            demoted_at: None,
+            token_seq: 0,
+            publish_seq: 0,
         }
     }
 
@@ -108,10 +132,29 @@ impl PairState {
         self.a_epoch = 0;
     }
 
+    /// True once the pair has been demoted to single-stream mode.
+    pub fn demoted(&self) -> bool {
+        self.mode.is_demoted()
+    }
+
     /// True when both streams are in the same barrier session — the
     /// store-conversion gate.
     pub fn same_session(&self) -> bool {
         self.r_epoch == self.a_epoch
+    }
+
+    /// Advance the R-stream's barrier-session counter. Epochs are session
+    /// sequence numbers, not magnitudes: they wrap rather than saturate,
+    /// and [`PairState::same_session`] only ever compares them for
+    /// equality, so wraparound between sessions is harmless.
+    pub fn bump_r_epoch(&mut self) {
+        self.r_epoch = self.r_epoch.wrapping_add(1);
+    }
+
+    /// Advance the A-stream's barrier-session counter (wrapping; see
+    /// [`PairState::bump_r_epoch`]).
+    pub fn bump_a_epoch(&mut self) {
+        self.a_epoch = self.a_epoch.wrapping_add(1);
     }
 
     /// Divergence heuristic evaluated by the R-stream at a barrier: tokens
@@ -129,11 +172,13 @@ impl PairState {
     }
 
     /// Consume the next published decision (A-stream side, after a
-    /// successful semaphore wait).
-    pub fn take_decision(&mut self) -> Decision {
-        self.decisions
-            .pop_front()
-            .expect("semaphore granted but no decision published")
+    /// successful semaphore wait). `None` means the semaphore was granted
+    /// but the queue is empty — a lost or corrupted handshake. The caller
+    /// must treat that as recoverable divergence, not a fatal error: the
+    /// A-stream is speculative, so a broken handshake only means it can no
+    /// longer follow its R-stream.
+    pub fn take_decision(&mut self) -> Option<Decision> {
+        self.decisions.pop_front()
     }
 }
 
@@ -160,10 +205,26 @@ mod tests {
     fn session_tracking() {
         let mut p = pair(SlipSync::G0);
         assert!(p.same_session());
-        p.a_epoch += 1;
+        p.bump_a_epoch();
         assert!(!p.same_session());
-        p.r_epoch += 1;
+        p.bump_r_epoch();
         assert!(p.same_session());
+    }
+
+    #[test]
+    fn epoch_counters_wrap_between_sessions() {
+        // A long run can take the session counters through u64 wraparound;
+        // same_session only compares for equality, so the pair must sail
+        // through 2^64 without panicking or desynchronizing.
+        let mut p = pair(SlipSync::G0);
+        p.r_epoch = u64::MAX;
+        p.a_epoch = u64::MAX;
+        assert!(p.same_session());
+        p.bump_r_epoch();
+        assert_eq!(p.r_epoch, 0);
+        assert!(!p.same_session(), "R one session ahead across the wrap");
+        p.bump_a_epoch();
+        assert!(p.same_session(), "A catches up across the wrap");
     }
 
     #[test]
@@ -178,6 +239,48 @@ mod tests {
     }
 
     #[test]
+    fn divergence_slack_zero_fires_on_first_leftover_token() {
+        let mut p = pair(SlipSync::G0);
+        assert!(!p.divergence_suspected(0), "no tokens yet");
+        p.tokens.signal();
+        assert!(p.divergence_suspected(0), "slack 0: one leftover suffices");
+        assert!(!p.divergence_suspected(1), "slack 1 tolerates it");
+    }
+
+    #[test]
+    fn suspicion_threshold_tracks_initial_allocation() {
+        // L1 starts with one token; the heuristic measures *accumulation
+        // beyond* the initial allocation, so the threshold shifts with it.
+        let mut l1 = pair(SlipSync::L1);
+        assert!(!l1.divergence_suspected(0), "initial L1 token is not evidence");
+        l1.tokens.signal();
+        assert!(!l1.divergence_suspected(1));
+        l1.tokens.signal();
+        assert!(l1.divergence_suspected(1), "two beyond initial exceeds slack 1");
+
+        // G0 starts empty: the same two insertions already exceed slack 1.
+        let mut g0 = pair(SlipSync::G0);
+        g0.tokens.signal();
+        g0.tokens.signal();
+        assert!(g0.divergence_suspected(1));
+    }
+
+    #[test]
+    fn consumed_tokens_clear_suspicion() {
+        // Insertion site (entry for L1, exit for G0) does not matter to the
+        // heuristic as long as the A-stream keeps consuming: a healthy pair
+        // never accumulates.
+        for sync in [SlipSync::L1, SlipSync::G0] {
+            let mut p = pair(sync);
+            for _ in 0..8 {
+                p.tokens.signal();
+                assert!(p.tokens.wait(CpuId(1)), "healthy A consumes promptly");
+                assert!(!p.divergence_suspected(0), "{:?}", sync);
+            }
+        }
+    }
+
+    #[test]
     fn handshake_fifo() {
         let mut p = pair(SlipSync::G0);
         // A arrives first: parks on the semaphore.
@@ -185,10 +288,30 @@ mod tests {
         // R publishes: wakes A.
         let woken = p.publish(Decision::Chunk(Chunk { lo: 0, hi: 8 }));
         assert_eq!(woken, Some(CpuId(1)));
-        assert_eq!(p.take_decision(), Decision::Chunk(Chunk { lo: 0, hi: 8 }));
+        assert_eq!(
+            p.take_decision(),
+            Some(Decision::Chunk(Chunk { lo: 0, hi: 8 }))
+        );
         // R publishes ahead; A consumes without parking.
         assert_eq!(p.publish(Decision::End), None);
         assert!(p.sched_sem.wait(CpuId(1)));
-        assert_eq!(p.take_decision(), Decision::End);
+        assert_eq!(p.take_decision(), Some(Decision::End));
+    }
+
+    #[test]
+    fn empty_decision_queue_is_observable_not_fatal() {
+        // A lost-signal fault can grant the semaphore with nothing
+        // published; the consumer sees None and treats it as divergence.
+        let mut p = pair(SlipSync::G0);
+        assert_eq!(p.take_decision(), None);
+    }
+
+    #[test]
+    fn pairs_start_healthy() {
+        let p = pair(SlipSync::G0);
+        assert_eq!(p.mode, PairMode::Slipstream);
+        assert!(!p.demoted());
+        assert_eq!(p.demoted_at, None);
+        assert_eq!((p.recoveries, p.watchdog_recoveries, p.faults_injected), (0, 0, 0));
     }
 }

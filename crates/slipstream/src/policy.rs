@@ -7,10 +7,9 @@
 //! synchronize with the R-stream at dynamic scheduling points. The table
 //! is explicit data so ablation benches can flip individual rows.
 
-use serde::{Deserialize, Serialize};
 
 /// What the A-stream does when it reaches a construct.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AAction {
     /// Execute the construct like the R-stream.
     Execute,
@@ -22,7 +21,7 @@ pub enum AAction {
 
 /// Per-construct A-stream policy. [`AStreamPolicy::paper`] encodes the
 /// paper's table; individual rows can be overridden for ablation studies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AStreamPolicy {
     /// `single` sections: skipped — "there is no clear way an A-stream can
     /// tell that its R-stream will execute this section".
@@ -94,6 +93,68 @@ impl Default for AStreamPolicy {
     }
 }
 
+/// Divergence detection and recovery knobs (paper Section 4.4, hardened).
+///
+/// Detection has two tiers. The cheap tier is the paper's token-slack
+/// heuristic: tokens accumulating beyond `sync.tokens + divergence_slack`
+/// at an R-stream barrier suggest the A-stream has stopped consuming.
+/// The backstop tier is the barrier **watchdog**: an R-stream parked at
+/// the region-end barrier for more than `watchdog_cycles` forces recovery
+/// of any stuck A-stream rather than deadlocking (lost tokens or lost
+/// scheduling signals can strand an A-stream where no slack ever
+/// accumulates). Recovery is **bounded**: once a pair has recovered more
+/// than `max_recoveries_per_pair` times, retrying is judged futile and
+/// the pair is demoted to single-stream mode for the rest of the run
+/// ([`omp_rt::mode::PairMode::DegradedSingle`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Cycles charged to re-seed an A-stream from its R-stream
+    /// (architectural-state copy + pipeline refill).
+    pub recovery_cycles: u64,
+    /// Extra tokens beyond the sync policy's count tolerated before an
+    /// R-stream barrier check suspects divergence.
+    pub divergence_slack: u64,
+    /// Cycles an R-stream may wait at the region-end barrier before the
+    /// watchdog forces recovery of stuck A-streams. 0 disables the
+    /// watchdog.
+    pub watchdog_cycles: u64,
+    /// Recoveries after which a pair is demoted to single-stream mode.
+    pub max_recoveries_per_pair: u64,
+}
+
+impl RecoveryPolicy {
+    /// The default configuration used by the evaluation: recovery cost
+    /// and slack from the paper's runtime, a watchdog comfortably above
+    /// any legitimate barrier wait on the simulated machine, and a small
+    /// retry budget.
+    pub fn paper() -> Self {
+        RecoveryPolicy {
+            recovery_cycles: 400,
+            divergence_slack: 1,
+            watchdog_cycles: 2_000_000,
+            max_recoveries_per_pair: 8,
+        }
+    }
+
+    /// Builder: override the watchdog deadline.
+    pub fn with_watchdog(mut self, cycles: u64) -> Self {
+        self.watchdog_cycles = cycles;
+        self
+    }
+
+    /// Builder: override the per-pair retry budget.
+    pub fn with_max_recoveries(mut self, n: u64) -> Self {
+        self.max_recoveries_per_pair = n;
+        self
+    }
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +180,16 @@ mod tests {
         let p = AStreamPolicy::paper().with_self_invalidation();
         assert!(p.self_invalidation);
         assert!(!AStreamPolicy::paper().self_invalidation, "off by default");
+    }
+
+    #[test]
+    fn recovery_policy_builders() {
+        let r = RecoveryPolicy::paper()
+            .with_watchdog(12_345)
+            .with_max_recoveries(2);
+        assert_eq!(r.watchdog_cycles, 12_345);
+        assert_eq!(r.max_recoveries_per_pair, 2);
+        assert_eq!(r.recovery_cycles, RecoveryPolicy::paper().recovery_cycles);
+        assert_eq!(RecoveryPolicy::default(), RecoveryPolicy::paper());
     }
 }

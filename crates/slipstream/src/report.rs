@@ -1,5 +1,6 @@
 //! Text tables for the experiment harness (the "figures" of the repro).
 
+use crate::exec::RunResult;
 use crate::runner::RunSummary;
 use dsm_sim::{FillClass, ReqKind, TimeClass, FILL_CLASSES};
 
@@ -77,10 +78,42 @@ pub fn coverage_line(r: &RunSummary) -> String {
     )
 }
 
+/// Render the per-pair resilience ledger of a run: faults fired,
+/// recoveries performed (watchdog-forced subset in parentheses), and the
+/// pair's final operating mode. Pairs demoted to single-stream mode show
+/// the cycle at which the retry budget ran out.
+pub fn resilience_table(r: &RunResult) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<6} {:>8} {:>12} {:>10} {:<16} {:>12}\n",
+        "pair", "faults", "recoveries", "watchdog", "mode", "demoted@"
+    ));
+    for l in &r.pair_ledgers {
+        s.push_str(&format!(
+            "{:<6} {:>8} {:>12} {:>10} {:<16} {:>12}\n",
+            l.tid,
+            l.faults_injected,
+            l.recoveries,
+            l.watchdog_recoveries,
+            l.mode.label(),
+            l.demoted_at
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "-".into()),
+        ));
+    }
+    s.push_str(&format!(
+        "total: {} faults, {} recoveries ({} watchdog), {} demotions\n",
+        r.pair_ledgers.iter().map(|l| l.faults_injected).sum::<u64>(),
+        r.recoveries,
+        r.watchdog_recoveries,
+        r.demotions,
+    ));
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exec::RunResult;
     use dsm_sim::{FillCounts, TimeBreakdown};
     use omp_ir::trace::OpCounts;
 
@@ -104,6 +137,9 @@ mod tests {
                 sched_grabs: 0,
                 sched_steals: 0,
                 recoveries: 0,
+                watchdog_recoveries: 0,
+                demotions: 0,
+                pair_ledgers: vec![],
                 stores_converted: 0,
                 stores_skipped: 0,
                 machine: dsm_sim::MachineCounters::default(),
@@ -128,5 +164,38 @@ mod tests {
     #[test]
     fn empty_rows_render_empty() {
         assert!(breakdown_table(&[]).is_empty());
+    }
+
+    #[test]
+    fn resilience_table_shows_modes_and_totals() {
+        use crate::faults::PairLedger;
+        use omp_rt::mode::PairMode;
+        let mut r = dummy("slip-G0", 100).raw;
+        r.recoveries = 11;
+        r.watchdog_recoveries = 2;
+        r.demotions = 1;
+        r.pair_ledgers = vec![
+            PairLedger {
+                tid: 0,
+                mode: PairMode::Slipstream,
+                faults_injected: 1,
+                recoveries: 2,
+                watchdog_recoveries: 0,
+                demoted_at: None,
+            },
+            PairLedger {
+                tid: 1,
+                mode: PairMode::DegradedSingle,
+                faults_injected: 4,
+                recoveries: 9,
+                watchdog_recoveries: 2,
+                demoted_at: Some(12_345),
+            },
+        ];
+        let t = resilience_table(&r);
+        assert!(t.contains("degraded-single"), "{t}");
+        assert!(t.contains("slipstream"), "{t}");
+        assert!(t.contains("12345"), "{t}");
+        assert!(t.contains("total: 5 faults, 11 recoveries (2 watchdog), 1 demotions"), "{t}");
     }
 }

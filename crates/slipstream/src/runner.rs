@@ -6,7 +6,8 @@
 
 use crate::compile::{compile, CompiledProgram};
 use crate::exec::{Engine, EngineConfig, RunResult};
-use crate::policy::AStreamPolicy;
+use crate::faults::FaultPlan;
+use crate::policy::{AStreamPolicy, RecoveryPolicy};
 use dsm_sim::{AddressMap, Cycle, FillCounts, MachineConfig, TimeBreakdown, TimeClass};
 use omp_ir::directive::EnvSlipstream;
 use omp_ir::node::{Program, SlipSyncType};
@@ -29,8 +30,13 @@ pub struct RunOptions {
     pub env: RuntimeEnv,
     /// A-stream construct policy (ablations flip rows).
     pub policy: AStreamPolicy,
-    /// Divergence fault injection: `(tid, epoch)` points.
+    /// Divergence fault injection: `(tid, epoch)` points. Legacy shorthand
+    /// for a [`FaultPlan`] of wander events; both are honoured.
     pub inject_divergence: Vec<(u64, u64)>,
+    /// General fault-injection plan (see [`crate::faults`]).
+    pub faults: FaultPlan,
+    /// Divergence detection / recovery knobs (watchdog, retry budget).
+    pub recovery: RecoveryPolicy,
     /// Optional OS-interference model (timer ticks / daemons).
     pub os_noise: Option<crate::exec::OsNoise>,
 }
@@ -45,8 +51,22 @@ impl RunOptions {
             env: RuntimeEnv::default(),
             policy: AStreamPolicy::paper(),
             inject_divergence: Vec::new(),
+            faults: FaultPlan::none(),
+            recovery: RecoveryPolicy::paper(),
             os_noise: None,
         }
+    }
+
+    /// Install a fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Replace the recovery policy.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
     }
 
     /// Set the A–R synchronization (slipstream mode).
@@ -161,6 +181,8 @@ pub fn run_compiled(
     cfg.env = opts.env.clone();
     cfg.policy = opts.policy;
     cfg.inject_divergence = opts.inject_divergence.clone();
+    cfg.faults = opts.faults.clone();
+    cfg.recovery = opts.recovery;
     cfg.os_noise = opts.os_noise;
     if let Some(sync) = opts.sync {
         // Route the synchronization choice through OMP_SLIPSTREAM, as the

@@ -1,114 +1,116 @@
-//! Property-based engine tests: random (but valid) OpenMP-style programs
-//! must run to completion in every mode, match the reference tracer's
-//! totals, and keep slipstream's R-side semantics identical to single
-//! mode.
+//! Property-style engine tests: random (but valid) OpenMP-style
+//! programs must run to completion in every mode, match the reference
+//! tracer's totals, and keep slipstream's R-side semantics identical to
+//! single mode. Programs are generated from seeded SplitMix64 streams.
 
+use dsm_sim::SplitMix64;
 use omp_ir::expr::{Expr, VarId};
 use omp_ir::node::{
     ArrayDecl, ArrayId, Node, Program, Reduction, ReductionOp, ScheduleKind, ScheduleSpec,
 };
 use omp_ir::trace::trace;
 use omp_ir::validate::validate;
-use proptest::prelude::*;
 use slipstream_openmp::prelude::*;
 
 const N_ARRAY: u64 = 256;
+const CASES: u64 = 24;
 
 /// A small affine index expression over the loop variable.
-fn index_expr() -> impl Strategy<Value = Expr> {
-    (1i64..3, 0i64..8).prop_map(|(a, b)| {
-        (Expr::v(VarId(0)) * a + b)
-            .max(Expr::c(0))
-            .min(Expr::c(N_ARRAY as i64 - 1))
-    })
+fn index_expr(g: &mut SplitMix64) -> Expr {
+    let a = g.range_i64(1, 2);
+    let b = g.range_i64(0, 7);
+    (Expr::v(VarId(0)) * a + b)
+        .max(Expr::c(0))
+        .min(Expr::c(N_ARRAY as i64 - 1))
 }
 
-fn schedule() -> impl Strategy<Value = Option<ScheduleSpec>> {
-    prop_oneof![
-        Just(None),
-        Just(Some(ScheduleSpec {
+fn schedule(g: &mut SplitMix64) -> Option<ScheduleSpec> {
+    match g.below(4) {
+        0 => None,
+        1 => Some(ScheduleSpec {
             kind: ScheduleKind::Static,
-            chunk: Some(8)
-        })),
-        Just(Some(ScheduleSpec::dynamic(16))),
-        Just(Some(ScheduleSpec {
+            chunk: Some(8),
+        }),
+        2 => Some(ScheduleSpec::dynamic(16)),
+        _ => Some(ScheduleSpec {
             kind: ScheduleKind::Guided,
-            chunk: Some(4)
-        })),
-    ]
+            chunk: Some(4),
+        }),
+    }
 }
 
 /// A statement valid inside a worksharing body.
-fn body_stmt() -> impl Strategy<Value = Node> {
-    prop_oneof![
-        index_expr().prop_map(|e| Node::Load {
+fn body_stmt(g: &mut SplitMix64) -> Node {
+    match g.below(4) {
+        0 => Node::Load {
             array: ArrayId(0),
-            index: e
-        }),
-        index_expr().prop_map(|e| Node::Store {
+            index: index_expr(g),
+        },
+        1 => Node::Store {
             array: ArrayId(0),
-            index: e
-        }),
-        index_expr().prop_map(|e| Node::Load {
+            index: index_expr(g),
+        },
+        2 => Node::Load {
             array: ArrayId(1),
-            index: e
-        }),
-        (1i64..20).prop_map(|c| Node::Compute(Expr::c(c))),
-    ]
+            index: index_expr(g),
+        },
+        _ => Node::Compute(Expr::c(g.range_i64(1, 19))),
+    }
 }
 
-/// A region-level construct.
-fn region_item() -> impl Strategy<Value = Node> {
-    let wsloop = (schedule(), prop::collection::vec(body_stmt(), 1..4), any::<bool>()).prop_map(
-        |(sched, stmts, nowait)| Node::ParFor {
-            sched,
+fn body_vec(g: &mut SplitMix64, max: u64) -> Vec<Node> {
+    let n = 1 + g.below(max);
+    (0..n).map(|_| body_stmt(g)).collect()
+}
+
+/// A region-level construct, with the same weighting as the original
+/// generator (worksharing loops dominate).
+fn region_item(g: &mut SplitMix64) -> Node {
+    match g.below(11) {
+        0..=3 => Node::ParFor {
+            sched: schedule(g),
             var: VarId(0),
             begin: Expr::c(0),
             end: Expr::c(N_ARRAY as i64),
-            body: Box::new(Node::Seq(stmts)),
+            body: Box::new(Node::Seq(body_vec(g, 3))),
             reduction: None,
-            nowait,
+            nowait: g.chance(0.5),
         },
-    );
-    let red_loop = prop::collection::vec(body_stmt(), 1..3).prop_map(|stmts| Node::ParFor {
-        sched: None,
-        var: VarId(0),
-        begin: Expr::c(0),
-        end: Expr::c(N_ARRAY as i64),
-        body: Box::new(Node::Seq(stmts)),
-        reduction: Some(Reduction {
-            op: ReductionOp::Sum,
-            target: ArrayId(0),
-            index: Expr::c(0),
-        }),
-        nowait: false,
-    });
-    prop_oneof![
-        4 => wsloop,
-        1 => red_loop,
-        1 => Just(Node::Barrier),
-        1 => prop::collection::vec(body_stmt(), 1..3)
-            .prop_map(|s| Node::Single(Box::new(Node::Seq(s)))),
-        1 => prop::collection::vec(body_stmt(), 1..3)
-            .prop_map(|s| Node::Master(Box::new(Node::Seq(s)))),
-        1 => prop::collection::vec(body_stmt(), 1..3).prop_map(|s| Node::Critical {
+        4 => Node::ParFor {
+            sched: None,
+            var: VarId(0),
+            begin: Expr::c(0),
+            end: Expr::c(N_ARRAY as i64),
+            body: Box::new(Node::Seq(body_vec(g, 2))),
+            reduction: Some(Reduction {
+                op: ReductionOp::Sum,
+                target: ArrayId(0),
+                index: Expr::c(0),
+            }),
+            nowait: false,
+        },
+        5 => Node::Barrier,
+        6 => Node::Single(Box::new(Node::Seq(body_vec(g, 2)))),
+        7 => Node::Master(Box::new(Node::Seq(body_vec(g, 2)))),
+        8 => Node::Critical {
             name: "c".into(),
-            body: Box::new(Node::Seq(s)),
-        }),
-        1 => index_expr().prop_map(|e| Node::Atomic {
+            body: Box::new(Node::Seq(body_vec(g, 2))),
+        },
+        9 => Node::Atomic {
             array: ArrayId(0),
-            index: e
-        }),
-        1 => prop::collection::vec(
-            prop::collection::vec(body_stmt(), 1..3).prop_map(Node::Seq),
-            1..4
-        )
-        .prop_map(Node::Sections),
-    ]
+            index: index_expr(g),
+        },
+        _ => {
+            let n = 1 + g.below(3);
+            Node::Sections((0..n).map(|_| Node::Seq(body_vec(g, 2))).collect())
+        }
+    }
 }
 
-fn arbitrary_program() -> impl Strategy<Value = Program> {
-    prop::collection::vec(region_item(), 1..6).prop_map(|items| Program {
+fn arbitrary_program(g: &mut SplitMix64) -> Program {
+    let n = 1 + g.below(5);
+    let items = (0..n).map(|_| region_item(g)).collect();
+    Program {
         name: "prop".into(),
         arrays: vec![
             ArrayDecl {
@@ -130,7 +132,7 @@ fn arbitrary_program() -> impl Strategy<Value = Program> {
             body: Box::new(Node::Seq(items)),
             slipstream: None,
         },
-    })
+    }
 }
 
 fn machine() -> MachineConfig {
@@ -139,50 +141,60 @@ fn machine() -> MachineConfig {
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn random_programs_are_valid(p in arbitrary_program()) {
+#[test]
+fn random_programs_are_valid() {
+    for seed in 0..CASES {
+        let p = arbitrary_program(&mut SplitMix64::new(0x9A11D ^ seed));
         validate(&p).unwrap();
     }
+}
 
-    #[test]
-    fn single_mode_matches_oracle(p in arbitrary_program()) {
+#[test]
+fn single_mode_matches_oracle() {
+    for seed in 0..CASES {
+        let p = arbitrary_program(&mut SplitMix64::new(0x0AC1E ^ seed));
         let oracle = trace(&p, 4);
-        let r = run_program(&p, &RunOptions::new(ExecMode::Single).with_machine(machine()))
-            .unwrap();
-        prop_assert_eq!(r.raw.user_r.loads, oracle.total.loads);
-        prop_assert_eq!(r.raw.user_r.stores, oracle.total.stores);
-        prop_assert_eq!(r.raw.user_r.atomics, oracle.total.atomics);
-        prop_assert_eq!(r.raw.user_r.compute_cycles, oracle.total.compute_cycles);
+        let r =
+            run_program(&p, &RunOptions::new(ExecMode::Single).with_machine(machine())).unwrap();
+        assert_eq!(r.raw.user_r.loads, oracle.total.loads);
+        assert_eq!(r.raw.user_r.stores, oracle.total.stores);
+        assert_eq!(r.raw.user_r.atomics, oracle.total.atomics);
+        assert_eq!(r.raw.user_r.compute_cycles, oracle.total.compute_cycles);
     }
+}
 
-    #[test]
-    fn slipstream_r_side_equals_single(p in arbitrary_program()) {
+#[test]
+fn slipstream_r_side_equals_single() {
+    for seed in 0..CASES {
+        let p = arbitrary_program(&mut SplitMix64::new(0x511F ^ seed));
         let m = machine();
-        let single = run_program(&p, &RunOptions::new(ExecMode::Single).with_machine(m.clone()))
-            .unwrap();
+        let single =
+            run_program(&p, &RunOptions::new(ExecMode::Single).with_machine(m.clone())).unwrap();
         for sync in [SlipSync::G0, SlipSync::L1] {
             let slip = run_program(
                 &p,
-                &RunOptions::new(ExecMode::Slipstream).with_machine(m.clone()).with_sync(sync),
+                &RunOptions::new(ExecMode::Slipstream)
+                    .with_machine(m.clone())
+                    .with_sync(sync),
             )
             .unwrap();
-            prop_assert_eq!(slip.raw.user_r.loads, single.raw.user_r.loads);
-            prop_assert_eq!(slip.raw.user_r.stores, single.raw.user_r.stores);
+            assert_eq!(slip.raw.user_r.loads, single.raw.user_r.loads);
+            assert_eq!(slip.raw.user_r.stores, single.raw.user_r.stores);
             // Every A-stream shared store is converted or skipped, never
             // demand-issued.
             let a_shared_stores = slip.raw.stores_converted + slip.raw.stores_skipped;
-            prop_assert!(a_shared_stores <= slip.raw.user_a.stores + slip.raw.user_a.atomics);
+            assert!(a_shared_stores <= slip.raw.user_a.stores + slip.raw.user_a.atomics);
         }
     }
+}
 
-    #[test]
-    fn double_mode_completes_and_matches(p in arbitrary_program()) {
+#[test]
+fn double_mode_completes_and_matches() {
+    for seed in 0..CASES {
+        let p = arbitrary_program(&mut SplitMix64::new(0xD0B1E ^ seed));
         let oracle = trace(&p, 8);
-        let r = run_program(&p, &RunOptions::new(ExecMode::Double).with_machine(machine()))
-            .unwrap();
-        prop_assert_eq!(r.raw.user_r.loads, oracle.total.loads);
+        let r =
+            run_program(&p, &RunOptions::new(ExecMode::Double).with_machine(machine())).unwrap();
+        assert_eq!(r.raw.user_r.loads, oracle.total.loads);
     }
 }
