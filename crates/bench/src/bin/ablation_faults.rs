@@ -57,31 +57,44 @@ fn main() {
             "{:>7} {:>6} {:>12} {:>9} {:>9} {:>6} {:>10} {:>10}",
             "faults", "seed", "cycles", "vs-clean", "vs-1stm", "fired", "recoveries", "demotions"
         );
-        let mut worst: Option<(u64, slipstream::runner::RunSummary)> = None;
+        // Every (intensity, seed) run is an independent simulation: run
+        // them all on the bounded worker pool, then report in sweep
+        // order (the pool returns results in task order, so the output
+        // is identical to the old serial loop).
+        type Task<'s> = Box<dyn FnOnce() -> (usize, u64, slipstream::runner::RunSummary) + Send + 's>;
+        let mut tasks: Vec<Task> = Vec::new();
         for max_events in [2usize, 6, 12] {
             for seed in 0..SEEDS_PER_POINT {
-                let plan = FaultPlan::random(seed * 7 + max_events as u64, team, max_events);
-                let opts = RunOptions::new(ExecMode::Slipstream)
-                    .with_machine(machine.clone())
-                    .with_sync(SlipSync::G0)
-                    .with_faults(plan)
-                    .with_recovery(recovery);
-                let r = run_program(&p, &opts).expect("faulted run must terminate");
-                let fired: u64 = r.raw.pair_ledgers.iter().map(|l| l.faults_injected).sum();
-                println!(
-                    "{:>7} {:>6} {:>12} {:>8.3}x {:>8.3}x {:>6} {:>10} {:>10}",
-                    max_events,
-                    seed,
-                    r.exec_cycles,
-                    clean.exec_cycles as f64 / r.exec_cycles as f64,
-                    r.speedup_vs(single.exec_cycles),
-                    fired,
-                    r.raw.recoveries,
-                    r.raw.demotions,
-                );
-                if worst.as_ref().map(|(c, _)| r.exec_cycles > *c).unwrap_or(true) {
-                    worst = Some((r.exec_cycles, r));
-                }
+                let machine = machine.clone();
+                let p = &p;
+                tasks.push(Box::new(move || {
+                    let plan = FaultPlan::random(seed * 7 + max_events as u64, team, max_events);
+                    let opts = RunOptions::new(ExecMode::Slipstream)
+                        .with_machine(machine)
+                        .with_sync(SlipSync::G0)
+                        .with_faults(plan)
+                        .with_recovery(recovery);
+                    let r = run_program(p, &opts).expect("faulted run must terminate");
+                    (max_events, seed, r)
+                }));
+            }
+        }
+        let mut worst: Option<(u64, slipstream::runner::RunSummary)> = None;
+        for (max_events, seed, r) in bench::pool::run_all(tasks) {
+            let fired: u64 = r.raw.pair_ledgers.iter().map(|l| l.faults_injected).sum();
+            println!(
+                "{:>7} {:>6} {:>12} {:>8.3}x {:>8.3}x {:>6} {:>10} {:>10}",
+                max_events,
+                seed,
+                r.exec_cycles,
+                clean.exec_cycles as f64 / r.exec_cycles as f64,
+                r.speedup_vs(single.exec_cycles),
+                fired,
+                r.raw.recoveries,
+                r.raw.demotions,
+            );
+            if worst.as_ref().map(|(c, _)| r.exec_cycles > *c).unwrap_or(true) {
+                worst = Some((r.exec_cycles, r));
             }
         }
         if let Some((_, w)) = worst {

@@ -1,0 +1,103 @@
+//! Simulation-throughput tracker: simulated cycles per wall second.
+//!
+//! Runs the fixed fig2-style workload set (the five kernels under the
+//! four static modes on the 4-CMP bench machine) and reports, for each
+//! benchmark/mode pair, how many simulated cycles the engine retires
+//! per second of host wall time. Writes `BENCH_throughput.json` at the
+//! repo root so the perf trajectory is tracked across PRs.
+//!
+//! Environment:
+//! - `THROUGHPUT_PRESET`: `tiny` (default) or `paper` workload presets.
+//! - `THROUGHPUT_ITERS`: wall-time repetitions per pair; the best
+//!   (minimum) time is reported (default 3).
+//! - `THROUGHPUT_OUT`: override the output path.
+
+use bench::{small_machine, STATIC_MODES};
+use npb_kernels::Benchmark;
+use omp_rt::RuntimeEnv;
+use slipstream::runner::{run_program, RunOptions};
+use std::time::Instant;
+
+struct Row {
+    benchmark: &'static str,
+    mode: &'static str,
+    exec_cycles: u64,
+    wall_ns: u128,
+}
+
+impl Row {
+    fn cycles_per_sec(&self) -> f64 {
+        self.exec_cycles as f64 / (self.wall_ns as f64 / 1e9)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"benchmark\":\"{}\",\"mode\":\"{}\",\"exec_cycles\":{},\
+             \"wall_ns\":{},\"cycles_per_sec\":{:.1}}}",
+            self.benchmark,
+            self.mode,
+            self.exec_cycles,
+            self.wall_ns,
+            self.cycles_per_sec()
+        )
+    }
+}
+
+fn main() {
+    let preset = std::env::var("THROUGHPUT_PRESET").unwrap_or_else(|_| "tiny".to_string());
+    let iters: u32 = std::env::var("THROUGHPUT_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    let machine = small_machine();
+
+    let mut rows = Vec::new();
+    for bm in Benchmark::ALL {
+        let program = match preset.as_str() {
+            "paper" => bm.build_paper(None),
+            _ => bm.build_tiny(),
+        };
+        for (label, mode, sync) in STATIC_MODES {
+            let mut o = RunOptions::new(mode).with_machine(machine.clone());
+            o.sync = sync;
+            o.env = RuntimeEnv::default();
+            let mut best = u128::MAX;
+            let mut exec_cycles = 0u64;
+            for _ in 0..iters {
+                let t0 = Instant::now();
+                let s = run_program(&program, &o).expect("simulation failed");
+                best = best.min(t0.elapsed().as_nanos().max(1));
+                exec_cycles = s.exec_cycles;
+            }
+            let row = Row {
+                benchmark: bm.name(),
+                mode: label,
+                exec_cycles,
+                wall_ns: best,
+            };
+            println!(
+                "{:<4} {:<8} {:>12} cycles {:>12.3} ms {:>14.0} cyc/s",
+                row.benchmark,
+                row.mode,
+                row.exec_cycles,
+                row.wall_ns as f64 / 1e6,
+                row.cycles_per_sec()
+            );
+            rows.push(row);
+        }
+    }
+
+    let out_path = std::env::var("THROUGHPUT_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json").to_string()
+    });
+    let items: Vec<String> = rows.iter().map(|r| r.to_json()).collect();
+    let json = format!(
+        "{{\"preset\":\"{}\",\"iters\":{},\"rows\":[\n{}\n]}}\n",
+        preset,
+        iters,
+        items.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_throughput.json");
+    println!("wrote {out_path}");
+}

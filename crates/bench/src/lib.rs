@@ -8,6 +8,8 @@
 
 #![warn(missing_docs)]
 
+pub mod pool;
+
 use npb_kernels::{Benchmark, CgParams};
 use omp_ir::node::{Program, ScheduleSpec};
 use omp_rt::mode::{ExecMode, SlipSync};
@@ -152,65 +154,80 @@ pub fn dynamic_program(bm: Benchmark, team: u64) -> Program {
     bm.build_paper(sched)
 }
 
-/// Run one benchmark under a list of modes (host-parallel). Returns the
-/// summaries in mode order.
+fn run_one(
+    program: &Program,
+    machine: MachineConfig,
+    mode: ExecMode,
+    sync: Option<SlipSync>,
+) -> RunSummary {
+    let mut o = RunOptions::new(mode).with_machine(machine);
+    o.sync = sync;
+    o.env = RuntimeEnv::default();
+    run_program(program, &o).expect("simulation failed")
+}
+
+/// Run one benchmark under a list of modes on the bounded worker pool.
+/// Returns the summaries in mode order.
 pub fn run_modes(
     program: &Program,
     machine: &MachineConfig,
     modes: &[(&str, ExecMode, Option<SlipSync>)],
 ) -> Vec<RunSummary> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = modes
-            .iter()
-            .map(|(_, mode, sync)| {
-                let machine = machine.clone();
-                scope.spawn(move || {
-                    let mut o = RunOptions::new(*mode).with_machine(machine);
-                    o.sync = *sync;
-                    o.env = RuntimeEnv::default();
-                    run_program(program, &o).expect("simulation failed")
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
+    type Task<'s> = Box<dyn FnOnce() -> RunSummary + Send + 's>;
+    let tasks: Vec<Task> = modes
+        .iter()
+        .map(|&(_, mode, sync)| {
+            let machine = machine.clone();
+            Box::new(move || run_one(program, machine, mode, sync)) as Task
+        })
+        .collect();
+    pool::run_all(tasks)
+}
+
+/// Run every (benchmark, mode) pair as one flat task list on the
+/// bounded worker pool, regrouping the results per benchmark. Flat
+/// scheduling load-balances across the whole suite instead of nesting a
+/// per-mode scope inside a per-benchmark scope (which spawned
+/// benchmarks × modes threads at once).
+fn run_suite(
+    machine: &MachineConfig,
+    programs: &[(Benchmark, Program)],
+    modes: &[(&str, ExecMode, Option<SlipSync>)],
+) -> Vec<(Benchmark, Vec<RunSummary>)> {
+    type Task<'s> = Box<dyn FnOnce() -> RunSummary + Send + 's>;
+    let mut tasks: Vec<Task> = Vec::with_capacity(programs.len() * modes.len());
+    for (_, program) in programs {
+        for &(_, mode, sync) in modes {
+            let machine = machine.clone();
+            tasks.push(Box::new(move || run_one(program, machine, mode, sync)));
+        }
+    }
+    let mut flat = pool::run_all(tasks).into_iter();
+    programs
+        .iter()
+        .map(|(bm, _)| (*bm, flat.by_ref().take(modes.len()).collect()))
+        .collect()
 }
 
 /// Run the full static-scheduling suite (Figures 2 and 3): every
 /// benchmark under the four static modes.
 pub fn static_suite(machine: &MachineConfig) -> Vec<(Benchmark, Vec<RunSummary>)> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = Benchmark::ALL
-            .iter()
-            .map(|bm| {
-                let machine = machine.clone();
-                scope.spawn(move || {
-                    let p = bm.build_paper(None);
-                    (*bm, run_modes(&p, &machine, &STATIC_MODES))
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
+    let programs: Vec<(Benchmark, Program)> = Benchmark::ALL
+        .iter()
+        .map(|bm| (*bm, bm.build_paper(None)))
+        .collect();
+    run_suite(machine, &programs, &STATIC_MODES)
 }
 
 /// Run the dynamic-scheduling suite (Figures 4 and 5): BT, CG, MG, SP
 /// (LU is excluded, as in the paper) under single and slip-G0.
 pub fn dynamic_suite(machine: &MachineConfig) -> Vec<(Benchmark, Vec<RunSummary>)> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = Benchmark::ALL
-            .iter()
-            .filter(|bm| bm.in_dynamic_experiment())
-            .map(|bm| {
-                let machine = machine.clone();
-                scope.spawn(move || {
-                    let p = dynamic_program(*bm, machine.num_cmps as u64);
-                    (*bm, run_modes(&p, &machine, &DYNAMIC_MODES))
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
+    let programs: Vec<(Benchmark, Program)> = Benchmark::ALL
+        .iter()
+        .filter(|bm| bm.in_dynamic_experiment())
+        .map(|bm| (*bm, dynamic_program(*bm, machine.num_cmps as u64)))
+        .collect();
+    run_suite(machine, &programs, &DYNAMIC_MODES)
 }
 
 /// Records for a suite, with speedups normalized to each benchmark's
@@ -244,6 +261,64 @@ pub fn best_slip_gain(rows: &[RunSummary]) -> f64 {
     best_base as f64 / best_slip as f64 - 1.0
 }
 
+/// Canonical fingerprint of everything a run reports, used by the
+/// golden-determinism regression test. Two runs are bit-identical iff
+/// their fingerprints are equal: the string covers the execution time,
+/// both time breakdowns, per-CPU cache/sync counters, user-level op
+/// totals for both streams, the fill classification, scheduler and
+/// resilience counters, and the machine-wide traffic counters.
+pub fn summary_fingerprint(s: &RunSummary) -> String {
+    use dsm_sim::{ReqKind, FILL_CLASSES, TIME_CLASSES};
+    let mut v: Vec<u64> = vec![s.exec_cycles];
+    for c in TIME_CLASSES {
+        v.push(s.r_breakdown.get(c));
+    }
+    for c in TIME_CLASSES {
+        v.push(s.a_breakdown.get(c));
+    }
+    for kind in [ReqKind::Read, ReqKind::ReadEx] {
+        for c in FILL_CLASSES {
+            v.push(s.fills.get(kind, c));
+        }
+    }
+    let r = &s.raw;
+    for u in [&r.user_r, &r.user_a] {
+        v.extend([u.loads, u.stores, u.atomics, u.compute_cycles, u.io_in, u.io_out]);
+    }
+    let (mut l1, mut l2h, mut l2m, mut bars, mut lds, mut sts) = (0, 0, 0, 0, 0, 0);
+    for c in &r.cpu_stats {
+        l1 += c.l1_hits;
+        l2h += c.l2_hits;
+        l2m += c.l2_misses;
+        bars += c.barriers;
+        lds += c.loads;
+        sts += c.stores;
+    }
+    v.extend([l1, l2h, l2m, bars, lds, sts]);
+    v.extend([
+        r.sched_grabs,
+        r.sched_steals,
+        r.recoveries,
+        r.watchdog_recoveries,
+        r.demotions,
+        r.stores_converted,
+        r.stores_skipped,
+    ]);
+    let m = &r.machine;
+    v.extend([
+        m.network_messages,
+        m.network_contention,
+        m.memory_contention,
+        m.bus_contention,
+        m.l2_evictions,
+        m.l2_invalidations,
+        m.three_hop_fetches,
+        m.invalidations_sent,
+    ]);
+    let parts: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+    parts.join(" ")
+}
+
 /// Time a closure `iters` times and print a one-line report with the
 /// best wall time. The `benches/` entry points are plain `harness =
 /// false` mains built on this (the workspace carries no criterion
@@ -260,6 +335,14 @@ pub fn bench_point(name: &str, iters: u32, mut f: impl FnMut() -> u64) -> u64 {
     println!(
         "{name:<40} {:>10.3} ms/iter (best of {iters})",
         best as f64 / 1e6
+    );
+    // Machine-readable twin of the human line, for scripts tracking the
+    // perf trajectory across commits.
+    println!(
+        "BENCH_JSON {{\"bench\":\"{}\",\"best_ns\":{},\"iters\":{}}}",
+        json_escape(name),
+        best,
+        iters
     );
     out
 }

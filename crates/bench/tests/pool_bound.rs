@@ -1,0 +1,47 @@
+//! The worker pool must honor its configured thread bound even under
+//! nested fan-out. This lives in its own integration-test binary so the
+//! process-wide bound and peak counters are not shared with other
+//! tests.
+
+use bench::pool;
+
+#[test]
+fn nested_fan_out_never_exceeds_the_bound() {
+    // Must be set before the pool is first touched: the bound is read
+    // once per process.
+    std::env::set_var("BENCH_WORKERS", "3");
+    let bound = pool::worker_bound();
+    assert_eq!(bound, 3, "BENCH_WORKERS override respected");
+
+    // 8 outer tasks each fanning into 8 inner tasks: the old nested
+    // thread::scope code would have had 64+ threads live at once.
+    type Task<'s> = Box<dyn FnOnce() -> u64 + Send + 's>;
+    let outer: Vec<Task> = (0..8u64)
+        .map(|i| {
+            Box::new(move || {
+                let inner: Vec<Task> = (0..8u64)
+                    .map(|j| {
+                        Box::new(move || {
+                            std::thread::sleep(std::time::Duration::from_millis(2));
+                            i * 100 + j
+                        }) as Task
+                    })
+                    .collect();
+                pool::run_all(inner).into_iter().sum()
+            }) as Task
+        })
+        .collect();
+    let sums = pool::run_all(outer);
+
+    // Results arrive in task order with nothing lost.
+    let expected: Vec<u64> = (0..8u64).map(|i| (0..8u64).map(|j| i * 100 + j).sum()).collect();
+    assert_eq!(sums, expected);
+
+    // The calling thread occupies one slot; helpers get the rest.
+    assert!(
+        pool::peak_workers() < bound,
+        "peak helper threads {} exceeded bound-1 = {}",
+        pool::peak_workers(),
+        bound - 1
+    );
+}

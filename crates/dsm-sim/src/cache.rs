@@ -78,14 +78,23 @@ impl SetAssocCache {
     }
 
     /// Demand lookup: returns the state on hit and refreshes LRU.
+    ///
+    /// Hits rotate the way to slot 0 so that the common repeated-access
+    /// pattern ends the scan at the first probe. Way order within a set
+    /// carries no semantics (ways are identified by line, and the LRU
+    /// victim is chosen by the strictly increasing `last_use` stamp), so
+    /// the rotation cannot change hit/miss outcomes or victim choice.
     pub fn access(&mut self, line: LineAddr) -> Option<LineState> {
         let t = self.tick();
         let idx = self.set_index(line);
         let set = &mut self.sets[idx];
-        if let Some(w) = set.iter_mut().find(|w| w.line == line) {
-            w.last_use = t;
+        if let Some(pos) = set.iter().position(|w| w.line == line) {
+            if pos != 0 {
+                set.swap(0, pos);
+            }
+            set[0].last_use = t;
             self.hits += 1;
-            Some(w.state)
+            Some(set[0].state)
         } else {
             self.misses += 1;
             None
@@ -99,9 +108,12 @@ impl SetAssocCache {
         let idx = self.set_index(line);
         let ways = self.ways;
         let set = &mut self.sets[idx];
-        if let Some(w) = set.iter_mut().find(|w| w.line == line) {
-            w.state = state;
-            w.last_use = t;
+        if let Some(pos) = set.iter().position(|w| w.line == line) {
+            if pos != 0 {
+                set.swap(0, pos);
+            }
+            set[0].state = state;
+            set[0].last_use = t;
             return None;
         }
         let victim = if set.len() == ways {

@@ -100,7 +100,35 @@ impl Resource {
         if occupancy == 0 {
             return now;
         }
-        // Find the earliest gap of `occupancy` cycles at or after `now`.
+        // Watermark fast path: a request landing at or after the newest
+        // window's start can only be served at max(now, free_at) -- every
+        // earlier window ends by the newest start, so no gap at or after
+        // `now` precedes it. Back-to-back service extends the newest
+        // window in place, so steady contention keeps the list at one
+        // entry instead of one per transaction.
+        let fast = match self.windows.back() {
+            None => {
+                self.windows.push_back((now, now + occupancy));
+                return now + occupancy;
+            }
+            Some(&(s, e)) if now >= s => {
+                let start = now.max(e);
+                self.contention_cycles += start - now;
+                if start == e {
+                    self.windows.back_mut().expect("nonempty").1 = start + occupancy;
+                } else {
+                    self.windows.push_back((start, start + occupancy));
+                }
+                Some(start + occupancy)
+            }
+            _ => None,
+        };
+        if let Some(done) = fast {
+            self.prune();
+            return done;
+        }
+        // Gap-list slow path: a time-skewed request earlier than the
+        // newest window scans for the earliest gap that fits.
         let mut start = now;
         let mut insert_at = 0;
         for (idx, &(s, e)) in self.windows.iter().enumerate() {
@@ -117,7 +145,13 @@ impl Resource {
         }
         self.contention_cycles += start - now;
         self.windows.insert(insert_at, (start, start + occupancy));
-        // Prune windows too old to matter.
+        self.prune();
+        start + occupancy
+    }
+
+    /// Drop windows too old to receive an out-of-order request (the
+    /// engine's time skew is far below [`WINDOW_HORIZON`]).
+    fn prune(&mut self) {
         if let Some(&(_, newest_end)) = self.windows.back() {
             while let Some(&(_, e)) = self.windows.front() {
                 if e + WINDOW_HORIZON < newest_end {
@@ -127,7 +161,6 @@ impl Resource {
                 }
             }
         }
-        start + occupancy
     }
 
     /// When the resource next becomes free (end of the last reserved
@@ -225,5 +258,70 @@ mod tests {
         let mut r = Resource::new();
         assert_eq!(r.acquire(5, 0), 5);
         assert_eq!(r.free_at(), 0);
+    }
+
+    #[test]
+    fn zero_occupancy_while_busy_does_not_queue() {
+        let mut r = Resource::new();
+        assert_eq!(r.acquire(0, 100), 100);
+        // A zero-cycle transaction completes immediately even while the
+        // resource is mid-window, records no window, but is counted.
+        assert_eq!(r.acquire(50, 0), 50);
+        assert_eq!(r.transactions, 2);
+        assert_eq!(r.contention_cycles, 0);
+        assert_eq!(r.free_at(), 100);
+    }
+
+    #[test]
+    fn out_of_order_requests_slot_into_gaps() {
+        let mut r = Resource::new();
+        r.acquire(100, 10); // [100,110)
+        r.acquire(200, 10); // [200,210)
+        // A skewed request earlier than everything sits in front.
+        assert_eq!(r.acquire(50, 10), 60);
+        assert_eq!(r.contention_cycles, 0);
+        // One that cannot fit in [60,100) takes the next gap that can
+        // hold it: after [100,110).
+        assert_eq!(r.acquire(55, 50), 160);
+        assert_eq!(r.contention_cycles, 55);
+        assert_eq!(r.free_at(), 210);
+    }
+
+    #[test]
+    fn coalesced_contention_chain_matches_scan_semantics() {
+        let mut r = Resource::new();
+        // Overlapping arrivals serialize back-to-back exactly as the
+        // original gap scan would have placed them.
+        assert_eq!(r.acquire(0, 10), 10);
+        assert_eq!(r.acquire(3, 10), 20);
+        assert_eq!(r.acquire(7, 10), 30);
+        assert_eq!(r.contention_cycles, 7 + 13);
+        assert_eq!(r.free_at(), 30);
+        // The chain occupies [0,30): an earlier-time request overlapping
+        // it queues at the end, not inside.
+        assert_eq!(r.acquire(1, 5), 35);
+    }
+
+    #[test]
+    fn window_at_horizon_boundary_is_kept() {
+        let mut r = Resource::new();
+        r.acquire(0, 10); // [0,10)
+        // Newest end = WINDOW_HORIZON + 10: 10 + HORIZON < HORIZON + 10
+        // is false, so the old window survives exactly at the boundary.
+        r.acquire(WINDOW_HORIZON + 9, 1);
+        // A request at time 0 still sees [0,10) occupied: a 5-cycle job
+        // must wait for the gap after it.
+        assert_eq!(r.acquire(0, 5), 15);
+    }
+
+    #[test]
+    fn window_past_horizon_boundary_is_pruned() {
+        let mut r = Resource::new();
+        r.acquire(0, 10); // [0,10)
+        // Newest end = WINDOW_HORIZON + 30 > 10 + HORIZON: pruned.
+        r.acquire(WINDOW_HORIZON + 20, 10);
+        // The ancient window is gone, so an ancient request starts
+        // immediately where [0,10) used to be.
+        assert_eq!(r.acquire(0, 5), 5);
     }
 }

@@ -173,6 +173,9 @@ impl MemSystem {
     /// gate on A-stream store conversion.
     pub fn mshr_free(&mut self, cmp: CmpId, now: Cycle) -> bool {
         let table = &mut self.mshr[cmp.0];
+        if table.is_empty() {
+            return self.cfg.l2_mshrs > 0;
+        }
         table.retain(|_, arrival| *arrival > now);
         table.len() < self.cfg.l2_mshrs
     }
@@ -377,6 +380,9 @@ impl MemSystem {
     /// Data-arrival time of an in-flight fill for `line` at `cmp`, if later
     /// than `now`.
     fn inflight_arrival(&mut self, cmp: CmpId, line: LineAddr, now: Cycle) -> Option<Cycle> {
+        if self.mshr[cmp.0].is_empty() {
+            return None;
+        }
         match self.mshr[cmp.0].get(&line) {
             Some(&arrival) if arrival > now => Some(arrival),
             Some(_) => {
@@ -470,9 +476,9 @@ impl MemSystem {
             };
             inval_done = inval_done.max(ack);
         }
-        // Apply invalidations to the victims' caches.
-        let victims: Vec<CmpId> = outcome.invalidate.clone();
-        for victim_cmp in victims {
+        // Apply invalidations to the victims' caches (`outcome` is an
+        // owned local, so no clone of the victim list is needed).
+        for &victim_cmp in &outcome.invalidate {
             self.apply_invalidation(victim_cmp, line);
         }
 

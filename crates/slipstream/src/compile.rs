@@ -134,6 +134,53 @@ pub enum FNode {
     },
 }
 
+/// Dense per-node interpreter dispatch data — the flat instruction form
+/// of the program. One entry per [`FNode`] (same index space), with leaf
+/// operands resolved at compile time: constant expressions are folded
+/// (including host-table lookups with constant indices) and constant
+/// array indices become fixed byte addresses, so the interpreter's hot
+/// loop never walks an `FNode` or an expression tree for them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Ordered children are `CompiledProgram::kids[first..first + len]`.
+    Seq {
+        /// First child index into `kids`.
+        first: u32,
+        /// Child count.
+        len: u32,
+    },
+    /// Busy cycles, folded and already clamped to be non-negative.
+    ComputeConst(u64),
+    /// Busy cycles from `CompiledProgram::exprs[idx]`.
+    ComputeDyn(u32),
+    /// Load from a shared array at a fixed absolute address.
+    LoadShared(Addr),
+    /// Load from a private array at a fixed offset from the accessing
+    /// CPU's private base.
+    LoadPrivate(Addr),
+    /// Load with a runtime index expression.
+    LoadDyn {
+        /// Source array.
+        array: ArrayId,
+        /// Index into `CompiledProgram::exprs`.
+        index: u32,
+    },
+    /// Store to a shared array at a fixed absolute address.
+    StoreShared(Addr),
+    /// Store to a private array at a fixed offset from the accessing
+    /// CPU's private base.
+    StorePrivate(Addr),
+    /// Store with a runtime index expression.
+    StoreDyn {
+        /// Target array.
+        array: ArrayId,
+        /// Index into `CompiledProgram::exprs`.
+        index: u32,
+    },
+    /// Control constructs and rare leaves: dispatch on the `FNode`.
+    Slow,
+}
+
 /// A lowered, address-resolved program.
 #[derive(Debug, Clone)]
 pub struct CompiledProgram {
@@ -153,6 +200,12 @@ pub struct CompiledProgram {
     pub num_critical_locks: usize,
     /// First shared address free for runtime objects (after user arrays).
     pub runtime_base: Addr,
+    /// Flat dispatch table parallel to `nodes`.
+    pub ops: Vec<Op>,
+    /// Flattened `Seq` child lists referenced by [`Op::Seq`].
+    pub kids: Vec<NodeId>,
+    /// Interned runtime expressions referenced by the `*Dyn` ops.
+    pub exprs: Vec<Expr>,
 }
 
 impl CompiledProgram {
@@ -175,6 +228,125 @@ impl CompiledProgram {
             map.private_base(cpu) + off
         }
     }
+}
+
+/// Fold an expression to a constant when it references no runtime state
+/// (variables, thread id, team size). Mirrors `Expr::eval`'s total
+/// semantics exactly: wrapping arithmetic, division/mod by zero yield 0,
+/// table lookups clamp and empty tables yield 0.
+fn fold_expr(e: &Expr, tables: &[Vec<i64>]) -> Option<i64> {
+    use omp_ir::expr::BinOp;
+    match e {
+        Expr::Const(v) => Some(*v),
+        Expr::Var(_) | Expr::ThreadId | Expr::NumThreads => None,
+        Expr::Bin(op, a, b) => {
+            let x = fold_expr(a, tables)?;
+            let y = fold_expr(b, tables)?;
+            Some(match op {
+                BinOp::Add => x.wrapping_add(y),
+                BinOp::Sub => x.wrapping_sub(y),
+                BinOp::Mul => x.wrapping_mul(y),
+                BinOp::Div => {
+                    if y == 0 {
+                        0
+                    } else {
+                        x.wrapping_div(y)
+                    }
+                }
+                BinOp::Mod => {
+                    if y == 0 {
+                        0
+                    } else {
+                        x.wrapping_rem(y)
+                    }
+                }
+                BinOp::Min => x.min(y),
+                BinOp::Max => x.max(y),
+            })
+        }
+        Expr::Table(t, idx) => {
+            let i = fold_expr(idx, tables)?;
+            let tab = tables.get(t.0 as usize)?;
+            if tab.is_empty() {
+                return Some(0);
+            }
+            Some(tab[i.clamp(0, tab.len() as i64 - 1) as usize])
+        }
+    }
+}
+
+/// Byte offset of `array[index]` with the engine's clamping semantics
+/// (absolute for shared arrays, private-base-relative otherwise).
+fn const_element_offset(arrays: &[ArrayLayout], array: ArrayId, index: i64) -> Addr {
+    let a = &arrays[array.0 as usize];
+    let idx = index.clamp(0, a.len as i64 - 1) as u64;
+    a.base + idx * a.elem_bytes
+}
+
+/// Build the flat dispatch table: one [`Op`] per node, with constant
+/// operands folded and interned dynamic expressions for the rest.
+fn build_ops(
+    nodes: &[FNode],
+    arrays: &[ArrayLayout],
+    tables: &[Vec<i64>],
+) -> (Vec<Op>, Vec<NodeId>, Vec<Expr>) {
+    let mut ops = Vec::with_capacity(nodes.len());
+    let mut kids: Vec<NodeId> = Vec::new();
+    let mut exprs: Vec<Expr> = Vec::new();
+    let intern = |e: &Expr, exprs: &mut Vec<Expr>| -> u32 {
+        exprs.push(e.clone());
+        (exprs.len() - 1) as u32
+    };
+    for n in nodes {
+        let op = match n {
+            FNode::Seq(v) => {
+                let first = kids.len() as u32;
+                kids.extend_from_slice(v);
+                Op::Seq {
+                    first,
+                    len: v.len() as u32,
+                }
+            }
+            FNode::Compute(e) => match fold_expr(e, tables) {
+                Some(c) => Op::ComputeConst(c.max(0) as u64),
+                None => Op::ComputeDyn(intern(e, &mut exprs)),
+            },
+            FNode::Load { array, index } => match fold_expr(index, tables) {
+                // Zero-length arrays cannot be clamped at compile time;
+                // leave them on the runtime path (which panics the same
+                // way it always did if such a node ever executes).
+                Some(i) if arrays[array.0 as usize].len > 0 => {
+                    let off = const_element_offset(arrays, *array, i);
+                    if arrays[array.0 as usize].shared {
+                        Op::LoadShared(off)
+                    } else {
+                        Op::LoadPrivate(off)
+                    }
+                }
+                _ => Op::LoadDyn {
+                    array: *array,
+                    index: intern(index, &mut exprs),
+                },
+            },
+            FNode::Store { array, index } => match fold_expr(index, tables) {
+                Some(i) if arrays[array.0 as usize].len > 0 => {
+                    let off = const_element_offset(arrays, *array, i);
+                    if arrays[array.0 as usize].shared {
+                        Op::StoreShared(off)
+                    } else {
+                        Op::StorePrivate(off)
+                    }
+                }
+                _ => Op::StoreDyn {
+                    array: *array,
+                    index: intern(index, &mut exprs),
+                },
+            },
+            _ => Op::Slow,
+        };
+        ops.push(op);
+    }
+    (ops, kids, exprs)
 }
 
 struct Lowerer {
@@ -320,6 +492,7 @@ pub fn compile(program: &Program, map: &AddressMap) -> Result<CompiledProgram, V
         locks: HashMap::new(),
     };
     let root = lw.lower(&program.body);
+    let (ops, kids, exprs) = build_ops(&lw.nodes, &arrays, &program.tables);
     Ok(CompiledProgram {
         name: program.name.clone(),
         nodes: lw.nodes,
@@ -329,6 +502,9 @@ pub fn compile(program: &Program, map: &AddressMap) -> Result<CompiledProgram, V
         num_vars: program.num_vars,
         num_critical_locks: lw.locks.len(),
         runtime_base: line_align(shared_cursor + line, line),
+        ops,
+        kids,
+        exprs,
     })
 }
 
@@ -439,5 +615,131 @@ mod tests {
         let i = b.var();
         b.serial(|s| s.par_for(None, i, 0, 10, |body| body.compute(1)));
         assert!(compile(&b.build(), &map()).is_err());
+    }
+
+    #[test]
+    fn op_table_folds_constant_leaves() {
+        let mut b = ProgramBuilder::new("fold");
+        let s = b.shared_array("s", 8, 8);
+        let p = b.private_array("p", 8, 8);
+        let t = b.table(vec![5, 7, 9]);
+        b.parallel(|r| {
+            r.compute(Expr::c(3) * 4);
+            r.compute(Expr::c(-5)); // negative cycles clamp to zero
+            r.compute(Expr::c(1).index_into(t));
+            r.load(s, 2);
+            r.store(p, 1);
+        });
+        let cp = compile(&b.build(), &map()).unwrap();
+        let sb = cp.arrays[0].base;
+        let pb = cp.arrays[1].base;
+        assert!(cp.ops.contains(&Op::ComputeConst(12)));
+        assert!(cp.ops.contains(&Op::ComputeConst(0)));
+        assert!(cp.ops.contains(&Op::ComputeConst(7)), "table lookup folded");
+        assert!(cp.ops.contains(&Op::LoadShared(sb + 2 * 8)));
+        assert!(cp.ops.contains(&Op::StorePrivate(pb + 8)));
+        assert!(cp.exprs.is_empty(), "everything folded, nothing interned");
+    }
+
+    #[test]
+    fn op_table_fold_is_total_like_eval() {
+        use omp_ir::expr::BinOp;
+        let mut b = ProgramBuilder::new("total");
+        let s = b.shared_array("s", 8, 8);
+        b.parallel(|r| {
+            // Division by zero folds to 0, exactly as Expr::eval does.
+            r.compute(Expr::Bin(
+                BinOp::Div,
+                Box::new(Expr::c(5)),
+                Box::new(Expr::c(0)),
+            ));
+            // Out-of-range const table index clamps, like eval.
+            r.load(s, 99);
+        });
+        let cp = compile(&b.build(), &map()).unwrap();
+        let sb = cp.arrays[0].base;
+        assert!(cp.ops.contains(&Op::ComputeConst(0)));
+        assert!(cp.ops.contains(&Op::LoadShared(sb + 7 * 8)), "index clamps to last element");
+    }
+
+    #[test]
+    fn op_table_keeps_runtime_operands_dynamic() {
+        let mut b = ProgramBuilder::new("dyn");
+        let s = b.shared_array("s", 8, 8);
+        let i = b.var();
+        b.parallel(|r| {
+            r.compute(Expr::ThreadId);
+            r.par_for(None, i, 0, 8, |body| {
+                body.load(s, Expr::v(i));
+            });
+        });
+        let cp = compile(&b.build(), &map()).unwrap();
+        let dyn_loads: Vec<&Op> = cp
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::LoadDyn { .. }))
+            .collect();
+        assert_eq!(dyn_loads.len(), 1);
+        if let Op::LoadDyn { array, index } = dyn_loads[0] {
+            assert_eq!(array.0, 0);
+            assert_eq!(cp.exprs[*index as usize], Expr::v(i));
+        }
+        assert!(
+            cp.ops.iter().any(|o| matches!(o, Op::ComputeDyn(_))),
+            "thread-id compute stays dynamic"
+        );
+        // Control constructs dispatch through the slow path.
+        assert!(cp.ops.iter().any(|o| matches!(o, Op::Slow)));
+    }
+
+    #[test]
+    fn seq_ops_reference_flattened_children() {
+        let mut b = ProgramBuilder::new("seq");
+        b.serial(|s| {
+            s.compute(1);
+            s.compute(2);
+            s.compute(3);
+        });
+        let cp = compile(&b.build(), &map()).unwrap();
+        // The serial block lowers to a Seq node; its op must span the
+        // same children the FNode lists, in order.
+        let (node_kids, op) = cp
+            .nodes
+            .iter()
+            .zip(&cp.ops)
+            .find_map(|(n, o)| match (n, o) {
+                (FNode::Seq(v), Op::Seq { .. }) if v.len() == 3 => Some((v.clone(), *o)),
+                _ => None,
+            })
+            .expect("three-child Seq present");
+        if let Op::Seq { first, len } = op {
+            assert_eq!(len, 3);
+            let span = &cp.kids[first as usize..(first + len) as usize];
+            assert_eq!(span, &node_kids[..]);
+            for (kid, cycles) in span.iter().zip([1u64, 2, 3]) {
+                assert_eq!(cp.ops[kid.0 as usize], Op::ComputeConst(cycles));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_length_arrays_stay_on_the_runtime_path() {
+        // ProgramBuilder rejects empty arrays outright, but build_ops
+        // guards anyway: clamping into a zero-length array has no
+        // compile-time answer, so such a load must stay dynamic.
+        let arrays = vec![ArrayLayout {
+            name: "e".into(),
+            shared: true,
+            base: 64,
+            elem_bytes: 8,
+            len: 0,
+        }];
+        let nodes = vec![FNode::Load {
+            array: omp_ir::node::ArrayId(0),
+            index: Expr::c(0),
+        }];
+        let (ops, _, exprs) = build_ops(&nodes, &arrays, &[]);
+        assert!(matches!(ops[0], Op::LoadDyn { .. }));
+        assert_eq!(exprs, vec![Expr::c(0)]);
     }
 }

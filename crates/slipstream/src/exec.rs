@@ -22,7 +22,7 @@
 //!   accumulation at barriers and re-seeds a diverged A-stream from its
 //!   own state.
 
-use crate::compile::{CompiledProgram, FNode, NodeId};
+use crate::compile::{CompiledProgram, FNode, NodeId, Op};
 use crate::faults::{FaultEvent, FaultKind, FaultPlan, FaultSite, PairLedger};
 use crate::pairing::{Decision, PairState};
 use crate::policy::{AAction, AStreamPolicy, RecoveryPolicy};
@@ -710,36 +710,79 @@ impl<'p> Engine<'p> {
     // ------------------------------------------------------ entry logic --
 
     /// Begin executing `node` on `ci`: leaves act immediately; containers
-    /// push frames.
+    /// push frames. Dispatches on the compile-time flat op table; only
+    /// control constructs fall through to the `FNode` walk.
     fn enter(&mut self, ci: usize, node: NodeId) {
-        let role_a = self.is_a(ci);
-        match self.cp.node(node).clone() {
-            FNode::Seq(_) => self.cpus[ci].frames.push(Frame::Seq { node, idx: 0 }),
-            FNode::Compute(e) => {
-                let cyc = self.eval(ci, &e).max(0) as u64;
+        let cp = self.cp;
+        match cp.ops[node.0 as usize] {
+            Op::Seq { .. } => self.cpus[ci].frames.push(Frame::Seq { node, idx: 0 }),
+            Op::ComputeConst(cyc) => {
                 self.cpus[ci].user.compute_cycles += cyc;
                 self.busy(ci, cyc, TimeClass::Busy);
             }
-            FNode::Load { array, index } => {
-                let idx = self.eval(ci, &index);
+            Op::ComputeDyn(x) => {
+                let cyc = self.eval(ci, &cp.exprs[x as usize]).max(0) as u64;
+                self.cpus[ci].user.compute_cycles += cyc;
+                self.busy(ci, cyc, TimeClass::Busy);
+            }
+            Op::LoadShared(addr) => {
+                self.cpus[ci].user.loads += 1;
+                self.mem(ci, addr, AccessKind::Load, TimeClass::MemStall);
+            }
+            Op::LoadPrivate(off) => {
+                let addr = self.map.private_base(CpuId(ci)) + off;
+                self.cpus[ci].user.loads += 1;
+                self.mem(ci, addr, AccessKind::Load, TimeClass::MemStall);
+            }
+            Op::LoadDyn { array, index } => {
+                let idx = self.eval(ci, &cp.exprs[index as usize]);
                 let addr = self.element_addr(ci, array, idx);
                 self.cpus[ci].user.loads += 1;
                 self.mem(ci, addr, AccessKind::Load, TimeClass::MemStall);
             }
-            FNode::Store { array, index } => {
-                let idx = self.eval(ci, &index);
-                let addr = self.element_addr(ci, array, idx);
+            Op::StoreShared(addr) => {
                 self.cpus[ci].user.stores += 1;
-                let shared = self.cp.arrays[array.0 as usize].shared;
-                if role_a && shared {
+                if self.is_a(ci) {
                     self.a_shared_store(ci, addr);
                 } else {
                     self.mem(ci, addr, AccessKind::Store, TimeClass::MemStall);
                 }
             }
-            FNode::Atomic { array, index } => {
-                let idx = self.eval(ci, &index);
+            Op::StorePrivate(off) => {
+                let addr = self.map.private_base(CpuId(ci)) + off;
+                self.cpus[ci].user.stores += 1;
+                self.mem(ci, addr, AccessKind::Store, TimeClass::MemStall);
+            }
+            Op::StoreDyn { array, index } => {
+                let idx = self.eval(ci, &cp.exprs[index as usize]);
                 let addr = self.element_addr(ci, array, idx);
+                self.cpus[ci].user.stores += 1;
+                let shared = cp.arrays[array.0 as usize].shared;
+                if self.is_a(ci) && shared {
+                    self.a_shared_store(ci, addr);
+                } else {
+                    self.mem(ci, addr, AccessKind::Store, TimeClass::MemStall);
+                }
+            }
+            Op::Slow => self.enter_slow(ci, node),
+        }
+    }
+
+    /// Cold entry path: control constructs and rare leaves, dispatched by
+    /// borrowing the `FNode` (no clone).
+    fn enter_slow(&mut self, ci: usize, node: NodeId) {
+        let cp = self.cp;
+        let role_a = self.is_a(ci);
+        match cp.node(node) {
+            // Leaves covered by the op table never reach here, but the
+            // arms stay for exhaustiveness (`enter` handles them).
+            FNode::Seq(_)
+            | FNode::Compute(_)
+            | FNode::Load { .. }
+            | FNode::Store { .. } => self.enter(ci, node),
+            FNode::Atomic { array, index } => {
+                let idx = self.eval(ci, index);
+                let addr = self.element_addr(ci, *array, idx);
                 self.cpus[ci].user.atomics += 1;
                 if role_a {
                     if self.cfg.policy.atomic == AAction::Execute {
@@ -759,14 +802,14 @@ impl<'p> Engine<'p> {
                 step,
                 body,
             } => {
-                let lo = self.eval(ci, &begin);
-                let hi = self.eval(ci, &end);
+                let lo = self.eval(ci, begin);
+                let hi = self.eval(ci, end);
                 self.cpus[ci].frames.push(Frame::For {
-                    var,
+                    var: *var,
                     cur: lo,
                     end: hi,
-                    step,
-                    body,
+                    step: *step,
+                    body: *body,
                 });
             }
             FNode::Parallel { .. } => {
@@ -776,7 +819,7 @@ impl<'p> Engine<'p> {
             }
             FNode::SlipstreamSet(clause) => {
                 if !role_a {
-                    self.global_slip = Some(clause);
+                    self.global_slip = Some(*clause);
                 }
                 self.busy(ci, 1, TimeClass::Busy);
             }
@@ -789,9 +832,11 @@ impl<'p> Engine<'p> {
                 nowait: _,
                 reduction: _,
             } => {
-                let lo = self.eval(ci, &begin);
-                let hi = self.eval(ci, &end);
-                let resolved = resolve_schedule(sched, self.cfg.env.schedule);
+                let var = *var;
+                let body = *body;
+                let lo = self.eval(ci, begin);
+                let hi = self.eval(ci, end);
+                let resolved = resolve_schedule(*sched, self.cfg.env.schedule);
                 match resolved {
                     ResolvedSchedule::StaticBlock | ResolvedSchedule::StaticChunked(_) => {
                         // Each thread computes its chunks independently.
@@ -853,7 +898,7 @@ impl<'p> Engine<'p> {
                     is_master_tid
                 };
                 if execute {
-                    self.enter(ci, body);
+                    self.enter(ci, *body);
                 }
             }
             FNode::Critical { lock, body } => {
@@ -862,12 +907,12 @@ impl<'p> Engine<'p> {
                     // A-stream skips critical sections to avoid migrating
                     // protected data.
                     if self.cfg.policy.critical == AAction::Execute {
-                        self.enter(ci, body);
+                        self.enter(ci, *body);
                     }
                 } else {
                     self.cpus[ci].frames.push(Frame::CritP {
-                        lock,
-                        body,
+                        lock: *lock,
+                        body: *body,
                         stage: 0,
                     });
                 }
@@ -891,12 +936,32 @@ impl<'p> Engine<'p> {
             }
             FNode::Io { input, bytes } => {
                 self.cpus[ci].frames.push(Frame::IoP {
-                    input,
-                    bytes,
+                    input: *input,
+                    bytes: *bytes,
                     stage: 0,
                 });
             }
         }
+    }
+
+    /// True when the stepper must return control to `run_cpu` between
+    /// batched micro-steps: the exact disjunction of `run_cpu`'s loop
+    /// checks (max-cycles trip, time-order yield, pending OS interrupt),
+    /// so batching never moves a scheduling decision.
+    fn must_bail(&self, ci: usize) -> bool {
+        let now = self.cpus[ci].timeline.now();
+        if now > self.cfg.max_cycles {
+            return true;
+        }
+        if let Some(h) = self.q.peek_time() {
+            if now > h {
+                return true;
+            }
+        }
+        if self.cfg.os_noise.is_some() && now >= self.cpus[ci].next_interrupt {
+            return true;
+        }
+        false
     }
 
     /// A-stream shared store: convert to a read-exclusive prefetch when in
@@ -1001,8 +1066,9 @@ impl<'p> Engine<'p> {
         let fr = self.cpus[ci].frames.pop().expect("step with no frames");
         match fr {
             Frame::Seq { node, idx } => {
-                let kids = match self.cp.node(node) {
-                    FNode::Seq(v) => v.clone(),
+                let cp = self.cp;
+                let (first, len) = match cp.ops[node.0 as usize] {
+                    Op::Seq { first, len } => (first as usize, len as usize),
                     _ => {
                         // Normalized singleton (non-Seq root).
                         if idx == 0 {
@@ -1012,12 +1078,34 @@ impl<'p> Engine<'p> {
                         return;
                     }
                 };
-                if idx < kids.len() {
-                    self.cpus[ci].frames.push(Frame::Seq {
-                        node,
-                        idx: idx + 1,
-                    });
-                    self.enter(ci, kids[idx]);
+                // Runs of consecutive compute children retire in one
+                // step, re-checking the scheduler's bail conditions
+                // between each so every yield point of the unbatched
+                // stepper is preserved exactly.
+                let mut i = idx;
+                while i < len {
+                    let kid = cp.kids[first + i];
+                    match cp.ops[kid.0 as usize] {
+                        Op::ComputeConst(cyc) => {
+                            self.cpus[ci].user.compute_cycles += cyc;
+                            self.busy(ci, cyc, TimeClass::Busy);
+                        }
+                        Op::ComputeDyn(x) => {
+                            let cyc = self.eval(ci, &cp.exprs[x as usize]).max(0) as u64;
+                            self.cpus[ci].user.compute_cycles += cyc;
+                            self.busy(ci, cyc, TimeClass::Busy);
+                        }
+                        _ => {
+                            self.cpus[ci].frames.push(Frame::Seq { node, idx: i + 1 });
+                            self.enter(ci, kid);
+                            return;
+                        }
+                    }
+                    i += 1;
+                    if i < len && self.must_bail(ci) {
+                        self.cpus[ci].frames.push(Frame::Seq { node, idx: i });
+                        return;
+                    }
                 }
             }
             Frame::For {
@@ -1028,6 +1116,64 @@ impl<'p> Engine<'p> {
                 body,
             } => {
                 if cur < end {
+                    // Compute-only bodies iterate natively: same per-
+                    // iteration busy cycles and induction-variable
+                    // updates, with the scheduler's bail conditions
+                    // checked between iterations (a zero step falls
+                    // through so the livelock guard still sees it).
+                    let overhead = self.cfg.machine.loop_overhead_cycles;
+                    let cp = self.cp;
+                    if step > 0 {
+                        match cp.ops[body.0 as usize] {
+                            Op::ComputeConst(cyc) => {
+                                let mut cur = cur;
+                                loop {
+                                    self.cpus[ci].vars[var.0 as usize] = cur;
+                                    self.cpus[ci].user.compute_cycles += cyc;
+                                    self.busy(ci, overhead + cyc, TimeClass::Busy);
+                                    cur += step as i64;
+                                    if cur >= end {
+                                        return;
+                                    }
+                                    if self.must_bail(ci) {
+                                        self.cpus[ci].frames.push(Frame::For {
+                                            var,
+                                            cur,
+                                            end,
+                                            step,
+                                            body,
+                                        });
+                                        return;
+                                    }
+                                }
+                            }
+                            Op::ComputeDyn(x) => {
+                                let mut cur = cur;
+                                loop {
+                                    self.cpus[ci].vars[var.0 as usize] = cur;
+                                    let cyc =
+                                        self.eval(ci, &cp.exprs[x as usize]).max(0) as u64;
+                                    self.cpus[ci].user.compute_cycles += cyc;
+                                    self.busy(ci, overhead + cyc, TimeClass::Busy);
+                                    cur += step as i64;
+                                    if cur >= end {
+                                        return;
+                                    }
+                                    if self.must_bail(ci) {
+                                        self.cpus[ci].frames.push(Frame::For {
+                                            var,
+                                            cur,
+                                            end,
+                                            step,
+                                            body,
+                                        });
+                                        return;
+                                    }
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
                     self.cpus[ci].vars[var.0 as usize] = cur;
                     self.cpus[ci].frames.push(Frame::For {
                         var,
@@ -1036,7 +1182,7 @@ impl<'p> Engine<'p> {
                         step,
                         body,
                     });
-                    self.busy(ci, self.cfg.machine.loop_overhead_cycles, TimeClass::Busy);
+                    self.busy(ci, overhead, TimeClass::Busy);
                     self.enter(ci, body);
                 }
             }
