@@ -11,8 +11,14 @@ fn main() {
     let p = Benchmark::Sp.build_tiny();
     for (name, policy) in [
         ("paper", AStreamPolicy::paper()),
-        ("no-conversion", AStreamPolicy::paper().without_store_conversion()),
-        ("exec-critical", AStreamPolicy::paper().with_critical_execution()),
+        (
+            "no-conversion",
+            AStreamPolicy::paper().without_store_conversion(),
+        ),
+        (
+            "exec-critical",
+            AStreamPolicy::paper().with_critical_execution(),
+        ),
     ] {
         bench_point(&format!("ablation_policies/{name}"), 10, || {
             let mut o = RunOptions::new(ExecMode::Slipstream)

@@ -61,7 +61,8 @@ fn main() {
         // them all on the bounded worker pool, then report in sweep
         // order (the pool returns results in task order, so the output
         // is identical to the old serial loop).
-        type Task<'s> = Box<dyn FnOnce() -> (usize, u64, slipstream::runner::RunSummary) + Send + 's>;
+        type Task<'s> =
+            Box<dyn FnOnce() -> (usize, u64, slipstream::runner::RunSummary) + Send + 's>;
         let mut tasks: Vec<Task> = Vec::new();
         for max_events in [2usize, 6, 12] {
             for seed in 0..SEEDS_PER_POINT {
@@ -93,7 +94,11 @@ fn main() {
                 r.raw.recoveries,
                 r.raw.demotions,
             );
-            if worst.as_ref().map(|(c, _)| r.exec_cycles > *c).unwrap_or(true) {
+            if worst
+                .as_ref()
+                .map(|(c, _)| r.exec_cycles > *c)
+                .unwrap_or(true)
+            {
                 worst = Some((r.exec_cycles, r));
             }
         }

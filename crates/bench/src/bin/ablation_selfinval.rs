@@ -33,7 +33,14 @@ fn main() {
         "bench", "sync", "baseline", "self-inval", "delta"
     );
     for bm in [Benchmark::Sp, Benchmark::Mg, Benchmark::Bt] {
-        for sync in [SlipSync { global: true, tokens: 1 }, SlipSync::G0, SlipSync::L1] {
+        for sync in [
+            SlipSync {
+                global: true,
+                tokens: 1,
+            },
+            SlipSync::G0,
+            SlipSync::L1,
+        ] {
             let base = run(bm, sync, false);
             let si = run(bm, sync, true);
             println!(

@@ -31,9 +31,11 @@ fn main() {
         }
         println!("| {:+.1}% |", 100.0 * best_slip_gain(rows));
     }
-    let avg: f64 =
-        stat.iter().map(|(_, r)| best_slip_gain(r)).sum::<f64>() / stat.len() as f64;
-    println!("\naverage best-slipstream gain: **{:+.1}%** (paper: ~13.5%)\n", 100.0 * avg);
+    let avg: f64 = stat.iter().map(|(_, r)| best_slip_gain(r)).sum::<f64>() / stat.len() as f64;
+    println!(
+        "\naverage best-slipstream gain: **{:+.1}%** (paper: ~13.5%)\n",
+        100.0 * avg
+    );
 
     println!("## Figure 3 — A-stream read classification, static (L1 / G0)\n");
     println!("| bench | sync | A-timely | A-late | A-only | rd-ex coverage |");

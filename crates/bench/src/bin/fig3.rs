@@ -32,8 +32,16 @@ fn main() {
     let n = suite.len() as f64;
     println!("==========================================================");
     for (k, name, paper) in [
-        (0usize, "L1", "(paper: timely 46%, late 15%, premature 8%, rd-ex cov 38%)"),
-        (1, "G0", "(paper: timely 26%, late 34%, premature 3%, rd-ex cov 58%)"),
+        (
+            0usize,
+            "L1",
+            "(paper: timely 46%, late 15%, premature 8%, rd-ex cov 38%)",
+        ),
+        (
+            1,
+            "G0",
+            "(paper: timely 26%, late 34%, premature 3%, rd-ex cov 58%)",
+        ),
     ] {
         println!(
             "{name} averages: A-timely {:.0}%, A-late {:.0}%, A-only {:.0}%, rd-ex coverage {:.0}%  {paper}",

@@ -12,7 +12,10 @@ use slipstream::MachineConfig;
 
 fn main() {
     let machine = MachineConfig::paper();
-    println!("Figure 4: dynamic scheduling on {} CMPs\n", machine.num_cmps);
+    println!(
+        "Figure 4: dynamic scheduling on {} CMPs\n",
+        machine.num_cmps
+    );
     let t0 = std::time::Instant::now();
     let suite = dynamic_suite(&machine);
     let mut gains = Vec::new();

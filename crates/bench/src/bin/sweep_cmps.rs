@@ -26,8 +26,7 @@ fn main() {
             m.num_cmps = n;
             let rows = run_modes(&p, &m, &STATIC_MODES);
             let base = rows[0].exec_cycles as f64;
-            let speedups: Vec<f64> =
-                rows.iter().map(|r| base / r.exec_cycles as f64).collect();
+            let speedups: Vec<f64> = rows.iter().map(|r| base / r.exec_cycles as f64).collect();
             let winner = rows
                 .iter()
                 .min_by_key(|r| r.exec_cycles)

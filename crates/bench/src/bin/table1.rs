@@ -46,7 +46,11 @@ fn main() {
         c.remote_miss_cycles()
     );
     assert_eq!(c.local_miss_ns(), 170, "paper: local miss requires 170 ns");
-    assert_eq!(c.remote_miss_ns(), 290, "paper: minimum remote miss is 290 ns");
+    assert_eq!(
+        c.remote_miss_ns(),
+        290,
+        "paper: minimum remote miss is 290 ns"
+    );
     println!();
     println!("(assertions passed: derived latencies match the paper)");
 }

@@ -12,7 +12,7 @@
 //!   (minimum) time is reported (default 3).
 //! - `THROUGHPUT_OUT`: override the output path.
 
-use bench::{small_machine, STATIC_MODES};
+use bench::{config_hash, small_machine, throughput_config_string, STATIC_MODES};
 use npb_kernels::Benchmark;
 use omp_rt::RuntimeEnv;
 use slipstream::runner::{run_program, RunOptions};
@@ -23,6 +23,14 @@ struct Row {
     mode: &'static str,
     exec_cycles: u64,
     wall_ns: u128,
+    /// FNV-1a hash of the run's canonical configuration string. Rows with
+    /// different hashes were measured under different conditions and must
+    /// not be compared by trajectory scripts.
+    config_hash: u64,
+    /// Whether event tracing was enabled during the timed runs (always
+    /// false here; the field exists so traced one-off numbers can never
+    /// masquerade as baseline throughput).
+    trace: bool,
 }
 
 impl Row {
@@ -33,12 +41,15 @@ impl Row {
     fn to_json(&self) -> String {
         format!(
             "{{\"benchmark\":\"{}\",\"mode\":\"{}\",\"exec_cycles\":{},\
-             \"wall_ns\":{},\"cycles_per_sec\":{:.1}}}",
+             \"wall_ns\":{},\"cycles_per_sec\":{:.1},\
+             \"config_hash\":\"{:016x}\",\"trace\":{}}}",
             self.benchmark,
             self.mode,
             self.exec_cycles,
             self.wall_ns,
-            self.cycles_per_sec()
+            self.cycles_per_sec(),
+            self.config_hash,
+            self.trace,
         )
     }
 }
@@ -75,6 +86,14 @@ fn main() {
                 mode: label,
                 exec_cycles,
                 wall_ns: best,
+                config_hash: config_hash(&throughput_config_string(
+                    &machine,
+                    &preset,
+                    bm.name(),
+                    label,
+                    false,
+                )),
+                trace: false,
             };
             println!(
                 "{:<4} {:<8} {:>12} cycles {:>12.3} ms {:>14.0} cyc/s",

@@ -237,7 +237,10 @@ pub fn to_records(suite: &[(Benchmark, Vec<RunSummary>)]) -> Vec<RunRecord> {
     for (_, rows) in suite {
         let base = rows[0].exec_cycles;
         for r in rows {
-            out.push(RunRecord::from_summary(r, base as f64 / r.exec_cycles as f64));
+            out.push(RunRecord::from_summary(
+                r,
+                base as f64 / r.exec_cycles as f64,
+            ));
         }
     }
     out
@@ -283,7 +286,14 @@ pub fn summary_fingerprint(s: &RunSummary) -> String {
     }
     let r = &s.raw;
     for u in [&r.user_r, &r.user_a] {
-        v.extend([u.loads, u.stores, u.atomics, u.compute_cycles, u.io_in, u.io_out]);
+        v.extend([
+            u.loads,
+            u.stores,
+            u.atomics,
+            u.compute_cycles,
+            u.io_in,
+            u.io_out,
+        ]);
     }
     let (mut l1, mut l2h, mut l2m, mut bars, mut lds, mut sts) = (0, 0, 0, 0, 0, 0);
     for c in &r.cpu_stats {
@@ -317,6 +327,34 @@ pub fn summary_fingerprint(s: &RunSummary) -> String {
     ]);
     let parts: Vec<String> = v.iter().map(|x| x.to_string()).collect();
     parts.join(" ")
+}
+
+/// FNV-1a hash of a canonical configuration string, used to stamp
+/// benchmark output rows so perf-trajectory scripts can detect when two
+/// rows were produced under different configurations (machine, preset,
+/// mode, tracing) and refuse to compare them.
+pub fn config_hash(canonical: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in canonical.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The canonical configuration string hashed into throughput rows: every
+/// knob that changes what a row measures.
+pub fn throughput_config_string(
+    machine: &MachineConfig,
+    preset: &str,
+    benchmark: &str,
+    mode: &str,
+    trace: bool,
+) -> String {
+    format!(
+        "v1|cmps={}|cpus={}|l2b={}|preset={preset}|bm={benchmark}|mode={mode}|trace={trace}",
+        machine.num_cmps, machine.cpus_per_cmp, machine.l2.size_bytes,
+    )
 }
 
 /// Time a closure `iters` times and print a one-line report with the
@@ -382,6 +420,19 @@ mod tests {
         // Serializes cleanly.
         let js = RunRecord::to_json_array(&recs);
         assert!(js.contains("slip-G0"));
+    }
+
+    #[test]
+    fn config_hash_is_stable_and_discriminating() {
+        // FNV-1a reference vector.
+        assert_eq!(config_hash(""), 0xcbf2_9ce4_8422_2325);
+        let m = small_machine();
+        let a = throughput_config_string(&m, "tiny", "cg", "single", false);
+        let b = throughput_config_string(&m, "tiny", "cg", "single", true);
+        let c = throughput_config_string(&m, "paper", "cg", "single", false);
+        assert_eq!(config_hash(&a), config_hash(&a));
+        assert_ne!(config_hash(&a), config_hash(&b), "trace flag changes hash");
+        assert_ne!(config_hash(&a), config_hash(&c), "preset changes hash");
     }
 
     #[test]

@@ -40,9 +40,7 @@ pub fn worker_bound() -> usize {
             .ok()
             .and_then(|v| v.parse::<usize>().ok())
             .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map_or(1, |n| n.get())
-            })
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
     })
 }
 
@@ -135,9 +133,7 @@ mod tests {
 
     #[test]
     fn results_come_back_in_task_order() {
-        let tasks: Vec<_> = (0..32)
-            .map(|i| move || i * i)
-            .collect();
+        let tasks: Vec<_> = (0..32).map(|i| move || i * i).collect();
         let out = run_all(tasks);
         assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
     }

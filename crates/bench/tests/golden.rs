@@ -30,7 +30,12 @@ fn current_fingerprints() -> String {
             o.sync = sync;
             o.env = RuntimeEnv::default();
             let s = run_program(&program, &o).expect("simulation failed");
-            lines.push(format!("{} {} {}", bm.name(), label, summary_fingerprint(&s)));
+            lines.push(format!(
+                "{} {} {}",
+                bm.name(),
+                label,
+                summary_fingerprint(&s)
+            ));
         }
     }
     lines.join("\n") + "\n"
@@ -48,7 +53,8 @@ fn golden_determinism_tiny_presets() {
     for (a, e) in actual.lines().zip(expected.lines()) {
         let key: Vec<&str> = a.split_whitespace().take(2).collect();
         assert_eq!(
-            a, e,
+            a,
+            e,
             "stats fingerprint for {} diverged from the pre-optimization golden capture",
             key.join(" ")
         );
@@ -58,6 +64,33 @@ fn golden_determinism_tiny_presets() {
         expected.lines().count(),
         "golden file row count changed"
     );
+}
+
+#[test]
+fn golden_trace_parity() {
+    // Tracing is observation-only: a run with event tracing enabled must
+    // produce a stats fingerprint bit-identical to the untraced run for
+    // every benchmark and mode. This is the contract that lets trace
+    // sessions be trusted as pictures of the untraced execution.
+    let machine = small_machine();
+    for bm in [Benchmark::Cg, Benchmark::Mg] {
+        let program = bm.build_tiny();
+        for (label, mode, sync) in STATIC_MODES {
+            let mut o = RunOptions::new(mode).with_machine(machine.clone());
+            o.sync = sync;
+            o.env = RuntimeEnv::default();
+            let plain = run_program(&program, &o).expect("untraced run");
+            let o = o.with_trace(sim_trace::TraceConfig::on());
+            let traced = run_program(&program, &o).expect("traced run");
+            assert!(traced.raw.trace.is_some());
+            assert_eq!(
+                summary_fingerprint(&plain),
+                summary_fingerprint(&traced),
+                "tracing perturbed the {} {label} simulation",
+                bm.name()
+            );
+        }
+    }
 }
 
 #[test]

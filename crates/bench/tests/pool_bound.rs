@@ -34,7 +34,9 @@ fn nested_fan_out_never_exceeds_the_bound() {
     let sums = pool::run_all(outer);
 
     // Results arrive in task order with nothing lost.
-    let expected: Vec<u64> = (0..8u64).map(|i| (0..8u64).map(|j| i * 100 + j).sum()).collect();
+    let expected: Vec<u64> = (0..8u64)
+        .map(|i| (0..8u64).map(|j| i * 100 + j).sum())
+        .collect();
     assert_eq!(sums, expected);
 
     // The calling thread occupies one slot; helpers get the rest.

@@ -22,6 +22,7 @@ use crate::address::{CmpId, LineAddr};
 use crate::engine::Cycle;
 use crate::stats::StreamRole;
 use crate::util::FastMap;
+use sim_trace::{TraceConfig, TraceEvent, Tracer, TrackDomain};
 
 /// What kind of ownership a fill acquired.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -158,17 +159,31 @@ impl FillCounts {
 
 /// Tracks live fills per (CMP, line) and classifies them when the line
 /// leaves the cache (eviction/invalidation) or the simulation ends.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Classifier {
     live: FastMap<u64, FillRecord>,
     /// Classified fill tallies.
     pub counts: FillCounts,
+    /// Trace sink for final classifications (disabled by default).
+    tracer: Tracer,
+}
+
+impl Default for Classifier {
+    fn default() -> Self {
+        Classifier {
+            live: FastMap::default(),
+            counts: FillCounts::default(),
+            tracer: Tracer::disabled(TrackDomain::Cmp),
+        }
+    }
 }
 
 fn key(cmp: CmpId, line: LineAddr) -> u64 {
     // Line addresses fit comfortably below 2^56.
     ((cmp.0 as u64) << 56) | line.0
 }
+
+const KEY_LINE_MASK: u64 = (1 << 56) - 1;
 
 impl Classifier {
     /// Empty classifier.
@@ -198,7 +213,7 @@ impl Classifier {
                 other_first_use: None,
             },
         ) {
-            self.finalize(old);
+            self.finalize(k, old);
         }
     }
 
@@ -217,20 +232,21 @@ impl Classifier {
 
     /// The line left `cmp`'s L2 (eviction or invalidation): classify it.
     pub fn on_drop(&mut self, cmp: CmpId, line: LineAddr) {
-        if let Some(rec) = self.live.remove(&key(cmp, line)) {
-            self.finalize(rec);
+        let k = key(cmp, line);
+        if let Some(rec) = self.live.remove(&k) {
+            self.finalize(k, rec);
         }
     }
 
     /// Classify every still-live fill (call at end of simulation).
     pub fn finish(&mut self) {
         let live = std::mem::take(&mut self.live);
-        for (_, rec) in live {
-            self.finalize(rec);
+        for (k, rec) in live {
+            self.finalize(k, rec);
         }
     }
 
-    fn finalize(&mut self, rec: FillRecord) {
+    fn finalize(&mut self, k: u64, rec: FillRecord) {
         let class = match (rec.issuer, rec.other_first_use) {
             (StreamRole::A, Some(t)) if t >= rec.complete => FillClass::ATimely,
             (StreamRole::A, Some(_)) => FillClass::ALate,
@@ -241,6 +257,27 @@ impl Classifier {
             (StreamRole::Solo, _) => unreachable!("solo fills are not recorded"),
         };
         self.counts.bump(rec.kind, class);
+        if self.tracer.is_on() {
+            self.tracer.record(
+                rec.complete,
+                (k >> 56) as u32,
+                TraceEvent::FillClass {
+                    line: k & KEY_LINE_MASK,
+                    class: class.label(),
+                    complete: rec.complete,
+                },
+            );
+        }
+    }
+
+    /// Route final fill classifications to a trace sink (per-CMP tracks).
+    pub fn set_trace(&mut self, cfg: &TraceConfig) {
+        self.tracer = Tracer::new(cfg, TrackDomain::Cmp);
+    }
+
+    /// Drain recorded classification events; tracing reverts to off.
+    pub fn take_trace(&mut self) -> (Vec<sim_trace::TimedEvent>, u64) {
+        std::mem::replace(&mut self.tracer, Tracer::disabled(TrackDomain::Cmp)).drain()
     }
 
     /// Number of still-live (unclassified) records.

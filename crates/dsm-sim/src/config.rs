@@ -7,7 +7,6 @@
 //! below are the SimOS memory-system parameters the paper lists verbatim
 //! (in nanoseconds); we convert them to CPU cycles at the configured clock.
 
-
 /// Geometry and latency of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -233,7 +232,11 @@ mod tests {
     #[test]
     fn paper_miss_latencies_match_table1() {
         let c = MachineConfig::paper();
-        assert_eq!(c.local_miss_ns(), 170, "Table 1: local miss requires 170 ns");
+        assert_eq!(
+            c.local_miss_ns(),
+            170,
+            "Table 1: local miss requires 170 ns"
+        );
         assert_eq!(
             c.remote_miss_ns(),
             290,

@@ -7,6 +7,7 @@
 
 use crate::engine::Cycle;
 use crate::stats::{CpuStats, TimeClass};
+use sim_trace::{Span, SpanLog};
 
 /// Execution state of one simulated processor.
 #[derive(Debug, Default)]
@@ -14,6 +15,10 @@ pub struct CpuTimeline {
     now: Cycle,
     /// Counters for this processor.
     pub stats: CpuStats,
+    /// Coalesced time-class span log, present only when tracing is on.
+    /// Boxed so the untraced timeline stays one pointer wider, and the
+    /// hot attribution paths pay a single `Option` check.
+    spans: Option<Box<SpanLog>>,
 }
 
 impl CpuTimeline {
@@ -29,8 +34,12 @@ impl CpuTimeline {
 
     /// Execute `cycles` of work attributed to `class`.
     pub fn busy(&mut self, cycles: Cycle, class: TimeClass) {
+        let start = self.now;
         self.now += cycles;
         self.stats.time.add(class, cycles);
+        if let Some(log) = &mut self.spans {
+            log.note(class.label(), start, self.now);
+        }
     }
 
     /// Advance to absolute cycle `to`, attributing the gap to `class`.
@@ -38,6 +47,9 @@ impl CpuTimeline {
     pub fn advance_to(&mut self, to: Cycle, class: TimeClass) {
         if to > self.now {
             self.stats.time.add(class, to - self.now);
+            if let Some(log) = &mut self.spans {
+                log.note(class.label(), self.now, to);
+            }
             self.now = to;
         }
     }
@@ -56,6 +68,20 @@ impl CpuTimeline {
     pub fn place_at(&mut self, t: Cycle) {
         debug_assert_eq!(self.stats.time.total(), 0, "placement after execution");
         self.now = t;
+    }
+
+    /// Start recording coalesced time-class spans into a log of at most
+    /// `capacity` slices. `capacity == 0` leaves tracing off.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        if capacity > 0 {
+            self.spans = Some(Box::new(SpanLog::new(capacity)));
+        }
+    }
+
+    /// Take the recorded spans (plus the overflow-drop count), if tracing
+    /// was enabled. The timeline reverts to untraced.
+    pub fn take_spans(&mut self) -> Option<(Vec<Span>, u64)> {
+        self.spans.take().map(|log| log.finish())
     }
 }
 
@@ -112,5 +138,36 @@ mod tests {
         c.place_at(500);
         assert_eq!(c.now(), 500);
         assert_eq!(c.stats.time.total(), 0);
+    }
+
+    #[test]
+    fn traced_timeline_coalesces_spans_without_changing_stats() {
+        let mut traced = CpuTimeline::new();
+        traced.enable_trace(64);
+        let mut plain = CpuTimeline::new();
+        for c in [&mut traced, &mut plain] {
+            c.busy(10, TimeClass::Busy);
+            c.busy(5, TimeClass::Busy);
+            c.mem_access(1, 100, TimeClass::MemStall);
+            c.advance_to(150, TimeClass::Barrier);
+        }
+        assert_eq!(traced.now(), plain.now());
+        assert_eq!(traced.stats.time, plain.stats.time);
+        let (spans, dropped) = traced.take_spans().unwrap();
+        assert_eq!(dropped, 0);
+        let view: Vec<_> = spans.iter().map(|s| (s.class, s.start, s.end)).collect();
+        assert_eq!(
+            view,
+            [("busy", 0, 16), ("memory", 16, 100), ("barrier", 100, 150)]
+        );
+        assert!(plain.take_spans().is_none());
+    }
+
+    #[test]
+    fn enable_trace_with_zero_capacity_stays_off() {
+        let mut c = CpuTimeline::new();
+        c.enable_trace(0);
+        c.busy(10, TimeClass::Busy);
+        assert!(c.take_spans().is_none());
     }
 }

@@ -247,7 +247,7 @@ mod tests {
         let mut r = Resource::new();
         r.acquire(0, 10); // [0,10)
         r.acquire(100, 10); // [100,110)
-        // Fits exactly between the two.
+                            // Fits exactly between the two.
         assert_eq!(r.acquire(20, 30), 50);
         // Does not fit before [100,110): 60..160 overlaps -> after.
         assert_eq!(r.acquire(60, 60), 170);
@@ -277,7 +277,7 @@ mod tests {
         let mut r = Resource::new();
         r.acquire(100, 10); // [100,110)
         r.acquire(200, 10); // [200,210)
-        // A skewed request earlier than everything sits in front.
+                            // A skewed request earlier than everything sits in front.
         assert_eq!(r.acquire(50, 10), 60);
         assert_eq!(r.contention_cycles, 0);
         // One that cannot fit in [60,100) takes the next gap that can
@@ -306,8 +306,8 @@ mod tests {
     fn window_at_horizon_boundary_is_kept() {
         let mut r = Resource::new();
         r.acquire(0, 10); // [0,10)
-        // Newest end = WINDOW_HORIZON + 10: 10 + HORIZON < HORIZON + 10
-        // is false, so the old window survives exactly at the boundary.
+                          // Newest end = WINDOW_HORIZON + 10: 10 + HORIZON < HORIZON + 10
+                          // is false, so the old window survives exactly at the boundary.
         r.acquire(WINDOW_HORIZON + 9, 1);
         // A request at time 0 still sees [0,10) occupied: a 5-cycle job
         // must wait for the gap after it.
@@ -318,7 +318,7 @@ mod tests {
     fn window_past_horizon_boundary_is_pruned() {
         let mut r = Resource::new();
         r.acquire(0, 10); // [0,10)
-        // Newest end = WINDOW_HORIZON + 30 > 10 + HORIZON: pruned.
+                          // Newest end = WINDOW_HORIZON + 30 > 10 + HORIZON: pruned.
         r.acquire(WINDOW_HORIZON + 20, 10);
         // The ancient window is gone, so an ancient request starts
         // immediately where [0,10) used to be.

@@ -46,7 +46,7 @@ pub use cache::{LineState, SetAssocCache};
 pub use classify::{Classifier, FillClass, FillCounts, ReqKind, FILL_CLASSES};
 pub use config::{CacheConfig, MachineConfig, MemoryTimingNs};
 pub use cpu::CpuTimeline;
-pub use directory::{DataSource, Directory, DirState};
+pub use directory::{DataSource, DirState, Directory};
 pub use engine::{Cycle, EventQueue, Resource};
 pub use memory::MemoryControllers;
 pub use memsys::{AccessKind, AccessResult, MachineCounters, MemSystem};

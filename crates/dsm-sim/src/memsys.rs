@@ -33,6 +33,7 @@ use crate::memory::MemoryControllers;
 use crate::network::Network;
 use crate::stats::{CpuStats, StreamRole};
 use crate::util::FastMap;
+use sim_trace::{TimedEvent, TraceConfig, TraceEvent, Tracer, TrackDomain};
 
 /// The kind of access a processor issues.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +103,9 @@ pub struct MemSystem {
     self_invalidation: bool,
     /// Shared-fill classifier for Figures 3 and 5.
     pub classifier: Classifier,
+    /// Trace sink for L2 fill events, one track per CMP (disabled by
+    /// default; the hot access path pays one bool check when off).
+    tracer: Tracer,
     // Pre-converted latencies (cycles).
     l1_lat: Cycle,
     l2_lat: Cycle,
@@ -122,8 +126,12 @@ impl MemSystem {
         let map = AddressMap::new(cfg);
         MemSystem {
             map,
-            l1: (0..cfg.num_cpus()).map(|_| SetAssocCache::new(&cfg.l1)).collect(),
-            l2: (0..cfg.num_cmps).map(|_| SetAssocCache::new(&cfg.l2)).collect(),
+            l1: (0..cfg.num_cpus())
+                .map(|_| SetAssocCache::new(&cfg.l1))
+                .collect(),
+            l2: (0..cfg.num_cmps)
+                .map(|_| SetAssocCache::new(&cfg.l2))
+                .collect(),
             dirs: (0..cfg.num_cmps).map(|_| Directory::new()).collect(),
             net: Network::new(cfg),
             mem: MemoryControllers::new(cfg),
@@ -131,6 +139,7 @@ impl MemSystem {
             roles: vec![StreamRole::Solo; cfg.num_cpus()],
             self_invalidation: false,
             classifier: Classifier::new(),
+            tracer: Tracer::disabled(TrackDomain::Cmp),
             l1_lat: cfg.l1.hit_latency,
             l2_lat: cfg.l2.hit_latency,
             pi_local: cfg.ns_to_cycles(cfg.mem_ns.pi_local_dc_time),
@@ -183,6 +192,20 @@ impl MemSystem {
     /// Finish classification (call once, at end of simulation).
     pub fn finish(&mut self) {
         self.classifier.finish();
+    }
+
+    /// Route memory-system events (L2 fills and their final prefetch
+    /// classifications) to trace sinks on per-CMP tracks.
+    pub fn set_trace(&mut self, cfg: &TraceConfig) {
+        self.tracer = Tracer::new(cfg, TrackDomain::Cmp);
+        self.classifier.set_trace(cfg);
+    }
+
+    /// Drain all recorded memory-system trace events (one batch per
+    /// internal tracer); tracing reverts to off.
+    pub fn take_trace(&mut self) -> Vec<(Vec<TimedEvent>, u64)> {
+        let fills = std::mem::replace(&mut self.tracer, Tracer::disabled(TrackDomain::Cmp));
+        vec![fills.drain(), self.classifier.take_trace()]
     }
 
     /// Perform one access by `cpu` at `now`.
@@ -323,7 +346,16 @@ impl MemSystem {
                 stats.l2_misses += 1;
                 let (complete, remote) = self.fetch_line(cmp, line, true, true, false, t_lookup);
                 self.l2[cmp.0].set_state(line, LineState::Modified);
-                self.note_fill(cmp, line, role, shared, ReqKind::ReadEx, complete, now);
+                self.note_fill(
+                    cmp,
+                    line,
+                    role,
+                    shared,
+                    ReqKind::ReadEx,
+                    remote,
+                    complete,
+                    now,
+                );
                 self.mshr[cmp.0].insert(line, complete);
                 if kind != AccessKind::PrefetchEx {
                     self.fill_l1(cpu, line);
@@ -358,8 +390,12 @@ impl MemSystem {
         if let Some(victim) = self.l2[cmp.0].insert(line, new_state) {
             self.handle_l2_eviction(cmp, victim.line, victim.state, now);
         }
-        let req_kind = if needs_m { ReqKind::ReadEx } else { ReqKind::Read };
-        self.note_fill(cmp, line, role, shared, req_kind, complete, now);
+        let req_kind = if needs_m {
+            ReqKind::ReadEx
+        } else {
+            ReqKind::Read
+        };
+        self.note_fill(cmp, line, role, shared, req_kind, remote, complete, now);
         self.mshr[cmp.0].insert(line, complete);
         if kind != AccessKind::PrefetchEx {
             self.fill_l1(cpu, line);
@@ -401,9 +437,23 @@ impl MemSystem {
         role: StreamRole,
         shared: bool,
         kind: ReqKind,
+        remote: bool,
         complete: Cycle,
         now: Cycle,
     ) {
+        if self.tracer.is_on() {
+            self.tracer.record(
+                complete,
+                cmp.0 as u32,
+                TraceEvent::MemFill {
+                    line: line.0,
+                    read_ex: kind == ReqKind::ReadEx,
+                    remote,
+                    issue: now,
+                    complete,
+                },
+            );
+        }
         if shared && role != StreamRole::Solo {
             self.classifier.on_fill(cmp, line, role, kind, complete);
             // The issuer's own demand reference follows the fill so that a
@@ -718,7 +768,7 @@ mod tests {
         let mut st_a = CpuStats::default();
         let mut st_r = CpuStats::default();
         let addr = shared_addr(&ms, 64); // remote home
-        // A-stream converts a shared store into a read-ex prefetch at t=0.
+                                         // A-stream converts a shared store into a read-ex prefetch at t=0.
         let ra = ms.access(CpuId(1), addr, AccessKind::PrefetchEx, 0, &mut st_a);
         assert_eq!(ra.complete, 11, "prefetch returns after issue");
         // R-stream stores long after the prefetch landed: fast ownership hit.
@@ -728,7 +778,9 @@ mod tests {
         ms.finish();
         use crate::classify::FillClass;
         assert_eq!(
-            ms.classifier.counts.get(ReqKind::ReadEx, FillClass::ATimely),
+            ms.classifier
+                .counts
+                .get(ReqKind::ReadEx, FillClass::ATimely),
             1
         );
     }
@@ -772,7 +824,10 @@ mod tests {
         assert!(ms.l2_evictions >= 1);
         use crate::classify::FillClass;
         let before_finish = ms.classifier.counts.get(ReqKind::Read, FillClass::AOnly);
-        assert!(before_finish >= 1, "evicted unused prefetch already counted");
+        assert!(
+            before_finish >= 1,
+            "evicted unused prefetch already counted"
+        );
         ms.finish();
         assert_eq!(ms.classifier.counts.get(ReqKind::Read, FillClass::AOnly), 5);
     }
@@ -821,12 +876,22 @@ mod tests {
         // Consumer's A-stream (CPU 1, CMP 0) reads it: 3-hop fetch, and
         // the hint makes the producer drop its copy.
         ms.access(CpuId(1), addr, AccessKind::Load, w.complete, &mut st);
-        assert_eq!(ms.l2_of(CmpId(1)).peek(line), None, "owner self-invalidated");
+        assert_eq!(
+            ms.l2_of(CmpId(1)).peek(line),
+            None,
+            "owner self-invalidated"
+        );
         assert_eq!(ms.l2_of(CmpId(0)).peek(line), Some(LineState::Shared));
         // The producer's next write needs only the consumer invalidated —
         // no dirty-owner forward.
         let hops_before = ms.dir_of(CmpId(0)).three_hop_fetches;
-        ms.access(CpuId(2), addr, AccessKind::Store, w.complete + 5000, &mut st);
+        ms.access(
+            CpuId(2),
+            addr,
+            AccessKind::Store,
+            w.complete + 5000,
+            &mut st,
+        );
         assert_eq!(
             ms.dir_of(CmpId(0)).three_hop_fetches,
             hops_before,

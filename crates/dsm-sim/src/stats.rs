@@ -7,7 +7,6 @@
 //! code the CPU is conceptually executing (runtime scheduler code stalls
 //! count as scheduling, user code stalls as memory, ...).
 
-
 /// Which redundant stream a processor is running.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StreamRole {

@@ -77,6 +77,12 @@ impl Barrier {
     pub fn waiting(&self) -> usize {
         self.waiters.len()
     }
+
+    /// Arrivals registered in the current episode (0 right after a
+    /// release). Trace hooks read this to annotate arrive events.
+    pub fn arrived(&self) -> usize {
+        self.arrived
+    }
 }
 
 /// A FIFO queueing lock.

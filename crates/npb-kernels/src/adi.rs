@@ -65,10 +65,15 @@ impl AdiParams {
             // Initialize the field (plane-parallel, like every grid loop
             // in the NPB source).
             reg.par_for(sched, i, 0, g.nz, move |plane| {
-                plane.for_loop(k, Expr::v(i) * g.dz(), (Expr::v(i) + 1) * g.dz(), move |body| {
-                    body.compute(2);
-                    body.store(u, Expr::v(k));
-                });
+                plane.for_loop(
+                    k,
+                    Expr::v(i) * g.dz(),
+                    (Expr::v(i) + 1) * g.dz(),
+                    move |body| {
+                        body.compute(2);
+                        body.store(u, Expr::v(k));
+                    },
+                );
             });
             reg.push(Node::For {
                 var: step,
@@ -112,14 +117,19 @@ fn adi_step(
 
     // compute_rhs: 7-point stencil on u into rhs (`do k` over z-planes).
     blk.par_for(sched, i, 0, n, move |plane| {
-        plane.for_loop(k, Expr::v(i) * g.dz(), (Expr::v(i) + 1) * g.dz(), move |body| {
-            body.load(u, Expr::v(k));
-            for off in g.stencil7_offsets() {
-                body.load(u, g.nbr(Expr::v(k), off));
-            }
-            body.compute(rhs_c);
-            body.store(rhs, Expr::v(k));
-        });
+        plane.for_loop(
+            k,
+            Expr::v(i) * g.dz(),
+            (Expr::v(i) + 1) * g.dz(),
+            move |body| {
+                body.load(u, Expr::v(k));
+                for off in g.stencil7_offsets() {
+                    body.load(u, g.nbr(Expr::v(k), off));
+                }
+                body.compute(rhs_c);
+                body.store(rhs, Expr::v(k));
+            },
+        );
     });
 
     // Line solves. `cell_index(q, j, k)` gives the grid point the (j, k)
@@ -160,12 +170,17 @@ fn adi_step(
 
     // add: u += rhs (`do k` over z-planes).
     blk.par_for(sched, i, 0, n, move |plane| {
-        plane.for_loop(k, Expr::v(i) * g.dz(), (Expr::v(i) + 1) * g.dz(), move |body| {
-            body.load(u, Expr::v(k));
-            body.load(rhs, Expr::v(k));
-            body.compute(5);
-            body.store(u, Expr::v(k));
-        });
+        plane.for_loop(
+            k,
+            Expr::v(i) * g.dz(),
+            (Expr::v(i) + 1) * g.dz(),
+            move |body| {
+                body.load(u, Expr::v(k));
+                body.load(rhs, Expr::v(k));
+                body.compute(5);
+                body.store(u, Expr::v(k));
+            },
+        );
     });
 
     blk.into_node()
@@ -227,8 +242,8 @@ mod tests {
             for q in 0..n {
                 for j in 0..n {
                     for k in 0..n {
-                        let idx = cell_index(g, Expr::c(q), Expr::c(j), Expr::c(k))
-                            .eval(&ctx) as usize;
+                        let idx =
+                            cell_index(g, Expr::c(q), Expr::c(j), Expr::c(k)).eval(&ctx) as usize;
                         assert!(!seen[idx], "dir {d} q {q} j {j} k {k} duplicates");
                         seen[idx] = true;
                     }

@@ -129,12 +129,26 @@ impl MgParams {
             // Final residual norm (NPB MG's norm2u3 verification pass).
             let g0 = grids2[0];
             let r0 = r2[0];
-            reg.par_for_reduce(sched, q, 0, g0.nz, ReductionOp::Sum, norm, 0, move |plane| {
-                plane.for_loop(i, Expr::v(q) * g0.dz(), (Expr::v(q) + 1) * g0.dz(), move |cell| {
-                    cell.load(r0, Expr::v(i));
-                    cell.compute(2);
-                });
-            });
+            reg.par_for_reduce(
+                sched,
+                q,
+                0,
+                g0.nz,
+                ReductionOp::Sum,
+                norm,
+                0,
+                move |plane| {
+                    plane.for_loop(
+                        i,
+                        Expr::v(q) * g0.dz(),
+                        (Expr::v(q) + 1) * g0.dz(),
+                        move |cell| {
+                            cell.load(r0, Expr::v(i));
+                            cell.compute(2);
+                        },
+                    );
+                },
+            );
             reg.master(|m| {
                 m.load(norm, 0);
                 m.compute(30);

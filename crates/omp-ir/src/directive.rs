@@ -487,12 +487,24 @@ mod tests {
 
     #[test]
     fn simple_directives() {
-        assert_eq!(parse_directive("#pragma omp barrier").unwrap(), Directive::Barrier);
+        assert_eq!(
+            parse_directive("#pragma omp barrier").unwrap(),
+            Directive::Barrier
+        );
         assert_eq!(parse_directive("!$OMP SINGLE").unwrap(), Directive::Single);
         assert_eq!(parse_directive("master").unwrap(), Directive::Master);
-        assert_eq!(parse_directive("#pragma omp atomic").unwrap(), Directive::Atomic);
-        assert_eq!(parse_directive("#pragma omp flush").unwrap(), Directive::Flush);
-        assert_eq!(parse_directive("#pragma omp sections").unwrap(), Directive::Sections);
+        assert_eq!(
+            parse_directive("#pragma omp atomic").unwrap(),
+            Directive::Atomic
+        );
+        assert_eq!(
+            parse_directive("#pragma omp flush").unwrap(),
+            Directive::Flush
+        );
+        assert_eq!(
+            parse_directive("#pragma omp sections").unwrap(),
+            Directive::Sections
+        );
         assert_eq!(
             parse_directive("#pragma omp critical (update)").unwrap(),
             Directive::Critical {

@@ -25,12 +25,14 @@ pub mod validate;
 pub mod wsloop;
 
 pub use builder::{BlockBuilder, ProgramBuilder};
-pub use directive::{parse_directive, parse_omp_slipstream_env, Directive, DirectiveError, EnvSlipstream};
-pub use lower::{Pragma, PragmaBlock};
+pub use directive::{
+    parse_directive, parse_omp_slipstream_env, Directive, DirectiveError, EnvSlipstream,
+};
 pub use expr::{BinOp, Expr, SimpleCtx, TableId, VarId};
+pub use lower::{Pragma, PragmaBlock};
 pub use node::{
     ArrayDecl, ArrayId, Node, Program, Reduction, ReductionOp, ScheduleKind, ScheduleSpec,
-    SlipstreamClause, SlipSyncType,
+    SlipSyncType, SlipstreamClause,
 };
 pub use trace::{trace, OpCounts, TraceSummary};
 pub use validate::{validate, ValidationError};

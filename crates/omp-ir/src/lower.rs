@@ -222,11 +222,18 @@ mod tests {
         let a = b.shared_array("a", 64, 8);
         let sum = b.shared_array("sum", 1, 8);
         let i = b.var();
-        b.pragma_slipstream("!$OMP SLIPSTREAM(RUNTIME_SYNC)").unwrap();
+        b.pragma_slipstream("!$OMP SLIPSTREAM(RUNTIME_SYNC)")
+            .unwrap();
         b.pragma_parallel("#pragma omp parallel", move |r| {
-            r.pragma_for("#pragma omp for schedule(dynamic, 4)", i, 0, 64, move |body| {
-                body.load(a, Expr::v(i));
-            })
+            r.pragma_for(
+                "#pragma omp for schedule(dynamic, 4)",
+                i,
+                0,
+                64,
+                move |body| {
+                    body.load(a, Expr::v(i));
+                },
+            )
             .unwrap();
             r.pragma_construct("#pragma omp barrier", |_| {}).unwrap();
             r.pragma_for_reduce(
@@ -241,7 +248,8 @@ mod tests {
                 },
             )
             .unwrap();
-            r.pragma_construct("#pragma omp single", |s| s.compute(5)).unwrap();
+            r.pragma_construct("#pragma omp single", |s| s.compute(5))
+                .unwrap();
             r.pragma_construct("#pragma omp critical (u)", |c| c.store(a, 0))
                 .unwrap();
             r.pragma_construct("#pragma omp flush", |_| {}).unwrap();
@@ -282,9 +290,15 @@ mod tests {
         let a = b.shared_array("a", 8, 8);
         let i = b.var();
         b.pragma_parallel("#pragma omp parallel", move |r| {
-            r.pragma_for("#pragma omp for schedule(guided, 2) nowait", i, 0, 8, move |x| {
-                x.load(a, Expr::v(i));
-            })
+            r.pragma_for(
+                "#pragma omp for schedule(guided, 2) nowait",
+                i,
+                0,
+                8,
+                move |x| {
+                    x.load(a, Expr::v(i));
+                },
+            )
             .unwrap();
         })
         .unwrap();
@@ -318,9 +332,11 @@ mod tests {
         assert!(blk
             .pragma_for("#pragma omp parallel", i, 0, 4, |_| {})
             .is_err());
-        assert!(blk
-            .pragma_for("#pragma omp for reduction(+: x)", i, 0, 4, |_| {})
-            .is_err(), "reduction requires pragma_for_reduce");
+        assert!(
+            blk.pragma_for("#pragma omp for reduction(+: x)", i, 0, 4, |_| {})
+                .is_err(),
+            "reduction requires pragma_for_reduce"
+        );
         assert!(blk.pragma_construct("#pragma omp for", |_| {}).is_err());
     }
 }

@@ -80,7 +80,11 @@ struct Tracer<'p> {
 
 impl<'p> Tracer<'p> {
     fn ctx(&self, tid: u64) -> SimpleCtx {
-        let mut c = SimpleCtx::new(self.program.num_vars as usize, tid as i64, self.nthreads as i64);
+        let mut c = SimpleCtx::new(
+            self.program.num_vars as usize,
+            tid as i64,
+            self.nthreads as i64,
+        );
         c.tables = self.program.tables.clone();
         c
     }

@@ -42,8 +42,10 @@ impl<'p> Validator<'p> {
     fn expr(&mut self, e: &Expr, what: &str) {
         if let Some(v) = e.max_var() {
             if v >= self.program.num_vars {
-                self.problems
-                    .push(format!("{what}: variable v{v} out of range (num_vars={})", self.program.num_vars));
+                self.problems.push(format!(
+                    "{what}: variable v{v} out of range (num_vars={})",
+                    self.program.num_vars
+                ));
             }
         }
         if let Some(t) = e.max_table() {
@@ -54,9 +56,14 @@ impl<'p> Validator<'p> {
         }
     }
 
-    fn array(&mut self, id: crate::node::ArrayId, what: &str) -> Option<&'p crate::node::ArrayDecl> {
+    fn array(
+        &mut self,
+        id: crate::node::ArrayId,
+        what: &str,
+    ) -> Option<&'p crate::node::ArrayDecl> {
         if id.0 as usize >= self.program.arrays.len() {
-            self.problems.push(format!("{what}: array a{} undeclared", id.0));
+            self.problems
+                .push(format!("{what}: array a{} undeclared", id.0));
             None
         } else {
             Some(&self.program.arrays[id.0 as usize])
@@ -79,9 +86,16 @@ impl<'p> Validator<'p> {
                 self.array(*array, "store");
                 self.expr(index, "store index");
             }
-            Node::For { var, begin, end, body, .. } => {
+            Node::For {
+                var,
+                begin,
+                end,
+                body,
+                ..
+            } => {
                 if var.0 >= self.program.num_vars {
-                    self.problems.push(format!("for: variable v{} out of range", var.0));
+                    self.problems
+                        .push(format!("for: variable v{} out of range", var.0));
                 }
                 self.expr(begin, "for begin");
                 self.expr(end, "for end");
@@ -96,9 +110,8 @@ impl<'p> Validator<'p> {
             }
             Node::SlipstreamSet(_) => {
                 if ctx != Ctx::Serial {
-                    self.problems.push(
-                        "SLIPSTREAM global setting is only valid in the serial part".into(),
-                    );
+                    self.problems
+                        .push("SLIPSTREAM global setting is only valid in the serial part".into());
                 }
             }
             Node::ParFor {
@@ -116,7 +129,8 @@ impl<'p> Validator<'p> {
                     });
                 }
                 if var.0 >= self.program.num_vars {
-                    self.problems.push(format!("parfor: variable v{} out of range", var.0));
+                    self.problems
+                        .push(format!("parfor: variable v{} out of range", var.0));
                 }
                 self.expr(begin, "parfor begin");
                 self.expr(end, "parfor end");
@@ -148,13 +162,15 @@ impl<'p> Validator<'p> {
             }
             Node::Critical { body, .. } => {
                 if ctx == Ctx::Serial {
-                    self.problems.push("critical outside a parallel region".into());
+                    self.problems
+                        .push("critical outside a parallel region".into());
                 }
                 self.node(body, Ctx::Worksharing);
             }
             Node::Atomic { array, index } => {
                 if ctx == Ctx::Serial {
-                    self.problems.push("atomic outside a parallel region".into());
+                    self.problems
+                        .push("atomic outside a parallel region".into());
                 }
                 if let Some(decl) = self.array(*array, "atomic") {
                     if !decl.shared {
@@ -170,7 +186,8 @@ impl<'p> Validator<'p> {
                         .push("sections must appear directly inside a parallel region".into());
                 }
                 if secs.is_empty() {
-                    self.problems.push("sections construct with no sections".into());
+                    self.problems
+                        .push("sections construct with no sections".into());
                 }
                 for s in secs {
                     self.node(s, Ctx::Worksharing);
@@ -272,8 +289,8 @@ mod tests {
 
     #[test]
     fn out_of_range_ids_fail() {
-        use crate::node::{ArrayId, Node};
         use crate::expr::VarId;
+        use crate::node::{ArrayId, Node};
         let p = Program {
             name: "bad".into(),
             arrays: vec![],

@@ -5,7 +5,6 @@
 //! here with no machine state attached. Iteration spaces are normalized to
 //! `begin..end` with a positive step.
 
-
 /// A contiguous chunk of the iteration space: `lo..hi` stepping by `step`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Chunk {
@@ -42,7 +41,10 @@ pub fn static_block(begin: i64, end: i64, step: u64, nthreads: u64, tid: u64) ->
     debug_assert!(tid < nthreads);
     let n = trip_count(begin, end, step);
     if n == 0 {
-        return Chunk { lo: begin, hi: begin };
+        return Chunk {
+            lo: begin,
+            hi: begin,
+        };
     }
     let per = n.div_ceil(nthreads);
     let first_iter = (tid * per).min(n);
@@ -175,10 +177,7 @@ mod tests {
         assert!(seen.iter().all(|&s| s == 1));
         // Thread 0 owns chunks starting at iterations 0 and 12.
         let t0 = static_chunked(0, n, 1, t, 0, 4);
-        assert_eq!(
-            t0,
-            vec![Chunk { lo: 0, hi: 4 }, Chunk { lo: 12, hi: 16 }]
-        );
+        assert_eq!(t0, vec![Chunk { lo: 0, hi: 4 }, Chunk { lo: 12, hi: 16 }]);
     }
 
     #[test]

@@ -202,7 +202,11 @@ fn schedule_directives_roundtrip() {
             };
             let d = omp_ir::parse_directive(&txt).unwrap();
             let expected = ScheduleSpec {
-                kind: [ScheduleKind::Static, ScheduleKind::Dynamic, ScheduleKind::Guided][kind],
+                kind: [
+                    ScheduleKind::Static,
+                    ScheduleKind::Dynamic,
+                    ScheduleKind::Guided,
+                ][kind],
                 chunk,
             };
             assert_eq!(

@@ -51,11 +51,7 @@ impl RuntimeEnv {
             "dynamic" => ScheduleKind::Dynamic,
             "guided" => ScheduleKind::Guided,
             "affinity" => ScheduleKind::Affinity,
-            other => {
-                return Err(DirectiveError(format!(
-                    "bad OMP_SCHEDULE kind {other:?}"
-                )))
-            }
+            other => return Err(DirectiveError(format!("bad OMP_SCHEDULE kind {other:?}"))),
         };
         let chunk = match parts.next() {
             None | Some("") => None,

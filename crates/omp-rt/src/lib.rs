@@ -24,5 +24,7 @@ pub mod team;
 pub use constructs::{ConstructArena, SectionsState, SingleState};
 pub use env::RuntimeEnv;
 pub use mode::{resolve_region, ExecMode, PairMode, RegionSlip, SlipSync};
-pub use schedule::{resolve_schedule, static_chunks, AffinityGrab, AffinityState, DynLoopState, ResolvedSchedule};
+pub use schedule::{
+    resolve_schedule, static_chunks, AffinityGrab, AffinityState, DynLoopState, ResolvedSchedule,
+};
 pub use team::{CpuAssignment, TeamLayout};

@@ -200,7 +200,10 @@ mod tests {
 
     #[test]
     fn default_is_global_zero() {
-        assert_eq!(resolve_region(None, None, None), RegionSlip::On(SlipSync::G0));
+        assert_eq!(
+            resolve_region(None, None, None),
+            RegionSlip::On(SlipSync::G0)
+        );
     }
 
     #[test]

@@ -100,7 +100,9 @@ impl DynLoopState {
         nthreads: u64,
     ) -> Option<Chunk> {
         let r = match sched {
-            ResolvedSchedule::Dynamic(c) => wsloop::dynamic_next(begin, end, step, self.next_iter, c),
+            ResolvedSchedule::Dynamic(c) => {
+                wsloop::dynamic_next(begin, end, step, self.next_iter, c)
+            }
             ResolvedSchedule::Guided(c) => {
                 wsloop::guided_next(begin, end, step, self.next_iter, nthreads, c)
             }
@@ -176,7 +178,13 @@ impl AffinityState {
     /// Grab the next chunk for `tid`: own queue first, else steal from
     /// the most-loaded thread. Returns `None` when the whole space is
     /// drained. `begin`/`step` map iteration indices to values.
-    pub fn next_chunk(&mut self, tid: u64, chunk: u64, begin: i64, step: u64) -> Option<AffinityGrab> {
+    pub fn next_chunk(
+        &mut self,
+        tid: u64,
+        chunk: u64,
+        begin: i64,
+        step: u64,
+    ) -> Option<AffinityGrab> {
         debug_assert!(self.is_initialized() && chunk > 0);
         let t = tid as usize;
         let to_values = |lo: u64, hi: u64| Chunk {
@@ -224,7 +232,9 @@ pub fn static_chunks(
     tid: u64,
 ) -> Vec<Chunk> {
     match sched {
-        ResolvedSchedule::StaticBlock => vec![wsloop::static_block(begin, end, step, nthreads, tid)],
+        ResolvedSchedule::StaticBlock => {
+            vec![wsloop::static_block(begin, end, step, nthreads, tid)]
+        }
         ResolvedSchedule::StaticChunked(c) => {
             wsloop::static_chunked(begin, end, step, nthreads, tid, c)
         }
@@ -245,7 +255,10 @@ mod tests {
 
     #[test]
     fn resolution_defaults() {
-        assert_eq!(resolve_schedule(None, env_static()), ResolvedSchedule::StaticBlock);
+        assert_eq!(
+            resolve_schedule(None, env_static()),
+            ResolvedSchedule::StaticBlock
+        );
         assert_eq!(
             resolve_schedule(Some(ScheduleSpec::dynamic(4)), env_static()),
             ResolvedSchedule::Dynamic(4)

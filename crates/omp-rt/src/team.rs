@@ -201,7 +201,10 @@ mod tests {
         assert_eq!(l.worker_cpu(17), CpuId(3));
         assert_eq!(l.assignment_of(CpuId(0)), CpuAssignment::Worker { tid: 0 });
         assert_eq!(l.assignment_of(CpuId(1)), CpuAssignment::Worker { tid: 16 });
-        assert_eq!(l.assignment_of(CpuId(31)), CpuAssignment::Worker { tid: 31 });
+        assert_eq!(
+            l.assignment_of(CpuId(31)),
+            CpuAssignment::Worker { tid: 31 }
+        );
         // Round-trip: every thread's cpu maps back to it.
         for tid in 0..32 {
             assert_eq!(

@@ -14,9 +14,7 @@
 
 use dsm_sim::{Addr, AddressMap};
 use omp_ir::expr::{Expr, VarId};
-use omp_ir::node::{
-    ArrayId, Node, Program, Reduction, ScheduleSpec, SlipstreamClause,
-};
+use omp_ir::node::{ArrayId, Node, Program, Reduction, ScheduleSpec, SlipstreamClause};
 use omp_ir::validate::{validate, ValidationError};
 use std::collections::HashMap;
 
@@ -216,7 +214,13 @@ impl CompiledProgram {
 
     /// Byte address of `array[index]` for the thread on `cpu` (private
     /// arrays replicate per processor).
-    pub fn element_addr(&self, map: &AddressMap, cpu: dsm_sim::CpuId, array: ArrayId, index: i64) -> Addr {
+    pub fn element_addr(
+        &self,
+        map: &AddressMap,
+        cpu: dsm_sim::CpuId,
+        array: ArrayId,
+        index: i64,
+    ) -> Addr {
         let a = &self.arrays[array.0 as usize];
         // Clamp out-of-range indices into the array rather than wandering
         // into a neighbouring array's lines: timing kernels may probe edges.
@@ -537,7 +541,10 @@ mod tests {
         let la = &cp.arrays[0];
         let lc = &cp.arrays[1];
         assert_eq!(la.base % 64, 0);
-        assert!(lc.base >= la.base + 100 * 8 + 64, "guard line between arrays");
+        assert!(
+            lc.base >= la.base + 100 * 8 + 64,
+            "guard line between arrays"
+        );
         assert!(cp.runtime_base > lc.base + 7 * 4);
         assert!(!cp.arrays[2].shared);
     }
@@ -659,7 +666,10 @@ mod tests {
         let cp = compile(&b.build(), &map()).unwrap();
         let sb = cp.arrays[0].base;
         assert!(cp.ops.contains(&Op::ComputeConst(0)));
-        assert!(cp.ops.contains(&Op::LoadShared(sb + 7 * 8)), "index clamps to last element");
+        assert!(
+            cp.ops.contains(&Op::LoadShared(sb + 7 * 8)),
+            "index clamps to last element"
+        );
     }
 
     #[test]

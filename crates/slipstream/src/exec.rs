@@ -27,8 +27,8 @@ use crate::faults::{FaultEvent, FaultKind, FaultPlan, FaultSite, PairLedger};
 use crate::pairing::{Decision, PairState};
 use crate::policy::{AAction, AStreamPolicy, RecoveryPolicy};
 use dsm_sim::{
-    AccessKind, Addr, AddressMap, Barrier, CmpId, CpuId, CpuTimeline, Cycle, EventQueue,
-    Lock, MachineConfig, MemSystem, StreamRole, TimeClass,
+    AccessKind, Addr, AddressMap, Barrier, CmpId, CpuId, CpuTimeline, Cycle, EventQueue, Lock,
+    MachineConfig, MemSystem, StreamRole, TimeClass,
 };
 use omp_ir::expr::{EvalCtx, Expr, TableId, VarId};
 use omp_ir::node::{ArrayId, Reduction, SlipstreamClause};
@@ -39,6 +39,7 @@ use omp_rt::mode::{resolve_region, ExecMode, PairMode, RegionSlip, SlipSync};
 use omp_rt::schedule::{resolve_schedule, static_chunks, ResolvedSchedule};
 use omp_rt::team::{CpuAssignment, TeamLayout};
 use omp_rt::RuntimeEnv;
+use sim_trace::{TraceConfig, TraceData, TraceEvent, Tracer, TrackDomain};
 
 /// Deterministic OS-interference model: every processor loses a slice of
 /// `slice_cycles` roughly every `quantum_cycles` (timer ticks, daemons),
@@ -95,6 +96,10 @@ pub struct EngineConfig {
     pub inject_divergence: Vec<(u64, u64)>,
     /// Optional OS-interference model.
     pub os_noise: Option<OsNoise>,
+    /// Structured event tracing (observation-only; off by default). When
+    /// on, the run's [`RunResult::trace`] carries the merged
+    /// [`TraceData`] for Perfetto export and analytics.
+    pub trace: TraceConfig,
     /// Hard cap on simulated cycles (deadlock/livelock watchdog).
     pub max_cycles: Cycle,
     /// Hard cap on scheduler events processed.
@@ -117,6 +122,7 @@ impl EngineConfig {
             faults: FaultPlan::none(),
             inject_divergence: Vec::new(),
             os_noise: None,
+            trace: TraceConfig::OFF,
             max_cycles: 50_000_000_000,
             max_events: 2_000_000_000,
         }
@@ -161,6 +167,9 @@ pub struct RunResult {
     pub stores_skipped: u64,
     /// Machine-wide counters (traffic, contention, invalidations).
     pub machine: dsm_sim::MachineCounters,
+    /// Merged trace of the run when [`EngineConfig::trace`] was on.
+    /// Observation-only: excluded from stats fingerprints by design.
+    pub trace: Option<TraceData>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -354,6 +363,8 @@ pub struct Engine<'p> {
     sched_steals_total: u64,
     /// One flag per `cfg.faults` event: fired yet?
     fault_fired: Vec<bool>,
+    /// CPU-domain event tracer (disabled unless `cfg.trace` is on).
+    tracer: Tracer,
 }
 
 const MASTER: usize = 0; // the master's OpenMP thread id
@@ -371,12 +382,10 @@ impl<'p> Engine<'p> {
             });
         }
         let fault_fired = vec![false; cfg.faults.events.len()];
-        let layout =
-            TeamLayout::new(&cfg.machine, cfg.mode).with_max_threads(cfg.env.num_threads);
+        let layout = TeamLayout::new(&cfg.machine, cfg.mode).with_max_threads(cfg.env.num_threads);
         let mut ms = MemSystem::new(&cfg.machine);
-        ms.set_self_invalidation(
-            cfg.mode == ExecMode::Slipstream && cfg.policy.self_invalidation,
-        );
+        ms.set_self_invalidation(cfg.mode == ExecMode::Slipstream && cfg.policy.self_invalidation);
+        ms.set_trace(&cfg.trace);
         let map = AddressMap::new(&cfg.machine);
         let base_line = cp.runtime_base / map.line_bytes();
         let mut eng = Engine {
@@ -409,6 +418,7 @@ impl<'p> Engine<'p> {
             sched_grabs_total: 0,
             sched_steals_total: 0,
             fault_fired,
+            tracer: Tracer::new(&cfg.trace, TrackDomain::Cpu),
             cfg,
         };
         eng.init();
@@ -507,11 +517,21 @@ impl<'p> Engine<'p> {
             });
         }
 
+        // Active timelines record coalesced time-class spans when tracing.
+        if self.cfg.trace.is_on() {
+            let cap = self.cfg.trace.capacity;
+            for c in self.cpus.iter_mut() {
+                if c.assign != CpuAssignment::Idle {
+                    c.timeline.enable_trace(cap);
+                }
+            }
+        }
+
         // Stagger the first OS interruption per processor.
         if let Some(noise) = self.cfg.os_noise {
             for (i, c) in self.cpus.iter_mut().enumerate() {
-                c.next_interrupt =
-                    mix64(noise.seed ^ (i as u64).wrapping_mul(0x9E37)) % noise.quantum_cycles.max(1);
+                c.next_interrupt = mix64(noise.seed ^ (i as u64).wrapping_mul(0x9E37))
+                    % noise.quantum_cycles.max(1);
             }
         }
 
@@ -594,9 +614,13 @@ impl<'p> Engine<'p> {
 
     fn mem(&mut self, ci: usize, addr: Addr, kind: AccessKind, class: TimeClass) {
         let now = self.cpus[ci].timeline.now();
-        let r = self
-            .ms
-            .access(CpuId(ci), addr, kind, now, &mut self.cpus[ci].timeline.stats);
+        let r = self.ms.access(
+            CpuId(ci),
+            addr,
+            kind,
+            now,
+            &mut self.cpus[ci].timeline.stats,
+        );
         self.cpus[ci].timeline.mem_access(1, r.complete, class);
     }
 
@@ -672,9 +696,10 @@ impl<'p> Engine<'p> {
     }
 
     /// Fire the first unfired fault scheduled for `(site, tid, seq)`, if
-    /// any. Each event fires at most once; firings are recorded in the
-    /// victim pair's ledger.
-    fn fault_at(&mut self, site: FaultSite, tid: u64, seq: u64) -> Option<FaultEvent> {
+    /// any, at the hook point reached by `ci`. Each event fires at most
+    /// once; firings are recorded in the victim pair's ledger (and in the
+    /// trace, on the hook processor's track).
+    fn fault_at(&mut self, ci: usize, site: FaultSite, tid: u64, seq: u64) -> Option<FaultEvent> {
         for i in 0..self.cfg.faults.events.len() {
             let e = self.cfg.faults.events[i];
             if !self.fault_fired[i] && e.kind.site() == site && e.tid == tid && e.seq == seq {
@@ -683,6 +708,19 @@ impl<'p> Engine<'p> {
                     self.pairs[tid as usize].faults_injected += 1;
                     let ai = self.pairs[tid as usize].a_cpu.0;
                     self.cpus[ai].timeline.stats.faults_injected += 1;
+                }
+                if self.tracer.is_on() {
+                    let now = self.cpus[ci].timeline.now();
+                    self.tracer.record(
+                        now,
+                        ci as u32,
+                        TraceEvent::Fault {
+                            kind: e.kind.label(),
+                            site: site.label(),
+                            pair: tid as u32,
+                            seq,
+                        },
+                    );
                 }
                 return Some(e);
             }
@@ -705,6 +743,62 @@ impl<'p> Engine<'p> {
     fn a_diverge(&mut self, ci: usize, p: usize) {
         self.pairs[p].diverged = true;
         self.park(ci, TimeClass::AStreamWait);
+    }
+
+    /// Trace an A–R lead-distance sample for pair `p` on `ci`'s track
+    /// (recorded at every epoch boundary so the exporter can draw a
+    /// per-pair lead counter track).
+    fn trace_lead(&mut self, ci: usize, p: usize) {
+        if !self.tracer.is_on() {
+            return;
+        }
+        let t = self.cpus[ci].timeline.now();
+        let lead = self.pairs[p].lead();
+        self.tracer.record(
+            t,
+            ci as u32,
+            TraceEvent::Lead {
+                pair: p as u32,
+                lead,
+            },
+        );
+    }
+
+    /// Trace an A-stream token consume (with the post-consume semaphore
+    /// count) plus the resulting lead sample.
+    fn trace_token_consume(&mut self, ci: usize, p: usize) {
+        if !self.tracer.is_on() {
+            return;
+        }
+        let t = self.cpus[ci].timeline.now();
+        let count = self.pairs[p].tokens.count() as i64;
+        self.tracer.record(
+            t,
+            ci as u32,
+            TraceEvent::TokenConsume {
+                pair: p as u32,
+                count,
+            },
+        );
+        self.trace_lead(ci, p);
+    }
+
+    /// Trace a consumed scheduling decision on `ci`'s track.
+    fn trace_decision_consume(&mut self, ci: usize, p: usize, d: Option<Decision>) {
+        if !self.tracer.is_on() {
+            return;
+        }
+        if let Some(d) = d {
+            let t = self.cpus[ci].timeline.now();
+            self.tracer.record(
+                t,
+                ci as u32,
+                TraceEvent::DecisionConsume {
+                    pair: p as u32,
+                    kind: d.label(),
+                },
+            );
+        }
     }
 
     // ------------------------------------------------------ entry logic --
@@ -776,10 +870,9 @@ impl<'p> Engine<'p> {
         match cp.node(node) {
             // Leaves covered by the op table never reach here, but the
             // arms stay for exhaustiveness (`enter` handles them).
-            FNode::Seq(_)
-            | FNode::Compute(_)
-            | FNode::Load { .. }
-            | FNode::Store { .. } => self.enter(ci, node),
+            FNode::Seq(_) | FNode::Compute(_) | FNode::Load { .. } | FNode::Store { .. } => {
+                self.enter(ci, node)
+            }
             FNode::Atomic { array, index } => {
                 let idx = self.eval(ci, index);
                 let addr = self.element_addr(ci, *array, idx);
@@ -985,7 +1078,7 @@ impl<'p> Engine<'p> {
             let mut target = addr;
             if let Some(p) = self.pair_of(ci) {
                 let tid = self.pairs[p].tid;
-                if let Some(ev) = self.fault_at(FaultSite::AStore, tid, store_seq) {
+                if let Some(ev) = self.fault_at(ci, FaultSite::AStore, tid, store_seq) {
                     if ev.kind == FaultKind::StalePrefetch {
                         // Failed self-invalidation: the prefetch lands on
                         // the pair's decision line instead of the intended
@@ -1048,11 +1141,12 @@ impl<'p> Engine<'p> {
             if let Some(noise) = self.cfg.os_noise {
                 let now = self.cpus[ci].timeline.now();
                 if now >= self.cpus[ci].next_interrupt {
-                    self.cpus[ci].timeline.busy(noise.slice_cycles, TimeClass::Os);
+                    self.cpus[ci]
+                        .timeline
+                        .busy(noise.slice_cycles, TimeClass::Os);
                     self.cpus[ci].interrupts += 1;
-                    let jitter = mix64(
-                        noise.seed ^ now ^ ((ci as u64) << 32),
-                    ) % (noise.quantum_cycles / 4).max(1);
+                    let jitter = mix64(noise.seed ^ now ^ ((ci as u64) << 32))
+                        % (noise.quantum_cycles / 4).max(1);
                     self.cpus[ci].next_interrupt =
                         now + noise.slice_cycles + noise.quantum_cycles + jitter
                             - noise.quantum_cycles / 8;
@@ -1151,8 +1245,7 @@ impl<'p> Engine<'p> {
                                 let mut cur = cur;
                                 loop {
                                     self.cpus[ci].vars[var.0 as usize] = cur;
-                                    let cyc =
-                                        self.eval(ci, &cp.exprs[x as usize]).max(0) as u64;
+                                    let cyc = self.eval(ci, &cp.exprs[x as usize]).max(0) as u64;
                                     self.cpus[ci].user.compute_cycles += cyc;
                                     self.busy(ci, overhead + cyc, TimeClass::Busy);
                                     cur += step as i64;
@@ -1263,12 +1356,26 @@ impl<'p> Engine<'p> {
                 let seq = self.pairs[p].token_seq;
                 self.pairs[p].token_seq = seq.wrapping_add(1);
                 let fault = self
-                    .fault_at(FaultSite::TokenInsert, tid, seq)
+                    .fault_at(ci, FaultSite::TokenInsert, tid, seq)
                     .map(|e| e.kind);
                 if fault == Some(FaultKind::TokenLoss) {
                     // The pair-register write is lost: the semaphore never
                     // sees the insertion, so the A-stream may strand on an
                     // empty semaphore. The barrier watchdog is the backstop.
+                    if self.tracer.is_on() {
+                        let t = self.cpus[ci].timeline.now();
+                        let count = self.pairs[p].tokens.count() as i64;
+                        self.tracer.record(
+                            t,
+                            ci as u32,
+                            TraceEvent::TokenInsert {
+                                pair: p as u32,
+                                seq,
+                                count,
+                                lost: true,
+                            },
+                        );
+                    }
                     return;
                 }
                 let woken = self.pairs[p].tokens.signal();
@@ -1281,6 +1388,19 @@ impl<'p> Engine<'p> {
                     woken
                 };
                 let t = self.cpus[ci].timeline.now();
+                if self.tracer.is_on() {
+                    let count = self.pairs[p].tokens.count() as i64;
+                    self.tracer.record(
+                        t,
+                        ci as u32,
+                        TraceEvent::TokenInsert {
+                            pair: p as u32,
+                            seq,
+                            count,
+                            lost: false,
+                        },
+                    );
+                }
                 if let Some(a_cpu) = woken {
                     self.wake(a_cpu, t);
                 }
@@ -1297,8 +1417,7 @@ impl<'p> Engine<'p> {
         }
         self.busy(ci, 2, TimeClass::Busy); // compare token count
         let suspected = self.pairs[p].diverged
-            || self.pairs[p]
-                .divergence_suspected(self.cfg.recovery.divergence_slack);
+            || self.pairs[p].divergence_suspected(self.cfg.recovery.divergence_slack);
         if suspected {
             self.recover_astream(ci, p);
         }
@@ -1370,6 +1489,16 @@ impl<'p> Engine<'p> {
         let r_epoch = self.pairs[p].r_epoch;
         self.pairs[p].a_epoch = r_epoch;
         self.cpus[ai].timeline.stats.recoveries += 1;
+        if self.tracer.is_on() {
+            self.tracer.record(
+                now,
+                ai as u32,
+                TraceEvent::Recovery {
+                    pair: p as u32,
+                    watchdog,
+                },
+            );
+        }
         if !self.pairs[p].demoted()
             && self.pairs[p].recoveries > self.cfg.recovery.max_recoveries_per_pair
         {
@@ -1410,6 +1539,10 @@ impl<'p> Engine<'p> {
         self.pairs[p].mode = PairMode::DegradedSingle;
         self.pairs[p].demoted_at = Some(now);
         self.cpus[ai].timeline.stats.demotions = 1;
+        if self.tracer.is_on() {
+            self.tracer
+                .record(now, ai as u32, TraceEvent::Demotion { pair: p as u32 });
+        }
         // The A-stream's remaining obligation is the region-end barrier.
         // Rebuild its continuation as R's enclosing region-end protocol
         // with the body dropped; a worker A outside any region frame just
@@ -1530,7 +1663,7 @@ impl<'p> Engine<'p> {
                         let p = self.pair_of(ci).expect("A-stream without pair");
                         let tid = self.cpus[ci].tid;
                         let epoch = self.pairs[p].a_epoch;
-                        match self.fault_at(FaultSite::ABarrier, tid, epoch) {
+                        match self.fault_at(ci, FaultSite::ABarrier, tid, epoch) {
                             Some(ev) if ev.kind == FaultKind::Wander => {
                                 // Wander off the control path: diverge and
                                 // park until recovered.
@@ -1549,8 +1682,17 @@ impl<'p> Engine<'p> {
                         if granted {
                             self.pairs[p].bump_a_epoch();
                             self.cpus[ci].timeline.stats.barriers += 1;
+                            self.trace_token_consume(ci, p);
                         } else {
                             self.cpus[ci].frames.push(Frame::Bar { internal, stage: 1 });
+                            if self.tracer.is_on() {
+                                let t = self.cpus[ci].timeline.now();
+                                self.tracer.record(
+                                    t,
+                                    ci as u32,
+                                    TraceEvent::TokenWait { pair: p as u32 },
+                                );
+                            }
                             self.park(ci, TimeClass::AStreamWait);
                         }
                     }
@@ -1558,6 +1700,7 @@ impl<'p> Engine<'p> {
                         let p = self.pair_of(ci).expect("A-stream without pair");
                         self.pairs[p].bump_a_epoch();
                         self.cpus[ci].timeline.stats.barriers += 1;
+                        self.trace_token_consume(ci, p);
                     }
                     _ => unreachable!("A-stream barrier stage"),
                 }
@@ -1579,6 +1722,7 @@ impl<'p> Engine<'p> {
                             self.insert_token(ci);
                             if let Some(p) = self.pair_of(ci) {
                                 self.pairs[p].bump_r_epoch();
+                                self.trace_lead(ci, p);
                             }
                         }
                     }
@@ -1593,6 +1737,21 @@ impl<'p> Engine<'p> {
                 self.mem(ci, bar_addr, AccessKind::Load, TimeClass::Barrier);
                 self.mem(ci, bar_addr, AccessKind::Store, TimeClass::Barrier);
                 self.cpus[ci].timeline.stats.barriers += 1;
+                if self.tracer.is_on() {
+                    let t = self.cpus[ci].timeline.now();
+                    let bar = if internal {
+                        &self.region_barrier
+                    } else {
+                        &self.construct_barrier
+                    };
+                    let ev = TraceEvent::BarrierArrive {
+                        addr: bar_addr,
+                        generation: bar.generation(),
+                        arrived: bar.arrived() as u32 + 1,
+                        total: bar.total() as u32,
+                    };
+                    self.tracer.record(t, ci as u32, ev);
+                }
                 let released = {
                     let bar = if internal {
                         &mut self.region_barrier
@@ -1604,6 +1763,22 @@ impl<'p> Engine<'p> {
                 match released {
                     Some(waiters) => {
                         let t = self.cpus[ci].timeline.now();
+                        if self.tracer.is_on() {
+                            let generation = if internal {
+                                self.region_barrier.generation()
+                            } else {
+                                self.construct_barrier.generation()
+                            };
+                            self.tracer.record(
+                                t,
+                                ci as u32,
+                                TraceEvent::BarrierRelease {
+                                    addr: bar_addr,
+                                    generation,
+                                    woken: waiters.len() as u32,
+                                },
+                            );
+                        }
                         for w in waiters {
                             self.wake(w, t);
                         }
@@ -1643,6 +1818,7 @@ impl<'p> Engine<'p> {
                     self.insert_token(ci);
                     if let Some(p) = self.pair_of(ci) {
                         self.pairs[p].bump_r_epoch();
+                        self.trace_lead(ci, p);
                     }
                 }
             }
@@ -1871,7 +2047,9 @@ impl<'p> Engine<'p> {
                 }
                 1 => {
                     let p = self.pair_of(ci).expect("A without pair");
-                    match self.pairs[p].take_decision() {
+                    let d = self.pairs[p].take_decision();
+                    self.trace_decision_consume(ci, p, d);
+                    match d {
                         Some(Decision::Section(s)) if s < secs.len() => {
                             let daddr = self.pairs[p].decision_addr;
                             self.mem(ci, daddr, AccessKind::Load, TimeClass::Busy);
@@ -1951,11 +2129,27 @@ impl<'p> Engine<'p> {
         let tid = self.pairs[p].tid;
         let seq = self.pairs[p].publish_seq;
         self.pairs[p].publish_seq = seq.wrapping_add(1);
-        let d = match self.fault_at(FaultSite::Publish, tid, seq).map(|e| e.kind) {
+        let d = match self
+            .fault_at(ci, FaultSite::Publish, tid, seq)
+            .map(|e| e.kind)
+        {
             Some(FaultKind::SignalLoss) => {
                 // The decision reaches the queue but the sched_sem signal
                 // is lost: an A-stream parked on the semaphore strands
                 // until the watchdog or a slack check recovers it.
+                if self.tracer.is_on() {
+                    let t = self.cpus[ci].timeline.now();
+                    self.tracer.record(
+                        t,
+                        ci as u32,
+                        TraceEvent::DecisionPublish {
+                            pair: p as u32,
+                            seq,
+                            kind: d.label(),
+                            lost: true,
+                        },
+                    );
+                }
                 self.pairs[p].decisions.push_back(d);
                 return;
             }
@@ -1965,6 +2159,19 @@ impl<'p> Engine<'p> {
             },
             _ => d,
         };
+        if self.tracer.is_on() {
+            let t = self.cpus[ci].timeline.now();
+            self.tracer.record(
+                t,
+                ci as u32,
+                TraceEvent::DecisionPublish {
+                    pair: p as u32,
+                    seq,
+                    kind: d.label(),
+                    lost: false,
+                },
+            );
+        }
         let woken = self.pairs[p].publish(d);
         let t = self.cpus[ci].timeline.now();
         if let Some(a) = woken {
@@ -2019,7 +2226,9 @@ impl<'p> Engine<'p> {
                 }
                 11 => {
                     let p = self.pair_of(ci).expect("A without pair");
-                    match self.pairs[p].take_decision() {
+                    let d = self.pairs[p].take_decision();
+                    self.trace_decision_consume(ci, p, d);
+                    match d {
                         Some(Decision::Chunk(c)) => {
                             let daddr = self.pairs[p].decision_addr;
                             self.mem(ci, daddr, AccessKind::Load, TimeClass::Busy);
@@ -2221,7 +2430,9 @@ impl<'p> Engine<'p> {
                 }
                 1 => {
                     let p = self.pair_of(ci).expect("A-master without pair");
-                    match self.pairs[p].take_decision() {
+                    let d = self.pairs[p].take_decision();
+                    self.trace_decision_consume(ci, p, d);
+                    match d {
                         Some(Decision::RegionGo) => {
                             self.cpus[ci].jobs_taken += 1;
                             self.cpus[ci].reset_encounters();
@@ -2361,7 +2572,9 @@ impl<'p> Engine<'p> {
                     self.busy(ci, self.cfg.machine.pair_register_cycles, TimeClass::Busy);
                     let granted = self.pairs[p].sched_sem.wait(CpuId(ci));
                     if granted {
-                        match self.pairs[p].take_decision() {
+                        let d = self.pairs[p].take_decision();
+                        self.trace_decision_consume(ci, p, d);
+                        match d {
                             Some(Decision::IoDone) => {}
                             _ => self.a_diverge(ci, p),
                         }
@@ -2376,7 +2589,9 @@ impl<'p> Engine<'p> {
                 }
                 1 => {
                     let p = self.pair_of(ci).expect("A without pair");
-                    match self.pairs[p].take_decision() {
+                    let d = self.pairs[p].take_decision();
+                    self.trace_decision_consume(ci, p, d);
+                    match d {
                         Some(Decision::IoDone) => {}
                         _ => self.a_diverge(ci, p),
                     }
@@ -2455,6 +2670,42 @@ impl<'p> Engine<'p> {
         }
         self.ms.finish();
 
+        // Assemble the trace after the memory system retires its live fill
+        // records (end-of-run classifications land in the classifier's
+        // tracer during `ms.finish()`).
+        let trace = if self.cfg.trace.is_on() {
+            let mut data = TraceData {
+                cycles: end,
+                cpu_names: self
+                    .cpus
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| format!("cpu{i} ({:?})", c.role))
+                    .collect(),
+                cmp_count: self.cfg.machine.num_cmps,
+                spans: Vec::with_capacity(self.cpus.len()),
+                events: Vec::new(),
+                dropped: 0,
+            };
+            for c in self.cpus.iter_mut() {
+                match c.timeline.take_spans() {
+                    Some((spans, dropped)) => {
+                        data.spans.push(spans);
+                        data.dropped += dropped;
+                    }
+                    None => data.spans.push(Vec::new()),
+                }
+            }
+            let mut batches = self.ms.take_trace();
+            let engine_tracer =
+                std::mem::replace(&mut self.tracer, Tracer::disabled(TrackDomain::Cpu));
+            batches.push(engine_tracer.drain());
+            data.merge_events(batches);
+            Some(data)
+        } else {
+            None
+        };
+
         let mut r_breakdown = dsm_sim::TimeBreakdown::new();
         let mut a_breakdown = dsm_sim::TimeBreakdown::new();
         let mut user_r = OpCounts::default();
@@ -2495,11 +2746,7 @@ impl<'p> Engine<'p> {
         RunResult {
             exec_cycles: end,
             roles: self.cpus.iter().map(|c| c.role).collect(),
-            cpu_stats: self
-                .cpus
-                .iter()
-                .map(|c| c.timeline.stats.clone())
-                .collect(),
+            cpu_stats: self.cpus.iter().map(|c| c.timeline.stats.clone()).collect(),
             fill_counts: self.ms.classifier.counts,
             r_breakdown,
             a_breakdown,
@@ -2514,6 +2761,7 @@ impl<'p> Engine<'p> {
             stores_converted,
             stores_skipped,
             machine,
+            trace,
         }
     }
 }

@@ -65,6 +65,18 @@ pub enum FaultSite {
     AStore,
 }
 
+impl FaultSite {
+    /// Short label for traces and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultSite::ABarrier => "a-barrier",
+            FaultSite::TokenInsert => "token-insert",
+            FaultSite::Publish => "publish",
+            FaultSite::AStore => "a-store",
+        }
+    }
+}
+
 impl FaultKind {
     /// The hook point where this fault fires.
     pub fn site(self) -> FaultSite {

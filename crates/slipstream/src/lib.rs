@@ -42,3 +42,6 @@ pub use runner::{run_program, RunOptions, RunSummary};
 pub use dsm_sim::{FillClass, FillCounts, MachineConfig, ReqKind, StreamRole, TimeClass};
 pub use omp_ir::{Program, ProgramBuilder};
 pub use omp_rt::{ExecMode, PairMode, RuntimeEnv, SlipSync};
+pub use sim_trace::{
+    analyze, chrome_trace_json, validate_chrome_trace, TraceAnalytics, TraceConfig, TraceData,
+};

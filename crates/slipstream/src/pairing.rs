@@ -41,6 +41,19 @@ pub enum Decision {
     End,
 }
 
+impl Decision {
+    /// Short label for traces and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Decision::Chunk(_) => "chunk",
+            Decision::Section(_) => "section",
+            Decision::IoDone => "io-done",
+            Decision::RegionGo => "region-go",
+            Decision::End => "end",
+        }
+    }
+}
+
 /// State of one A–R pair.
 #[derive(Debug)]
 pub struct PairState {
@@ -157,6 +170,16 @@ impl PairState {
         self.a_epoch = self.a_epoch.wrapping_add(1);
     }
 
+    /// Signed A–R lead distance in barrier sessions: how many sessions the
+    /// A-stream is ahead of (positive) or behind (negative) its R-stream.
+    /// Epochs wrap, so the difference is taken in wrapping arithmetic and
+    /// reinterpreted as signed — correct as long as the true lead stays
+    /// within ±2^63 sessions, which any real run does by many orders of
+    /// magnitude.
+    pub fn lead(&self) -> i64 {
+        self.a_epoch.wrapping_sub(self.r_epoch) as i64
+    }
+
     /// Divergence heuristic evaluated by the R-stream at a barrier: tokens
     /// accumulating unconsumed beyond the initial allocation plus slack
     /// mean the A-stream is no longer visiting barriers.
@@ -252,11 +275,17 @@ mod tests {
         // L1 starts with one token; the heuristic measures *accumulation
         // beyond* the initial allocation, so the threshold shifts with it.
         let mut l1 = pair(SlipSync::L1);
-        assert!(!l1.divergence_suspected(0), "initial L1 token is not evidence");
+        assert!(
+            !l1.divergence_suspected(0),
+            "initial L1 token is not evidence"
+        );
         l1.tokens.signal();
         assert!(!l1.divergence_suspected(1));
         l1.tokens.signal();
-        assert!(l1.divergence_suspected(1), "two beyond initial exceeds slack 1");
+        assert!(
+            l1.divergence_suspected(1),
+            "two beyond initial exceeds slack 1"
+        );
 
         // G0 starts empty: the same two insertions already exceed slack 1.
         let mut g0 = pair(SlipSync::G0);
@@ -307,11 +336,31 @@ mod tests {
     }
 
     #[test]
+    fn lead_is_signed_and_wrap_safe() {
+        let mut p = pair(SlipSync::G0);
+        assert_eq!(p.lead(), 0);
+        p.bump_a_epoch();
+        p.bump_a_epoch();
+        assert_eq!(p.lead(), 2);
+        p.bump_r_epoch();
+        p.bump_r_epoch();
+        p.bump_r_epoch();
+        assert_eq!(p.lead(), -1);
+        // Across the u64 wrap: A at 1, R at MAX means A is 2 ahead.
+        p.r_epoch = u64::MAX;
+        p.a_epoch = 1;
+        assert_eq!(p.lead(), 2);
+    }
+
+    #[test]
     fn pairs_start_healthy() {
         let p = pair(SlipSync::G0);
         assert_eq!(p.mode, PairMode::Slipstream);
         assert!(!p.demoted());
         assert_eq!(p.demoted_at, None);
-        assert_eq!((p.recoveries, p.watchdog_recoveries, p.faults_injected), (0, 0, 0));
+        assert_eq!(
+            (p.recoveries, p.watchdog_recoveries, p.faults_injected),
+            (0, 0, 0)
+        );
     }
 }

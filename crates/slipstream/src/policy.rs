@@ -7,7 +7,6 @@
 //! synchronize with the R-stream at dynamic scheduling points. The table
 //! is explicit data so ablation benches can flip individual rows.
 
-
 /// What the A-stream does when it reaches a construct.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AAction {

@@ -20,10 +20,7 @@ pub fn breakdown_table(rows: &[RunSummary]) -> String {
         TimeClass::Scheduling,
         TimeClass::JobWait,
     ];
-    s.push_str(&format!(
-        "{:<12} {:>12} {:>8}",
-        "mode", "cycles", "speedup"
-    ));
+    s.push_str(&format!("{:<12} {:>12} {:>8}", "mode", "cycles", "speedup"));
     for c in classes {
         s.push_str(&format!(" {:>10}", c.label()));
     }
@@ -103,12 +100,22 @@ pub fn resilience_table(r: &RunResult) -> String {
     }
     s.push_str(&format!(
         "total: {} faults, {} recoveries ({} watchdog), {} demotions\n",
-        r.pair_ledgers.iter().map(|l| l.faults_injected).sum::<u64>(),
+        r.pair_ledgers
+            .iter()
+            .map(|l| l.faults_injected)
+            .sum::<u64>(),
         r.recoveries,
         r.watchdog_recoveries,
         r.demotions,
     ));
     s
+}
+
+/// Render the slipstream analytics of a traced run (A-stream lead,
+/// token-slack histograms, prefetch-timeliness streaks, recovery
+/// latencies). Returns `None` when the run was not traced.
+pub fn trace_report(r: &RunResult) -> Option<String> {
+    r.trace.as_ref().map(|t| sim_trace::analyze(t).render())
 }
 
 #[cfg(test)]
@@ -143,6 +150,7 @@ mod tests {
                 stores_converted: 0,
                 stores_skipped: 0,
                 machine: dsm_sim::MachineCounters::default(),
+                trace: None,
             },
         }
     }
@@ -196,6 +204,9 @@ mod tests {
         assert!(t.contains("degraded-single"), "{t}");
         assert!(t.contains("slipstream"), "{t}");
         assert!(t.contains("12345"), "{t}");
-        assert!(t.contains("total: 5 faults, 11 recoveries (2 watchdog), 1 demotions"), "{t}");
+        assert!(
+            t.contains("total: 5 faults, 11 recoveries (2 watchdog), 1 demotions"),
+            "{t}"
+        );
     }
 }

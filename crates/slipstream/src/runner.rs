@@ -13,6 +13,7 @@ use omp_ir::directive::EnvSlipstream;
 use omp_ir::node::{Program, SlipSyncType};
 use omp_rt::mode::{ExecMode, SlipSync};
 use omp_rt::RuntimeEnv;
+use sim_trace::TraceConfig;
 
 /// Options for one run.
 #[derive(Debug, Clone)]
@@ -39,6 +40,8 @@ pub struct RunOptions {
     pub recovery: RecoveryPolicy,
     /// Optional OS-interference model (timer ticks / daemons).
     pub os_noise: Option<crate::exec::OsNoise>,
+    /// Structured event tracing (observation-only; off by default).
+    pub trace: TraceConfig,
 }
 
 impl RunOptions {
@@ -54,7 +57,14 @@ impl RunOptions {
             faults: FaultPlan::none(),
             recovery: RecoveryPolicy::paper(),
             os_noise: None,
+            trace: TraceConfig::OFF,
         }
+    }
+
+    /// Enable structured event tracing for the run.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Install a fault-injection plan.
@@ -184,6 +194,7 @@ pub fn run_compiled(
     cfg.faults = opts.faults.clone();
     cfg.recovery = opts.recovery;
     cfg.os_noise = opts.os_noise;
+    cfg.trace = opts.trace;
     if let Some(sync) = opts.sync {
         // Route the synchronization choice through OMP_SLIPSTREAM, as the
         // paper's runtime does ("we changed the synchronization method as

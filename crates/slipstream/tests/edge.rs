@@ -471,7 +471,10 @@ fn explicit_node_api_parallel_region() {
             slipstream: None,
         },
     };
-    let r = run_program(&p, &RunOptions::new(ExecMode::Single).with_machine(machine(2)))
-        .unwrap();
+    let r = run_program(
+        &p,
+        &RunOptions::new(ExecMode::Single).with_machine(machine(2)),
+    )
+    .unwrap();
     assert_eq!(r.raw.user_r.stores, 32);
 }

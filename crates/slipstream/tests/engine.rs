@@ -111,10 +111,7 @@ fn runs_are_deterministic() {
     let b = run_program(&p, &opts).unwrap();
     assert_eq!(a.exec_cycles, b.exec_cycles);
     assert_eq!(a.raw.user_r.loads, b.raw.user_r.loads);
-    assert_eq!(
-        a.fills.total(ReqKind::Read),
-        b.fills.total(ReqKind::Read)
-    );
+    assert_eq!(a.fills.total(ReqKind::Read), b.fills.total(ReqKind::Read));
 }
 
 #[test]

@@ -64,7 +64,12 @@ fn chaos_kernel(n: i64) -> Program {
     b.build()
 }
 
-fn run_with(p: &Program, sync: SlipSync, faults: FaultPlan, recovery: RecoveryPolicy) -> RunSummary {
+fn run_with(
+    p: &Program,
+    sync: SlipSync,
+    faults: FaultPlan,
+    recovery: RecoveryPolicy,
+) -> RunSummary {
     let opts = RunOptions::new(ExecMode::Slipstream)
         .with_machine(machine())
         .with_sync(sync)
@@ -124,7 +129,11 @@ fn random_fault_plans_never_corrupt_or_deadlock() {
     for seed in 0..220u64 {
         let plan = FaultPlan::random(seed, TEAM, 6);
         let n = plan.events.len();
-        let sync = if seed % 2 == 0 { SlipSync::G0 } else { SlipSync::L1 };
+        let sync = if seed % 2 == 0 {
+            SlipSync::G0
+        } else {
+            SlipSync::L1
+        };
         let r = run_with(&p, sync, plan, recovery);
         let ctx = format!("(seed {seed}, {:?})", sync);
         assert_oracle(&r, &oracle, &ctx);
@@ -295,12 +304,7 @@ fn exhausted_retry_budget_demotes_the_pair() {
 fn empty_plan_is_a_no_op() {
     let p = chaos_kernel(96);
     let oracle = trace(&p, TEAM);
-    let r = run_with(
-        &p,
-        SlipSync::G0,
-        FaultPlan::none(),
-        RecoveryPolicy::paper(),
-    );
+    let r = run_with(&p, SlipSync::G0, FaultPlan::none(), RecoveryPolicy::paper());
     assert_oracle(&r, &oracle, "(no faults)");
     assert_eq!(r.raw.recoveries, 0);
     assert_eq!(r.raw.watchdog_recoveries, 0);

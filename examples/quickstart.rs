@@ -60,8 +60,8 @@ fn main() {
     );
 
     // One compiled image, four ways to run it (the paper's comparison).
-    let rows = run_figure2_modes(&program, &machine, &RuntimeEnv::default())
-        .expect("simulation failed");
+    let rows =
+        run_figure2_modes(&program, &machine, &RuntimeEnv::default()).expect("simulation failed");
     println!("{}", breakdown_table(&rows));
     for r in &rows[2..] {
         println!("{}", coverage_line(r));

@@ -30,7 +30,10 @@ fn main() {
     };
     let chunk = params.paper_dynamic_chunk(team);
 
-    println!("sparse solver: n={}, rows 4..40 nnz, dynamic chunk {}\n", params.n, chunk);
+    println!(
+        "sparse solver: n={}, rows 4..40 nnz, dynamic chunk {}\n",
+        params.n, chunk
+    );
     println!(
         "{:<22} {:>12} {:>10} {:>8}",
         "configuration", "cycles", "sched%", "grabs"

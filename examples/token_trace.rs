@@ -3,7 +3,11 @@
 //!
 //! Runs a barrier-dense toy kernel under several synchronizations and
 //! reports token traffic and the A-stream wait profile, then injects a
-//! divergence fault and shows the recovery path.
+//! divergence fault and shows the recovery path. The final run executes
+//! with the structured event tracer on and writes
+//! `token_trace.trace.json` — a Chrome trace-event file with per-CPU
+//! timeline tracks and per-pair token/lead counter tracks, openable in
+//! <https://ui.perfetto.dev>.
 //!
 //! ```sh
 //! cargo run --release --example token_trace
@@ -64,7 +68,11 @@ fn main() {
     println!("runs further ahead; zero-token global keeps it tightly coupled.");
 
     // Divergence: the A-stream of pair 3 wanders off at its 4th barrier.
-    let mut o = RunOptions::new(ExecMode::Slipstream).with_machine(machine);
+    // Run it with the event tracer on: the recovery episode, every token
+    // insert/consume, and the per-pair lead all land in the trace.
+    let mut o = RunOptions::new(ExecMode::Slipstream)
+        .with_machine(machine)
+        .with_trace(TraceConfig::on());
     o.sync = Some(SlipSync::G0);
     o.inject_divergence = vec![(3, 3)];
     let r = run_program(&program, &o).unwrap();
@@ -73,5 +81,16 @@ fn main() {
         r.raw.recoveries,
         r.a_breakdown.get(TimeClass::Recovery),
         r.raw.user_r.loads,
+    );
+
+    let td = r.raw.trace.as_ref().expect("tracing was on");
+    println!("\n{}", analyze(td).render());
+    let json = chrome_trace_json(td);
+    validate_chrome_trace(&json).expect("emitted trace is valid");
+    std::fs::write("token_trace.trace.json", &json).expect("write trace");
+    println!(
+        "wrote token_trace.trace.json ({} events, {} spans) — open it in https://ui.perfetto.dev",
+        td.events.len(),
+        td.spans.iter().map(|s| s.len()).sum::<usize>()
     );
 }

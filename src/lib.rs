@@ -80,4 +80,7 @@ pub mod prelude {
     pub use slipstream::policy::AStreamPolicy;
     pub use slipstream::report::{breakdown_table, coverage_line, fills_table};
     pub use slipstream::runner::{run_figure2_modes, run_program, RunOptions, RunSummary};
+    pub use slipstream::{
+        analyze, chrome_trace_json, validate_chrome_trace, TraceAnalytics, TraceConfig, TraceData,
+    };
 }

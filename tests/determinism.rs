@@ -28,7 +28,8 @@ fn every_kernel_and_mode_is_bit_reproducible() {
             let b = run_program(&p, &o).unwrap();
             assert_eq!(a.exec_cycles, b.exec_cycles, "{} {mode:?}", bm.name());
             assert_eq!(
-                a.r_breakdown, b.r_breakdown,
+                a.r_breakdown,
+                b.r_breakdown,
                 "{} {mode:?} breakdown",
                 bm.name()
             );
@@ -54,6 +55,12 @@ fn machine_size_changes_results_but_not_work() {
     m8.num_cmps = 8;
     let r4 = run_program(&p, &RunOptions::new(ExecMode::Single).with_machine(m4)).unwrap();
     let r8 = run_program(&p, &RunOptions::new(ExecMode::Single).with_machine(m8)).unwrap();
-    assert_eq!(r4.raw.user_r.loads, r8.raw.user_r.loads, "same program work");
-    assert_ne!(r4.exec_cycles, r8.exec_cycles, "different machines, different time");
+    assert_eq!(
+        r4.raw.user_r.loads, r8.raw.user_r.loads,
+        "same program work"
+    );
+    assert_ne!(
+        r4.exec_cycles, r8.exec_cycles,
+        "different machines, different time"
+    );
 }

@@ -17,10 +17,23 @@ fn all_kernels_match_trace_in_single_mode() {
     for bm in Benchmark::ALL {
         let p = bm.build_tiny();
         let oracle = trace(&p, 4);
-        let r = run_program(&p, &RunOptions::new(ExecMode::Single).with_machine(m.clone()))
-            .unwrap_or_else(|e| panic!("{}: {e}", bm.name()));
-        assert_eq!(r.raw.user_r.loads, oracle.total.loads, "{} loads", bm.name());
-        assert_eq!(r.raw.user_r.stores, oracle.total.stores, "{} stores", bm.name());
+        let r = run_program(
+            &p,
+            &RunOptions::new(ExecMode::Single).with_machine(m.clone()),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", bm.name()));
+        assert_eq!(
+            r.raw.user_r.loads,
+            oracle.total.loads,
+            "{} loads",
+            bm.name()
+        );
+        assert_eq!(
+            r.raw.user_r.stores,
+            oracle.total.stores,
+            "{} stores",
+            bm.name()
+        );
         assert_eq!(
             r.raw.user_r.compute_cycles,
             oracle.total.compute_cycles,
@@ -37,10 +50,23 @@ fn all_kernels_match_trace_in_double_mode() {
     for bm in Benchmark::ALL {
         let p = bm.build_tiny();
         let oracle = trace(&p, 8); // 4 CMPs x 2 processors
-        let r = run_program(&p, &RunOptions::new(ExecMode::Double).with_machine(m.clone()))
-            .unwrap_or_else(|e| panic!("{}: {e}", bm.name()));
-        assert_eq!(r.raw.user_r.loads, oracle.total.loads, "{} loads", bm.name());
-        assert_eq!(r.raw.user_r.stores, oracle.total.stores, "{} stores", bm.name());
+        let r = run_program(
+            &p,
+            &RunOptions::new(ExecMode::Double).with_machine(m.clone()),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", bm.name()));
+        assert_eq!(
+            r.raw.user_r.loads,
+            oracle.total.loads,
+            "{} loads",
+            bm.name()
+        );
+        assert_eq!(
+            r.raw.user_r.stores,
+            oracle.total.stores,
+            "{} stores",
+            bm.name()
+        );
     }
 }
 

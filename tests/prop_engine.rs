@@ -154,8 +154,11 @@ fn single_mode_matches_oracle() {
     for seed in 0..CASES {
         let p = arbitrary_program(&mut SplitMix64::new(0x0AC1E ^ seed));
         let oracle = trace(&p, 4);
-        let r =
-            run_program(&p, &RunOptions::new(ExecMode::Single).with_machine(machine())).unwrap();
+        let r = run_program(
+            &p,
+            &RunOptions::new(ExecMode::Single).with_machine(machine()),
+        )
+        .unwrap();
         assert_eq!(r.raw.user_r.loads, oracle.total.loads);
         assert_eq!(r.raw.user_r.stores, oracle.total.stores);
         assert_eq!(r.raw.user_r.atomics, oracle.total.atomics);
@@ -168,8 +171,11 @@ fn slipstream_r_side_equals_single() {
     for seed in 0..CASES {
         let p = arbitrary_program(&mut SplitMix64::new(0x511F ^ seed));
         let m = machine();
-        let single =
-            run_program(&p, &RunOptions::new(ExecMode::Single).with_machine(m.clone())).unwrap();
+        let single = run_program(
+            &p,
+            &RunOptions::new(ExecMode::Single).with_machine(m.clone()),
+        )
+        .unwrap();
         for sync in [SlipSync::G0, SlipSync::L1] {
             let slip = run_program(
                 &p,
@@ -193,8 +199,11 @@ fn double_mode_completes_and_matches() {
     for seed in 0..CASES {
         let p = arbitrary_program(&mut SplitMix64::new(0xD0B1E ^ seed));
         let oracle = trace(&p, 8);
-        let r =
-            run_program(&p, &RunOptions::new(ExecMode::Double).with_machine(machine())).unwrap();
+        let r = run_program(
+            &p,
+            &RunOptions::new(ExecMode::Double).with_machine(machine()),
+        )
+        .unwrap();
         assert_eq!(r.raw.user_r.loads, oracle.total.loads);
     }
 }
