@@ -1,0 +1,503 @@
+//! Chaos-soak harness: hundreds of seeded random fault scenarios across
+//! the NPB kernels and synchronization modes, each checked against three
+//! invariants:
+//!
+//! 1. **Termination** — every run completes within a generous cycle
+//!    budget (no fault plan may deadlock or run away);
+//! 2. **Oracle exactness** — the R-stream's architectural output (loads,
+//!    stores, compute, I/O) is bit-identical to the fault-free reference
+//!    executor, whatever the A-streams suffered;
+//! 3. **Controller consistency** — the structured trace's health and
+//!    breaker transitions are legal under the state machines, replay to
+//!    the ledger's final states, and the traced recovery/demotion counts
+//!    match the aggregate counters.
+//!
+//! On top of the random sweep, two crafted scenarios pin the closed-loop
+//! behaviours the controller exists for: a transient fault that demotes a
+//! pair and must end with a successful probationary re-promotion, and a
+//! half-team outage that must trip the team breaker and re-close it after
+//! the pair heals.
+//!
+//! Every scenario is a pure function of its seed; any failure is appended
+//! to `soak-failing-seeds.txt` (override with `SOAK_FAIL_FILE`) so it can
+//! be replayed exactly. `SOAK_SCENARIOS` overrides the scenario count
+//! (default 200); `SOAK_SEED` offsets the seed base.
+
+use bench::pool;
+use npb_kernels::Benchmark;
+use omp_ir::expr::Expr;
+use omp_ir::node::Program;
+use omp_ir::trace::{trace, TraceSummary};
+use omp_rt::mode::{HealthState, PairMode, HEALTH_STATES};
+use omp_rt::team::BreakerConfig;
+use omp_rt::{ExecMode, SlipSync};
+use sim_trace::{TraceConfig, TraceEvent};
+use slipstream::faults::{FaultEvent, FaultKind, FaultPlan};
+use slipstream::health::HealthPolicy;
+use slipstream::policy::RecoveryPolicy;
+use slipstream::runner::{run_program, RunOptions, RunSummary};
+use slipstream::MachineConfig;
+use std::io::Write;
+
+/// Hard upper bound on simulated cycles for any soak scenario. Tiny-class
+/// runs finish in the low millions; hitting this means a runaway.
+const CYCLE_BUDGET: u64 = 2_000_000_000;
+
+/// Pairs in the random-sweep machine (4 CMPs).
+const TEAM: u64 = 4;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn machine(cmps: usize) -> MachineConfig {
+    let mut m = MachineConfig::paper();
+    m.num_cmps = cmps;
+    m
+}
+
+/// The crafted-scenario program: identical parallel regions give the
+/// health controller a clean region clock for cool-down and probation.
+fn multi_region(n: i64, regions: usize, fors: usize) -> Program {
+    let mut b = omp_ir::ProgramBuilder::new("regions");
+    let x = b.shared_array("x", n as u64, 8);
+    let y = b.shared_array("y", n as u64, 8);
+    let i = b.var();
+    for _ in 0..regions {
+        b.parallel(move |r| {
+            for _ in 0..fors {
+                r.par_for(None, i, 0, n, move |body| {
+                    body.load(x, Expr::v(i));
+                    body.compute(2);
+                    body.store(y, Expr::v(i));
+                });
+            }
+        });
+    }
+    b.build()
+}
+
+/// One soak scenario: everything needed to run it and to replay it.
+struct Scenario {
+    label: String,
+    program_idx: usize,
+    team: u64,
+    sync: SlipSync,
+    plan: FaultPlan,
+    recovery: RecoveryPolicy,
+    health: HealthPolicy,
+    /// Crafted-scenario expectations (None for the random sweep).
+    expect_repromotion: bool,
+    expect_breaker_cycle: bool,
+}
+
+/// Aggregate counters surviving a scenario, for the end-of-soak summary.
+#[derive(Default)]
+struct Tally {
+    recoveries: u64,
+    watchdog: u64,
+    timeout: u64,
+    demotions: u64,
+    repromotions: u64,
+    trips: u64,
+    reclosures: u64,
+    max_cycles: u64,
+}
+
+fn check_oracle(r: &RunSummary, oracle: &TraceSummary) -> Result<(), String> {
+    let u = &r.raw.user_r;
+    let o = &oracle.total;
+    if u.loads != o.loads || u.stores != o.stores || u.compute_cycles != o.compute_cycles {
+        return Err(format!(
+            "R-stream output diverged from oracle: loads {}/{} stores {}/{} compute {}/{}",
+            u.loads, o.loads, u.stores, o.stores, u.compute_cycles, o.compute_cycles
+        ));
+    }
+    if u.io_in != o.io_in || u.io_out != o.io_out {
+        return Err(format!(
+            "R-stream I/O diverged: in {}/{} out {}/{}",
+            u.io_in, o.io_in, u.io_out, o.io_out
+        ));
+    }
+    if r.raw.user_a.io_in != 0 || r.raw.user_a.io_out != 0 {
+        return Err("A-stream performed I/O".into());
+    }
+    Ok(())
+}
+
+fn health_by_label(l: &str) -> Result<HealthState, String> {
+    HEALTH_STATES
+        .iter()
+        .copied()
+        .find(|s| s.label() == l)
+        .ok_or_else(|| format!("unknown health label {l}"))
+}
+
+/// Invariant 3: replay the traced controller transitions. Per-event
+/// legality always holds; state continuity and final-state agreement with
+/// the ledger are only checked on lossless traces (the per-track rings
+/// drop oldest on overflow).
+fn check_trace_consistency(r: &RunSummary) -> Result<(), String> {
+    let data = match r.raw.trace.as_ref() {
+        Some(d) => d,
+        None => return Err("soak runs must be traced".into()),
+    };
+    let lossless = data.dropped == 0;
+    let mut health: Vec<HealthState> = vec![HealthState::Healthy; r.raw.pair_ledgers.len()];
+    let mut breaker = "closed";
+    let mut traced_recoveries = 0u64;
+    let mut traced_timeout = 0u64;
+    let mut traced_watchdog = 0u64;
+    for e in &data.events {
+        match &e.ev {
+            TraceEvent::Health { pair, from, to } => {
+                let (f, t) = (health_by_label(from)?, health_by_label(to)?);
+                if !f.can_transition_to(t) {
+                    return Err(format!(
+                        "illegal health transition {from} -> {to} (pair {pair})"
+                    ));
+                }
+                let p = *pair as usize;
+                if lossless && health[p] != f {
+                    return Err(format!(
+                        "health discontinuity on pair {pair}: at {:?}, event claims {from} -> {to}",
+                        health[p]
+                    ));
+                }
+                health[p] = t;
+            }
+            TraceEvent::Breaker { from, to, .. } => {
+                let legal = matches!(
+                    (*from, *to),
+                    ("closed", "open")
+                        | ("open", "half-open")
+                        | ("half-open", "closed")
+                        | ("half-open", "open")
+                );
+                if !legal {
+                    return Err(format!("illegal breaker transition {from} -> {to}"));
+                }
+                if lossless && breaker != *from {
+                    return Err(format!(
+                        "breaker discontinuity: at {breaker}, event claims {from} -> {to}"
+                    ));
+                }
+                breaker = to;
+            }
+            TraceEvent::Recovery {
+                watchdog, timeout, ..
+            } => {
+                traced_recoveries += 1;
+                if *watchdog {
+                    traced_watchdog += 1;
+                }
+                if *timeout {
+                    traced_timeout += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    if lossless {
+        for (p, l) in r.raw.pair_ledgers.iter().enumerate() {
+            if health[p] != l.health {
+                return Err(format!(
+                    "trace replay of pair {p} ends {:?}, ledger says {:?}",
+                    health[p], l.health
+                ));
+            }
+        }
+        if traced_recoveries != r.raw.recoveries
+            || traced_watchdog != r.raw.watchdog_recoveries
+            || traced_timeout != r.raw.timeout_recoveries
+        {
+            return Err(format!(
+                "traced recovery counts {traced_recoveries}/{traced_watchdog}/{traced_timeout} \
+                 disagree with aggregates {}/{}/{}",
+                r.raw.recoveries, r.raw.watchdog_recoveries, r.raw.timeout_recoveries
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_ledger(r: &RunSummary) -> Result<(), String> {
+    let mut recoveries = 0;
+    let mut watchdog = 0;
+    let mut timeout = 0;
+    let mut repromotions = 0;
+    for l in &r.raw.pair_ledgers {
+        recoveries += l.recoveries;
+        watchdog += l.watchdog_recoveries;
+        timeout += l.timeout_recoveries;
+        repromotions += l.repromotions;
+        if l.watchdog_recoveries + l.timeout_recoveries > l.recoveries {
+            return Err(format!("recovery subsets exceed total: {l:?}"));
+        }
+        if l.demoted() != (l.health == HealthState::Demoted) {
+            return Err(format!("mode/health disagreement: {l:?}"));
+        }
+        if l.demoted() && l.demoted_at.is_none() {
+            return Err(format!("demoted pair without a demotion cycle: {l:?}"));
+        }
+        if l.repromotions > 0 && l.demoted_at.is_none() {
+            return Err(format!("repromoted pair was never demoted: {l:?}"));
+        }
+    }
+    let raw = &r.raw;
+    if recoveries != raw.recoveries
+        || watchdog != raw.watchdog_recoveries
+        || timeout != raw.timeout_recoveries
+        || repromotions != raw.repromotions
+    {
+        return Err("ledger totals disagree with aggregate counters".into());
+    }
+    let demoted_now = raw.pair_ledgers.iter().filter(|l| l.demoted()).count() as u64;
+    if demoted_now != raw.demotions {
+        return Err(format!(
+            "demotions counter {} != pairs demoted at end {demoted_now}",
+            raw.demotions
+        ));
+    }
+    Ok(())
+}
+
+fn run_scenario(s: &Scenario, programs: &[(Program, TraceSummary)]) -> Result<Tally, String> {
+    let (program, oracle) = &programs[s.program_idx];
+    let opts = RunOptions::new(ExecMode::Slipstream)
+        .with_machine(machine(s.team as usize))
+        .with_sync(s.sync)
+        .with_faults(s.plan.clone())
+        .with_recovery(s.recovery)
+        .with_health(s.health)
+        .with_trace(TraceConfig::on());
+    let r = run_program(program, &opts).map_err(|e| format!("run failed: {e}"))?;
+    if r.exec_cycles > CYCLE_BUDGET {
+        return Err(format!(
+            "cycle budget exceeded: {} > {CYCLE_BUDGET}",
+            r.exec_cycles
+        ));
+    }
+    check_oracle(&r, oracle)?;
+    check_trace_consistency(&r)?;
+    check_ledger(&r)?;
+    if s.expect_repromotion && r.raw.repromotions == 0 {
+        return Err("crafted scenario expected a successful re-promotion".into());
+    }
+    if s.expect_repromotion
+        && !r
+            .raw
+            .pair_ledgers
+            .iter()
+            .any(|l| l.repromotions > 0 && l.mode == PairMode::Slipstream)
+    {
+        return Err("re-promoted pair did not finish back in slipstream".into());
+    }
+    if s.expect_breaker_cycle && (r.raw.breaker_trips == 0 || r.raw.breaker_reclosures == 0) {
+        return Err(format!(
+            "crafted scenario expected trip + re-closure, got {} trips {} reclosures",
+            r.raw.breaker_trips, r.raw.breaker_reclosures
+        ));
+    }
+    Ok(Tally {
+        recoveries: r.raw.recoveries,
+        watchdog: r.raw.watchdog_recoveries,
+        timeout: r.raw.timeout_recoveries,
+        demotions: r.raw.demotions,
+        repromotions: r.raw.repromotions,
+        trips: r.raw.breaker_trips,
+        reclosures: r.raw.breaker_reclosures,
+        max_cycles: r.exec_cycles,
+    })
+}
+
+fn main() {
+    let scenarios = env_u64("SOAK_SCENARIOS", 200);
+    let seed_base = env_u64("SOAK_SEED", 0);
+    let fail_file =
+        std::env::var("SOAK_FAIL_FILE").unwrap_or_else(|_| "soak-failing-seeds.txt".into());
+
+    // Programs and their fault-free oracles, computed once. Index 0..5
+    // are the NPB kernels (tiny class); 5 is the crafted-scenario
+    // multi-region program at team 4; 6 the same at team 2.
+    eprintln!("soak: preparing programs and oracles…");
+    let mut programs: Vec<(Program, TraceSummary)> = Benchmark::ALL
+        .iter()
+        .map(|bm| {
+            let p = bm.build_tiny();
+            let o = trace(&p, TEAM);
+            (p, o)
+        })
+        .collect();
+    let crafted = multi_region(96, 8, 6);
+    let crafted_oracle = trace(&crafted, TEAM);
+    programs.push((crafted.clone(), crafted_oracle));
+    let crafted2_oracle = trace(&crafted, 2);
+    programs.push((crafted, crafted2_oracle));
+
+    // The sweep: seeded random plans over kernels × sync modes × recovery
+    // budgets, all under the hardened recovery policy (every detection
+    // tier armed) and the adaptive health controller.
+    let sweep_recovery = RecoveryPolicy::hardened()
+        .with_watchdog(150_000)
+        .with_token_wait(120_000);
+    let budgets = [8u64, 0, 2, 4];
+    let mut list: Vec<Scenario> = Vec::new();
+    for k in 0..scenarios {
+        let seed = seed_base + k;
+        let bench = (k % Benchmark::ALL.len() as u64) as usize;
+        let sync = if (k / 5) % 2 == 0 {
+            SlipSync::G0
+        } else {
+            SlipSync::L1
+        };
+        let budget = budgets[(k % budgets.len() as u64) as usize];
+        list.push(Scenario {
+            label: format!(
+                "seed={seed} bench={} sync={} budget={budget}",
+                Benchmark::ALL[bench].name(),
+                sync.label()
+            ),
+            program_idx: bench,
+            team: TEAM,
+            sync,
+            plan: FaultPlan::random(seed, TEAM, 6),
+            recovery: sweep_recovery.with_max_recoveries(budget),
+            health: HealthPolicy::adaptive(),
+            expect_repromotion: false,
+            expect_breaker_cycle: false,
+        });
+    }
+    // Crafted: a transient wander demotes pair 1, which must serve its
+    // cool-down, pass probation, and finish healthy back in slipstream.
+    list.push(Scenario {
+        label: "crafted-repromotion".into(),
+        program_idx: 5,
+        team: TEAM,
+        sync: SlipSync::G0,
+        plan: FaultPlan::wander_at(1, 0),
+        recovery: RecoveryPolicy::paper()
+            .with_watchdog(150_000)
+            .with_max_recoveries(0),
+        health: HealthPolicy::adaptive().with_breaker(BreakerConfig::disabled()),
+        expect_repromotion: true,
+        expect_breaker_cycle: false,
+    });
+    // Crafted: on a 2-pair team one demotion is half the team — the
+    // breaker must trip, hold, half-open, and re-close once the pair
+    // heals through probation.
+    list.push(Scenario {
+        label: "crafted-breaker-cycle".into(),
+        program_idx: 6,
+        team: 2,
+        sync: SlipSync::G0,
+        plan: FaultPlan::wander_at(1, 0),
+        recovery: RecoveryPolicy::paper()
+            .with_watchdog(150_000)
+            .with_max_recoveries(0),
+        health: HealthPolicy::adaptive(),
+        expect_repromotion: true,
+        expect_breaker_cycle: true,
+    });
+    // A stall-burst heavy scenario to exercise the token-wait timeout
+    // tier with the watchdog off: timeouts, not deadlock.
+    list.push(Scenario {
+        label: "crafted-timeout-only".into(),
+        program_idx: 5,
+        team: TEAM,
+        sync: SlipSync::G0,
+        plan: FaultPlan::none().with(FaultEvent {
+            kind: FaultKind::TokenLoss,
+            tid: 0,
+            seq: 0,
+            arg: 0,
+        }),
+        recovery: RecoveryPolicy::hardened().with_watchdog(0),
+        health: HealthPolicy::adaptive(),
+        expect_repromotion: false,
+        expect_breaker_cycle: false,
+    });
+
+    eprintln!("soak: running {} scenarios…", list.len());
+    type Task<'s> = Box<dyn FnOnce() -> Result<Tally, String> + Send + 's>;
+    let tasks: Vec<Task> = list
+        .iter()
+        .map(|s| {
+            let programs = &programs;
+            Box::new(move || run_scenario(s, programs)) as Task
+        })
+        .collect();
+    let results = pool::run_all(tasks);
+
+    let mut total = Tally::default();
+    let mut failures: Vec<(String, String)> = Vec::new();
+    for (s, res) in list.iter().zip(results) {
+        match res {
+            Ok(t) => {
+                total.recoveries += t.recoveries;
+                total.watchdog += t.watchdog;
+                total.timeout += t.timeout;
+                total.demotions += t.demotions;
+                total.repromotions += t.repromotions;
+                total.trips += t.trips;
+                total.reclosures += t.reclosures;
+                total.max_cycles = total.max_cycles.max(t.max_cycles);
+            }
+            Err(e) => failures.push((s.label.clone(), e)),
+        }
+    }
+
+    println!(
+        "soak: {} scenarios, {} recoveries ({} watchdog, {} timeout), \
+         {} demotions standing, {} repromotions, breaker {} trips / {} reclosures, \
+         max cycles {}",
+        list.len(),
+        total.recoveries,
+        total.watchdog,
+        total.timeout,
+        total.demotions,
+        total.repromotions,
+        total.trips,
+        total.reclosures,
+        total.max_cycles
+    );
+
+    // Soak-level expectations: the sweep as a whole must have exercised
+    // the closed loop, not just survived it.
+    if total.repromotions == 0 {
+        failures.push(("soak-aggregate".into(), "no re-promotion anywhere".into()));
+    }
+    if total.trips == 0 || total.reclosures == 0 {
+        failures.push((
+            "soak-aggregate".into(),
+            "no breaker trip + re-closure anywhere".into(),
+        ));
+    }
+    if total.timeout == 0 {
+        failures.push((
+            "soak-aggregate".into(),
+            "token-wait timeout tier never fired".into(),
+        ));
+    }
+
+    if !failures.is_empty() {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&fail_file)
+            .expect("open failing-seed file");
+        for (label, err) in &failures {
+            eprintln!("soak FAILURE: {label}: {err}");
+            writeln!(f, "{label}: {err}").expect("record failing seed");
+        }
+        eprintln!(
+            "soak: {} failures recorded in {fail_file} (replay: SOAK_SEED=<seed> SOAK_SCENARIOS=1)",
+            failures.len()
+        );
+        std::process::exit(1);
+    }
+    println!("soak: all invariants held");
+}

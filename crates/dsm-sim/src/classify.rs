@@ -157,6 +157,19 @@ impl FillCounts {
     }
 }
 
+/// Per-CMP tallies of A-issued fills, the raw material of the pair-health
+/// controller's prefetch-timeliness signal. Cumulative over the run; the
+/// consumer windows them by snapshotting at region boundaries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ATally {
+    /// A-issued fills classified A-Timely.
+    pub timely: u64,
+    /// A-issued fills classified A-Only (pollution).
+    pub polluted: u64,
+    /// All A-issued fills classified so far.
+    pub total: u64,
+}
+
 /// Tracks live fills per (CMP, line) and classifies them when the line
 /// leaves the cache (eviction/invalidation) or the simulation ends.
 #[derive(Debug)]
@@ -164,6 +177,8 @@ pub struct Classifier {
     live: FastMap<u64, FillRecord>,
     /// Classified fill tallies.
     pub counts: FillCounts,
+    /// Per-CMP A-issued fill tallies (lazily sized).
+    a_tallies: Vec<ATally>,
     /// Trace sink for final classifications (disabled by default).
     tracer: Tracer,
 }
@@ -173,6 +188,7 @@ impl Default for Classifier {
         Classifier {
             live: FastMap::default(),
             counts: FillCounts::default(),
+            a_tallies: Vec::new(),
             tracer: Tracer::disabled(TrackDomain::Cmp),
         }
     }
@@ -257,6 +273,19 @@ impl Classifier {
             (StreamRole::Solo, _) => unreachable!("solo fills are not recorded"),
         };
         self.counts.bump(rec.kind, class);
+        if rec.issuer == StreamRole::A {
+            let cmp = (k >> 56) as usize;
+            if cmp >= self.a_tallies.len() {
+                self.a_tallies.resize(cmp + 1, ATally::default());
+            }
+            let t = &mut self.a_tallies[cmp];
+            t.total += 1;
+            match class {
+                FillClass::ATimely => t.timely += 1,
+                FillClass::AOnly => t.polluted += 1,
+                _ => {}
+            }
+        }
         if self.tracer.is_on() {
             self.tracer.record(
                 rec.complete,
@@ -283,6 +312,14 @@ impl Classifier {
     /// Number of still-live (unclassified) records.
     pub fn live_records(&self) -> usize {
         self.live.len()
+    }
+
+    /// Cumulative A-issued fill tallies for one CMP. Only fills already
+    /// classified (dropped, replaced, or finished) are counted, so
+    /// boundary snapshots lag in-flight lines — acceptable for a health
+    /// signal, which wants settled verdicts anyway.
+    pub fn a_tally(&self, cmp: CmpId) -> ATally {
+        self.a_tallies.get(cmp.0).copied().unwrap_or_default()
     }
 }
 
@@ -377,6 +414,28 @@ mod tests {
         cl.finish();
         assert_eq!(cl.counts.get(ReqKind::Read, FillClass::ATimely), 1);
         assert_eq!(cl.counts.get(ReqKind::Read, FillClass::AOnly), 1);
+    }
+
+    #[test]
+    fn per_cmp_a_tallies_track_timeliness_and_pollution() {
+        let mut cl = Classifier::new();
+        // CMP 0: one timely, one polluted, one late A fill.
+        cl.on_fill(CmpId(0), LineAddr(1), StreamRole::A, ReqKind::Read, 500);
+        cl.on_reference(CmpId(0), LineAddr(1), StreamRole::R, 600);
+        cl.on_fill(CmpId(0), LineAddr(2), StreamRole::A, ReqKind::Read, 500);
+        cl.on_fill(CmpId(0), LineAddr(3), StreamRole::A, ReqKind::Read, 500);
+        cl.on_reference(CmpId(0), LineAddr(3), StreamRole::R, 450);
+        // CMP 2: an R fill must not count; one polluted A fill must.
+        cl.on_fill(CmpId(2), LineAddr(1), StreamRole::R, ReqKind::Read, 500);
+        cl.on_fill(CmpId(2), LineAddr(2), StreamRole::A, ReqKind::ReadEx, 500);
+        cl.finish();
+        let t0 = cl.a_tally(CmpId(0));
+        assert_eq!((t0.timely, t0.polluted, t0.total), (1, 1, 3));
+        let t2 = cl.a_tally(CmpId(2));
+        assert_eq!((t2.timely, t2.polluted, t2.total), (0, 1, 1));
+        // Untouched CMPs read as empty.
+        assert_eq!(cl.a_tally(CmpId(1)), ATally::default());
+        assert_eq!(cl.a_tally(CmpId(9)), ATally::default());
     }
 
     #[test]

@@ -43,7 +43,7 @@ mod util;
 
 pub use address::{Addr, AddressMap, CmpId, CpuId, LineAddr, Space};
 pub use cache::{LineState, SetAssocCache};
-pub use classify::{Classifier, FillClass, FillCounts, ReqKind, FILL_CLASSES};
+pub use classify::{ATally, Classifier, FillClass, FillCounts, ReqKind, FILL_CLASSES};
 pub use config::{CacheConfig, MachineConfig, MemoryTimingNs};
 pub use cpu::CpuTimeline;
 pub use directory::{DataSource, DirState, Directory};

@@ -83,10 +83,31 @@ pub enum TraceEvent {
         seq: u64,
     },
     /// A recovery episode (A-stream reseed) ran on `pair`; `watchdog` is
-    /// true when the region-end watchdog (not slack suspicion) tripped it.
-    Recovery { pair: u32, watchdog: bool },
+    /// true when the region-end watchdog tripped it and `timeout` when the
+    /// token-wait timeout did (plain slack suspicion otherwise).
+    Recovery {
+        pair: u32,
+        watchdog: bool,
+        timeout: bool,
+    },
     /// `pair` was demoted to single-stream mode after exhausting retries.
     Demotion { pair: u32 },
+    /// `pair`'s health-controller state changed. Labels are the
+    /// `HealthState` labels (`"healthy"`, `"suspect"`, `"demoted"`,
+    /// `"probation"`).
+    Health {
+        pair: u32,
+        from: &'static str,
+        to: &'static str,
+    },
+    /// The team circuit breaker changed state at a region boundary
+    /// (`"closed"`, `"open"`, `"half-open"`); `unhealthy` is the pair
+    /// count that drove the decision.
+    Breaker {
+        from: &'static str,
+        to: &'static str,
+        unhealthy: u32,
+    },
     /// A–R lead distance sample for `pair` (A epoch minus R epoch),
     /// recorded whenever either side crosses an epoch boundary.
     Lead { pair: u32, lead: i64 },
@@ -110,6 +131,8 @@ impl TraceEvent {
             TraceEvent::Fault { .. } => "fault",
             TraceEvent::Recovery { .. } => "recovery",
             TraceEvent::Demotion { .. } => "demotion",
+            TraceEvent::Health { .. } => "health",
+            TraceEvent::Breaker { .. } => "breaker",
             TraceEvent::Lead { .. } => "lead",
         }
     }

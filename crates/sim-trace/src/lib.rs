@@ -33,7 +33,8 @@ pub mod ring;
 pub mod tracer;
 
 pub use analytics::{
-    analyze, PairLead, RecoveryEpisode, SlackHistogram, TimelinessStreak, TraceAnalytics,
+    analyze, BreakerSummary, PairHealthSummary, PairLead, RecoveryEpisode, SlackHistogram,
+    TimelinessStreak, TraceAnalytics,
 };
 pub use event::{Span, TimedEvent, TraceEvent, TrackDomain};
 pub use perfetto::{chrome_trace_json, validate_chrome_trace, ValidationReport};

@@ -24,6 +24,7 @@
 
 use crate::compile::{CompiledProgram, FNode, NodeId, Op};
 use crate::faults::{FaultEvent, FaultKind, FaultPlan, FaultSite, PairLedger};
+use crate::health::{FillWindow, HealthPolicy};
 use crate::pairing::{Decision, PairState};
 use crate::policy::{AAction, AStreamPolicy, RecoveryPolicy};
 use dsm_sim::{
@@ -35,9 +36,9 @@ use omp_ir::node::{ArrayId, Reduction, SlipstreamClause};
 use omp_ir::trace::OpCounts;
 use omp_ir::wsloop::Chunk;
 use omp_rt::constructs::ConstructArena;
-use omp_rt::mode::{resolve_region, ExecMode, PairMode, RegionSlip, SlipSync};
+use omp_rt::mode::{resolve_region, ExecMode, HealthState, PairMode, RegionSlip, SlipSync};
 use omp_rt::schedule::{resolve_schedule, static_chunks, ResolvedSchedule};
-use omp_rt::team::{CpuAssignment, TeamLayout};
+use omp_rt::team::{CpuAssignment, TeamBreaker, TeamLayout};
 use omp_rt::RuntimeEnv;
 use sim_trace::{TraceConfig, TraceData, TraceEvent, Tracer, TrackDomain};
 
@@ -88,6 +89,9 @@ pub struct EngineConfig {
     /// Divergence detection and recovery knobs (watchdog, retry budget,
     /// restart cost, token slack).
     pub recovery: RecoveryPolicy,
+    /// Adaptive pair-health controller and team circuit breaker
+    /// ([`HealthPolicy::paper`] keeps both inert).
+    pub health: HealthPolicy,
     /// Fault-injection plan fired at the engine's hook points.
     pub faults: FaultPlan,
     /// Legacy fault injection: `(tid, epoch)` pairs at which the A-stream
@@ -119,6 +123,7 @@ impl EngineConfig {
             io_fixed_cycles: 2000,
             io_cycles_per_8_bytes: 1,
             recovery: RecoveryPolicy::paper(),
+            health: HealthPolicy::paper(),
             faults: FaultPlan::none(),
             inject_divergence: Vec::new(),
             os_noise: None,
@@ -156,9 +161,21 @@ pub struct RunResult {
     pub recoveries: u64,
     /// Recoveries forced by the barrier watchdog (subset of `recoveries`).
     pub watchdog_recoveries: u64,
+    /// Recoveries triggered by the token-wait timeout (subset of
+    /// `recoveries`).
+    pub timeout_recoveries: u64,
     /// Pairs demoted to single-stream mode after exhausting the recovery
-    /// budget.
+    /// budget (and still demoted at the end of the run).
     pub demotions: u64,
+    /// Probationary re-promotions granted by the health controller.
+    pub repromotions: u64,
+    /// Team circuit-breaker trips over the run.
+    pub breaker_trips: u64,
+    /// Breaker half-open probes that passed and re-closed it.
+    pub breaker_reclosures: u64,
+    /// Completed regions spent in each health state, summed over pairs
+    /// (indexed by [`HealthState::ordinal`]).
+    pub health_residency: [u64; 4],
     /// Per-pair resilience ledger (empty outside slipstream mode).
     pub pair_ledgers: Vec<PairLedger>,
     /// A-stream shared stores converted to read-exclusive prefetches.
@@ -290,6 +307,9 @@ struct CpuState {
     /// Barrier generation the watchdog was armed for (disarms the stale
     /// deadline once the barrier makes progress).
     watchdog_gen: u64,
+    /// Armed token-wait deadline while an A-stream is parked on the pair
+    /// semaphore path (cleared on wake; a stale queue event then misses).
+    token_wait_deadline: Option<Cycle>,
 }
 
 impl CpuState {
@@ -363,6 +383,12 @@ pub struct Engine<'p> {
     sched_steals_total: u64,
     /// One flag per `cfg.faults` event: fired yet?
     fault_fired: Vec<bool>,
+    /// Team circuit breaker, advanced once per region boundary.
+    breaker: TeamBreaker,
+    /// Parallel regions dispatched so far (the health controller ticks at
+    /// the boundary *before* each dispatch after the first, and once more
+    /// at the end of the run).
+    regions_dispatched: u64,
     /// CPU-domain event tracer (disabled unless `cfg.trace` is on).
     tracer: Tracer,
 }
@@ -418,6 +444,8 @@ impl<'p> Engine<'p> {
             sched_grabs_total: 0,
             sched_steals_total: 0,
             fault_fired,
+            breaker: TeamBreaker::new(cfg.health.breaker),
+            regions_dispatched: 0,
             tracer: Tracer::new(&cfg.trace, TrackDomain::Cpu),
             cfg,
         };
@@ -514,6 +542,7 @@ impl<'p> Engine<'p> {
                 stores_skipped: 0,
                 watchdog_deadline: None,
                 watchdog_gen: 0,
+                token_wait_deadline: None,
             });
         }
 
@@ -647,6 +676,10 @@ impl<'p> Engine<'p> {
         );
         c.pending_class = Some(c.park_class);
         c.status = Status::Ready;
+        // A normal wake disarms any pending token-wait timeout; the queued
+        // deadline event then fails the armed-deadline match and is
+        // discarded as stale.
+        c.token_wait_deadline = None;
         let t = t.max(c.timeline.now());
         c.next_wake = t;
         self.q.schedule(t, cpu);
@@ -1482,9 +1515,15 @@ impl<'p> Engine<'p> {
         let _ = self.pairs[p].tokens.force_reset(sync.tokens);
         self.pairs[p].diverged = false;
         self.pairs[p].recoveries += 1;
+        self.pairs[p].episode_recoveries += 1;
         if watchdog {
             self.pairs[p].watchdog_recoveries += 1;
             self.cpus[ai].timeline.stats.watchdog_recoveries += 1;
+        }
+        // Attribute a pending token-wait timeout to this recovery.
+        let timeout = std::mem::take(&mut self.pairs[p].timeout_pending);
+        if timeout {
+            self.pairs[p].timeout_recoveries += 1;
         }
         let r_epoch = self.pairs[p].r_epoch;
         self.pairs[p].a_epoch = r_epoch;
@@ -1496,11 +1535,16 @@ impl<'p> Engine<'p> {
                 TraceEvent::Recovery {
                     pair: p as u32,
                     watchdog,
+                    timeout,
                 },
             );
         }
+        // The retry budget bounds the current health episode (reset on
+        // re-promotion, so a probationary pair starts with a fresh
+        // budget); any recovery *on* probation fails the trial outright.
         if !self.pairs[p].demoted()
-            && self.pairs[p].recoveries > self.cfg.recovery.max_recoveries_per_pair
+            && (self.pairs[p].episode_recoveries > self.cfg.recovery.max_recoveries_per_pair
+                || self.pairs[p].health.state == HealthState::Probation)
         {
             // Retrying is judged futile: degrade gracefully instead.
             self.demote_pair(ci, p, now);
@@ -1539,10 +1583,12 @@ impl<'p> Engine<'p> {
         self.pairs[p].mode = PairMode::DegradedSingle;
         self.pairs[p].demoted_at = Some(now);
         self.cpus[ai].timeline.stats.demotions = 1;
+        let from = self.pairs[p].health.on_demote(&self.cfg.health);
         if self.tracer.is_on() {
             self.tracer
                 .record(now, ai as u32, TraceEvent::Demotion { pair: p as u32 });
         }
+        self.trace_health(ai, p, from, HealthState::Demoted, now);
         // The A-stream's remaining obligation is the region-end barrier.
         // Rebuild its continuation as R's enclosing region-end protocol
         // with the body dropped; a worker A outside any region frame just
@@ -1650,6 +1696,140 @@ impl<'p> Engine<'p> {
         }
     }
 
+    /// Trace a health-controller transition on `ci`'s track.
+    fn trace_health(&mut self, ci: usize, p: usize, from: HealthState, to: HealthState, t: Cycle) {
+        if !self.tracer.is_on() || from == to {
+            return;
+        }
+        self.tracer.record(
+            t,
+            ci as u32,
+            TraceEvent::Health {
+                pair: p as u32,
+                from: from.label(),
+                to: to.label(),
+            },
+        );
+    }
+
+    /// Arm the token-wait timeout for A-stream `ci`, just parked on pair
+    /// `p`'s token or scheduling semaphore. The deadline backs off
+    /// exponentially with the region's consecutive timeout count. One
+    /// deadline per park: a normal wake disarms it ([`Engine::wake`]).
+    fn arm_token_wait(&mut self, ci: usize, p: usize) {
+        if self.pairs[p].demoted() {
+            return;
+        }
+        let Some(len) = self
+            .cfg
+            .recovery
+            .token_wait_deadline(self.pairs[p].wait_timeouts)
+        else {
+            return;
+        };
+        let now = self.cpus[ci].timeline.now();
+        let deadline = now.saturating_add(len);
+        self.cpus[ci].token_wait_deadline = Some(deadline);
+        self.q.schedule(deadline, CpuId(ci));
+    }
+
+    /// Token-wait deadline reached for A-stream `ci`. Validate it is
+    /// still stranded on the pair-semaphore path, then declare divergence
+    /// instead of hanging: if its R-stream is already parked at the
+    /// region-end barrier (and will never run another divergence check)
+    /// re-seed immediately, otherwise the R-stream's next check recovers
+    /// it.
+    fn token_wait_fire(&mut self, ci: usize, t: Cycle) {
+        self.cpus[ci].token_wait_deadline = None;
+        let Some(p) = self.pair_of(ci) else { return };
+        if self.cpus[ci].status != Status::Parked
+            || self.cpus[ci].park_class != TimeClass::AStreamWait
+            || self.pairs[p].demoted()
+        {
+            return; // stale: woken, recovered, or demoted in the meantime
+        }
+        self.pairs[p].wait_timeouts += 1;
+        self.pairs[p].timeout_pending = true;
+        self.pairs[p].diverged = true;
+        let a_cpu = self.pairs[p].a_cpu;
+        let ri = self.pairs[p].r_cpu.0;
+        let r_at_region_end = self.cpus[ri].status == Status::Parked
+            && matches!(
+                self.cpus[ri].frames.last(),
+                Some(Frame::Bar { internal: true, .. })
+            );
+        if r_at_region_end && !self.a_holds_lock(a_cpu) {
+            let mut frames = self.cpus[ri].frames.clone();
+            let top = frames.len() - 1;
+            frames[top] = Frame::Bar {
+                internal: true,
+                stage: 0,
+            };
+            self.reseed_astream(ri, p, frames, false, t);
+        }
+    }
+
+    /// Re-promote a demoted pair back into slipstream on probation: the
+    /// retry budget refreshes and the pair runs the upcoming region as a
+    /// full A–R pair again. Called at the region boundary, before the
+    /// region's `start_region`/dispatch, so the A-stream (idling in the
+    /// pool or shadowing serial code) simply takes the next job with the
+    /// body re-enabled.
+    fn repromote_pair(&mut self, p: usize) {
+        self.pairs[p].mode = PairMode::Slipstream;
+        self.pairs[p].diverged = false;
+        self.pairs[p].episode_recoveries = 0;
+        self.pairs[p].wait_timeouts = 0;
+        self.pairs[p].timeout_pending = false;
+    }
+
+    /// Advance the pair-health controller and the team breaker by one
+    /// region boundary: tick every pair's state machine on its recovery
+    /// and fill-classifier deltas, execute re-promotions, then let the
+    /// breaker decide whether the upcoming region may run slipstream.
+    /// Pure bookkeeping — no simulated cycles are charged, and under
+    /// [`HealthPolicy::paper`] no state ever changes.
+    fn health_region_tick(&mut self, ci: usize, now: Cycle) {
+        for p in 0..self.pairs.len() {
+            let recoveries = self.pairs[p].recoveries;
+            let cmp = CmpId(self.pairs[p].tid as usize);
+            let tally = self.ms.classifier.a_tally(cmp);
+            let fills = FillWindow {
+                polluted: tally.polluted,
+                total: tally.total,
+            };
+            let out = self.pairs[p]
+                .health
+                .on_region_boundary(&self.cfg.health, recoveries, fills);
+            if out.repromote {
+                self.repromote_pair(p);
+            }
+            if let Some((from, to)) = out.transition {
+                let ai = self.pairs[p].a_cpu.0;
+                self.trace_health(ai, p, from, to, now);
+            }
+        }
+        let unhealthy = self
+            .pairs
+            .iter()
+            .filter(|p| p.health.counts_as_unhealthy())
+            .count();
+        let team = self.pairs.len();
+        let before = self.breaker.state();
+        let after = self.breaker.on_region_boundary(unhealthy, team);
+        if after != before && self.tracer.is_on() {
+            self.tracer.record(
+                now,
+                ci as u32,
+                TraceEvent::Breaker {
+                    from: before.label(),
+                    to: after.label(),
+                    unhealthy: unhealthy as u32,
+                },
+            );
+        }
+    }
+
     /// Barrier protocol. Stages: 0 = entry (A: token consume; R: local
     /// token insert + arrive), 1 = A woken with a granted token,
     /// 2 = R woken by release (post-wait flag load + global token insert).
@@ -1694,6 +1874,7 @@ impl<'p> Engine<'p> {
                                 );
                             }
                             self.park(ci, TimeClass::AStreamWait);
+                            self.arm_token_wait(ci, p);
                         }
                     }
                     1 => {
@@ -2043,6 +2224,7 @@ impl<'p> Engine<'p> {
                     });
                     if !granted {
                         self.park(ci, TimeClass::AStreamWait);
+                        self.arm_token_wait(ci, p);
                     }
                 }
                 1 => {
@@ -2222,6 +2404,7 @@ impl<'p> Engine<'p> {
                     });
                     if !granted {
                         self.park(ci, TimeClass::AStreamWait);
+                        self.arm_token_wait(ci, p);
                     }
                 }
                 11 => {
@@ -2426,6 +2609,7 @@ impl<'p> Engine<'p> {
                     self.cpus[ci].frames.push(Frame::RegionP { node, stage: 1 });
                     if !granted {
                         self.park(ci, TimeClass::AStreamWait);
+                        self.arm_token_wait(ci, p);
                     }
                 }
                 1 => {
@@ -2453,10 +2637,21 @@ impl<'p> Engine<'p> {
         }
 
         debug_assert_eq!(stage, 0);
-        let resolved = if self.cfg.mode == ExecMode::Slipstream {
-            resolve_region(clause, self.global_slip, self.cfg.env.slipstream)
-        } else {
+        // Every region boundary after the first region advances the
+        // pair-health controller and the team breaker on the region that
+        // just completed (the last region's boundary runs in `finish`).
+        if self.cfg.mode == ExecMode::Slipstream && self.regions_dispatched > 0 {
+            let now = self.cpus[ci].timeline.now();
+            self.health_region_tick(ci, now);
+        }
+        self.regions_dispatched += 1;
+        let resolved = if self.cfg.mode != ExecMode::Slipstream {
             RegionSlip::Off
+        } else if self.breaker.forces_off() {
+            // Breaker open: the whole region runs without slipstream.
+            RegionSlip::Off
+        } else {
+            resolve_region(clause, self.global_slip, self.cfg.env.slipstream)
         };
 
         // R-master configures shared region state exactly once.
@@ -2585,6 +2780,7 @@ impl<'p> Engine<'p> {
                             stage: 1,
                         });
                         self.park(ci, TimeClass::AStreamWait);
+                        self.arm_token_wait(ci, p);
                     }
                 }
                 1 => {
@@ -2635,6 +2831,12 @@ impl<'p> Engine<'p> {
                 self.watchdog_fire(cpu.0, t);
                 continue;
             }
+            if c.status == Status::Parked && c.token_wait_deadline == Some(t) {
+                // Token-wait deadline for an A-stream parked on the pair
+                // semaphore path.
+                self.token_wait_fire(cpu.0, t);
+                continue;
+            }
             if c.status != Status::Ready || c.next_wake != t {
                 continue; // stale event
             }
@@ -2657,6 +2859,11 @@ impl<'p> Engine<'p> {
     fn finish(mut self) -> RunResult {
         let master_ci = self.layout.master_cpu().0;
         let end = self.cpus[master_ci].timeline.now();
+        // Close out the last region's health boundary so residency covers
+        // every completed region (runs before the tracer drains below).
+        if self.cfg.mode == ExecMode::Slipstream && self.regions_dispatched > 0 {
+            self.health_region_tick(master_ci, end);
+        }
         // Attribute the tail of every stream's timeline up to program end.
         for c in self.cpus.iter_mut() {
             if c.assign == CpuAssignment::Idle {
@@ -2729,15 +2936,26 @@ impl<'p> Engine<'p> {
         }
         let recoveries = self.pairs.iter().map(|p| p.recoveries).sum();
         let watchdog_recoveries = self.pairs.iter().map(|p| p.watchdog_recoveries).sum();
+        let timeout_recoveries = self.pairs.iter().map(|p| p.timeout_recoveries).sum();
+        let repromotions = self.pairs.iter().map(|p| p.health.repromotions).sum();
+        let mut health_residency = [0u64; 4];
+        for p in &self.pairs {
+            for (acc, r) in health_residency.iter_mut().zip(p.health.residency.iter()) {
+                *acc += r;
+            }
+        }
         let pair_ledgers: Vec<PairLedger> = self
             .pairs
             .iter()
             .map(|p| PairLedger {
                 tid: p.tid,
                 mode: p.mode,
+                health: p.health.state,
                 faults_injected: p.faults_injected,
                 recoveries: p.recoveries,
                 watchdog_recoveries: p.watchdog_recoveries,
+                timeout_recoveries: p.timeout_recoveries,
+                repromotions: p.health.repromotions,
                 demoted_at: p.demoted_at,
             })
             .collect();
@@ -2756,7 +2974,12 @@ impl<'p> Engine<'p> {
             sched_steals: self.sched_steals_total + self.arena.total_steals(),
             recoveries,
             watchdog_recoveries,
+            timeout_recoveries,
             demotions,
+            repromotions,
+            breaker_trips: self.breaker.trips,
+            breaker_reclosures: self.breaker.reclosures,
+            health_residency,
             pair_ledgers,
             stores_converted,
             stores_skipped,

@@ -18,7 +18,7 @@
 //! failing seed replays exactly.
 
 use dsm_sim::SplitMix64;
-use omp_rt::mode::PairMode;
+use omp_rt::mode::{HealthState, PairMode};
 
 /// The kinds of fault the engine knows how to inject.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -50,7 +50,7 @@ pub enum FaultKind {
 }
 
 /// The engine hook point at which a [`FaultKind`] fires.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FaultSite {
     /// A-stream barrier entry (keyed by the pair's A-side epoch).
     ABarrier,
@@ -170,23 +170,42 @@ impl FaultPlan {
     /// `max_events` faults with uniformly random kinds, victims, and
     /// small sequence numbers. Identical `(seed, team, max_events)`
     /// always produce the identical plan.
+    ///
+    /// No two events ever share a `(site, tid, seq)` hook slot: the
+    /// engine fires the first unfired match at a hook, so duplicates
+    /// would make which *kind* fires order-dependent and the oracle
+    /// labels ambiguous. Each draw rejection-samples (bounded, and
+    /// deterministic because the generator stream is) until it lands on a
+    /// free slot; a draw that cannot find one after 16 attempts is
+    /// dropped rather than duplicated.
     pub fn random(seed: u64, team: u64, max_events: usize) -> Self {
         assert!(team > 0 && max_events > 0);
         let mut g = SplitMix64::new(seed ^ 0xFA_17B0A7);
         let n = 1 + g.below(max_events as u64) as usize;
-        let mut events = Vec::with_capacity(n);
+        let mut events: Vec<FaultEvent> = Vec::with_capacity(n);
+        let mut seen: Vec<(FaultSite, u64, u64)> = Vec::with_capacity(n);
         for _ in 0..n {
-            let kind = FaultKind::ALL[g.below(FaultKind::ALL.len() as u64) as usize];
-            events.push(FaultEvent {
-                kind,
-                tid: g.below(team),
-                seq: g.below(6),
-                arg: if kind == FaultKind::StallBurst {
-                    1_000 + g.below(200_000)
-                } else {
-                    0
-                },
-            });
+            for _attempt in 0..16 {
+                let kind = FaultKind::ALL[g.below(FaultKind::ALL.len() as u64) as usize];
+                let tid = g.below(team);
+                let seq = g.below(6);
+                let slot = (kind.site(), tid, seq);
+                if seen.contains(&slot) {
+                    continue;
+                }
+                seen.push(slot);
+                events.push(FaultEvent {
+                    kind,
+                    tid,
+                    seq,
+                    arg: if kind == FaultKind::StallBurst {
+                        1_000 + g.below(200_000)
+                    } else {
+                        0
+                    },
+                });
+                break;
+            }
         }
         FaultPlan { events }
     }
@@ -201,18 +220,27 @@ pub struct PairLedger {
     /// Final operating mode (demoted pairs end in
     /// [`PairMode::DegradedSingle`]).
     pub mode: PairMode,
+    /// Final health-controller state of the pair.
+    pub health: HealthState,
     /// Faults the plan actually fired against this pair.
     pub faults_injected: u64,
     /// Divergence recoveries performed (all causes).
     pub recoveries: u64,
     /// Subset of `recoveries` forced by the barrier watchdog.
     pub watchdog_recoveries: u64,
-    /// Simulated cycle at which the pair was demoted, if it was.
+    /// Subset of `recoveries` triggered by the token-wait timeout.
+    pub timeout_recoveries: u64,
+    /// Times the health controller re-promoted the pair from demoted to
+    /// probation.
+    pub repromotions: u64,
+    /// Simulated cycle of the pair's most recent demotion, if any.
     pub demoted_at: Option<u64>,
 }
 
 impl PairLedger {
-    /// True once the pair has been demoted.
+    /// True while the pair is demoted (its *final* state; a pair that was
+    /// demoted and successfully re-promoted reports `false` here but a
+    /// `Some` in [`PairLedger::demoted_at`]).
     pub fn demoted(&self) -> bool {
         self.mode.is_demoted()
     }
@@ -266,6 +294,29 @@ mod tests {
         assert_eq!(FaultKind::TokenLoss.site(), FaultSite::TokenInsert);
         assert_eq!(FaultKind::SignalLoss.site(), FaultSite::Publish);
         assert_eq!(FaultKind::StalePrefetch.site(), FaultSite::AStore);
+    }
+
+    #[test]
+    fn random_plans_never_share_a_hook_slot() {
+        // Regression: duplicate (site, tid, seq) triples made which kind
+        // fires at a hook order-dependent; plans must occupy each slot at
+        // most once. Small team + seq space maximizes collision pressure.
+        for seed in 0..512 {
+            for (team, max_events) in [(1, 6), (2, 6), (4, 6), (4, 12)] {
+                let p = FaultPlan::random(seed, team, max_events);
+                let mut slots: Vec<_> = p
+                    .events
+                    .iter()
+                    .map(|e| (e.kind.site(), e.tid, e.seq))
+                    .collect();
+                slots.sort();
+                let before = slots.len();
+                slots.dedup();
+                assert_eq!(slots.len(), before, "seed {seed} has duplicate slots");
+                assert!(!p.is_empty(), "dedup must not empty a plan");
+                assert!(p.events.len() <= max_events);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,546 @@
+//! The adaptive pair-health controller.
+//!
+//! PR 1's resilience story was one-way: a pair that exhausted its
+//! divergence-recovery budget was demoted to single-stream mode for the
+//! rest of the run, forfeiting the slipstream prefetch benefit even when
+//! the underlying fault was transient (an OS preemption burst, a dropped
+//! pair-register write). This module closes the loop. Each pair carries a
+//! [`PairHealth`] state machine
+//!
+//! ```text
+//!   Healthy <-> Suspect -> Demoted -> Probation -> Healthy
+//!                  ^                      |
+//!                  +---- (any recovery) --+--> Demoted (cool-down doubles)
+//! ```
+//!
+//! advanced by the execution engine at region boundaries from two
+//! signals: an **EWMA of the per-region recovery count** and (optionally)
+//! the **prefetch-pollution fraction** from the shared-fill classifier —
+//! the same A-Only category `dsm-sim::classify` computes for Figure 3. A
+//! demoted pair re-enters slipstream *on probation* after a cool-down
+//! measured in region completions; one recovery on probation re-demotes
+//! it and doubles the next cool-down, and after
+//! [`HealthPolicy::max_repromotions`] failed trials the demotion becomes
+//! permanent. Region completions (not cycles) are the clock, so the
+//! cool-down scales with the program's own granularity.
+//!
+//! The [`HealthPolicy::paper`] preset keeps every adaptive feature off —
+//! byte-identical behaviour to the PR 1 runtime, which the golden
+//! determinism tests pin. [`HealthPolicy::adaptive`] is the hardened
+//! configuration used by the chaos-soak harness, the health tests, and
+//! the `token_trace` example.
+
+use omp_rt::mode::HealthState;
+use omp_rt::team::BreakerConfig;
+
+/// Tuning knobs of the pair-health controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthPolicy {
+    /// EWMA smoothing factor, in thousandths: the weight of the newest
+    /// region's recovery count. 1000 means "no smoothing".
+    pub ewma_alpha_milli: u32,
+    /// Recovery-rate EWMA (recoveries/region, in thousandths) at or above
+    /// which a healthy pair becomes [`HealthState::Suspect`]. 0 disables
+    /// EWMA-based suspicion (the EWMA is still tracked for reporting).
+    pub suspect_threshold_milli: u32,
+    /// Consecutive recovery-free regions a suspect pair must serve (with
+    /// the EWMA back under threshold) before clearing to healthy.
+    pub suspect_clear_regions: u32,
+    /// Base cool-down, in completed regions, a demoted pair serves before
+    /// a probationary re-promotion. 0 disables re-promotion: demotion is
+    /// final, exactly the PR 1 behaviour.
+    pub cooldown_regions: u32,
+    /// Cap on the left-shift applied to `cooldown_regions` after repeated
+    /// probation failures (exponential cool-down growth).
+    pub max_cooldown_shift: u32,
+    /// Probation attempts before a pair is demoted permanently.
+    pub max_repromotions: u32,
+    /// Consecutive recovery-free regions on probation before the pair is
+    /// restored to healthy (and its retry budget refreshed).
+    pub probation_regions: u32,
+    /// A-Only fraction of the pair's A-issued fills (in thousandths)
+    /// above which the pair becomes suspect — the prefetch-pollution
+    /// signal. 0 disables it (prefetch pollution is nonzero even in
+    /// perfectly healthy runs, so this defaults off and is an opt-in for
+    /// workloads with known-good timeliness).
+    pub pollution_threshold_milli: u32,
+    /// Minimum A-issued fills in a boundary-to-boundary window before the
+    /// pollution signal is consulted (small windows are noise).
+    pub pollution_min_fills: u64,
+    /// Team-level circuit breaker configuration.
+    pub breaker: BreakerConfig,
+}
+
+impl HealthPolicy {
+    /// The inert preset: controller observes (EWMA, residency) but never
+    /// changes behaviour — no suspicion, no re-promotion, no breaker.
+    /// This reproduces the PR 1 one-way-demotion runtime exactly.
+    pub fn paper() -> Self {
+        HealthPolicy {
+            ewma_alpha_milli: 300,
+            suspect_threshold_milli: 0,
+            suspect_clear_regions: 2,
+            cooldown_regions: 0,
+            max_cooldown_shift: 4,
+            max_repromotions: 3,
+            probation_regions: 2,
+            pollution_threshold_milli: 0,
+            pollution_min_fills: 32,
+            breaker: BreakerConfig::disabled(),
+        }
+    }
+
+    /// The hardened preset: suspicion at half a recovery per region
+    /// (EWMA), two-region cool-down with exponential growth, three
+    /// probation attempts, and the default team breaker.
+    pub fn adaptive() -> Self {
+        HealthPolicy {
+            suspect_threshold_milli: 500,
+            cooldown_regions: 2,
+            breaker: BreakerConfig::default(),
+            ..Self::paper()
+        }
+    }
+
+    /// Builder: override the demotion cool-down (0 disables
+    /// re-promotion).
+    pub fn with_cooldown(mut self, regions: u32) -> Self {
+        self.cooldown_regions = regions;
+        self
+    }
+
+    /// Builder: override the probation attempt budget.
+    pub fn with_max_repromotions(mut self, n: u32) -> Self {
+        self.max_repromotions = n;
+        self
+    }
+
+    /// Builder: override the clean-region requirement of probation.
+    pub fn with_probation_regions(mut self, regions: u32) -> Self {
+        self.probation_regions = regions;
+        self
+    }
+
+    /// Builder: override the EWMA suspicion threshold (0 disables).
+    pub fn with_suspect_threshold(mut self, milli: u32) -> Self {
+        self.suspect_threshold_milli = milli;
+        self
+    }
+
+    /// Builder: enable the prefetch-pollution signal at the given A-Only
+    /// fraction threshold (in thousandths).
+    pub fn with_pollution_threshold(mut self, milli: u32) -> Self {
+        self.pollution_threshold_milli = milli;
+        self
+    }
+
+    /// Builder: override the team breaker configuration.
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
+    /// True when re-promotion can ever happen.
+    pub fn repromotion_enabled(&self) -> bool {
+        self.cooldown_regions > 0
+    }
+
+    /// Cool-down a pair serves after its `failures`-th failed probation
+    /// (0 = the initial demotion): exponential growth, capped.
+    pub fn cooldown_after(&self, failures: u32) -> u32 {
+        let shift = failures.min(self.max_cooldown_shift);
+        self.cooldown_regions.saturating_mul(1u32 << shift.min(31))
+    }
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Window of classifier tallies used for the pollution signal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FillWindow {
+    /// A-issued fills classified A-Only (pollution) so far, cumulative.
+    pub polluted: u64,
+    /// All A-issued fills so far, cumulative.
+    pub total: u64,
+}
+
+/// What the engine must do after a boundary tick.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BoundaryOutcome {
+    /// The transition this tick performed, for tracing.
+    pub transition: Option<(HealthState, HealthState)>,
+    /// True when the pair must be re-promoted from degraded-single back
+    /// into slipstream (probation) before the upcoming region dispatches.
+    pub repromote: bool,
+}
+
+/// Per-pair health-controller state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairHealth {
+    /// Current state.
+    pub state: HealthState,
+    /// EWMA of recoveries per region, in thousandths.
+    pub ewma_milli: u64,
+    /// Probationary re-promotions granted so far.
+    pub repromotions: u64,
+    /// True once probation attempts are exhausted: the pair stays
+    /// demoted for good.
+    pub permanent: bool,
+    /// Completed regions spent in each state (indexed by
+    /// [`HealthState::ordinal`]).
+    pub residency: [u64; 4],
+    /// Cumulative recovery count at the last boundary tick.
+    last_recoveries: u64,
+    /// Consecutive recovery-free regions in the current state.
+    clean_regions: u32,
+    /// Regions left before a demoted pair goes on probation.
+    cooldown_left: u32,
+    /// Classifier tallies at the last boundary tick.
+    last_fills: FillWindow,
+}
+
+impl Default for PairHealth {
+    fn default() -> Self {
+        PairHealth {
+            state: HealthState::Healthy,
+            ewma_milli: 0,
+            repromotions: 0,
+            permanent: false,
+            residency: [0; 4],
+            last_recoveries: 0,
+            clean_regions: 0,
+            cooldown_left: 0,
+            last_fills: FillWindow::default(),
+        }
+    }
+}
+
+impl PairHealth {
+    /// Fresh healthy state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The engine demoted the pair mid-region (retry budget exhausted, or
+    /// any recovery while on probation). Returns the state the pair left,
+    /// for tracing.
+    pub fn on_demote(&mut self, pol: &HealthPolicy) -> HealthState {
+        let from = self.state;
+        if from == HealthState::Probation {
+            // A failed trial: the *next* cool-down doubles.
+            self.permanent = self.repromotions >= u64::from(pol.max_repromotions);
+        }
+        self.state = HealthState::Demoted;
+        self.cooldown_left = pol.cooldown_after(self.repromotions.min(u64::from(u32::MAX)) as u32);
+        self.clean_regions = 0;
+        from
+    }
+
+    /// Advance the state machine at a region boundary. `recoveries` is
+    /// the pair's cumulative recovery count and `fills` the cumulative
+    /// classifier tallies; the tick works on the deltas since the last
+    /// boundary (one completed region).
+    pub fn on_region_boundary(
+        &mut self,
+        pol: &HealthPolicy,
+        recoveries: u64,
+        fills: FillWindow,
+    ) -> BoundaryOutcome {
+        let delta = recoveries.saturating_sub(self.last_recoveries);
+        self.last_recoveries = recoveries;
+        let window = FillWindow {
+            polluted: fills.polluted.saturating_sub(self.last_fills.polluted),
+            total: fills.total.saturating_sub(self.last_fills.total),
+        };
+        self.last_fills = fills;
+        self.residency[self.state.ordinal() as usize] += 1;
+
+        // EWMA over every region, whatever the state: reports want the
+        // full history and probation decisions want fresh input.
+        let alpha = u64::from(pol.ewma_alpha_milli.min(1000));
+        self.ewma_milli = (alpha * delta * 1000 + (1000 - alpha) * self.ewma_milli) / 1000;
+
+        let mut out = BoundaryOutcome::default();
+        let from = self.state;
+        match self.state {
+            HealthState::Healthy => {
+                if self.suspicious(pol, &window) {
+                    self.state = HealthState::Suspect;
+                    self.clean_regions = 0;
+                }
+            }
+            HealthState::Suspect => {
+                if delta == 0 {
+                    self.clean_regions += 1;
+                    if self.clean_regions >= pol.suspect_clear_regions
+                        && !self.suspicious(pol, &window)
+                    {
+                        self.state = HealthState::Healthy;
+                        self.clean_regions = 0;
+                    }
+                } else {
+                    self.clean_regions = 0;
+                }
+            }
+            HealthState::Demoted => {
+                if pol.repromotion_enabled() && !self.permanent {
+                    self.cooldown_left = self.cooldown_left.saturating_sub(1);
+                    if self.cooldown_left == 0 {
+                        self.state = HealthState::Probation;
+                        self.repromotions += 1;
+                        self.clean_regions = 0;
+                        out.repromote = true;
+                    }
+                }
+            }
+            HealthState::Probation => {
+                if delta == 0 {
+                    self.clean_regions += 1;
+                    if self.clean_regions >= pol.probation_regions {
+                        self.state = HealthState::Healthy;
+                        self.clean_regions = 0;
+                    }
+                }
+                // A recovery on probation re-demotes immediately in the
+                // engine (via on_demote), never here.
+            }
+        }
+        if self.state != from {
+            out.transition = Some((from, self.state));
+        }
+        out
+    }
+
+    fn suspicious(&self, pol: &HealthPolicy, window: &FillWindow) -> bool {
+        let by_ewma = pol.suspect_threshold_milli > 0
+            && self.ewma_milli >= u64::from(pol.suspect_threshold_milli);
+        let by_pollution = pol.pollution_threshold_milli > 0
+            && window.total >= pol.pollution_min_fills
+            && window.polluted * 1000 >= u64::from(pol.pollution_threshold_milli) * window.total;
+        by_ewma || by_pollution
+    }
+
+    /// True for states the team breaker counts against its threshold
+    /// (probation is the recovery path and deliberately excluded, so
+    /// healing pairs cannot hold the breaker open).
+    pub fn counts_as_unhealthy(&self) -> bool {
+        matches!(self.state, HealthState::Suspect | HealthState::Demoted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tick(h: &mut PairHealth, pol: &HealthPolicy, recoveries: u64) -> BoundaryOutcome {
+        h.on_region_boundary(pol, recoveries, FillWindow::default())
+    }
+
+    #[test]
+    fn paper_policy_is_inert() {
+        let pol = HealthPolicy::paper();
+        assert!(!pol.repromotion_enabled());
+        assert!(!pol.breaker.enabled());
+        let mut h = PairHealth::new();
+        // Storm of recoveries: EWMA climbs but the state never moves.
+        let mut total = 0;
+        for _ in 0..20 {
+            total += 5;
+            let out = tick(&mut h, &pol, total);
+            assert_eq!(out, BoundaryOutcome::default());
+        }
+        assert_eq!(h.state, HealthState::Healthy);
+        assert!(h.ewma_milli > 0, "EWMA still observed for reporting");
+        // Demotion sticks forever.
+        assert_eq!(h.on_demote(&pol), HealthState::Healthy);
+        for _ in 0..50 {
+            let out = tick(&mut h, &pol, total);
+            assert!(!out.repromote);
+        }
+        assert_eq!(h.state, HealthState::Demoted);
+    }
+
+    #[test]
+    fn ewma_suspicion_and_clearance() {
+        let pol = HealthPolicy::adaptive();
+        let mut h = PairHealth::new();
+        // alpha 0.3: one region with 2 recoveries -> EWMA 600 >= 500.
+        let out = tick(&mut h, &pol, 2);
+        assert_eq!(
+            out.transition,
+            Some((HealthState::Healthy, HealthState::Suspect))
+        );
+        // Clean regions decay the EWMA (600 -> 420 -> 294) and clear the
+        // suspicion after suspect_clear_regions of quiet.
+        assert_eq!(tick(&mut h, &pol, 2).transition, None);
+        let out = tick(&mut h, &pol, 2);
+        assert_eq!(
+            out.transition,
+            Some((HealthState::Suspect, HealthState::Healthy))
+        );
+        assert_eq!(h.residency[HealthState::Suspect.ordinal() as usize], 2);
+    }
+
+    #[test]
+    fn recovery_during_suspicion_resets_the_clean_count() {
+        let pol = HealthPolicy::adaptive();
+        let mut h = PairHealth::new();
+        tick(&mut h, &pol, 2); // -> Suspect
+        tick(&mut h, &pol, 2); // clean 1
+        tick(&mut h, &pol, 3); // dirty: clean count resets, EWMA re-climbs
+        assert_eq!(h.state, HealthState::Suspect);
+        tick(&mut h, &pol, 3); // clean 1
+        tick(&mut h, &pol, 3); // clean 2, but EWMA may still be high
+        while h.state == HealthState::Suspect {
+            tick(&mut h, &pol, 3);
+        }
+        assert_eq!(h.state, HealthState::Healthy);
+    }
+
+    #[test]
+    fn demote_probation_repromote_cycle() {
+        let pol = HealthPolicy::adaptive(); // cooldown 2
+        let mut h = PairHealth::new();
+        assert_eq!(h.on_demote(&pol), HealthState::Healthy);
+        assert_eq!(h.state, HealthState::Demoted);
+        // Two regions of cool-down, then probation with a repromote cmd.
+        assert!(!tick(&mut h, &pol, 0).repromote);
+        let out = tick(&mut h, &pol, 0);
+        assert!(out.repromote);
+        assert_eq!(
+            out.transition,
+            Some((HealthState::Demoted, HealthState::Probation))
+        );
+        assert_eq!(h.repromotions, 1);
+        // Two clean regions restore healthy.
+        assert!(tick(&mut h, &pol, 0).transition.is_none());
+        let out = tick(&mut h, &pol, 0);
+        assert_eq!(
+            out.transition,
+            Some((HealthState::Probation, HealthState::Healthy))
+        );
+        assert!(!h.permanent);
+    }
+
+    #[test]
+    fn failed_probation_doubles_cooldown_until_permanent() {
+        let pol = HealthPolicy::adaptive().with_max_repromotions(2);
+        let mut h = PairHealth::new();
+        h.on_demote(&pol);
+        let mut recs = 0;
+        let serve_cooldown = |h: &mut PairHealth, recs: u64, expect: u32| {
+            for i in 0..expect {
+                let out = tick(h, &pol, recs);
+                assert_eq!(
+                    out.repromote,
+                    i + 1 == expect,
+                    "probation only after {expect} regions (at {i})"
+                );
+            }
+        };
+        // First demotion: base cool-down of 2 regions.
+        serve_cooldown(&mut h, recs, 2);
+        // Fail probation: a recovery mid-region -> engine re-demotes.
+        recs += 1;
+        assert_eq!(h.on_demote(&pol), HealthState::Probation);
+        assert!(!h.permanent);
+        // Second cool-down doubles to 4.
+        serve_cooldown(&mut h, recs, 4);
+        assert_eq!(h.repromotions, 2);
+        // Fail again: attempts (2) == max_repromotions -> permanent.
+        recs += 1;
+        h.on_demote(&pol);
+        assert!(h.permanent);
+        for _ in 0..100 {
+            assert!(!tick(&mut h, &pol, recs).repromote);
+        }
+        assert_eq!(h.state, HealthState::Demoted);
+    }
+
+    #[test]
+    fn cooldown_growth_caps_at_the_shift_limit() {
+        let pol = HealthPolicy::adaptive().with_cooldown(3);
+        assert_eq!(pol.cooldown_after(0), 3);
+        assert_eq!(pol.cooldown_after(1), 6);
+        assert_eq!(pol.cooldown_after(4), 48);
+        assert_eq!(pol.cooldown_after(5), 48, "capped at max_cooldown_shift");
+        assert_eq!(pol.cooldown_after(u32::MAX), 48);
+    }
+
+    #[test]
+    fn pollution_signal_trips_suspicion_when_enabled() {
+        let pol = HealthPolicy::adaptive()
+            .with_suspect_threshold(0)
+            .with_pollution_threshold(800);
+        let mut h = PairHealth::new();
+        // Window below min fills: ignored.
+        let out = h.on_region_boundary(
+            &pol,
+            0,
+            FillWindow {
+                polluted: 10,
+                total: 10,
+            },
+        );
+        assert_eq!(out.transition, None);
+        // Big polluted window: 90% A-Only >= 80% threshold.
+        let out = h.on_region_boundary(
+            &pol,
+            0,
+            FillWindow {
+                polluted: 100,
+                total: 110,
+            },
+        );
+        assert_eq!(
+            out.transition,
+            Some((HealthState::Healthy, HealthState::Suspect))
+        );
+        // Timely windows clear it again.
+        let mut fills = FillWindow {
+            polluted: 100,
+            total: 110,
+        };
+        loop {
+            fills.total += 100;
+            let out = h.on_region_boundary(&pol, 0, fills);
+            if out.transition == Some((HealthState::Suspect, HealthState::Healthy)) {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn unhealthy_counting_excludes_probation() {
+        let pol = HealthPolicy::adaptive();
+        let mut h = PairHealth::new();
+        assert!(!h.counts_as_unhealthy());
+        h.on_demote(&pol);
+        assert!(h.counts_as_unhealthy());
+        tick(&mut h, &pol, 0);
+        tick(&mut h, &pol, 0);
+        assert_eq!(h.state, HealthState::Probation);
+        assert!(!h.counts_as_unhealthy(), "probation is the healing path");
+    }
+
+    #[test]
+    fn residency_accounts_every_completed_region() {
+        let pol = HealthPolicy::adaptive();
+        let mut h = PairHealth::new();
+        for _ in 0..3 {
+            tick(&mut h, &pol, 0);
+        }
+        h.on_demote(&pol);
+        for _ in 0..2 {
+            tick(&mut h, &pol, 0);
+        }
+        let total: u64 = h.residency.iter().sum();
+        assert_eq!(total, 5);
+        assert_eq!(h.residency[HealthState::Healthy.ordinal() as usize], 3);
+        assert_eq!(h.residency[HealthState::Demoted.ordinal() as usize], 2);
+    }
+}

@@ -26,6 +26,7 @@
 pub mod compile;
 pub mod exec;
 pub mod faults;
+pub mod health;
 pub mod pairing;
 pub mod policy;
 pub mod report;
@@ -34,6 +35,7 @@ pub mod runner;
 pub use compile::{compile, CompiledProgram};
 pub use exec::{Engine, EngineConfig, OsNoise, RunResult};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultSite, PairLedger};
+pub use health::{BoundaryOutcome, FillWindow, HealthPolicy, PairHealth};
 pub use pairing::{Decision, PairState};
 pub use policy::{AAction, AStreamPolicy, RecoveryPolicy};
 pub use runner::{run_program, RunOptions, RunSummary};
@@ -41,7 +43,10 @@ pub use runner::{run_program, RunOptions, RunSummary};
 // Re-export the pieces users need to drive a simulation end-to-end.
 pub use dsm_sim::{FillClass, FillCounts, MachineConfig, ReqKind, StreamRole, TimeClass};
 pub use omp_ir::{Program, ProgramBuilder};
-pub use omp_rt::{ExecMode, PairMode, RuntimeEnv, SlipSync};
+pub use omp_rt::{
+    BreakerConfig, BreakerState, ExecMode, HealthState, PairMode, RuntimeEnv, SlipSync, TeamBreaker,
+};
 pub use sim_trace::{
     analyze, chrome_trace_json, validate_chrome_trace, TraceAnalytics, TraceConfig, TraceData,
+    TraceEvent,
 };

@@ -17,6 +17,7 @@
 //!   exhausts its recovery budget is demoted to single-stream mode
 //!   ([`PairMode::DegradedSingle`]) for the rest of the run.
 
+use crate::health::PairHealth;
 use dsm_sim::{Addr, CpuId, Semaphore};
 use omp_ir::wsloop::Chunk;
 use omp_rt::mode::{PairMode, SlipSync};
@@ -81,16 +82,31 @@ pub struct PairState {
     pub a_epoch: u64,
     /// The A-stream has diverged and stopped making useful progress.
     pub diverged: bool,
-    /// Number of recoveries performed on this pair.
+    /// Number of recoveries performed on this pair, over the whole run.
     pub recoveries: u64,
+    /// Recoveries in the current health episode (reset when the health
+    /// controller re-promotes the pair); this, not the lifetime total, is
+    /// what the retry budget bounds.
+    pub episode_recoveries: u64,
     /// Subset of `recoveries` forced by the barrier watchdog.
     pub watchdog_recoveries: u64,
+    /// Subset of `recoveries` triggered by the token-wait timeout.
+    pub timeout_recoveries: u64,
+    /// Consecutive token-wait timeouts in the current region (drives the
+    /// exponential backoff; reset at region start).
+    pub wait_timeouts: u32,
+    /// A token-wait timeout fired and its recovery has not yet been
+    /// attributed (consumed by the next reseed).
+    pub timeout_pending: bool,
     /// Faults the injection framework fired against this pair.
     pub faults_injected: u64,
     /// Operating mode; demotion to [`PairMode::DegradedSingle`] is
-    /// one-way.
+    /// reversed only by the health controller's probationary
+    /// re-promotion.
     pub mode: PairMode,
-    /// Simulated cycle of demotion, if demoted.
+    /// Health-controller state for the pair.
+    pub health: PairHealth,
+    /// Simulated cycle of the most recent demotion, if any.
     pub demoted_at: Option<u64>,
     /// Running count of token insertions by the R-stream, across the whole
     /// run (fault-hook sequence key; wraps).
@@ -124,9 +140,14 @@ impl PairState {
             a_epoch: 0,
             diverged: false,
             recoveries: 0,
+            episode_recoveries: 0,
             watchdog_recoveries: 0,
+            timeout_recoveries: 0,
+            wait_timeouts: 0,
+            timeout_pending: false,
             faults_injected: 0,
             mode: PairMode::Slipstream,
+            health: PairHealth::new(),
             demoted_at: None,
             token_seq: 0,
             publish_seq: 0,
@@ -143,6 +164,7 @@ impl PairState {
         self.tokens.reset(sync.tokens);
         self.r_epoch = 0;
         self.a_epoch = 0;
+        self.wait_timeouts = 0;
     }
 
     /// True once the pair has been demoted to single-stream mode.
@@ -292,6 +314,32 @@ mod tests {
         g0.tokens.signal();
         g0.tokens.signal();
         assert!(g0.divergence_suspected(1));
+    }
+
+    #[test]
+    fn suspicion_matrix_slack_0_and_1_for_l1_and_g0() {
+        // The full boundary matrix: for each token configuration, the
+        // heuristic must fire exactly when accumulation beyond the
+        // initial allocation exceeds the slack — at slack 0 the first
+        // leftover token is evidence, at slack 1 the second is.
+        for sync in [SlipSync::L1, SlipSync::G0] {
+            for slack in [0u64, 1] {
+                let mut p = pair(sync);
+                assert!(
+                    !p.divergence_suspected(slack),
+                    "{sync:?} slack {slack}: initial allocation is never evidence"
+                );
+                for extra in 1..=3u64 {
+                    p.tokens.signal();
+                    let expect = extra > slack;
+                    assert_eq!(
+                        p.divergence_suspected(slack),
+                        expect,
+                        "{sync:?} slack {slack}: {extra} tokens beyond initial"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

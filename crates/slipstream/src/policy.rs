@@ -94,17 +94,25 @@ impl Default for AStreamPolicy {
 
 /// Divergence detection and recovery knobs (paper Section 4.4, hardened).
 ///
-/// Detection has two tiers. The cheap tier is the paper's token-slack
+/// Detection has three tiers. The cheap tier is the paper's token-slack
 /// heuristic: tokens accumulating beyond `sync.tokens + divergence_slack`
 /// at an R-stream barrier suggest the A-stream has stopped consuming.
+/// The middle tier is the **token-wait timeout**: an A-stream parked on a
+/// token or scheduling-decision semaphore for more than
+/// `token_wait_cycles` is declared diverged and recovered, with the
+/// deadline backing off exponentially (each consecutive timeout within a
+/// region doubles the next wait, up to `token_wait_shift_cap` doublings)
+/// so a genuinely slow R-stream is not thrashed by repeated recoveries.
 /// The backstop tier is the barrier **watchdog**: an R-stream parked at
 /// the region-end barrier for more than `watchdog_cycles` forces recovery
 /// of any stuck A-stream rather than deadlocking (lost tokens or lost
 /// scheduling signals can strand an A-stream where no slack ever
 /// accumulates). Recovery is **bounded**: once a pair has recovered more
-/// than `max_recoveries_per_pair` times, retrying is judged futile and
-/// the pair is demoted to single-stream mode for the rest of the run
-/// ([`omp_rt::mode::PairMode::DegradedSingle`]).
+/// than `max_recoveries_per_pair` times within one health episode,
+/// retrying is judged futile and the pair is demoted to single-stream
+/// mode ([`omp_rt::mode::PairMode::DegradedSingle`]); whether demotion is
+/// final or probationary is the health controller's call (see
+/// `HealthPolicy`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecoveryPolicy {
     /// Cycles charged to re-seed an A-stream from its R-stream
@@ -119,23 +127,50 @@ pub struct RecoveryPolicy {
     pub watchdog_cycles: u64,
     /// Recoveries after which a pair is demoted to single-stream mode.
     pub max_recoveries_per_pair: u64,
+    /// Base cycles an A-stream may park on the token/decision semaphore
+    /// path before the timeout declares it diverged. 0 disables the
+    /// timeout (the paper's configuration).
+    pub token_wait_cycles: u64,
+    /// Cap on the exponential backoff of the token-wait deadline: the
+    /// n-th consecutive timeout in a region waits
+    /// `token_wait_cycles << min(n, cap)`.
+    pub token_wait_shift_cap: u32,
 }
 
 impl RecoveryPolicy {
     /// The default configuration used by the evaluation: recovery cost
     /// and slack from the paper's runtime, a watchdog comfortably above
-    /// any legitimate barrier wait on the simulated machine, and a small
-    /// retry budget.
+    /// any legitimate barrier wait on the simulated machine, a small
+    /// retry budget, and no token-wait timeout (the watchdog alone is the
+    /// paper's anti-wedge backstop).
     pub fn paper() -> Self {
         RecoveryPolicy {
             recovery_cycles: 400,
             divergence_slack: 1,
             watchdog_cycles: 2_000_000,
             max_recoveries_per_pair: 8,
+            token_wait_cycles: 0,
+            token_wait_shift_cap: 3,
+        }
+    }
+
+    /// The hardened configuration used by the chaos-soak harness: the
+    /// paper settings plus a token-wait timeout at half the watchdog
+    /// horizon, so a lost token or lost signal recovers an A-stream even
+    /// in configurations where the watchdog never gets the chance.
+    pub fn hardened() -> Self {
+        RecoveryPolicy {
+            token_wait_cycles: 1_000_000,
+            ..Self::paper()
         }
     }
 
     /// Builder: override the watchdog deadline.
+    ///
+    /// `cycles == 0` means **disabled** — the watchdog never arms and
+    /// never fires — not "fire every cycle". Disable it only when another
+    /// anti-wedge tier (the token-wait timeout) is active, or when a
+    /// deadlock is the desired observable outcome of a fault.
     pub fn with_watchdog(mut self, cycles: u64) -> Self {
         self.watchdog_cycles = cycles;
         self
@@ -145,6 +180,44 @@ impl RecoveryPolicy {
     pub fn with_max_recoveries(mut self, n: u64) -> Self {
         self.max_recoveries_per_pair = n;
         self
+    }
+
+    /// Builder: override the token-wait timeout base. `cycles == 0`
+    /// disables the timeout tier entirely.
+    pub fn with_token_wait(mut self, cycles: u64) -> Self {
+        self.token_wait_cycles = cycles;
+        self
+    }
+
+    /// Builder: override the token-wait backoff cap.
+    pub fn with_token_wait_shift_cap(mut self, cap: u32) -> Self {
+        self.token_wait_shift_cap = cap;
+        self
+    }
+
+    /// Effective token-wait deadline length after `timeouts` consecutive
+    /// timeouts in the current region (exponential backoff, capped).
+    /// Returns `None` when the timeout tier is disabled.
+    pub fn token_wait_deadline(&self, timeouts: u32) -> Option<u64> {
+        if self.token_wait_cycles == 0 {
+            return None;
+        }
+        let shift = timeouts.min(self.token_wait_shift_cap);
+        Some(self.token_wait_cycles.saturating_shl(shift))
+    }
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> u64 {
+        if shift >= self.leading_zeros() {
+            u64::MAX
+        } else {
+            self << shift
+        }
     }
 }
 
@@ -190,5 +263,44 @@ mod tests {
         assert_eq!(r.max_recoveries_per_pair, 2);
         assert_eq!(r.recovery_cycles, RecoveryPolicy::paper().recovery_cycles);
         assert_eq!(RecoveryPolicy::default(), RecoveryPolicy::paper());
+    }
+
+    #[test]
+    fn watchdog_zero_means_disabled() {
+        let r = RecoveryPolicy::paper().with_watchdog(0);
+        assert_eq!(r.watchdog_cycles, 0, "zero is the documented off switch");
+        // The paper preset keeps the watchdog armed.
+        assert!(RecoveryPolicy::paper().watchdog_cycles > 0);
+    }
+
+    #[test]
+    fn token_wait_backoff_doubles_up_to_the_cap() {
+        let r = RecoveryPolicy::paper()
+            .with_token_wait(1_000)
+            .with_token_wait_shift_cap(2);
+        assert_eq!(r.token_wait_deadline(0), Some(1_000));
+        assert_eq!(r.token_wait_deadline(1), Some(2_000));
+        assert_eq!(r.token_wait_deadline(2), Some(4_000));
+        assert_eq!(r.token_wait_deadline(3), Some(4_000), "capped");
+        assert_eq!(r.token_wait_deadline(100), Some(4_000));
+    }
+
+    #[test]
+    fn token_wait_zero_means_disabled() {
+        let r = RecoveryPolicy::paper();
+        assert_eq!(r.token_wait_cycles, 0, "paper config has no timeout tier");
+        assert_eq!(r.token_wait_deadline(0), None);
+        assert_eq!(r.token_wait_deadline(7), None);
+        let h = RecoveryPolicy::hardened();
+        assert_eq!(h.token_wait_cycles, 1_000_000);
+        assert!(h.token_wait_deadline(0).is_some());
+    }
+
+    #[test]
+    fn token_wait_backoff_saturates_instead_of_overflowing() {
+        let r = RecoveryPolicy::paper()
+            .with_token_wait(u64::MAX / 2)
+            .with_token_wait_shift_cap(8);
+        assert_eq!(r.token_wait_deadline(8), Some(u64::MAX));
     }
 }

@@ -7,6 +7,7 @@
 use crate::compile::{compile, CompiledProgram};
 use crate::exec::{Engine, EngineConfig, RunResult};
 use crate::faults::FaultPlan;
+use crate::health::HealthPolicy;
 use crate::policy::{AStreamPolicy, RecoveryPolicy};
 use dsm_sim::{AddressMap, Cycle, FillCounts, MachineConfig, TimeBreakdown, TimeClass};
 use omp_ir::directive::EnvSlipstream;
@@ -38,6 +39,9 @@ pub struct RunOptions {
     pub faults: FaultPlan,
     /// Divergence detection / recovery knobs (watchdog, retry budget).
     pub recovery: RecoveryPolicy,
+    /// Adaptive pair-health controller and team circuit breaker
+    /// ([`HealthPolicy::paper`] keeps both inert).
+    pub health: HealthPolicy,
     /// Optional OS-interference model (timer ticks / daemons).
     pub os_noise: Option<crate::exec::OsNoise>,
     /// Structured event tracing (observation-only; off by default).
@@ -56,9 +60,16 @@ impl RunOptions {
             inject_divergence: Vec::new(),
             faults: FaultPlan::none(),
             recovery: RecoveryPolicy::paper(),
+            health: HealthPolicy::paper(),
             os_noise: None,
             trace: TraceConfig::OFF,
         }
+    }
+
+    /// Replace the pair-health / breaker policy.
+    pub fn with_health(mut self, health: HealthPolicy) -> Self {
+        self.health = health;
+        self
     }
 
     /// Enable structured event tracing for the run.
@@ -193,6 +204,7 @@ pub fn run_compiled(
     cfg.inject_divergence = opts.inject_divergence.clone();
     cfg.faults = opts.faults.clone();
     cfg.recovery = opts.recovery;
+    cfg.health = opts.health;
     cfg.os_noise = opts.os_noise;
     cfg.trace = opts.trace;
     if let Some(sync) = opts.sync {

@@ -1,0 +1,428 @@
+//! End-to-end tests of the adaptive pair-health controller: the closed
+//! loop from demotion through probation back to slipstream, the
+//! token-wait timeout tier, and the team circuit breaker — all exercised
+//! through the public runner on real multi-region programs, with the
+//! R-stream oracle checked throughout (recovery machinery must never
+//! perturb architectural output, whatever the controller decides).
+
+use dsm_sim::MachineConfig;
+use omp_ir::expr::Expr;
+use omp_ir::node::Program;
+use omp_ir::trace::trace;
+use omp_rt::mode::{HealthState, PairMode};
+use omp_rt::team::BreakerConfig;
+use omp_rt::{ExecMode, SlipSync};
+use sim_trace::{TraceConfig, TraceEvent};
+use slipstream::faults::{FaultEvent, FaultKind, FaultPlan};
+use slipstream::health::HealthPolicy;
+use slipstream::policy::RecoveryPolicy;
+use slipstream::report::resilience_table;
+use slipstream::runner::{run_program, RunOptions, RunSummary};
+
+fn machine(cmps: usize) -> MachineConfig {
+    let mut m = MachineConfig::paper();
+    m.num_cmps = cmps;
+    m
+}
+
+/// A program with `regions` identical parallel regions of `fors` static
+/// loops each. Region completions are the health controller's clock, so
+/// the state machine needs room to serve cool-downs and probations after
+/// an early demotion; the loops-per-region knob controls how many barrier
+/// epochs (= wander-fault hook slots, which reset per region) one region
+/// exposes.
+fn multi_region(n: i64, regions: usize, fors: usize) -> Program {
+    let mut b = omp_ir::ProgramBuilder::new("health");
+    let x = b.shared_array("x", n as u64, 8);
+    let y = b.shared_array("y", n as u64, 8);
+    let i = b.var();
+    for _ in 0..regions {
+        b.parallel(move |r| {
+            for _ in 0..fors {
+                r.par_for(None, i, 0, n, move |body| {
+                    body.load(x, Expr::v(i));
+                    body.compute(2);
+                    body.store(y, Expr::v(i));
+                });
+            }
+        });
+    }
+    b.build()
+}
+
+/// Wander faults at A-epochs `0..seqs` against `tid`. Epoch counters
+/// reset at region start, so a blanket storm keeps re-firing on a pair
+/// as it recovers and advances within (and across) regions, until the
+/// unfired slots run out.
+fn wander_storm(tid: u64, seqs: u64) -> FaultPlan {
+    let mut plan = FaultPlan::none();
+    for seq in 0..seqs {
+        plan = plan.with(FaultEvent {
+            kind: FaultKind::Wander,
+            tid,
+            seq,
+            arg: 0,
+        });
+    }
+    plan
+}
+
+fn run(p: &Program, team: u64, opts: RunOptions) -> RunSummary {
+    let opts = opts
+        .with_machine(machine(team as usize))
+        .with_sync(SlipSync::G0);
+    run_program(p, &opts).expect("run must terminate")
+}
+
+fn assert_oracle(r: &RunSummary, oracle: &omp_ir::trace::TraceSummary, ctx: &str) {
+    assert_eq!(r.raw.user_r.loads, oracle.total.loads, "R loads {ctx}");
+    assert_eq!(r.raw.user_r.stores, oracle.total.stores, "R stores {ctx}");
+    assert_eq!(
+        r.raw.user_r.compute_cycles, oracle.total.compute_cycles,
+        "R compute {ctx}"
+    );
+}
+
+/// The tentpole loop: a transient fault demotes a pair in an early
+/// region; the controller serves the cool-down, re-enters slipstream on
+/// probation, and earns back healthy — visible in the ledger, the
+/// aggregate counters, the residency histogram, and the report.
+#[test]
+fn demoted_pair_is_repromoted_and_heals() {
+    const TEAM: u64 = 4;
+    let p = multi_region(96, 8, 6);
+    let oracle = trace(&p, TEAM);
+    let opts = RunOptions::new(ExecMode::Slipstream)
+        .with_faults(wander_storm(1, 1))
+        .with_recovery(
+            RecoveryPolicy::paper()
+                .with_watchdog(150_000)
+                .with_max_recoveries(0),
+        )
+        .with_health(HealthPolicy::adaptive().with_breaker(BreakerConfig::disabled()));
+    let r = run(&p, TEAM, opts);
+    assert_oracle(&r, &oracle, "(repromotion)");
+    let l = &r.raw.pair_ledgers[1];
+    assert!(
+        l.demoted_at.is_some(),
+        "the pair must first have been demoted: {l:?}"
+    );
+    assert_eq!(
+        l.mode,
+        PairMode::Slipstream,
+        "…and be back in slipstream at the end: {l:?}"
+    );
+    assert_eq!(l.health, HealthState::Healthy, "{l:?}");
+    assert_eq!(l.repromotions, 1, "{l:?}");
+    assert_eq!(r.raw.repromotions, 1);
+    assert_eq!(
+        r.raw.demotions, 0,
+        "demotions count pairs still demoted at the end"
+    );
+    let res = &r.raw.health_residency;
+    assert!(res[HealthState::Demoted.ordinal() as usize] >= 1, "{res:?}");
+    assert!(
+        res[HealthState::Probation.ordinal() as usize] >= 1,
+        "{res:?}"
+    );
+    let table = resilience_table(&r.raw);
+    assert!(table.contains("1 repromotions"), "{table}");
+    assert!(table.contains("health residency"), "{table}");
+    // Healthy bystanders never leave slipstream.
+    assert_eq!(r.raw.pair_ledgers[0].mode, PairMode::Slipstream);
+    assert_eq!(r.raw.pair_ledgers[0].repromotions, 0);
+}
+
+/// Every health transition of a traced run must be legal under the state
+/// machine, and the demote → probation → healthy arc must appear on the
+/// victim pair's track.
+#[test]
+fn health_transitions_in_the_trace_are_consistent() {
+    const TEAM: u64 = 4;
+    let p = multi_region(96, 8, 6);
+    let opts = RunOptions::new(ExecMode::Slipstream)
+        .with_faults(wander_storm(1, 1))
+        .with_recovery(
+            RecoveryPolicy::paper()
+                .with_watchdog(150_000)
+                .with_max_recoveries(0),
+        )
+        .with_health(HealthPolicy::adaptive().with_breaker(BreakerConfig::disabled()))
+        .with_trace(TraceConfig::on());
+    let r = run(&p, TEAM, opts);
+    let data = r.raw.trace.as_ref().expect("traced run");
+    let by_label = |l: &str| {
+        omp_rt::mode::HEALTH_STATES
+            .iter()
+            .copied()
+            .find(|s| s.label() == l)
+            .unwrap_or_else(|| panic!("unknown health label {l}"))
+    };
+    let mut arcs: Vec<(HealthState, HealthState)> = Vec::new();
+    for e in &data.events {
+        if let TraceEvent::Health { pair, from, to } = &e.ev {
+            let (f, t) = (by_label(from), by_label(to));
+            assert!(
+                f.can_transition_to(t),
+                "illegal traced transition {from} -> {to} on pair {pair}"
+            );
+            if *pair == 1 {
+                arcs.push((f, t));
+            }
+        }
+    }
+    use HealthState::*;
+    assert!(arcs.contains(&(Healthy, Demoted)), "{arcs:?}");
+    assert!(arcs.contains(&(Demoted, Probation)), "{arcs:?}");
+    assert!(arcs.contains(&(Probation, Healthy)), "{arcs:?}");
+}
+
+/// A pair that diverges *on probation* is re-demoted at once, and once
+/// its probation budget is spent the demotion is permanent: no further
+/// re-promotions, ever.
+#[test]
+fn failed_probation_becomes_permanent() {
+    const TEAM: u64 = 4;
+    let p = multi_region(96, 8, 6);
+    let oracle = trace(&p, TEAM);
+    // A blanket storm: the unfired hook slots left over from the first
+    // demotion re-fire when the probationary pair advances through its
+    // trial region, failing the probation.
+    let opts = RunOptions::new(ExecMode::Slipstream)
+        .with_faults(wander_storm(2, 16))
+        .with_recovery(
+            RecoveryPolicy::paper()
+                .with_watchdog(150_000)
+                .with_max_recoveries(0),
+        )
+        .with_health(
+            HealthPolicy::adaptive()
+                .with_max_repromotions(1)
+                .with_breaker(BreakerConfig::disabled()),
+        );
+    let r = run(&p, TEAM, opts);
+    assert_oracle(&r, &oracle, "(permanent demotion)");
+    let l = &r.raw.pair_ledgers[2];
+    assert!(l.demoted(), "{l:?}");
+    assert_eq!(l.health, HealthState::Demoted, "{l:?}");
+    assert_eq!(
+        l.repromotions, 1,
+        "exactly the probation budget was granted: {l:?}"
+    );
+    assert_eq!(r.raw.demotions, 1);
+}
+
+/// Enough unhealthy pairs trip the team breaker: regions run with
+/// slipstream forced off while it is open, and once the demoted pair
+/// heals through probation the half-open probe re-closes it.
+#[test]
+fn breaker_trips_and_recloses_when_the_pair_heals() {
+    const TEAM: u64 = 2; // one demoted pair = half the team = trip
+    let p = multi_region(96, 8, 6);
+    let oracle = trace(&p, TEAM);
+    let opts = RunOptions::new(ExecMode::Slipstream)
+        .with_faults(wander_storm(1, 1))
+        .with_recovery(
+            RecoveryPolicy::paper()
+                .with_watchdog(150_000)
+                .with_max_recoveries(0),
+        )
+        .with_health(HealthPolicy::adaptive())
+        .with_trace(TraceConfig::on());
+    let r = run(&p, TEAM, opts);
+    assert_oracle(&r, &oracle, "(breaker)");
+    assert!(r.raw.breaker_trips >= 1, "{:?}", r.raw.breaker_trips);
+    assert!(
+        r.raw.breaker_reclosures >= 1,
+        "healed team must re-close the breaker (trips {}, reclosures {})",
+        r.raw.breaker_trips,
+        r.raw.breaker_reclosures
+    );
+    let table = resilience_table(&r.raw);
+    assert!(table.contains("breaker:"), "{table}");
+    // The traced breaker arc is closed -> open -> half-open -> closed.
+    let data = r.raw.trace.as_ref().expect("traced run");
+    let arcs: Vec<(&str, &str)> = data
+        .events
+        .iter()
+        .filter_map(|e| match &e.ev {
+            TraceEvent::Breaker { from, to, .. } => Some((*from, *to)),
+            _ => None,
+        })
+        .collect();
+    assert!(arcs.contains(&("closed", "open")), "{arcs:?}");
+    assert!(arcs.contains(&("open", "half-open")), "{arcs:?}");
+    assert!(arcs.contains(&("half-open", "closed")), "{arcs:?}");
+}
+
+/// The token-wait timeout is a real anti-wedge tier of its own: with the
+/// watchdog disabled, a lost token (which strands the A-stream where no
+/// slack ever accumulates) is recovered by the timeout alone.
+#[test]
+fn token_wait_timeout_recovers_a_lost_token_without_the_watchdog() {
+    const TEAM: u64 = 4;
+    let p = multi_region(96, 4, 2);
+    let oracle = trace(&p, TEAM);
+    let plan = FaultPlan::none().with(FaultEvent {
+        kind: FaultKind::TokenLoss,
+        tid: 0,
+        seq: 0,
+        arg: 0,
+    });
+    let opts = RunOptions::new(ExecMode::Slipstream)
+        .with_faults(plan)
+        .with_recovery(RecoveryPolicy::hardened().with_watchdog(0));
+    let r = run(&p, TEAM, opts);
+    assert_oracle(&r, &oracle, "(token-wait timeout)");
+    assert!(
+        r.raw.timeout_recoveries >= 1,
+        "timeout tier must have recovered the stranded A-stream: {:?}",
+        r.raw.pair_ledgers
+    );
+    assert_eq!(r.raw.watchdog_recoveries, 0, "watchdog was disabled");
+    let l = &r.raw.pair_ledgers[0];
+    assert!(l.timeout_recoveries >= 1, "{l:?}");
+    assert!(l.timeout_recoveries <= l.recoveries, "subset: {l:?}");
+}
+
+/// Timeout recoveries are labelled in the structured trace, distinct from
+/// watchdog and slack recoveries.
+#[test]
+fn timeout_recoveries_are_labelled_in_the_trace() {
+    const TEAM: u64 = 4;
+    let p = multi_region(96, 4, 2);
+    let plan = FaultPlan::none().with(FaultEvent {
+        kind: FaultKind::TokenLoss,
+        tid: 0,
+        seq: 0,
+        arg: 0,
+    });
+    let opts = RunOptions::new(ExecMode::Slipstream)
+        .with_faults(plan)
+        .with_recovery(RecoveryPolicy::hardened().with_watchdog(0))
+        .with_trace(TraceConfig::on());
+    let r = run(&p, TEAM, opts);
+    let data = r.raw.trace.as_ref().expect("traced run");
+    let timeout_recoveries = data
+        .events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.ev,
+                TraceEvent::Recovery {
+                    timeout: true,
+                    watchdog: false,
+                    ..
+                }
+            )
+        })
+        .count() as u64;
+    assert_eq!(timeout_recoveries, r.raw.timeout_recoveries);
+    assert!(timeout_recoveries >= 1);
+}
+
+/// Satellite 3: the retry budget is exact. Calibrate how many recoveries
+/// a blanket storm forces under an effectively unbounded budget, then pin
+/// the boundary: a budget of exactly that many survives; one less turns
+/// the final recovery into the demoting attempt.
+#[test]
+fn retry_budget_off_by_one_boundary() {
+    const TEAM: u64 = 4;
+    let p = multi_region(96, 8, 6);
+    let oracle = trace(&p, TEAM);
+    let storm = wander_storm(1, 16);
+    let base = RecoveryPolicy::paper().with_watchdog(150_000);
+    let probe = run(
+        &p,
+        TEAM,
+        RunOptions::new(ExecMode::Slipstream)
+            .with_faults(storm.clone())
+            .with_recovery(base.with_max_recoveries(64)),
+    );
+    let forced = probe.raw.pair_ledgers[1].recoveries;
+    assert!(
+        forced >= 2,
+        "storm must force repeated recoveries: {forced}"
+    );
+    assert!(!probe.raw.pair_ledgers[1].demoted());
+    // Budget exactly equal to the forced recoveries: survives.
+    let r = run(
+        &p,
+        TEAM,
+        RunOptions::new(ExecMode::Slipstream)
+            .with_faults(storm.clone())
+            .with_recovery(base.with_max_recoveries(forced)),
+    );
+    assert_oracle(&r, &oracle, "(budget == forced)");
+    let l = &r.raw.pair_ledgers[1];
+    assert_eq!(l.recoveries, forced, "{l:?}");
+    assert!(!l.demoted(), "exact budget must not demote: {l:?}");
+    assert_eq!(r.raw.demotions, 0);
+    // One less: the last recovery becomes the demoting attempt.
+    let r = run(
+        &p,
+        TEAM,
+        RunOptions::new(ExecMode::Slipstream)
+            .with_faults(storm)
+            .with_recovery(base.with_max_recoveries(forced - 1)),
+    );
+    assert_oracle(&r, &oracle, "(budget == forced - 1)");
+    let l = &r.raw.pair_ledgers[1];
+    assert_eq!(l.recoveries, forced, "budget + the demoting attempt: {l:?}");
+    assert!(l.demoted(), "{l:?}");
+    assert_eq!(r.raw.demotions, 1);
+}
+
+/// A short recovery burst makes a pair Suspect without demoting it, and
+/// clean regions clear the suspicion — the EWMA path of the controller,
+/// end to end.
+#[test]
+fn recovery_burst_raises_and_clears_suspicion() {
+    const TEAM: u64 = 4;
+    let p = multi_region(96, 8, 6);
+    let oracle = trace(&p, TEAM);
+    let opts = RunOptions::new(ExecMode::Slipstream)
+        .with_faults(wander_storm(3, 6))
+        .with_recovery(RecoveryPolicy::paper().with_watchdog(150_000))
+        .with_health(HealthPolicy::adaptive().with_breaker(BreakerConfig::disabled()));
+    let r = run(&p, TEAM, opts);
+    assert_oracle(&r, &oracle, "(suspicion)");
+    let l = &r.raw.pair_ledgers[3];
+    assert!(!l.demoted(), "{l:?}");
+    assert_eq!(l.health, HealthState::Healthy, "suspicion cleared: {l:?}");
+    assert!(
+        r.raw.health_residency[HealthState::Suspect.ordinal() as usize] >= 1,
+        "{:?}",
+        r.raw.health_residency
+    );
+    assert_eq!(r.raw.demotions, 0);
+    assert_eq!(r.raw.breaker_trips, 0);
+}
+
+/// On a clean run the adaptive controller is pure observation: identical
+/// execution time and R-stream output to the inert paper policy, all
+/// residency in Healthy, nothing tripped or re-promoted.
+#[test]
+fn adaptive_controller_is_observation_only_on_clean_runs() {
+    const TEAM: u64 = 4;
+    let p = multi_region(96, 6, 2);
+    let paper = run(&p, TEAM, RunOptions::new(ExecMode::Slipstream));
+    let adaptive = run(
+        &p,
+        TEAM,
+        RunOptions::new(ExecMode::Slipstream).with_health(HealthPolicy::adaptive()),
+    );
+    assert_eq!(paper.exec_cycles, adaptive.exec_cycles);
+    assert_eq!(paper.raw.user_r, adaptive.raw.user_r);
+    assert_eq!(adaptive.raw.recoveries, 0);
+    assert_eq!(adaptive.raw.repromotions, 0);
+    assert_eq!(adaptive.raw.breaker_trips, 0);
+    let res = &adaptive.raw.health_residency;
+    let total: u64 = res.iter().sum();
+    assert_eq!(
+        res[HealthState::Healthy.ordinal() as usize],
+        total,
+        "every pair-region healthy: {res:?}"
+    );
+    assert_eq!(total, 6 * TEAM, "one tick per pair per region: {res:?}");
+}
