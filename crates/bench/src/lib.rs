@@ -10,8 +10,10 @@
 
 pub mod pool;
 
-use npb_kernels::{Benchmark, CgParams};
-use omp_ir::node::{Program, ScheduleSpec};
+use npb_kernels::{Benchmark, CgParams, Grid3};
+use omp_ir::expr::Expr;
+use omp_ir::node::{Node, Program, ScheduleSpec, SlipSyncType, SlipstreamClause};
+use omp_ir::{BlockBuilder, ProgramBuilder};
 use omp_rt::mode::{ExecMode, SlipSync};
 use omp_rt::RuntimeEnv;
 use slipstream::runner::{run_program, RunOptions, RunSummary};
@@ -393,6 +395,107 @@ pub fn small_machine() -> MachineConfig {
     m
 }
 
+/// A plane-parallel ping-pong stencil sweep between two fields — the
+/// program `examples/quickstart.rs` and `examples/heat_diffusion.rs`
+/// build (ghost-plane exchange between slab neighbours every phase).
+fn ping_pong_stencil(name: &str, n: i64, steps: i64, clause: Option<SlipstreamClause>) -> Program {
+    let g = Grid3::cube(n);
+    let mut pb = ProgramBuilder::new(name);
+    let t0 = pb.shared_array("t0", g.len() as u64, 8);
+    let t1 = pb.shared_array("t1", g.len() as u64, 8);
+    let s = pb.var();
+    let q = pb.var();
+    let i = pb.var();
+    if let Some(c) = clause {
+        pb.slipstream(c);
+    }
+    pb.parallel(move |region| {
+        region.push(Node::For {
+            var: s,
+            begin: Expr::c(0),
+            end: Expr::c(steps),
+            step: 1,
+            body: Box::new({
+                let mut blk = BlockBuilder::default();
+                for (src, dst) in [(t0, t1), (t1, t0)] {
+                    blk.par_for(None, q, 0, g.nz, move |plane| {
+                        plane.for_loop(
+                            i,
+                            Expr::v(q) * g.dz(),
+                            (Expr::v(q) + 1) * g.dz(),
+                            move |cell| {
+                                cell.load(src, Expr::v(i));
+                                for off in g.stencil7_offsets() {
+                                    cell.load(src, g.nbr(Expr::v(i), off));
+                                }
+                                cell.compute(16);
+                                cell.store(dst, Expr::v(i));
+                            },
+                        );
+                    });
+                }
+                blk.into_node()
+            }),
+        });
+    });
+    pb.build()
+}
+
+/// The programs the repository's `examples/` binaries build, mirrored
+/// here so the analyze CLI (and its clean-corpus test) can sweep them:
+/// the quickstart Jacobi sweep, the heat-diffusion variant with a
+/// `RUNTIME_SYNC` slipstream directive, the sparse solver's
+/// dynamically-scheduled CG, and the token-trace phase toy.
+pub fn example_programs() -> Vec<Program> {
+    let heat_clause = SlipstreamClause {
+        sync: SlipSyncType::RuntimeSync,
+        tokens: 0,
+    };
+    let sparse = CgParams {
+        n: 640,
+        min_nnz: 4,
+        max_nnz: 40,
+        iters: 2,
+        compute_per_nnz: 6,
+        seed: 0xD1CE,
+        sched: Some(ScheduleSpec::dynamic(
+            CgParams::paper().paper_dynamic_chunk(16),
+        )),
+    }
+    .build();
+    let toy = {
+        let n: i64 = 16 * 512;
+        let mut pb = ProgramBuilder::new("token-toy");
+        let a = pb.shared_array("a", n as u64, 8);
+        let ph = pb.var();
+        let i = pb.var();
+        pb.parallel(move |region| {
+            region.push(Node::For {
+                var: ph,
+                begin: Expr::c(0),
+                end: Expr::c(8),
+                step: 1,
+                body: Box::new({
+                    let mut blk = BlockBuilder::default();
+                    blk.par_for(None, i, 0, n, move |body| {
+                        body.load(a, Expr::v(i));
+                        body.compute(12);
+                        body.store(a, Expr::v(i));
+                    });
+                    blk.into_node()
+                }),
+            });
+        });
+        pb.build()
+    };
+    vec![
+        ping_pong_stencil("quickstart", 20, 4, None),
+        ping_pong_stencil("heat3d", 24, 4, Some(heat_clause)),
+        sparse,
+        toy,
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,6 +536,22 @@ mod tests {
         assert_eq!(config_hash(&a), config_hash(&a));
         assert_ne!(config_hash(&a), config_hash(&b), "trace flag changes hash");
         assert_ne!(config_hash(&a), config_hash(&c), "preset changes hash");
+    }
+
+    #[test]
+    fn example_programs_analyze_clean() {
+        let cfg = omp_analyze::AnalyzeConfig::paper();
+        let programs = example_programs();
+        assert_eq!(programs.len(), 4);
+        for p in programs {
+            let r = omp_analyze::analyze(&p, &cfg);
+            assert!(
+                r.is_clean(),
+                "{} should analyze clean:\n{}",
+                p.name,
+                r.render_text()
+            );
+        }
     }
 
     #[test]

@@ -65,6 +65,88 @@ const SHARED_SIZE: Addr = 1 << 40;
 const PRIVATE_BASE: Addr = 1 << 44;
 const PRIVATE_STRIDE: Addr = 1 << 36;
 
+/// Resolved placement of one application array in the simulated address
+/// space — the single source of truth for shared/private classification
+/// and element addressing, shared by the compiler backend
+/// (`slipstream::compile`) and the static analyzer (`omp-analyze`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArraySpan {
+    /// Shared (one copy in the global segment) or private (one copy per
+    /// thread at this offset within each private segment).
+    pub shared: bool,
+    /// Absolute base address for shared arrays; offset from each CPU's
+    /// private base for private arrays.
+    pub base: Addr,
+    /// Bytes per element.
+    pub elem_bytes: u64,
+    /// Element count.
+    pub len: u64,
+}
+
+impl ArraySpan {
+    /// Byte offset of element `index` within the array's segment
+    /// (absolute for shared arrays, private-base-relative otherwise).
+    /// Out-of-range indices clamp into the array rather than wandering
+    /// into a neighbouring array's lines: timing kernels may probe edges.
+    /// Panics on zero-length arrays, exactly like the runtime path.
+    pub fn element_offset(&self, index: i64) -> Addr {
+        let idx = index.clamp(0, self.len as i64 - 1) as u64;
+        self.base + idx * self.elem_bytes
+    }
+
+    /// Absolute byte address of `self[index]` for the thread on `cpu`
+    /// (private arrays replicate per processor).
+    pub fn element_addr(&self, map: &AddressMap, cpu: CpuId, index: i64) -> Addr {
+        let off = self.element_offset(index);
+        if self.shared {
+            off
+        } else {
+            map.private_base(cpu) + off
+        }
+    }
+
+    /// Cache-line index of element `index` within the array's segment
+    /// (meaningful across threads only for shared arrays).
+    pub fn element_line(&self, line_bytes: u64, index: i64) -> u64 {
+        self.element_offset(index) / line_bytes
+    }
+}
+
+/// Lay out arrays in declaration order with the compiler's placement
+/// policy: each segment starts after one guard line, every array is
+/// line-aligned, and one guard line separates consecutive arrays. Each
+/// declaration is `(shared, len, elem_bytes)`. Returns the spans plus the
+/// first shared address free for runtime objects (after the user arrays).
+pub fn layout_spans(
+    decls: impl IntoIterator<Item = (bool, u64, u64)>,
+    shared_base: Addr,
+    line: u64,
+) -> (Vec<ArraySpan>, Addr) {
+    let align = |a: Addr| a.div_ceil(line) * line;
+    let mut shared_cursor: Addr = shared_base + line;
+    let mut private_cursor: Addr = line;
+    let mut spans = Vec::new();
+    for (shared, len, elem_bytes) in decls {
+        let bytes = align(len * elem_bytes);
+        let base = if shared {
+            let b = shared_cursor;
+            shared_cursor += bytes + line; // one guard line between arrays
+            b
+        } else {
+            let b = private_cursor;
+            private_cursor += bytes + line;
+            b
+        };
+        spans.push(ArraySpan {
+            shared,
+            base,
+            elem_bytes,
+            len,
+        });
+    }
+    (spans, align(shared_cursor + line))
+}
+
 /// Address-space map for a configured machine.
 #[derive(Debug, Clone)]
 pub struct AddressMap {
@@ -122,6 +204,15 @@ impl AddressMap {
     /// First byte address of a line.
     pub fn line_base(&self, line: LineAddr) -> Addr {
         line.0 << self.line_shift
+    }
+
+    /// Lay out `decls` (`(shared, len, elem_bytes)` per array) in this
+    /// machine's address space; see [`layout_spans`].
+    pub fn layout_spans(
+        &self,
+        decls: impl IntoIterator<Item = (bool, u64, u64)>,
+    ) -> (Vec<ArraySpan>, Addr) {
+        layout_spans(decls, self.shared_base(), self.line_bytes())
     }
 
     /// Home node of a line: shared lines interleave round-robin across node
@@ -193,6 +284,54 @@ mod tests {
             let line = m.line_of(m.private_base(cpu) + 64 * 10);
             assert_eq!(m.home_of(line), cpu.cmp(&cfg));
         }
+    }
+
+    #[test]
+    fn layout_spans_align_and_guard() {
+        let m = map();
+        let (spans, runtime_base) = m.layout_spans([
+            (true, 100, 8), // 800B -> 832 aligned
+            (true, 7, 4),   // second shared array
+            (false, 33, 8), // private
+            (false, 5, 8),  // private
+        ]);
+        let line = m.line_bytes();
+        for s in &spans {
+            assert_eq!(s.base % line, 0, "line-aligned");
+        }
+        assert_eq!(spans[0].base, m.shared_base() + line, "guard page first");
+        assert!(
+            spans[1].base >= spans[0].base + 100 * 8 + line,
+            "guard line between shared arrays"
+        );
+        assert!(!spans[2].shared);
+        assert!(
+            spans[3].base >= spans[2].base + 33 * 8 + line,
+            "guard line between private arrays"
+        );
+        assert!(runtime_base > spans[1].base + 7 * 4);
+        assert_eq!(runtime_base % line, 0);
+    }
+
+    #[test]
+    fn span_element_addressing_clamps_and_replicates() {
+        let m = map();
+        let (spans, _) = m.layout_spans([(true, 4, 8), (false, 4, 8)]);
+        let s = spans[0];
+        assert_eq!(
+            s.element_addr(&m, CpuId(0), 2),
+            s.element_addr(&m, CpuId(9), 2),
+            "shared elements have one address"
+        );
+        assert_eq!(s.element_offset(99), s.element_offset(3), "clamps high");
+        assert_eq!(s.element_offset(-5), s.element_offset(0), "clamps low");
+        let p = spans[1];
+        let a0 = p.element_addr(&m, CpuId(0), 1);
+        let a1 = p.element_addr(&m, CpuId(1), 1);
+        assert_ne!(a0, a1, "private arrays replicate per CPU");
+        assert_eq!(m.private_owner(a0), CpuId(0));
+        // Line arithmetic agrees with the map.
+        assert_eq!(s.element_line(m.line_bytes(), 0), m.line_of(s.base).0);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod stats;
 pub mod sync;
 mod util;
 
-pub use address::{Addr, AddressMap, CmpId, CpuId, LineAddr, Space};
+pub use address::{layout_spans, Addr, AddressMap, ArraySpan, CmpId, CpuId, LineAddr, Space};
 pub use cache::{LineState, SetAssocCache};
 pub use classify::{ATally, Classifier, FillClass, FillCounts, ReqKind, FILL_CLASSES};
 pub use config::{CacheConfig, MachineConfig, MemoryTimingNs};

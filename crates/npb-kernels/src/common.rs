@@ -67,6 +67,18 @@ impl Benchmark {
         }
     }
 
+    /// Build the fast test preset with a worksharing schedule override.
+    pub fn build_tiny_sched(self, sched: ScheduleSpec) -> Program {
+        let sched = Some(sched);
+        match self {
+            Benchmark::Bt => crate::bt::BtParams::tiny().with_schedule(sched).build(),
+            Benchmark::Cg => crate::cg::CgParams::tiny().with_schedule(sched).build(),
+            Benchmark::Lu => crate::lu::LuParams::tiny().with_schedule(sched).build(),
+            Benchmark::Mg => crate::mg::MgParams::tiny().with_schedule(sched).build(),
+            Benchmark::Sp => crate::sp::SpParams::tiny().with_schedule(sched).build(),
+        }
+    }
+
     /// Whether the benchmark participates in the dynamic-scheduling
     /// experiment (the paper excludes LU: "static scheduling is
     /// programmatically specified in this benchmark for a significant

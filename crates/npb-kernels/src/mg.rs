@@ -271,10 +271,12 @@ fn v_cycle(
             body.compute(4);
             body.store(uf, Expr::v(i));
         });
-        // Smoothing: u_l += S(r_l - A u_l).
+        // Smoothing: u_l += S(r_l), as NPB's psinv — the smoother reads
+        // the *residual's* stencil, never a neighbour's in-flight u
+        // update, so slab-boundary planes don't race within the phase.
         plane_par_for(&mut blk, sched, fine, q, i, move |body, i| {
-            stencil_loads(body, fine, uf, i);
-            body.load(rl, Expr::v(i));
+            stencil_loads(body, fine, rl, i);
+            body.load(uf, Expr::v(i));
             body.compute(cpp);
             body.store(uf, Expr::v(i));
         });

@@ -1,0 +1,179 @@
+//! Findings: what the analyzer reports, with severity and structured
+//! locations.
+//!
+//! Every finding points at the exact IR construct that produced it via an
+//! [`omp_ir::NodePath`], the same path structure `omp_ir::validate` uses
+//! for its diagnostics, so tooling can correlate the two.
+
+use omp_ir::NodePath;
+use std::fmt;
+
+/// How bad a finding is, ordered `Info < Warn < Deny`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Worth knowing; does not threaten correctness or the slipstream
+    /// contract.
+    Info,
+    /// The program runs, but slipstream effectiveness or A-stream accuracy
+    /// is at risk.
+    Warn,
+    /// The program is unsafe to run under slipstream execution (or at
+    /// all): data races or divergent synchronization.
+    Deny,
+}
+
+impl Severity {
+    /// Stable lowercase label used in text and JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The hazard taxonomy (DESIGN.md section 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Hazard {
+    /// `omp_ir::validate` rejected the program; analysis did not run.
+    InvalidIr,
+    /// Two unordered writes to the same shared element within one barrier
+    /// phase.
+    RaceWriteWrite,
+    /// An unordered write racing a read of the same shared element within
+    /// one barrier phase.
+    RaceReadWrite,
+    /// Threads execute different barrier sequences (thread-dependent trip
+    /// counts around synchronization), which deadlocks the team and
+    /// desynchronizes the A-stream token protocol.
+    UnbalancedSync,
+    /// A store the A-stream skips (rather than converting to a prefetch)
+    /// feeds a load in a later phase: the A-stream runs on stale data
+    /// until recovery.
+    SkippedStoreStale,
+    /// A construct body the A-stream skips performs shared updates or
+    /// I/O; its effects exist only once the R-stream executes it.
+    RStreamOnlySideEffect,
+    /// The shared footprint of the phases the A-stream may run ahead over
+    /// exceeds L2 capacity, so prefetched lines risk eviction before the
+    /// R-stream consumes them.
+    StalePrefetch,
+}
+
+impl Hazard {
+    /// Stable kebab-case key used in text and JSON output.
+    pub fn key(self) -> &'static str {
+        match self {
+            Hazard::InvalidIr => "invalid-ir",
+            Hazard::RaceWriteWrite => "race-ww",
+            Hazard::RaceReadWrite => "race-rw",
+            Hazard::UnbalancedSync => "unbalanced-sync",
+            Hazard::SkippedStoreStale => "skipped-store-stale",
+            Hazard::RStreamOnlySideEffect => "rstream-only-side-effect",
+            Hazard::StalePrefetch => "stale-prefetch",
+        }
+    }
+
+    /// Default severity of the hazard class.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            Hazard::InvalidIr
+            | Hazard::RaceWriteWrite
+            | Hazard::RaceReadWrite
+            | Hazard::UnbalancedSync => Severity::Deny,
+            Hazard::SkippedStoreStale | Hazard::StalePrefetch => Severity::Warn,
+            Hazard::RStreamOnlySideEffect => Severity::Info,
+        }
+    }
+}
+
+impl fmt::Display for Hazard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Hazard class.
+    pub hazard: Hazard,
+    /// Severity (the hazard's default unless a policy adjusted it).
+    pub severity: Severity,
+    /// The construct the finding anchors to.
+    pub path: NodePath,
+    /// A second involved construct (e.g. the other side of a race).
+    pub related: Option<NodePath>,
+    /// Index of the parallel region (in program order) the finding was
+    /// observed in; `None` for program-level findings.
+    pub region: Option<u32>,
+    /// Barrier phase within the region, when meaningful.
+    pub phase: Option<u32>,
+    /// Human-readable explanation with array names and element indices.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} at {}", self.severity, self.hazard, self.path)?;
+        if let Some(r) = &self.related {
+            write!(f, " (with {r})")?;
+        }
+        if let Some(reg) = self.region {
+            write!(f, " region {reg}")?;
+            if let Some(p) = self.phase {
+                write!(f, " phase {p}")?;
+            }
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omp_ir::{NodePath, PathSeg};
+
+    #[test]
+    fn severity_orders() {
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Deny);
+    }
+
+    #[test]
+    fn hazard_defaults() {
+        assert_eq!(Hazard::RaceWriteWrite.default_severity(), Severity::Deny);
+        assert_eq!(Hazard::StalePrefetch.default_severity(), Severity::Warn);
+        assert_eq!(
+            Hazard::RStreamOnlySideEffect.default_severity(),
+            Severity::Info
+        );
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let f = Finding {
+            hazard: Hazard::RaceWriteWrite,
+            severity: Severity::Deny,
+            path: NodePath::from_segs(&[PathSeg {
+                kind: "parallel",
+                index: 0,
+            }]),
+            related: None,
+            region: Some(0),
+            phase: Some(2),
+            message: "boom".into(),
+        };
+        let s = f.to_string();
+        assert!(s.contains("[deny] race-ww at parallel[0]"));
+        assert!(s.contains("region 0 phase 2"));
+        assert!(s.contains("boom"));
+    }
+}

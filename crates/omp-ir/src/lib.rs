@@ -20,6 +20,7 @@ pub mod directive;
 pub mod expr;
 pub mod lower;
 pub mod node;
+pub mod path;
 pub mod trace;
 pub mod validate;
 pub mod wsloop;
@@ -34,6 +35,7 @@ pub use node::{
     ArrayDecl, ArrayId, Node, Program, Reduction, ReductionOp, ScheduleKind, ScheduleSpec,
     SlipSyncType, SlipstreamClause,
 };
+pub use path::{node_kind, NodePath, PathSeg};
 pub use trace::{trace, OpCounts, TraceSummary};
-pub use validate::{validate, ValidationError};
+pub use validate::{validate, Diagnostic, ValidationError};
 pub use wsloop::Chunk;

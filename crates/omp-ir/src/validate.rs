@@ -4,20 +4,41 @@
 //! before emitting runtime calls: shared/private discipline is explicit,
 //! worksharing constructs appear only inside parallel regions, barriers
 //! are not nested inside worksharing bodies, and every id is in range.
+//!
+//! Each problem is a [`Diagnostic`] carrying a structured [`NodePath`] to
+//! the offending construct — the same path currency the `omp-analyze`
+//! crate uses for its findings.
 
 use crate::expr::Expr;
 use crate::node::{Node, Program};
+use crate::path::{node_kind, NodePath, PathSeg};
 
-/// A validation failure with a path-like location description.
+/// One validation problem, located by a structured node path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path to the offending construct.
+    pub path: NodePath,
+    /// What is wrong there.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path, self.message)
+    }
+}
+
+/// A validation failure with every problem found (never empty).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ValidationError {
     /// All problems found (never empty).
-    pub problems: Vec<String>,
+    pub problems: Vec<Diagnostic>,
 }
 
 impl std::fmt::Display for ValidationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "invalid program: {}", self.problems.join("; "))
+        let rendered: Vec<String> = self.problems.iter().map(|p| p.to_string()).collect();
+        write!(f, "invalid program: {}", rendered.join("; "))
     }
 }
 
@@ -35,14 +56,22 @@ enum Ctx {
 
 struct Validator<'p> {
     program: &'p Program,
-    problems: Vec<String>,
+    path: Vec<PathSeg>,
+    problems: Vec<Diagnostic>,
 }
 
 impl<'p> Validator<'p> {
+    fn diag(&mut self, message: impl Into<String>) {
+        self.problems.push(Diagnostic {
+            path: NodePath::from_segs(&self.path),
+            message: message.into(),
+        });
+    }
+
     fn expr(&mut self, e: &Expr, what: &str) {
         if let Some(v) = e.max_var() {
             if v >= self.program.num_vars {
-                self.problems.push(format!(
+                self.diag(format!(
                     "{what}: variable v{v} out of range (num_vars={})",
                     self.program.num_vars
                 ));
@@ -50,8 +79,7 @@ impl<'p> Validator<'p> {
         }
         if let Some(t) = e.max_table() {
             if t as usize >= self.program.tables.len() {
-                self.problems
-                    .push(format!("{what}: table t{t} out of range"));
+                self.diag(format!("{what}: table t{t} out of range"));
             }
         }
     }
@@ -62,21 +90,28 @@ impl<'p> Validator<'p> {
         what: &str,
     ) -> Option<&'p crate::node::ArrayDecl> {
         if id.0 as usize >= self.program.arrays.len() {
-            self.problems
-                .push(format!("{what}: array a{} undeclared", id.0));
+            self.diag(format!("{what}: array a{} undeclared", id.0));
             None
         } else {
             Some(&self.program.arrays[id.0 as usize])
         }
     }
 
-    fn node(&mut self, n: &Node, ctx: Ctx) {
-        match n {
-            Node::Seq(v) => {
-                for c in v {
-                    self.node(c, ctx);
-                }
+    /// Visit `n` as statement `idx` of the enclosing block. `Seq` nodes
+    /// are transparent: their children take positions in the parent block.
+    fn node(&mut self, n: &Node, ctx: Ctx, idx: u32) {
+        if let Node::Seq(v) = n {
+            for (k, c) in v.iter().enumerate() {
+                self.node(c, ctx, k as u32);
             }
+            return;
+        }
+        self.path.push(PathSeg {
+            kind: node_kind(n),
+            index: idx,
+        });
+        match n {
+            Node::Seq(_) => unreachable!("handled above"),
             Node::Compute(e) => self.expr(e, "compute"),
             Node::Load { array, index } => {
                 self.array(*array, "load");
@@ -94,24 +129,21 @@ impl<'p> Validator<'p> {
                 ..
             } => {
                 if var.0 >= self.program.num_vars {
-                    self.problems
-                        .push(format!("for: variable v{} out of range", var.0));
+                    self.diag(format!("for: variable v{} out of range", var.0));
                 }
                 self.expr(begin, "for begin");
                 self.expr(end, "for end");
-                self.node(body, ctx);
+                self.node(body, ctx, 0);
             }
             Node::Parallel { body, .. } => {
                 if ctx != Ctx::Serial {
-                    self.problems
-                        .push("nested parallel regions are not supported".into());
+                    self.diag("nested parallel regions are not supported");
                 }
-                self.node(body, Ctx::Parallel);
+                self.node(body, Ctx::Parallel, 0);
             }
             Node::SlipstreamSet(_) => {
                 if ctx != Ctx::Serial {
-                    self.problems
-                        .push("SLIPSTREAM global setting is only valid in the serial part".into());
+                    self.diag("SLIPSTREAM global setting is only valid in the serial part");
                 }
             }
             Node::ParFor {
@@ -123,87 +155,83 @@ impl<'p> Validator<'p> {
                 ..
             } => {
                 if ctx != Ctx::Parallel {
-                    self.problems.push(match ctx {
-                        Ctx::Serial => "worksharing 'for' outside a parallel region".into(),
-                        _ => "worksharing 'for' may not nest inside another construct".into(),
+                    self.diag(match ctx {
+                        Ctx::Serial => "worksharing 'for' outside a parallel region",
+                        _ => "worksharing 'for' may not nest inside another construct",
                     });
                 }
                 if var.0 >= self.program.num_vars {
-                    self.problems
-                        .push(format!("parfor: variable v{} out of range", var.0));
+                    self.diag(format!("parfor: variable v{} out of range", var.0));
                 }
                 self.expr(begin, "parfor begin");
                 self.expr(end, "parfor end");
                 if let Some(r) = reduction {
                     if let Some(decl) = self.array(r.target, "reduction target") {
                         if !decl.shared {
-                            self.problems
-                                .push(format!("reduction target '{}' must be shared", decl.name));
+                            let name = decl.name.clone();
+                            self.diag(format!("reduction target '{name}' must be shared"));
                         }
                     }
-                    self.expr(&r.index, "reduction index");
+                    let ridx = r.index.clone();
+                    self.expr(&ridx, "reduction index");
                 }
-                self.node(body, Ctx::Worksharing);
+                self.node(body, Ctx::Worksharing, 0);
             }
             Node::Barrier => {
                 if ctx != Ctx::Parallel {
-                    self.problems.push(match ctx {
-                        Ctx::Serial => "barrier outside a parallel region".into(),
-                        _ => "barrier inside a worksharing/synchronization body".into(),
+                    self.diag(match ctx {
+                        Ctx::Serial => "barrier outside a parallel region",
+                        _ => "barrier inside a worksharing/synchronization body",
                     });
                 }
             }
             Node::Single(body) | Node::Master(body) => {
                 if ctx != Ctx::Parallel {
-                    self.problems
-                        .push("single/master must appear directly inside a parallel region".into());
+                    self.diag("single/master must appear directly inside a parallel region");
                 }
-                self.node(body, Ctx::Worksharing);
+                self.node(body, Ctx::Worksharing, 0);
             }
             Node::Critical { body, .. } => {
                 if ctx == Ctx::Serial {
-                    self.problems
-                        .push("critical outside a parallel region".into());
+                    self.diag("critical outside a parallel region");
                 }
-                self.node(body, Ctx::Worksharing);
+                self.node(body, Ctx::Worksharing, 0);
             }
             Node::Atomic { array, index } => {
                 if ctx == Ctx::Serial {
-                    self.problems
-                        .push("atomic outside a parallel region".into());
+                    self.diag("atomic outside a parallel region");
                 }
                 if let Some(decl) = self.array(*array, "atomic") {
                     if !decl.shared {
-                        self.problems
-                            .push(format!("atomic target '{}' must be shared", decl.name));
+                        let name = decl.name.clone();
+                        self.diag(format!("atomic target '{name}' must be shared"));
                     }
                 }
                 self.expr(index, "atomic index");
             }
             Node::Sections(secs) => {
                 if ctx != Ctx::Parallel {
-                    self.problems
-                        .push("sections must appear directly inside a parallel region".into());
+                    self.diag("sections must appear directly inside a parallel region");
                 }
                 if secs.is_empty() {
-                    self.problems
-                        .push("sections construct with no sections".into());
+                    self.diag("sections construct with no sections");
                 }
-                for s in secs {
-                    self.node(s, Ctx::Worksharing);
+                for (k, s) in secs.iter().enumerate() {
+                    self.node(s, Ctx::Worksharing, k as u32);
                 }
             }
             Node::Flush => {
                 if ctx == Ctx::Serial {
-                    self.problems.push("flush outside a parallel region".into());
+                    self.diag("flush outside a parallel region");
                 }
             }
             Node::Io { bytes, .. } => {
                 if *bytes == 0 {
-                    self.problems.push("zero-byte I/O operation".into());
+                    self.diag("zero-byte I/O operation");
                 }
             }
         }
+        self.path.pop();
     }
 }
 
@@ -211,9 +239,10 @@ impl<'p> Validator<'p> {
 pub fn validate(program: &Program) -> Result<(), ValidationError> {
     let mut v = Validator {
         program,
+        path: Vec::new(),
         problems: Vec::new(),
     };
-    v.node(&program.body, Ctx::Serial);
+    v.node(&program.body, Ctx::Serial, 0);
     if v.problems.is_empty() {
         Ok(())
     } else {
@@ -257,7 +286,8 @@ mod tests {
             s.par_for(None, i, 0, 10, |body| body.compute(1));
         });
         let e = validate(&b.build()).unwrap_err();
-        assert!(e.problems[0].contains("outside a parallel region"));
+        assert!(e.problems[0].message.contains("outside a parallel region"));
+        assert_eq!(e.problems[0].path.to_string(), "parfor[0]");
     }
 
     #[test]
@@ -270,7 +300,12 @@ mod tests {
             });
         });
         let e = validate(&b.build()).unwrap_err();
-        assert!(e.problems.iter().any(|p| p.contains("nested parallel")));
+        let p = e
+            .problems
+            .iter()
+            .find(|p| p.message.contains("nested parallel"))
+            .unwrap();
+        assert_eq!(p.path.to_string(), "parallel[0]/parallel[0]");
     }
 
     #[test]
@@ -281,10 +316,12 @@ mod tests {
             r.par_for(None, i, 0, 4, |body| body.barrier());
         });
         let e = validate(&b.build()).unwrap_err();
-        assert!(e
+        let p = e
             .problems
             .iter()
-            .any(|p| p.contains("barrier inside a worksharing")));
+            .find(|p| p.message.contains("barrier inside a worksharing"))
+            .unwrap();
+        assert_eq!(p.path.to_string(), "parallel[0]/parfor[0]/barrier[0]");
     }
 
     #[test]
@@ -308,9 +345,17 @@ mod tests {
             },
         };
         let e = validate(&p).unwrap_err();
-        assert!(e.problems.iter().any(|p| p.contains("array a3")));
-        assert!(e.problems.iter().any(|p| p.contains("variable v9")));
-        assert!(e.problems.iter().any(|p| p.contains("table t1")));
+        assert!(e.problems.iter().any(|p| p.message.contains("array a3")));
+        assert!(e.problems.iter().any(|p| p.message.contains("variable v9")));
+        assert!(e.problems.iter().any(|p| p.message.contains("table t1")));
+        // Statement positions survive Seq flattening: the bad compute is
+        // statement 1 of the region body.
+        let c = e
+            .problems
+            .iter()
+            .find(|p| p.message.contains("table t1"))
+            .unwrap();
+        assert_eq!(c.path.to_string(), "parallel[0]/compute[1]");
     }
 
     #[test]
@@ -324,7 +369,10 @@ mod tests {
             });
         });
         let e = validate(&b.build()).unwrap_err();
-        assert!(e.problems.iter().any(|p| p.contains("must be shared")));
+        assert!(e
+            .problems
+            .iter()
+            .any(|p| p.message.contains("must be shared")));
     }
 
     #[test]
@@ -334,7 +382,7 @@ mod tests {
             r.push(Node::SlipstreamSet(SlipstreamClause::default()));
         });
         let e = validate(&b.build()).unwrap_err();
-        assert!(e.problems.iter().any(|p| p.contains("serial part")));
+        assert!(e.problems.iter().any(|p| p.message.contains("serial part")));
     }
 
     #[test]
@@ -342,6 +390,17 @@ mod tests {
         let mut b = ProgramBuilder::new("bad");
         b.parallel(|r| r.sections(0, |_, _| {}));
         let e = validate(&b.build()).unwrap_err();
-        assert!(e.problems.iter().any(|p| p.contains("no sections")));
+        assert!(e.problems.iter().any(|p| p.message.contains("no sections")));
+    }
+
+    #[test]
+    fn error_display_includes_paths() {
+        let mut b = ProgramBuilder::new("bad");
+        let i = b.var();
+        b.serial(|s| s.par_for(None, i, 0, 10, |body| body.compute(1)));
+        let e = validate(&b.build()).unwrap_err();
+        let s = e.to_string();
+        assert!(s.starts_with("invalid program: "));
+        assert!(s.contains("parfor[0]: "));
     }
 }

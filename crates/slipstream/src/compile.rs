@@ -12,7 +12,7 @@
 //! * flatten the node tree into an arena so interpreter frames are plain
 //!   indices.
 
-use dsm_sim::{Addr, AddressMap};
+use dsm_sim::{Addr, AddressMap, ArraySpan};
 use omp_ir::expr::{Expr, VarId};
 use omp_ir::node::{ArrayId, Node, Program, Reduction, ScheduleSpec, SlipstreamClause};
 use omp_ir::validate::{validate, ValidationError};
@@ -22,21 +22,23 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeId(pub u32);
 
-/// Resolved placement of an array.
+/// Resolved placement of an array: its diagnostic name plus the
+/// [`ArraySpan`] placement shared with the static analyzer (`Deref`
+/// exposes the span fields directly).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ArrayLayout {
     /// Diagnostic name.
     pub name: String,
-    /// Shared (one copy in the global segment) or private (one copy per
-    /// thread at this offset within each private segment).
-    pub shared: bool,
-    /// Absolute base address for shared arrays; offset from each CPU's
-    /// private base for private arrays.
-    pub base: Addr,
-    /// Bytes per element.
-    pub elem_bytes: u64,
-    /// Element count.
-    pub len: u64,
+    /// Placement in the simulated address space.
+    pub span: ArraySpan,
+}
+
+impl std::ops::Deref for ArrayLayout {
+    type Target = ArraySpan;
+
+    fn deref(&self) -> &ArraySpan {
+        &self.span
+    }
 }
 
 /// Flattened IR node (children are [`NodeId`]s).
@@ -221,16 +223,9 @@ impl CompiledProgram {
         array: ArrayId,
         index: i64,
     ) -> Addr {
-        let a = &self.arrays[array.0 as usize];
-        // Clamp out-of-range indices into the array rather than wandering
-        // into a neighbouring array's lines: timing kernels may probe edges.
-        let idx = index.clamp(0, a.len as i64 - 1) as u64;
-        let off = a.base + idx * a.elem_bytes;
-        if a.shared {
-            off
-        } else {
-            map.private_base(cpu) + off
-        }
+        self.arrays[array.0 as usize]
+            .span
+            .element_addr(map, cpu, index)
     }
 }
 
@@ -282,9 +277,7 @@ fn fold_expr(e: &Expr, tables: &[Vec<i64>]) -> Option<i64> {
 /// Byte offset of `array[index]` with the engine's clamping semantics
 /// (absolute for shared arrays, private-base-relative otherwise).
 fn const_element_offset(arrays: &[ArrayLayout], array: ArrayId, index: i64) -> Addr {
-    let a = &arrays[array.0 as usize];
-    let idx = index.clamp(0, a.len as i64 - 1) as u64;
-    a.base + idx * a.elem_bytes
+    arrays[array.0 as usize].span.element_offset(index)
 }
 
 /// Build the flat dispatch table: one [`Op`] per node, with constant
@@ -456,40 +449,29 @@ impl Lowerer {
     }
 }
 
-/// Align up to a cache-line boundary.
-fn line_align(a: Addr, line: u64) -> Addr {
-    a.div_ceil(line) * line
-}
-
 /// Lower a program for a machine. Fails if the program is invalid.
 pub fn compile(program: &Program, map: &AddressMap) -> Result<CompiledProgram, ValidationError> {
     validate(program)?;
-    let line = map.line_bytes();
 
     // Shared arrays after a small guard page; private arrays at per-thread
-    // offsets starting past a guard page of each private segment.
-    let mut shared_cursor: Addr = map.shared_base() + line;
-    let mut private_cursor: Addr = line;
-    let mut arrays = Vec::with_capacity(program.arrays.len());
-    for decl in &program.arrays {
-        let bytes = line_align(decl.len * decl.elem_bytes, line);
-        let base = if decl.shared {
-            let b = shared_cursor;
-            shared_cursor += bytes + line; // one guard line between arrays
-            b
-        } else {
-            let b = private_cursor;
-            private_cursor += bytes + line;
-            b
-        };
-        arrays.push(ArrayLayout {
-            name: decl.name.clone(),
-            shared: decl.shared,
-            base,
-            elem_bytes: decl.elem_bytes,
-            len: decl.len,
-        });
-    }
+    // offsets starting past a guard page of each private segment. The
+    // placement policy lives in `dsm_sim::address::layout_spans` so the
+    // static analyzer computes identical line footprints.
+    let (spans, runtime_base) = map.layout_spans(
+        program
+            .arrays
+            .iter()
+            .map(|d| (d.shared, d.len, d.elem_bytes)),
+    );
+    let arrays: Vec<ArrayLayout> = program
+        .arrays
+        .iter()
+        .zip(spans)
+        .map(|(d, span)| ArrayLayout {
+            name: d.name.clone(),
+            span,
+        })
+        .collect();
 
     let mut lw = Lowerer {
         nodes: Vec::with_capacity(program.node_count()),
@@ -505,7 +487,7 @@ pub fn compile(program: &Program, map: &AddressMap) -> Result<CompiledProgram, V
         tables: program.tables.clone(),
         num_vars: program.num_vars,
         num_critical_locks: lw.locks.len(),
-        runtime_base: line_align(shared_cursor + line, line),
+        runtime_base,
         ops,
         kids,
         exprs,
@@ -739,10 +721,12 @@ mod tests {
         // compile-time answer, so such a load must stay dynamic.
         let arrays = vec![ArrayLayout {
             name: "e".into(),
-            shared: true,
-            base: 64,
-            elem_bytes: 8,
-            len: 0,
+            span: ArraySpan {
+                shared: true,
+                base: 64,
+                elem_bytes: 8,
+                len: 0,
+            },
         }];
         let nodes = vec![FNode::Load {
             array: omp_ir::node::ArrayId(0),

@@ -26,6 +26,7 @@
 pub mod compile;
 pub mod exec;
 pub mod faults;
+pub mod gate;
 pub mod health;
 pub mod pairing;
 pub mod policy;
@@ -39,6 +40,11 @@ pub use health::{BoundaryOutcome, FillWindow, HealthPolicy, PairHealth};
 pub use pairing::{Decision, PairState};
 pub use policy::{AAction, AStreamPolicy, RecoveryPolicy};
 pub use runner::{run_program, RunOptions, RunSummary};
+
+// Safety-gate vocabulary (the analyzer entry point itself stays at
+// `omp_analyze::analyze` to avoid clashing with the trace analytics
+// `analyze` re-exported below).
+pub use omp_analyze::{AnalysisReport, Finding, GateMode, Hazard, Severity};
 
 // Re-export the pieces users need to drive a simulation end-to-end.
 pub use dsm_sim::{FillClass, FillCounts, MachineConfig, ReqKind, StreamRole, TimeClass};

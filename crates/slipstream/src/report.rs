@@ -165,6 +165,7 @@ mod tests {
             r_breakdown: TimeBreakdown::new(),
             a_breakdown: TimeBreakdown::new(),
             fills: FillCounts::default(),
+            analysis: None,
             raw: RunResult {
                 exec_cycles: cycles,
                 cpu_stats: vec![],

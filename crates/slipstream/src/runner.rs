@@ -7,9 +7,11 @@
 use crate::compile::{compile, CompiledProgram};
 use crate::exec::{Engine, EngineConfig, RunResult};
 use crate::faults::FaultPlan;
+use crate::gate::{analyze_config, gate_program};
 use crate::health::HealthPolicy;
 use crate::policy::{AStreamPolicy, RecoveryPolicy};
 use dsm_sim::{AddressMap, Cycle, FillCounts, MachineConfig, TimeBreakdown, TimeClass};
+use omp_analyze::{AnalysisReport, GateMode};
 use omp_ir::directive::EnvSlipstream;
 use omp_ir::node::{Program, SlipSyncType};
 use omp_rt::mode::{ExecMode, SlipSync};
@@ -46,6 +48,13 @@ pub struct RunOptions {
     pub os_noise: Option<crate::exec::OsNoise>,
     /// Structured event tracing (observation-only; off by default).
     pub trace: TraceConfig,
+    /// Slipstream-safety gate. The default, [`GateMode::Warn`], runs the
+    /// `omp-analyze` static analyzer before the simulation and attaches
+    /// the report to the summary without affecting the run (stats stay
+    /// bit-identical to an ungated run). [`GateMode::Deny`] refuses to
+    /// run programs with deny-severity findings; [`GateMode::Allow`]
+    /// skips analysis entirely.
+    pub gate: GateMode,
 }
 
 impl RunOptions {
@@ -63,7 +72,14 @@ impl RunOptions {
             health: HealthPolicy::paper(),
             os_noise: None,
             trace: TraceConfig::OFF,
+            gate: GateMode::Warn,
         }
+    }
+
+    /// Set the safety-gate mode.
+    pub fn with_gate(mut self, gate: GateMode) -> Self {
+        self.gate = gate;
+        self
     }
 
     /// Replace the pair-health / breaker policy.
@@ -138,6 +154,10 @@ pub struct RunSummary {
     pub fills: FillCounts,
     /// Raw result for deeper inspection.
     pub raw: RunResult,
+    /// Static-analysis report from the pre-run safety gate (`None` when
+    /// the gate is [`GateMode::Allow`] or the program was run through
+    /// [`run_compiled`] directly).
+    pub analysis: Option<AnalysisReport>,
 }
 
 impl RunSummary {
@@ -187,9 +207,13 @@ fn mode_label(mode: ExecMode, sync: Option<SlipSync>) -> String {
 /// assert_eq!(summary.raw.user_a.loads, 256); // the A-streams prefetched it
 /// ```
 pub fn run_program(program: &Program, opts: &RunOptions) -> Result<RunSummary, String> {
+    let acfg = analyze_config(&opts.machine, &opts.policy, opts.sync);
+    let analysis = gate_program(program, opts.gate, &acfg)?;
     let map = AddressMap::new(&opts.machine);
     let cp = compile(program, &map).map_err(|e| e.to_string())?;
-    run_compiled(&cp, program.name.clone(), opts)
+    let mut summary = run_compiled(&cp, program.name.clone(), opts)?;
+    summary.analysis = analysis;
+    Ok(summary)
 }
 
 /// Run an already-compiled program (reuse across modes).
@@ -232,6 +256,7 @@ pub fn run_compiled(
         a_breakdown: raw.a_breakdown,
         fills: raw.fill_counts,
         raw,
+        analysis: None,
     })
 }
 
