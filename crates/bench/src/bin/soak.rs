@@ -338,6 +338,67 @@ fn main() {
     let crafted2_oracle = trace(&crafted, 2);
     programs.push((crafted, crafted2_oracle));
 
+    // Fuzz-minimized corpus: every program JSON (raw or repro artifact)
+    // in `SOAK_CORPUS` joins the soak as additional scenarios under the
+    // same three invariants. Deny-class programs are skipped — the
+    // differential fuzzer promotes only clean survivors, but the soak
+    // must not silently trust a hand-edited directory.
+    let mut corpus: Vec<(usize, String)> = Vec::new();
+    if let Ok(dir) = std::env::var("SOAK_CORPUS") {
+        let mut paths: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap_or_else(|e| panic!("SOAK_CORPUS {dir}: {e}"))
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect();
+        paths.sort(); // deterministic scenario order
+        for path in paths {
+            let name = path
+                .file_name()
+                .unwrap_or_default()
+                .to_string_lossy()
+                .into_owned();
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("soak: skipping corpus file {name}: {e}");
+                    continue;
+                }
+            };
+            let program = omp_fuzz::Repro::from_json(&text)
+                .map(|r| r.program)
+                .or_else(|_| omp_ir::program_from_json(&text));
+            let program = match program {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("soak: skipping corpus file {name}: not a repro or program: {e}");
+                    continue;
+                }
+            };
+            if let Err(e) = omp_ir::validate(&program) {
+                eprintln!("soak: skipping corpus file {name}: invalid program: {e}");
+                continue;
+            }
+            let report = omp_analyze::analyze(
+                &program,
+                &omp_analyze::AnalyzeConfig::paper().with_threads(TEAM),
+            );
+            if report.deny_count() > 0 {
+                eprintln!(
+                    "soak: skipping deny-class corpus program {name} ({} deny finding(s))",
+                    report.deny_count()
+                );
+                continue;
+            }
+            let oracle = trace(&program, TEAM);
+            corpus.push((programs.len(), name));
+            programs.push((program, oracle));
+        }
+        eprintln!(
+            "soak: loaded {} corpus scenario program(s) from {dir}",
+            corpus.len()
+        );
+    }
+
     // The sweep: seeded random plans over kernels × sync modes × recovery
     // budgets, all under the hardened recovery policy (every detection
     // tier armed) and the adaptive health controller.
@@ -420,6 +481,24 @@ fn main() {
         expect_repromotion: false,
         expect_breaker_cycle: false,
     });
+
+    // Corpus programs: both synchronization modes, seeded fault plans,
+    // hardened recovery — the same regime as the random sweep.
+    for (k, (idx, name)) in corpus.iter().enumerate() {
+        for sync in [SlipSync::G0, SlipSync::L1] {
+            list.push(Scenario {
+                label: format!("corpus={name} sync={}", sync.label()),
+                program_idx: *idx,
+                team: TEAM,
+                sync,
+                plan: FaultPlan::random(seed_base + 0xC0_u64 + k as u64, TEAM, 4),
+                recovery: sweep_recovery.with_max_recoveries(8),
+                health: HealthPolicy::adaptive(),
+                expect_repromotion: false,
+                expect_breaker_cycle: false,
+            });
+        }
+    }
 
     eprintln!("soak: running {} scenarios…", list.len());
     type Task<'s> = Box<dyn FnOnce() -> Result<Tally, String> + Send + 's>;

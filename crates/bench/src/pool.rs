@@ -127,6 +127,41 @@ where
         .collect()
 }
 
+/// Render a panic payload the way the default hook would.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Like [`run_all`], but a panicking task is isolated instead of tearing
+/// down the pool: its slot comes back as `Err(panic message)` while every
+/// other task still runs to completion and the pool's locks stay
+/// unpoisoned for subsequent calls.
+///
+/// Long campaign drivers (the fuzz and soak binaries) use this so one
+/// pathological case is *reported* rather than aborting hours of
+/// remaining work.
+pub fn run_all_caught<T, F>(tasks: Vec<F>) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let wrapped: Vec<_> = tasks
+        .into_iter()
+        .map(|task| {
+            move || {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)).map_err(panic_message)
+            }
+        })
+        .collect();
+    run_all(wrapped)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,5 +185,36 @@ mod tests {
         let slice = &data;
         let tasks: Vec<_> = (0..slice.len()).map(|i| move || slice[i] * 2).collect();
         assert_eq!(run_all(tasks), vec![6, 2, 8, 2, 10]);
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_and_pool_survives() {
+        type Job = Box<dyn FnOnce() -> u64 + Send>;
+        let tasks: Vec<Job> = vec![
+            Box::new(|| 11),
+            Box::new(|| panic!("boom at job 1")),
+            Box::new(|| 33),
+        ];
+        let out = run_all_caught(tasks);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], Ok(11));
+        let err = out[1].as_ref().unwrap_err();
+        assert!(err.contains("boom at job 1"), "lost panic message: {err}");
+        assert_eq!(out[2], Ok(33));
+        // The pool must stay serviceable after a caught panic.
+        let again: Vec<_> = (0..8u64).map(|i| move || i + 1).collect();
+        assert_eq!(run_all(again), (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn string_panic_payloads_are_preserved() {
+        type Job = Box<dyn FnOnce() -> u8 + Send>;
+        let msg = format!("formatted {} payload", 42);
+        let tasks: Vec<Job> = vec![Box::new(move || panic!("{msg}"))];
+        let out = run_all_caught(tasks);
+        assert!(out[0]
+            .as_ref()
+            .unwrap_err()
+            .contains("formatted 42 payload"));
     }
 }

@@ -38,7 +38,7 @@ pub mod report;
 mod walk;
 
 pub use finding::{Finding, Hazard, Severity};
-pub use report::{AnalysisReport, RegionReport, SkipSet};
+pub use report::{AnalysisReport, Equivalence, RegionReport, SkipSet};
 
 use omp_ir::node::{Program, SlipSyncType};
 

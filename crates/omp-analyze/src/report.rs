@@ -66,6 +66,58 @@ pub struct RegionReport {
     pub skips: SkipSet,
 }
 
+/// Expected slipstream-vs-single equivalence class of a program, decided
+/// from its analysis report. This is the contract the differential
+/// fuzzer checks the engine against:
+///
+/// * [`Exact`](Equivalence::Exact) — the analysis completed clean. The
+///   R-stream must match the single-mode oracle's op totals *and* the
+///   run must need no divergence recoveries or pair demotions: slipstream
+///   is pure speedup here.
+/// * [`ConvergeOnly`](Equivalence::ConvergeOnly) — warn/info findings
+///   (stale-prefetch risk, lead-bound pressure, skipped side effects) or
+///   a truncated walk. The A-stream may wander and recover, but the
+///   architecturally-exact R-stream must still match the oracle.
+/// * [`Deny`](Equivalence::Deny) — deny findings (data races, unbalanced
+///   synchronization, invalid IR). The program has no defined semantics;
+///   a [`GateMode::Deny`](crate::GateMode) gate must refuse to run it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Equivalence {
+    /// Bit-equivalent stats and a recovery-free run are required.
+    Exact,
+    /// Only final R-stream totals are required to match the oracle.
+    ConvergeOnly,
+    /// The gate must refuse to run the program.
+    Deny,
+}
+
+impl Equivalence {
+    /// Stable lowercase label (artifact JSON, CLI output).
+    pub fn label(self) -> &'static str {
+        match self {
+            Equivalence::Exact => "exact",
+            Equivalence::ConvergeOnly => "converge-only",
+            Equivalence::Deny => "deny",
+        }
+    }
+
+    /// Parse a [`label`](Self::label) back.
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "exact" => Some(Equivalence::Exact),
+            "converge-only" => Some(Equivalence::ConvergeOnly),
+            "deny" => Some(Equivalence::Deny),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Equivalence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// The full result of [`analyze`](crate::analyze) on one program.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AnalysisReport {
@@ -112,6 +164,20 @@ impl AnalysisReport {
     /// True when the analysis completed with no findings at all.
     pub fn is_clean(&self) -> bool {
         self.findings.is_empty() && !self.truncated
+    }
+
+    /// The expected equivalence class this report implies (see
+    /// [`Equivalence`]). Deny findings dominate; any other finding or a
+    /// truncated walk demotes the program to converge-only; a clean
+    /// report promises exact equivalence.
+    pub fn equivalence(&self) -> Equivalence {
+        if self.deny_count() > 0 {
+            Equivalence::Deny
+        } else if self.is_clean() {
+            Equivalence::Exact
+        } else {
+            Equivalence::ConvergeOnly
+        }
     }
 
     /// Highest severity present, if any finding exists.
@@ -318,6 +384,35 @@ mod tests {
         assert!(clean.is_clean());
         clean.truncated = true;
         assert!(!clean.is_clean());
+    }
+
+    #[test]
+    fn equivalence_classification() {
+        let deny = sample();
+        assert_eq!(deny.equivalence(), Equivalence::Deny);
+
+        let mut warn = sample();
+        warn.findings[0].severity = Severity::Warn;
+        assert_eq!(warn.equivalence(), Equivalence::ConvergeOnly);
+
+        let mut clean = sample();
+        clean.findings.clear();
+        assert_eq!(clean.equivalence(), Equivalence::Exact);
+        clean.truncated = true;
+        assert_eq!(clean.equivalence(), Equivalence::ConvergeOnly);
+    }
+
+    #[test]
+    fn equivalence_labels_round_trip() {
+        for e in [
+            Equivalence::Exact,
+            Equivalence::ConvergeOnly,
+            Equivalence::Deny,
+        ] {
+            assert_eq!(Equivalence::from_label(e.label()), Some(e));
+            assert_eq!(e.to_string(), e.label());
+        }
+        assert_eq!(Equivalence::from_label("nope"), None);
     }
 
     #[test]

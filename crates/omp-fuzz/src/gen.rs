@@ -1,0 +1,525 @@
+//! Seeded program generation.
+//!
+//! The generator draws from a weighted grammar over the constructs the
+//! paper's runtime supports — parallel regions, worksharing loops under
+//! every schedule kind, reductions, `single`/`master`/`critical`/
+//! `sections`, atomics, explicit barriers, I/O — while obeying a safety
+//! contract that keeps the reference trace a valid oracle for the
+//! engine's per-mode operation counts:
+//!
+//! * **In-bounds addressing.** Every array has [`ARRAY_LEN`] elements and
+//!   every index expression is constructed to stay below it for any trip
+//!   the loop can take (worksharing trips are capped at
+//!   [`MAX_TRIP`], inner offsets at what the headroom allows).
+//! * **Variable binding.** An expression only reads induction variables
+//!   bound by an enclosing loop. The engine lets variable slots persist
+//!   across regions while the tracer resets them, so an unbound read
+//!   would produce false differentials.
+//! * **`ThreadId` placement.** `ThreadId` never appears in compute
+//!   expressions or loop bounds: under dynamic-family schedules the
+//!   executing thread differs between the engine and the tracer, so
+//!   anything whose *count or magnitude* depends on the executor would
+//!   diverge spuriously. Index expressions are exempt (an operation
+//!   counts once regardless of its address).
+//! * **Race control.** Within a phase, arrays are partitioned into a
+//!   load set and a store set, and each worksharing store uses one
+//!   injective `iv + offset` address per array, so distinct iterations
+//!   touch distinct elements. Deliberate *race spice* — a worksharing
+//!   store to a constant element — is injected at a configured rate to
+//!   exercise the deny path of the analyzer and gate.
+//!
+//! Generation is fully deterministic: the same `(seed, GenConfig)` pair
+//! always yields the same program, byte for byte.
+
+use dsm_sim::rng::SplitMix64;
+use omp_ir::node::{
+    ArrayDecl, Node, Program, Reduction, ReductionOp, ScheduleKind, ScheduleSpec, SlipSyncType,
+    SlipstreamClause,
+};
+use omp_ir::{Expr, TableId, VarId};
+
+/// Length of every generated array (elements).
+pub const ARRAY_LEN: u64 = 64;
+
+/// Exclusive upper bound on any worksharing trip count. Kept below
+/// [`ARRAY_LEN`] so `a[iv + offset]` stays in bounds with room for small
+/// offsets.
+pub const MAX_TRIP: u64 = 48;
+
+/// Tunable size knobs for the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenConfig {
+    /// Parallel regions per program (at least 1).
+    pub max_regions: u64,
+    /// Phases (top-level items) per region body (at least 1).
+    pub max_phases: u64,
+    /// Operations per worksharing-loop body (at least 1).
+    pub max_body_ops: u64,
+    /// Shared arrays to declare (at least 2: one reserved for
+    /// reductions/atomics, the rest partitioned into load/store sets).
+    pub arrays: u64,
+    /// Host-side index tables to declare (may be 0).
+    pub tables: u64,
+    /// Per-phase probability, in parts per thousand, of deliberately
+    /// injecting a racy store (deny-class spice).
+    pub race_permille: u64,
+}
+
+impl GenConfig {
+    /// Campaign default: rich programs, still small enough that a full
+    /// four-mode differential run takes well under a second.
+    pub fn campaign() -> Self {
+        GenConfig {
+            max_regions: 2,
+            max_phases: 4,
+            max_body_ops: 5,
+            arrays: 4,
+            tables: 2,
+            race_permille: 40,
+        }
+    }
+
+    /// Tiny programs for debug-mode unit tests.
+    pub fn small() -> Self {
+        GenConfig {
+            max_regions: 1,
+            max_phases: 2,
+            max_body_ops: 3,
+            arrays: 3,
+            tables: 1,
+            race_permille: 40,
+        }
+    }
+
+    /// Clamp the knobs to their documented minima.
+    fn clamped(&self) -> GenConfig {
+        GenConfig {
+            max_regions: self.max_regions.max(1),
+            max_phases: self.max_phases.max(1),
+            max_body_ops: self.max_body_ops.max(1),
+            arrays: self.arrays.max(2),
+            tables: self.tables,
+            race_permille: self.race_permille.min(1000),
+        }
+    }
+}
+
+struct Gen {
+    g: SplitMix64,
+    cfg: GenConfig,
+    next_var: u32,
+    tables: u64,
+}
+
+impl Gen {
+    fn var(&mut self) -> VarId {
+        let v = VarId(self.next_var);
+        self.next_var += 1;
+        v
+    }
+
+    /// Pick an index into `weights` proportionally.
+    fn pick(&mut self, weights: &[u64]) -> usize {
+        let total: u64 = weights.iter().sum();
+        let mut roll = self.g.below(total);
+        for (i, w) in weights.iter().enumerate() {
+            if roll < *w {
+                return i;
+            }
+            roll -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// An in-bounds index expression over the bound variables `vars`,
+    /// whose values are each known to stay below `ARRAY_LEN`. `ThreadId`
+    /// is allowed here (see the module contract). `span` is an upper
+    /// bound on the sum of the variable values.
+    fn index_expr(&mut self, vars: &[VarId], span: u64) -> Expr {
+        let headroom = ARRAY_LEN.saturating_sub(span).max(1);
+        match self.pick(&[6, 3, 2, 2]) {
+            0 if !vars.is_empty() => {
+                let v = vars[self.g.below(vars.len() as u64) as usize];
+                Expr::v(v) + Expr::c(self.g.below(headroom) as i64)
+            }
+            1 if vars.len() >= 2 => {
+                // Sum of two bound variables (inner-loop + outer-loop mix).
+                Expr::v(vars[0]) + Expr::v(vars[vars.len() - 1])
+            }
+            2 => Expr::ThreadId,
+            _ => Expr::c(self.g.below(ARRAY_LEN) as i64),
+        }
+    }
+
+    /// A compute-cycle expression. Never references `ThreadId` and is
+    /// always nonnegative with a small magnitude, so batched native
+    /// loops stay cheap.
+    fn compute_expr(&mut self, vars: &[VarId]) -> Expr {
+        match self.pick(&[5, 3, 2]) {
+            0 => Expr::c(1 + self.g.below(12) as i64),
+            1 if !vars.is_empty() => {
+                let v = vars[self.g.below(vars.len() as u64) as usize];
+                Expr::v(v).rem(Expr::c(8)) + Expr::c(1)
+            }
+            2 if self.tables > 0 && !vars.is_empty() => {
+                let t = TableId(self.g.below(self.tables) as u32);
+                let v = vars[self.g.below(vars.len() as u64) as usize];
+                Expr::v(v).index_into(t).rem(Expr::c(8)) + Expr::c(1)
+            }
+            _ => Expr::c(2),
+        }
+    }
+
+    /// One operation inside a worksharing-loop body. `iv` is the loop
+    /// variable (value `< MAX_TRIP`); `load_arr`/`store_arr` are the
+    /// phase's disjoint array picks; `store_off` the phase's injective
+    /// store offset; `sync_arr` the reserved reduction/atomic array.
+    fn ws_op(
+        &mut self,
+        iv: VarId,
+        load_arr: u32,
+        store_arr: u32,
+        store_off: u64,
+        sync_arr: u32,
+    ) -> Node {
+        match self.pick(&[8, 6, 8, 4, 5, 1]) {
+            0 => Node::Load {
+                array: omp_ir::ArrayId(load_arr),
+                index: self.index_expr(&[iv], MAX_TRIP),
+            },
+            1 => Node::Store {
+                array: omp_ir::ArrayId(store_arr),
+                index: Expr::v(iv) + Expr::c(store_off as i64),
+            },
+            2 => Node::Compute(self.compute_expr(&[iv])),
+            3 => Node::Atomic {
+                array: omp_ir::ArrayId(sync_arr),
+                index: self.index_expr(&[iv], MAX_TRIP),
+            },
+            4 => {
+                // Inner sequential loop: a few loads/computes over iv+j.
+                let j = self.var();
+                let trip = 1 + self.g.below(5) as i64;
+                let inner = if self.g.chance(0.5) {
+                    Node::Load {
+                        array: omp_ir::ArrayId(load_arr),
+                        index: Expr::v(iv) + Expr::v(j),
+                    }
+                } else {
+                    Node::Compute(self.compute_expr(&[iv, j]))
+                };
+                Node::For {
+                    var: j,
+                    begin: Expr::c(0),
+                    end: Expr::c(trip),
+                    step: 1,
+                    body: Box::new(inner),
+                }
+            }
+            _ => Node::Io {
+                input: self.g.chance(0.5),
+                bytes: 64 << self.g.below(5),
+            },
+        }
+    }
+
+    /// A worksharing loop phase: schedule, bounds, clauses, body.
+    fn parfor(&mut self, load_arr: u32, store_arr: u32, sync_arr: u32) -> Node {
+        let sched = match self.pick(&[30, 15, 10, 15, 10, 10, 10]) {
+            0 => None,
+            1 => Some(ScheduleSpec::static_default()),
+            2 => Some(ScheduleSpec {
+                kind: ScheduleKind::Static,
+                chunk: Some(1 + self.g.below(8)),
+            }),
+            3 => Some(ScheduleSpec::dynamic(1 + self.g.below(8))),
+            4 => Some(ScheduleSpec::guided()),
+            5 => Some(ScheduleSpec::affinity(1 + self.g.below(8))),
+            _ => Some(ScheduleSpec {
+                kind: ScheduleKind::Runtime,
+                chunk: None,
+            }),
+        };
+        let iv = self.var();
+        // Constant bounds most of the time; occasionally NumThreads-scaled
+        // (trips then differ between double mode and the others, which the
+        // per-mode oracle must absorb). Max team is 8 (double mode), and
+        // 8 * 5 < MAX_TRIP keeps indices in bounds.
+        let (begin, end) = if self.g.chance(0.2) {
+            (
+                Expr::c(0),
+                Expr::NumThreads * Expr::c(1 + self.g.below(5) as i64),
+            )
+        } else {
+            let b = self.g.below(4) as i64;
+            let e = b + 1 + self.g.below(MAX_TRIP - 4) as i64;
+            (Expr::c(b), Expr::c(e))
+        };
+        let reduction = if self.g.chance(0.2) {
+            let op = match self.g.below(3) {
+                0 => ReductionOp::Sum,
+                1 => ReductionOp::Max,
+                _ => ReductionOp::Min,
+            };
+            Some(Reduction {
+                op,
+                target: omp_ir::ArrayId(sync_arr),
+                index: Expr::c(self.g.below(ARRAY_LEN) as i64),
+            })
+        } else {
+            None
+        };
+        let store_off = self.g.below(ARRAY_LEN - MAX_TRIP);
+        let nops = 1 + self.g.below(self.cfg.max_body_ops);
+        let mut body: Vec<Node> = (0..nops)
+            .map(|_| self.ws_op(iv, load_arr, store_arr, store_off, sync_arr))
+            .collect();
+        if self.g.below(1000) < self.cfg.race_permille {
+            // Race spice: every iteration (hence several threads) stores
+            // the same element. The analyzer must deny this program.
+            body.push(Node::Store {
+                array: omp_ir::ArrayId(store_arr),
+                index: Expr::c(self.g.below(ARRAY_LEN) as i64),
+            });
+        }
+        Node::ParFor {
+            sched,
+            var: iv,
+            begin,
+            end,
+            body: Box::new(Node::Seq(body)),
+            reduction,
+            nowait: self.g.chance(0.15),
+        }
+    }
+
+    /// A small load/compute body for `single`/`master`/`sections`
+    /// bodies: executed by one thread in the engine but attributed to a
+    /// fixed thread by the tracer, so nothing inside may depend on
+    /// `ThreadId` — and stores are excluded to avoid cross-phase races.
+    fn oneshot_body(&mut self, load_arr: u32) -> Node {
+        let nops = 1 + self.g.below(3);
+        let ops = (0..nops)
+            .map(|_| match self.pick(&[4, 4, 1]) {
+                0 => Node::Load {
+                    array: omp_ir::ArrayId(load_arr),
+                    index: Expr::c(self.g.below(ARRAY_LEN) as i64),
+                },
+                1 => Node::Compute(self.compute_expr(&[])),
+                _ => Node::Io {
+                    input: self.g.chance(0.5),
+                    bytes: 64 << self.g.below(4),
+                },
+            })
+            .collect();
+        Node::Seq(ops)
+    }
+
+    /// One phase (top-level item) of a parallel-region body.
+    fn phase(&mut self, sync_arr: u32) -> Node {
+        // Partition the non-reserved arrays into this phase's load/store
+        // picks. Distinct picks keep worksharing loads and stores
+        // race-free; the reserved array 0 only ever sees atomics,
+        // reductions, and critical-protected stores.
+        let n = self.cfg.arrays - 1;
+        let load_arr = 1 + self.g.below(n) as u32;
+        let store_arr = if n == 1 {
+            load_arr
+        } else {
+            1 + ((load_arr as u64 + self.g.below(n - 1)) % n) as u32
+        };
+        match self.pick(&[50, 8, 7, 7, 5, 4, 4, 5, 3, 4]) {
+            0 => self.parfor(load_arr, store_arr, sync_arr),
+            1 => {
+                // Serial loop executed by every team member.
+                let k = self.var();
+                let trip = 2 + self.g.below(5) as i64;
+                let body = if self.g.chance(0.5) {
+                    Node::Load {
+                        array: omp_ir::ArrayId(load_arr),
+                        index: self.index_expr(&[k], 8),
+                    }
+                } else {
+                    Node::Compute(self.compute_expr(&[k]))
+                };
+                Node::For {
+                    var: k,
+                    begin: Expr::c(0),
+                    end: Expr::c(trip),
+                    step: 1,
+                    body: Box::new(body),
+                }
+            }
+            2 => Node::Single(Box::new(self.oneshot_body(load_arr))),
+            3 => Node::Master(Box::new(self.oneshot_body(load_arr))),
+            4 => {
+                // Critical-protected read-modify-write of the reserved
+                // array: mutual exclusion makes the shared store safe.
+                let idx = self.g.below(ARRAY_LEN) as i64;
+                Node::Critical {
+                    name: format!("lock{}", self.g.below(2)),
+                    body: Box::new(Node::Seq(vec![
+                        Node::Load {
+                            array: omp_ir::ArrayId(sync_arr),
+                            index: Expr::c(idx),
+                        },
+                        Node::Store {
+                            array: omp_ir::ArrayId(sync_arr),
+                            index: Expr::c(idx),
+                        },
+                    ])),
+                }
+            }
+            5 => {
+                let n = 1 + self.g.below(3);
+                Node::Sections((0..n).map(|_| self.oneshot_body(load_arr)).collect())
+            }
+            6 => Node::Barrier,
+            7 => Node::Atomic {
+                array: omp_ir::ArrayId(sync_arr),
+                index: self.index_expr(&[], 0),
+            },
+            8 => Node::Io {
+                input: self.g.chance(0.5),
+                bytes: 64 << self.g.below(5),
+            },
+            _ => Node::Compute(self.compute_expr(&[])),
+        }
+    }
+
+    fn slip_clause(&mut self) -> SlipstreamClause {
+        let global = self.g.chance(0.5);
+        SlipstreamClause {
+            sync: if global {
+                SlipSyncType::GlobalSync
+            } else {
+                SlipSyncType::LocalSync
+            },
+            tokens: if global {
+                self.g.below(3)
+            } else {
+                1 + self.g.below(3)
+            },
+        }
+    }
+
+    fn region(&mut self, sync_arr: u32) -> Node {
+        let phases = 1 + self.g.below(self.cfg.max_phases);
+        let body = (0..phases).map(|_| self.phase(sync_arr)).collect();
+        Node::Parallel {
+            body: Box::new(Node::Seq(body)),
+            slipstream: if self.g.chance(0.25) {
+                Some(self.slip_clause())
+            } else {
+                None
+            },
+        }
+    }
+}
+
+/// Generate one program. Deterministic in `(seed, cfg)`.
+pub fn generate(seed: u64, cfg: &GenConfig) -> Program {
+    let cfg = cfg.clamped();
+    let mut gen = Gen {
+        g: SplitMix64::new(seed ^ 0x0F0A_2217_D1FF_5EED),
+        cfg,
+        next_var: 0,
+        tables: cfg.tables,
+    };
+    let arrays = (0..cfg.arrays)
+        .map(|i| ArrayDecl {
+            name: if i == 0 {
+                "sync".to_string()
+            } else {
+                format!("a{i}")
+            },
+            shared: true,
+            len: ARRAY_LEN,
+            elem_bytes: 8,
+        })
+        .collect();
+    let tables = (0..cfg.tables)
+        .map(|_| {
+            (0..ARRAY_LEN)
+                .map(|_| gen.g.below(ARRAY_LEN) as i64)
+                .collect()
+        })
+        .collect();
+    let mut body = Vec::new();
+    if gen.g.chance(0.2) {
+        // Program-global slipstream default, as the serial part of the
+        // paper's programs would set it.
+        let clause = gen.slip_clause();
+        body.push(Node::SlipstreamSet(clause));
+    }
+    let regions = 1 + gen.g.below(cfg.max_regions);
+    for r in 0..regions {
+        if r > 0 && gen.g.chance(0.4) {
+            body.push(Node::Compute(Expr::c(1 + gen.g.below(6) as i64)));
+        }
+        body.push(gen.region(0));
+    }
+    Program {
+        name: format!("fuzz-{seed:#018x}"),
+        arrays,
+        tables,
+        num_vars: gen.next_var.max(1),
+        body: Node::Seq(body),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::campaign();
+        for seed in 0..32 {
+            assert_eq!(generate(seed, &cfg), generate(seed, &cfg));
+        }
+    }
+
+    #[test]
+    fn generated_programs_validate() {
+        let cfg = GenConfig::campaign();
+        for seed in 0..256 {
+            let p = generate(seed, &cfg);
+            if let Err(e) = omp_ir::validate(&p) {
+                panic!("seed {seed} generated an invalid program: {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn generated_indices_stay_in_bounds() {
+        // The tracer walks every executed load/store; combined with the
+        // engine's address mapping, an out-of-bounds index would panic in
+        // the differential harness. Spot-check the static contract here:
+        // every array is ARRAY_LEN long and every worksharing trip stays
+        // under MAX_TRIP.
+        let cfg = GenConfig::campaign();
+        for seed in 0..128 {
+            let p = generate(seed, &cfg);
+            for a in &p.arrays {
+                assert_eq!(a.len, ARRAY_LEN);
+            }
+            let _ = omp_ir::trace(&p, 8);
+        }
+    }
+
+    #[test]
+    fn race_spice_occasionally_produces_denials() {
+        let mut cfg = GenConfig::campaign();
+        cfg.race_permille = 400;
+        let acfg = omp_analyze::AnalyzeConfig::paper();
+        let mut denied = 0;
+        for seed in 0..64 {
+            let p = generate(seed, &cfg);
+            if omp_analyze::analyze(&p, &acfg).deny_count() > 0 {
+                denied += 1;
+            }
+        }
+        assert!(denied > 0, "race spice never produced a deny finding");
+    }
+}

@@ -1,0 +1,741 @@
+//! Auto-shrinking repro minimization: deterministic delta debugging
+//! over the IR.
+//!
+//! The shrinker repeatedly enumerates every *single-edit* variant of the
+//! current program — child deletions, trip-count reductions, clause
+//! strips, construct unwraps, expression simplifications, and a
+//! declaration garbage-collection pass — and greedily commits the first
+//! variant that (a) strictly reduces the size metric, (b) still
+//! validates, and (c) still reproduces the original failure's
+//! [fingerprint key](crate::diff::Failure::fingerprint_key). It stops at
+//! a fixpoint: the result is 1-minimal with respect to the edit set
+//! (no single remaining edit preserves the failure).
+//!
+//! Two tempting edits are deliberately absent:
+//!
+//! * **Loop unwrapping** (`For`/`ParFor` → body) would leave the
+//!   induction variable unbound. The engine lets variable slots persist
+//!   across regions while the trace oracle resets them, so an unbound
+//!   read can *manufacture* a differential that the original program
+//!   never had — the shrinker must not be able to walk out of the
+//!   original bug's equivalence class via harness artifacts. Unwrapping
+//!   `Single`/`Master`/`Critical` is safe (their bodies bind nothing).
+//! * **Array-length reduction** would change address layout and cache
+//!   behaviour wholesale; instead, only entire *unused* arrays, tables,
+//!   and variable slots are collected (with id remapping), which cannot
+//!   perturb the surviving accesses.
+//!
+//! Everything is deterministic: the same input program, options, and
+//! fingerprint key always produce the same minimized program.
+
+use omp_ir::node::{Node, Program};
+use omp_ir::{ArrayId, Expr, TableId, VarId};
+
+use crate::diff::{run_case, DiffOptions};
+
+/// Outcome of a shrink run.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The minimized program (equal to the input if nothing shrank).
+    pub program: Program,
+    /// Greedy rounds performed (edits committed).
+    pub rounds: u64,
+    /// Candidate programs evaluated against the reproduction predicate.
+    pub candidates_tried: u64,
+}
+
+/// Size metric the shrinker strictly decreases. Node count dominates;
+/// expression size, clauses, and declarations break ties so clause
+/// strips and GC count as progress.
+fn weight(p: &Program) -> u64 {
+    fn expr_size(e: &Expr) -> u64 {
+        match e {
+            Expr::Const(_) | Expr::Var(_) | Expr::ThreadId | Expr::NumThreads => 1,
+            Expr::Bin(_, a, b) => 1 + expr_size(a) + expr_size(b),
+            Expr::Table(_, i) => 1 + expr_size(i),
+        }
+    }
+    fn node_weight(n: &Node) -> u64 {
+        match n {
+            Node::Seq(v) | Node::Sections(v) => v.iter().map(node_weight).sum(),
+            Node::Compute(e) => expr_size(e),
+            Node::Load { index, .. } | Node::Store { index, .. } | Node::Atomic { index, .. } => {
+                expr_size(index)
+            }
+            Node::For {
+                begin, end, body, ..
+            } => expr_size(begin) + expr_size(end) + node_weight(body),
+            Node::Parallel { body, slipstream } => {
+                node_weight(body) + if slipstream.is_some() { 1 } else { 0 }
+            }
+            Node::ParFor {
+                sched,
+                begin,
+                end,
+                body,
+                reduction,
+                nowait,
+                ..
+            } => {
+                expr_size(begin)
+                    + expr_size(end)
+                    + node_weight(body)
+                    + if sched.is_some() { 1 } else { 0 }
+                    + reduction.as_ref().map_or(0, |r| 1 + expr_size(&r.index))
+                    + u64::from(*nowait)
+            }
+            Node::Single(b) | Node::Master(b) | Node::Critical { body: b, .. } => node_weight(b),
+            _ => 0,
+        }
+    }
+    p.node_count() as u64 * 1000
+        + node_weight(&p.body)
+        + p.arrays.len() as u64 * 10
+        + p.tables.len() as u64 * 10
+        + p.num_vars as u64
+}
+
+/// All single-edit variants of `n`, shallowest edits first (bigger
+/// deletions are enumerated before deeper cosmetic simplifications, so
+/// the greedy loop converges in fewer rounds).
+fn node_variants(n: &Node) -> Vec<Node> {
+    let mut out = Vec::new();
+    match n {
+        Node::Seq(v) => {
+            for i in 0..v.len() {
+                let mut w = v.clone();
+                w.remove(i);
+                out.push(Node::Seq(w));
+            }
+            for i in 0..v.len() {
+                for child in node_variants(&v[i]) {
+                    let mut w = v.clone();
+                    w[i] = child;
+                    out.push(Node::Seq(w));
+                }
+            }
+        }
+        Node::Sections(v) => {
+            out.push(Node::nop());
+            if v.len() > 1 {
+                for i in 0..v.len() {
+                    let mut w = v.clone();
+                    w.remove(i);
+                    out.push(Node::Sections(w));
+                }
+            }
+            for i in 0..v.len() {
+                for child in node_variants(&v[i]) {
+                    let mut w = v.clone();
+                    w[i] = child;
+                    out.push(Node::Sections(w));
+                }
+            }
+        }
+        Node::Parallel { body, slipstream } => {
+            out.push(Node::nop());
+            if slipstream.is_some() {
+                out.push(Node::Parallel {
+                    body: body.clone(),
+                    slipstream: None,
+                });
+            }
+            for child in node_variants(body) {
+                out.push(Node::Parallel {
+                    body: Box::new(child),
+                    slipstream: *slipstream,
+                });
+            }
+        }
+        Node::ParFor {
+            sched,
+            var,
+            begin,
+            end,
+            body,
+            reduction,
+            nowait,
+        } => {
+            let mk =
+                |sched, begin: Expr, end: Expr, body: Box<Node>, reduction, nowait| Node::ParFor {
+                    sched,
+                    var: *var,
+                    begin,
+                    end,
+                    body,
+                    reduction,
+                    nowait,
+                };
+            out.push(Node::nop());
+            // Trip reductions: down to a single iteration, and by halving.
+            let single_trip = (Expr::c(0), Expr::c(1));
+            if (begin, end) != (&single_trip.0, &single_trip.1) {
+                out.push(mk(
+                    *sched,
+                    single_trip.0,
+                    single_trip.1,
+                    body.clone(),
+                    reduction.clone(),
+                    *nowait,
+                ));
+            }
+            if let (Expr::Const(b), Expr::Const(e)) = (begin, end) {
+                let mid = b + (e - b) / 2;
+                if mid > *b && mid < *e {
+                    out.push(mk(
+                        *sched,
+                        begin.clone(),
+                        Expr::c(mid),
+                        body.clone(),
+                        reduction.clone(),
+                        *nowait,
+                    ));
+                }
+            }
+            if sched.is_some() {
+                out.push(mk(
+                    None,
+                    begin.clone(),
+                    end.clone(),
+                    body.clone(),
+                    reduction.clone(),
+                    *nowait,
+                ));
+            }
+            if reduction.is_some() {
+                out.push(mk(
+                    *sched,
+                    begin.clone(),
+                    end.clone(),
+                    body.clone(),
+                    None,
+                    *nowait,
+                ));
+            }
+            if *nowait {
+                out.push(mk(
+                    *sched,
+                    begin.clone(),
+                    end.clone(),
+                    body.clone(),
+                    reduction.clone(),
+                    false,
+                ));
+            }
+            for child in node_variants(body) {
+                out.push(mk(
+                    *sched,
+                    begin.clone(),
+                    end.clone(),
+                    Box::new(child),
+                    reduction.clone(),
+                    *nowait,
+                ));
+            }
+        }
+        Node::For {
+            var,
+            begin,
+            end,
+            step,
+            body,
+        } => {
+            out.push(Node::nop());
+            if !matches!((begin, end), (Expr::Const(0), Expr::Const(1))) {
+                out.push(Node::For {
+                    var: *var,
+                    begin: Expr::c(0),
+                    end: Expr::c(1),
+                    step: *step,
+                    body: body.clone(),
+                });
+            }
+            for child in node_variants(body) {
+                out.push(Node::For {
+                    var: *var,
+                    begin: begin.clone(),
+                    end: end.clone(),
+                    step: *step,
+                    body: Box::new(child),
+                });
+            }
+        }
+        Node::Single(b) => {
+            out.push(Node::nop());
+            out.push((**b).clone()); // unwrap: body binds nothing
+            for child in node_variants(b) {
+                out.push(Node::Single(Box::new(child)));
+            }
+        }
+        Node::Master(b) => {
+            out.push(Node::nop());
+            out.push((**b).clone());
+            for child in node_variants(b) {
+                out.push(Node::Master(Box::new(child)));
+            }
+        }
+        Node::Critical { name, body } => {
+            out.push(Node::nop());
+            out.push((**body).clone());
+            for child in node_variants(body) {
+                out.push(Node::Critical {
+                    name: name.clone(),
+                    body: Box::new(child),
+                });
+            }
+        }
+        Node::Compute(e) => {
+            out.push(Node::nop());
+            if !matches!(e, Expr::Const(_)) {
+                out.push(Node::Compute(Expr::c(1)));
+            }
+        }
+        Node::Load { array, index } => {
+            out.push(Node::nop());
+            if !matches!(index, Expr::Const(_)) {
+                out.push(Node::Load {
+                    array: *array,
+                    index: Expr::c(0),
+                });
+            }
+        }
+        Node::Store { array, index } => {
+            out.push(Node::nop());
+            if !matches!(index, Expr::Const(_)) {
+                out.push(Node::Store {
+                    array: *array,
+                    index: Expr::c(0),
+                });
+            }
+        }
+        Node::Atomic { array, index } => {
+            out.push(Node::nop());
+            if !matches!(index, Expr::Const(_)) {
+                out.push(Node::Atomic {
+                    array: *array,
+                    index: Expr::c(0),
+                });
+            }
+        }
+        Node::Barrier | Node::Flush | Node::Io { .. } | Node::SlipstreamSet(_) => {
+            out.push(Node::nop());
+        }
+    }
+    out
+}
+
+/// Usage sets for declaration GC.
+#[derive(Default)]
+struct Used {
+    arrays: Vec<bool>,
+    tables: Vec<bool>,
+    max_var: Option<u32>,
+}
+
+impl Used {
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Const(_) | Expr::ThreadId | Expr::NumThreads => {}
+            Expr::Var(v) => self.var(*v),
+            Expr::Bin(_, a, b) => {
+                self.expr(a);
+                self.expr(b);
+            }
+            Expr::Table(t, i) => {
+                if let Some(slot) = self.tables.get_mut(t.0 as usize) {
+                    *slot = true;
+                }
+                self.expr(i);
+            }
+        }
+    }
+
+    fn var(&mut self, v: VarId) {
+        self.max_var = Some(self.max_var.map_or(v.0, |m| m.max(v.0)));
+    }
+
+    fn array(&mut self, a: ArrayId) {
+        if let Some(slot) = self.arrays.get_mut(a.0 as usize) {
+            *slot = true;
+        }
+    }
+
+    fn node(&mut self, n: &Node) {
+        match n {
+            Node::Seq(v) | Node::Sections(v) => v.iter().for_each(|c| self.node(c)),
+            Node::Compute(e) => self.expr(e),
+            Node::Load { array, index }
+            | Node::Store { array, index }
+            | Node::Atomic { array, index } => {
+                self.array(*array);
+                self.expr(index);
+            }
+            Node::For {
+                var,
+                begin,
+                end,
+                body,
+                ..
+            } => {
+                self.var(*var);
+                self.expr(begin);
+                self.expr(end);
+                self.node(body);
+            }
+            Node::Parallel { body, .. } => self.node(body),
+            Node::ParFor {
+                var,
+                begin,
+                end,
+                body,
+                reduction,
+                ..
+            } => {
+                self.var(*var);
+                self.expr(begin);
+                self.expr(end);
+                if let Some(r) = reduction {
+                    self.array(r.target);
+                    self.expr(&r.index);
+                }
+                self.node(body);
+            }
+            Node::Single(b) | Node::Master(b) | Node::Critical { body: b, .. } => self.node(b),
+            _ => {}
+        }
+    }
+}
+
+/// Drop unused arrays/tables (remapping surviving ids) and compact the
+/// variable-slot count. Returns `None` when nothing is collectable.
+fn gc(p: &Program) -> Option<Program> {
+    let mut used = Used {
+        arrays: vec![false; p.arrays.len()],
+        tables: vec![false; p.tables.len()],
+        max_var: None,
+    };
+    used.node(&p.body);
+    let want_vars = used.max_var.map_or(0, |m| m + 1);
+    let all_arrays = used.arrays.iter().all(|u| *u);
+    let all_tables = used.tables.iter().all(|u| *u);
+    if all_arrays && all_tables && want_vars == p.num_vars {
+        return None;
+    }
+    let amap: Vec<Option<u32>> = {
+        let mut next = 0;
+        used.arrays
+            .iter()
+            .map(|u| {
+                if *u {
+                    next += 1;
+                    Some(next - 1)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    };
+    let tmap: Vec<Option<u32>> = {
+        let mut next = 0;
+        used.tables
+            .iter()
+            .map(|u| {
+                if *u {
+                    next += 1;
+                    Some(next - 1)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    };
+    fn remap_expr(e: &Expr, tmap: &[Option<u32>]) -> Expr {
+        match e {
+            Expr::Bin(op, a, b) => Expr::Bin(
+                *op,
+                Box::new(remap_expr(a, tmap)),
+                Box::new(remap_expr(b, tmap)),
+            ),
+            Expr::Table(t, i) => Expr::Table(
+                TableId(tmap[t.0 as usize].expect("used table survives GC")),
+                Box::new(remap_expr(i, tmap)),
+            ),
+            other => other.clone(),
+        }
+    }
+    fn remap_node(n: &Node, amap: &[Option<u32>], tmap: &[Option<u32>]) -> Node {
+        let ra = |a: &ArrayId| ArrayId(amap[a.0 as usize].expect("used array survives GC"));
+        match n {
+            Node::Seq(v) => Node::Seq(v.iter().map(|c| remap_node(c, amap, tmap)).collect()),
+            Node::Sections(v) => {
+                Node::Sections(v.iter().map(|c| remap_node(c, amap, tmap)).collect())
+            }
+            Node::Compute(e) => Node::Compute(remap_expr(e, tmap)),
+            Node::Load { array, index } => Node::Load {
+                array: ra(array),
+                index: remap_expr(index, tmap),
+            },
+            Node::Store { array, index } => Node::Store {
+                array: ra(array),
+                index: remap_expr(index, tmap),
+            },
+            Node::Atomic { array, index } => Node::Atomic {
+                array: ra(array),
+                index: remap_expr(index, tmap),
+            },
+            Node::For {
+                var,
+                begin,
+                end,
+                step,
+                body,
+            } => Node::For {
+                var: *var,
+                begin: remap_expr(begin, tmap),
+                end: remap_expr(end, tmap),
+                step: *step,
+                body: Box::new(remap_node(body, amap, tmap)),
+            },
+            Node::Parallel { body, slipstream } => Node::Parallel {
+                body: Box::new(remap_node(body, amap, tmap)),
+                slipstream: *slipstream,
+            },
+            Node::ParFor {
+                sched,
+                var,
+                begin,
+                end,
+                body,
+                reduction,
+                nowait,
+            } => Node::ParFor {
+                sched: *sched,
+                var: *var,
+                begin: remap_expr(begin, tmap),
+                end: remap_expr(end, tmap),
+                body: Box::new(remap_node(body, amap, tmap)),
+                reduction: reduction.as_ref().map(|r| omp_ir::node::Reduction {
+                    op: r.op,
+                    target: ra(&r.target),
+                    index: remap_expr(&r.index, tmap),
+                }),
+                nowait: *nowait,
+            },
+            Node::Single(b) => Node::Single(Box::new(remap_node(b, amap, tmap))),
+            Node::Master(b) => Node::Master(Box::new(remap_node(b, amap, tmap))),
+            Node::Critical { name, body } => Node::Critical {
+                name: name.clone(),
+                body: Box::new(remap_node(body, amap, tmap)),
+            },
+            other => other.clone(),
+        }
+    }
+    Some(Program {
+        name: p.name.clone(),
+        arrays: p
+            .arrays
+            .iter()
+            .zip(&used.arrays)
+            .filter(|(_, u)| **u)
+            .map(|(a, _)| a.clone())
+            .collect(),
+        tables: p
+            .tables
+            .iter()
+            .zip(&used.tables)
+            .filter(|(_, u)| **u)
+            .map(|(t, _)| t.clone())
+            .collect(),
+        num_vars: want_vars,
+        body: remap_node(&p.body, &amap, &tmap),
+    })
+}
+
+/// Does `p` still produce a failure with the given fingerprint key?
+fn reproduces(p: &Program, opts: &DiffOptions, key: &str) -> bool {
+    run_case(p, opts)
+        .failures
+        .iter()
+        .any(|f| f.fingerprint_key() == key)
+}
+
+/// Minimize `program` while preserving a failure with fingerprint `key`.
+///
+/// Greedy first-improvement fixpoint: each round re-enumerates all
+/// single-edit candidates of the current program and commits the first
+/// one that is strictly smaller, valid, and still reproduces. Terminates
+/// because the weight strictly decreases every round. If the input does
+/// not reproduce at all, it is returned unchanged.
+pub fn shrink(program: &Program, opts: &DiffOptions, key: &str) -> ShrinkResult {
+    let mut tried = 0u64;
+    tried += 1;
+    if !reproduces(program, opts, key) {
+        return ShrinkResult {
+            program: program.clone(),
+            rounds: 0,
+            candidates_tried: tried,
+        };
+    }
+    let mut cur = program.clone();
+    let mut rounds = 0u64;
+    loop {
+        let cur_weight = weight(&cur);
+        let mut advanced = false;
+        let mut candidates: Vec<Program> = node_variants(&cur.body)
+            .into_iter()
+            .map(|body| Program {
+                name: cur.name.clone(),
+                arrays: cur.arrays.clone(),
+                tables: cur.tables.clone(),
+                num_vars: cur.num_vars,
+                body,
+            })
+            .collect();
+        if let Some(g) = gc(&cur) {
+            candidates.push(g);
+        }
+        for cand in candidates {
+            if weight(&cand) >= cur_weight || omp_ir::validate(&cand).is_err() {
+                continue;
+            }
+            tried += 1;
+            if reproduces(&cand, opts, key) {
+                cur = cand;
+                rounds += 1;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+    ShrinkResult {
+        program: cur,
+        rounds,
+        candidates_tried: tried,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::{DiffOptions, FailKind};
+    use omp_ir::node::{Node, Program, ScheduleSpec};
+    use omp_ir::{ArrayDecl, Expr, VarId};
+    use slipstream::EngineMutation;
+
+    /// A bloated program whose only real content is a static worksharing
+    /// loop — the chunk-off-by-one mutation makes it undercount loads.
+    fn bloated() -> Program {
+        let i = VarId(0);
+        let j = VarId(1);
+        Program {
+            name: "bloat".into(),
+            arrays: vec![
+                ArrayDecl {
+                    name: "a".into(),
+                    shared: true,
+                    len: 64,
+                    elem_bytes: 8,
+                },
+                ArrayDecl {
+                    name: "unused".into(),
+                    shared: true,
+                    len: 64,
+                    elem_bytes: 8,
+                },
+            ],
+            tables: vec![vec![1; 64]],
+            num_vars: 4,
+            body: Node::Seq(vec![
+                Node::Compute(Expr::c(5)),
+                Node::Parallel {
+                    body: Box::new(Node::Seq(vec![
+                        Node::ParFor {
+                            sched: Some(ScheduleSpec::static_default()),
+                            var: i,
+                            begin: Expr::c(0),
+                            end: Expr::c(37),
+                            body: Box::new(Node::Seq(vec![
+                                Node::Load {
+                                    array: omp_ir::ArrayId(0),
+                                    index: Expr::v(i),
+                                },
+                                Node::Compute(Expr::v(i).rem(Expr::c(4)) + Expr::c(1)),
+                            ])),
+                            reduction: None,
+                            nowait: false,
+                        },
+                        Node::Master(Box::new(Node::Compute(Expr::c(9)))),
+                        Node::For {
+                            var: j,
+                            begin: Expr::c(0),
+                            end: Expr::c(3),
+                            step: 1,
+                            body: Box::new(Node::Compute(Expr::c(2))),
+                        },
+                    ])),
+                    slipstream: None,
+                },
+            ]),
+        }
+    }
+
+    #[test]
+    fn shrinks_mutated_case_to_a_tiny_program() {
+        let mut opts = DiffOptions::campaign();
+        opts.mutation = EngineMutation::ChunkOffByOne;
+        let p = bloated();
+        let res = run_case(&p, &opts);
+        let fail = res
+            .failures
+            .iter()
+            .find(|f| f.kind == FailKind::OracleMismatch)
+            .expect("mutation must be caught");
+        let key = fail.fingerprint_key();
+        let min = shrink(&p, &opts, &key);
+        assert!(min.rounds > 0, "nothing shrank");
+        assert!(
+            min.program.node_count() < p.node_count(),
+            "no node reduction: {} -> {}",
+            p.node_count(),
+            min.program.node_count()
+        );
+        assert!(
+            min.program.node_count() <= 25,
+            "not minimal enough: {} nodes",
+            min.program.node_count()
+        );
+        // Unused declarations must be gone.
+        assert!(min.program.arrays.len() <= 1);
+        assert!(min.program.tables.is_empty());
+        // And the minimized program still reproduces from scratch.
+        assert!(run_case(&min.program, &opts)
+            .failures
+            .iter()
+            .any(|f| f.fingerprint_key() == key));
+    }
+
+    #[test]
+    fn non_reproducing_input_is_returned_unchanged() {
+        let opts = DiffOptions::campaign();
+        let p = bloated();
+        let res = shrink(&p, &opts, "hang|slip-G0|exact|-");
+        assert_eq!(res.rounds, 0);
+        assert_eq!(res.program, p);
+    }
+
+    #[test]
+    fn gc_collects_unused_declarations_and_remaps() {
+        let p = bloated();
+        let g = gc(&p).expect("bloated program has garbage");
+        assert_eq!(g.arrays.len(), 1);
+        assert_eq!(g.arrays[0].name, "a");
+        assert!(g.tables.is_empty());
+        assert_eq!(g.num_vars, 2);
+        assert!(omp_ir::validate(&g).is_ok());
+        // Semantics preserved: same trace totals.
+        assert_eq!(omp_ir::trace(&g, 4).total, omp_ir::trace(&p, 4).total);
+    }
+}

@@ -21,6 +21,7 @@ pub mod expr;
 pub mod lower;
 pub mod node;
 pub mod path;
+pub mod serialize;
 pub mod trace;
 pub mod validate;
 pub mod wsloop;
@@ -36,6 +37,7 @@ pub use node::{
     SlipSyncType, SlipstreamClause,
 };
 pub use path::{node_kind, NodePath, PathSeg};
+pub use serialize::{parse_json, program_from_json, program_to_json, JsonValue, SerializeError};
 pub use trace::{trace, OpCounts, TraceSummary};
 pub use validate::{validate, Diagnostic, ValidationError};
 pub use wsloop::Chunk;

@@ -1,0 +1,1056 @@
+//! Program serialization: a stable JSON encoding of [`Program`] trees.
+//!
+//! The fuzzing harness needs to persist minimized failure repros as
+//! artifacts that replay from disk alone, so the IR gets a first-class
+//! round-trippable encoding here. The workspace is dependency-free by
+//! design, so both the emitter and the recursive-descent parser are
+//! hand-rolled; [`JsonValue`]/[`parse_json`] are public so downstream
+//! crates (the fuzz artifact format) can wrap program documents in their
+//! own envelopes without writing another parser.
+//!
+//! The encoding is versioned (`"v": 1`) and intentionally explicit: every
+//! node and expression is a tagged object (`{"k": "parfor", ...}`), and
+//! decode errors carry a human-readable description of what was expected.
+
+use crate::expr::{BinOp, Expr, TableId, VarId};
+use crate::node::{
+    ArrayDecl, ArrayId, Node, Program, Reduction, ReductionOp, ScheduleKind, ScheduleSpec,
+    SlipSyncType, SlipstreamClause,
+};
+
+/// Version tag written into every serialized program document.
+pub const FORMAT_VERSION: i64 = 1;
+
+// ---------------------------------------------------------------------------
+// Generic JSON value + parser
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers are restricted to `i64` — the encoding
+/// never emits floats, and keeping integers exact is what round-tripping
+/// trip counts and table contents requires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer (the encoding never uses floats).
+    Int(i64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<JsonValue>),
+    /// Object, as ordered key/value pairs.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integer view.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Int(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Bool view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerializeError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input (parse errors only).
+    pub offset: usize,
+}
+
+impl std::fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "serialize error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for SerializeError {}
+
+fn err<T>(message: impl Into<String>, offset: usize) -> Result<T, SerializeError> {
+    Err(SerializeError {
+        message: message.into(),
+        offset,
+    })
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), SerializeError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(format!("expected '{}'", b as char), self.pos)
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, SerializeError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(c) => err(format!("unexpected character '{}'", c as char), self.pos),
+            None => err("unexpected end of input", self.pos),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, SerializeError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            err(format!("expected '{lit}'"), self.pos)
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, SerializeError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.') | Some(b'e') | Some(b'E')) {
+            return err("floating-point numbers are not supported", self.pos);
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        match text.parse::<i64>() {
+            Ok(v) => Ok(JsonValue::Int(v)),
+            Err(_) => err(format!("invalid integer '{text}'"), start),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, SerializeError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return err("unterminated string", self.pos),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or(SerializeError {
+                        message: "unterminated escape".into(),
+                        offset: self.pos,
+                    })?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return err("truncated \\u escape", self.pos);
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| SerializeError {
+                                    message: "invalid \\u escape".into(),
+                                    offset: self.pos,
+                                })?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| SerializeError {
+                                    message: "invalid \\u escape".into(),
+                                    offset: self.pos,
+                                })?;
+                            self.pos += 4;
+                            // Surrogate pairs are not emitted by the encoder;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        c => return err(format!("invalid escape '\\{}'", c as char), self.pos),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| {
+                        SerializeError {
+                            message: "invalid UTF-8".into(),
+                            offset: self.pos,
+                        }
+                    })?;
+                    let ch = rest.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, SerializeError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return err("expected ',' or ']'", self.pos),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, SerializeError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(pairs));
+                }
+                _ => return err("expected ',' or '}'", self.pos),
+            }
+        }
+    }
+}
+
+/// Parse a JSON document into a [`JsonValue`]. Trailing non-whitespace is
+/// an error.
+pub fn parse_json(text: &str) -> Result<JsonValue, SerializeError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return err("trailing characters after document", p.pos);
+    }
+    Ok(v)
+}
+
+/// Escape a string for embedding in JSON output (quotes not included).
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn emit_expr(e: &Expr, out: &mut String) {
+    match e {
+        Expr::Const(v) => out.push_str(&format!("{{\"k\":\"const\",\"v\":{v}}}")),
+        Expr::Var(v) => out.push_str(&format!("{{\"k\":\"var\",\"v\":{}}}", v.0)),
+        Expr::ThreadId => out.push_str("{\"k\":\"tid\"}"),
+        Expr::NumThreads => out.push_str("{\"k\":\"nth\"}"),
+        Expr::Bin(op, l, r) => {
+            let name = match op {
+                BinOp::Add => "add",
+                BinOp::Sub => "sub",
+                BinOp::Mul => "mul",
+                BinOp::Div => "div",
+                BinOp::Mod => "mod",
+                BinOp::Min => "min",
+                BinOp::Max => "max",
+            };
+            out.push_str(&format!("{{\"k\":\"bin\",\"op\":\"{name}\",\"l\":"));
+            emit_expr(l, out);
+            out.push_str(",\"r\":");
+            emit_expr(r, out);
+            out.push('}');
+        }
+        Expr::Table(t, idx) => {
+            out.push_str(&format!("{{\"k\":\"table\",\"t\":{},\"i\":", t.0));
+            emit_expr(idx, out);
+            out.push('}');
+        }
+    }
+}
+
+fn sync_name(s: SlipSyncType) -> &'static str {
+    match s {
+        SlipSyncType::GlobalSync => "global",
+        SlipSyncType::LocalSync => "local",
+        SlipSyncType::RuntimeSync => "runtime",
+        SlipSyncType::None => "none",
+    }
+}
+
+fn emit_clause(c: &SlipstreamClause, out: &mut String) {
+    out.push_str(&format!(
+        "{{\"sync\":\"{}\",\"tokens\":{}}}",
+        sync_name(c.sync),
+        c.tokens
+    ));
+}
+
+fn emit_node(n: &Node, out: &mut String) {
+    match n {
+        Node::Seq(v) => {
+            out.push_str("{\"k\":\"seq\",\"body\":[");
+            for (i, c) in v.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                emit_node(c, out);
+            }
+            out.push_str("]}");
+        }
+        Node::Compute(e) => {
+            out.push_str("{\"k\":\"compute\",\"e\":");
+            emit_expr(e, out);
+            out.push('}');
+        }
+        Node::Load { array, index } | Node::Store { array, index } => {
+            let k = if matches!(n, Node::Load { .. }) {
+                "load"
+            } else {
+                "store"
+            };
+            out.push_str(&format!("{{\"k\":\"{k}\",\"a\":{},\"i\":", array.0));
+            emit_expr(index, out);
+            out.push('}');
+        }
+        Node::For {
+            var,
+            begin,
+            end,
+            step,
+            body,
+        } => {
+            out.push_str(&format!("{{\"k\":\"for\",\"var\":{},\"begin\":", var.0));
+            emit_expr(begin, out);
+            out.push_str(",\"end\":");
+            emit_expr(end, out);
+            out.push_str(&format!(",\"step\":{step},\"body\":"));
+            emit_node(body, out);
+            out.push('}');
+        }
+        Node::Parallel { body, slipstream } => {
+            out.push_str("{\"k\":\"parallel\",\"slip\":");
+            match slipstream {
+                Some(c) => emit_clause(c, out),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"body\":");
+            emit_node(body, out);
+            out.push('}');
+        }
+        Node::SlipstreamSet(c) => {
+            out.push_str("{\"k\":\"slipset\",\"slip\":");
+            emit_clause(c, out);
+            out.push('}');
+        }
+        Node::ParFor {
+            sched,
+            var,
+            begin,
+            end,
+            body,
+            reduction,
+            nowait,
+        } => {
+            out.push_str("{\"k\":\"parfor\",\"sched\":");
+            match sched {
+                Some(s) => {
+                    let kind = match s.kind {
+                        ScheduleKind::Static => "static",
+                        ScheduleKind::Dynamic => "dynamic",
+                        ScheduleKind::Guided => "guided",
+                        ScheduleKind::Affinity => "affinity",
+                        ScheduleKind::Runtime => "runtime",
+                    };
+                    out.push_str(&format!("{{\"kind\":\"{kind}\",\"chunk\":"));
+                    match s.chunk {
+                        Some(c) => out.push_str(&c.to_string()),
+                        None => out.push_str("null"),
+                    }
+                    out.push('}');
+                }
+                None => out.push_str("null"),
+            }
+            out.push_str(&format!(",\"var\":{},\"begin\":", var.0));
+            emit_expr(begin, out);
+            out.push_str(",\"end\":");
+            emit_expr(end, out);
+            out.push_str(",\"reduction\":");
+            match reduction {
+                Some(r) => {
+                    let op = match r.op {
+                        ReductionOp::Sum => "sum",
+                        ReductionOp::Max => "max",
+                        ReductionOp::Min => "min",
+                    };
+                    out.push_str(&format!(
+                        "{{\"op\":\"{op}\",\"target\":{},\"index\":",
+                        r.target.0
+                    ));
+                    emit_expr(&r.index, out);
+                    out.push('}');
+                }
+                None => out.push_str("null"),
+            }
+            out.push_str(&format!(",\"nowait\":{nowait},\"body\":"));
+            emit_node(body, out);
+            out.push('}');
+        }
+        Node::Barrier => out.push_str("{\"k\":\"barrier\"}"),
+        Node::Single(body) | Node::Master(body) => {
+            let k = if matches!(n, Node::Single(_)) {
+                "single"
+            } else {
+                "master"
+            };
+            out.push_str(&format!("{{\"k\":\"{k}\",\"body\":"));
+            emit_node(body, out);
+            out.push('}');
+        }
+        Node::Critical { name, body } => {
+            out.push_str(&format!(
+                "{{\"k\":\"critical\",\"name\":\"{}\",\"body\":",
+                escape_json(name)
+            ));
+            emit_node(body, out);
+            out.push('}');
+        }
+        Node::Atomic { array, index } => {
+            out.push_str(&format!("{{\"k\":\"atomic\",\"a\":{},\"i\":", array.0));
+            emit_expr(index, out);
+            out.push('}');
+        }
+        Node::Sections(secs) => {
+            out.push_str("{\"k\":\"sections\",\"secs\":[");
+            for (i, s) in secs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                emit_node(s, out);
+            }
+            out.push_str("]}");
+        }
+        Node::Flush => out.push_str("{\"k\":\"flush\"}"),
+        Node::Io { input, bytes } => {
+            out.push_str(&format!(
+                "{{\"k\":\"io\",\"input\":{input},\"bytes\":{bytes}}}"
+            ));
+        }
+    }
+}
+
+/// Serialize a program to its canonical JSON document.
+pub fn program_to_json(p: &Program) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str(&format!(
+        "{{\"v\":{FORMAT_VERSION},\"name\":\"{}\",\"arrays\":[",
+        escape_json(&p.name)
+    ));
+    for (i, a) in p.arrays.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"shared\":{},\"len\":{},\"elem_bytes\":{}}}",
+            escape_json(&a.name),
+            a.shared,
+            a.len,
+            a.elem_bytes
+        ));
+    }
+    out.push_str("],\"tables\":[");
+    for (i, t) in p.tables.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, v) in t.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&v.to_string());
+        }
+        out.push(']');
+    }
+    out.push_str(&format!("],\"num_vars\":{},\"body\":", p.num_vars));
+    emit_node(&p.body, &mut out);
+    out.push('}');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+fn derr<T>(message: impl Into<String>) -> Result<T, SerializeError> {
+    Err(SerializeError {
+        message: message.into(),
+        offset: 0,
+    })
+}
+
+fn field<'v>(v: &'v JsonValue, key: &str, what: &str) -> Result<&'v JsonValue, SerializeError> {
+    match v.get(key) {
+        Some(f) => Ok(f),
+        None => derr(format!("{what}: missing field '{key}'")),
+    }
+}
+
+fn decode_expr(v: &JsonValue) -> Result<Expr, SerializeError> {
+    let kind = field(v, "k", "expr")?
+        .as_str()
+        .ok_or_else(|| SerializeError {
+            message: "expr: 'k' must be a string".into(),
+            offset: 0,
+        })?;
+    match kind {
+        "const" => {
+            let val = field(v, "v", "const")?
+                .as_i64()
+                .ok_or_else(|| SerializeError {
+                    message: "const: 'v' must be an integer".into(),
+                    offset: 0,
+                })?;
+            Ok(Expr::Const(val))
+        }
+        "var" => {
+            let id = field(v, "v", "var")?
+                .as_u64()
+                .ok_or_else(|| SerializeError {
+                    message: "var: 'v' must be a non-negative integer".into(),
+                    offset: 0,
+                })?;
+            Ok(Expr::Var(VarId(id as u32)))
+        }
+        "tid" => Ok(Expr::ThreadId),
+        "nth" => Ok(Expr::NumThreads),
+        "bin" => {
+            let op = match field(v, "op", "bin")?.as_str() {
+                Some("add") => BinOp::Add,
+                Some("sub") => BinOp::Sub,
+                Some("mul") => BinOp::Mul,
+                Some("div") => BinOp::Div,
+                Some("mod") => BinOp::Mod,
+                Some("min") => BinOp::Min,
+                Some("max") => BinOp::Max,
+                other => return derr(format!("bin: unknown op {other:?}")),
+            };
+            let l = decode_expr(field(v, "l", "bin")?)?;
+            let r = decode_expr(field(v, "r", "bin")?)?;
+            Ok(Expr::Bin(op, Box::new(l), Box::new(r)))
+        }
+        "table" => {
+            let t = field(v, "t", "table")?
+                .as_u64()
+                .ok_or_else(|| SerializeError {
+                    message: "table: 't' must be a non-negative integer".into(),
+                    offset: 0,
+                })?;
+            let idx = decode_expr(field(v, "i", "table")?)?;
+            Ok(Expr::Table(TableId(t as u32), Box::new(idx)))
+        }
+        other => derr(format!("expr: unknown kind '{other}'")),
+    }
+}
+
+fn decode_clause(v: &JsonValue) -> Result<SlipstreamClause, SerializeError> {
+    let sync = match field(v, "sync", "slipstream clause")?.as_str() {
+        Some("global") => SlipSyncType::GlobalSync,
+        Some("local") => SlipSyncType::LocalSync,
+        Some("runtime") => SlipSyncType::RuntimeSync,
+        Some("none") => SlipSyncType::None,
+        other => return derr(format!("slipstream clause: unknown sync {other:?}")),
+    };
+    let tokens = field(v, "tokens", "slipstream clause")?
+        .as_u64()
+        .ok_or_else(|| SerializeError {
+            message: "slipstream clause: 'tokens' must be a non-negative integer".into(),
+            offset: 0,
+        })?;
+    Ok(SlipstreamClause { sync, tokens })
+}
+
+fn req_u32(v: &JsonValue, key: &str, what: &str) -> Result<u32, SerializeError> {
+    field(v, key, what)?
+        .as_u64()
+        .filter(|n| *n <= u32::MAX as u64)
+        .map(|n| n as u32)
+        .ok_or_else(|| SerializeError {
+            message: format!("{what}: '{key}' must be a u32"),
+            offset: 0,
+        })
+}
+
+fn req_u64(v: &JsonValue, key: &str, what: &str) -> Result<u64, SerializeError> {
+    field(v, key, what)?.as_u64().ok_or_else(|| SerializeError {
+        message: format!("{what}: '{key}' must be a non-negative integer"),
+        offset: 0,
+    })
+}
+
+fn decode_node(v: &JsonValue) -> Result<Node, SerializeError> {
+    let kind = field(v, "k", "node")?
+        .as_str()
+        .ok_or_else(|| SerializeError {
+            message: "node: 'k' must be a string".into(),
+            offset: 0,
+        })?;
+    match kind {
+        "seq" => {
+            let body = field(v, "body", "seq")?
+                .as_arr()
+                .ok_or_else(|| SerializeError {
+                    message: "seq: 'body' must be an array".into(),
+                    offset: 0,
+                })?;
+            Ok(Node::Seq(
+                body.iter().map(decode_node).collect::<Result<_, _>>()?,
+            ))
+        }
+        "compute" => Ok(Node::Compute(decode_expr(field(v, "e", "compute")?)?)),
+        "load" | "store" => {
+            let array = ArrayId(req_u32(v, "a", kind)?);
+            let index = decode_expr(field(v, "i", kind)?)?;
+            if kind == "load" {
+                Ok(Node::Load { array, index })
+            } else {
+                Ok(Node::Store { array, index })
+            }
+        }
+        "for" => Ok(Node::For {
+            var: VarId(req_u32(v, "var", "for")?),
+            begin: decode_expr(field(v, "begin", "for")?)?,
+            end: decode_expr(field(v, "end", "for")?)?,
+            step: req_u64(v, "step", "for")?,
+            body: Box::new(decode_node(field(v, "body", "for")?)?),
+        }),
+        "parallel" => {
+            let slip = match field(v, "slip", "parallel")? {
+                JsonValue::Null => None,
+                c => Some(decode_clause(c)?),
+            };
+            Ok(Node::Parallel {
+                body: Box::new(decode_node(field(v, "body", "parallel")?)?),
+                slipstream: slip,
+            })
+        }
+        "slipset" => Ok(Node::SlipstreamSet(decode_clause(field(
+            v, "slip", "slipset",
+        )?)?)),
+        "parfor" => {
+            let sched = match field(v, "sched", "parfor")? {
+                JsonValue::Null => None,
+                s => {
+                    let k = match field(s, "kind", "schedule")?.as_str() {
+                        Some("static") => ScheduleKind::Static,
+                        Some("dynamic") => ScheduleKind::Dynamic,
+                        Some("guided") => ScheduleKind::Guided,
+                        Some("affinity") => ScheduleKind::Affinity,
+                        Some("runtime") => ScheduleKind::Runtime,
+                        other => return derr(format!("schedule: unknown kind {other:?}")),
+                    };
+                    let chunk = match field(s, "chunk", "schedule")? {
+                        JsonValue::Null => None,
+                        c => Some(c.as_u64().ok_or_else(|| SerializeError {
+                            message: "schedule: 'chunk' must be a non-negative integer".into(),
+                            offset: 0,
+                        })?),
+                    };
+                    Some(ScheduleSpec { kind: k, chunk })
+                }
+            };
+            let reduction = match field(v, "reduction", "parfor")? {
+                JsonValue::Null => None,
+                r => {
+                    let op = match field(r, "op", "reduction")?.as_str() {
+                        Some("sum") => ReductionOp::Sum,
+                        Some("max") => ReductionOp::Max,
+                        Some("min") => ReductionOp::Min,
+                        other => return derr(format!("reduction: unknown op {other:?}")),
+                    };
+                    Some(Reduction {
+                        op,
+                        target: ArrayId(req_u32(r, "target", "reduction")?),
+                        index: decode_expr(field(r, "index", "reduction")?)?,
+                    })
+                }
+            };
+            Ok(Node::ParFor {
+                sched,
+                var: VarId(req_u32(v, "var", "parfor")?),
+                begin: decode_expr(field(v, "begin", "parfor")?)?,
+                end: decode_expr(field(v, "end", "parfor")?)?,
+                body: Box::new(decode_node(field(v, "body", "parfor")?)?),
+                reduction,
+                nowait: field(v, "nowait", "parfor")?
+                    .as_bool()
+                    .ok_or_else(|| SerializeError {
+                        message: "parfor: 'nowait' must be a bool".into(),
+                        offset: 0,
+                    })?,
+            })
+        }
+        "barrier" => Ok(Node::Barrier),
+        "single" => Ok(Node::Single(Box::new(decode_node(field(
+            v, "body", "single",
+        )?)?))),
+        "master" => Ok(Node::Master(Box::new(decode_node(field(
+            v, "body", "master",
+        )?)?))),
+        "critical" => Ok(Node::Critical {
+            name: field(v, "name", "critical")?
+                .as_str()
+                .ok_or_else(|| SerializeError {
+                    message: "critical: 'name' must be a string".into(),
+                    offset: 0,
+                })?
+                .to_string(),
+            body: Box::new(decode_node(field(v, "body", "critical")?)?),
+        }),
+        "atomic" => Ok(Node::Atomic {
+            array: ArrayId(req_u32(v, "a", "atomic")?),
+            index: decode_expr(field(v, "i", "atomic")?)?,
+        }),
+        "sections" => {
+            let secs = field(v, "secs", "sections")?
+                .as_arr()
+                .ok_or_else(|| SerializeError {
+                    message: "sections: 'secs' must be an array".into(),
+                    offset: 0,
+                })?;
+            Ok(Node::Sections(
+                secs.iter().map(decode_node).collect::<Result<_, _>>()?,
+            ))
+        }
+        "flush" => Ok(Node::Flush),
+        "io" => Ok(Node::Io {
+            input: field(v, "input", "io")?
+                .as_bool()
+                .ok_or_else(|| SerializeError {
+                    message: "io: 'input' must be a bool".into(),
+                    offset: 0,
+                })?,
+            bytes: req_u64(v, "bytes", "io")?,
+        }),
+        other => derr(format!("node: unknown kind '{other}'")),
+    }
+}
+
+/// Decode a program from an already-parsed JSON document (useful when the
+/// program is embedded inside a larger envelope, as fuzz repro artifacts
+/// do).
+pub fn program_from_value(v: &JsonValue) -> Result<Program, SerializeError> {
+    let version = req_u64(v, "v", "program")? as i64;
+    if version != FORMAT_VERSION {
+        return derr(format!(
+            "program: unsupported format version {version} (expected {FORMAT_VERSION})"
+        ));
+    }
+    let name = field(v, "name", "program")?
+        .as_str()
+        .ok_or_else(|| SerializeError {
+            message: "program: 'name' must be a string".into(),
+            offset: 0,
+        })?
+        .to_string();
+    let mut arrays = Vec::new();
+    for a in field(v, "arrays", "program")?
+        .as_arr()
+        .ok_or_else(|| SerializeError {
+            message: "program: 'arrays' must be an array".into(),
+            offset: 0,
+        })?
+    {
+        arrays.push(ArrayDecl {
+            name: field(a, "name", "array")?
+                .as_str()
+                .ok_or_else(|| SerializeError {
+                    message: "array: 'name' must be a string".into(),
+                    offset: 0,
+                })?
+                .to_string(),
+            shared: field(a, "shared", "array")?
+                .as_bool()
+                .ok_or_else(|| SerializeError {
+                    message: "array: 'shared' must be a bool".into(),
+                    offset: 0,
+                })?,
+            len: req_u64(a, "len", "array")?,
+            elem_bytes: req_u64(a, "elem_bytes", "array")?,
+        });
+    }
+    let mut tables = Vec::new();
+    for t in field(v, "tables", "program")?
+        .as_arr()
+        .ok_or_else(|| SerializeError {
+            message: "program: 'tables' must be an array".into(),
+            offset: 0,
+        })?
+    {
+        let cells = t.as_arr().ok_or_else(|| SerializeError {
+            message: "table: must be an array of integers".into(),
+            offset: 0,
+        })?;
+        let mut row = Vec::with_capacity(cells.len());
+        for c in cells {
+            row.push(c.as_i64().ok_or_else(|| SerializeError {
+                message: "table: cells must be integers".into(),
+                offset: 0,
+            })?);
+        }
+        tables.push(row);
+    }
+    Ok(Program {
+        name,
+        arrays,
+        tables,
+        num_vars: req_u32(v, "num_vars", "program")?,
+        body: decode_node(field(v, "body", "program")?)?,
+    })
+}
+
+/// Parse and decode a serialized program document.
+pub fn program_from_json(text: &str) -> Result<Program, SerializeError> {
+    let v = parse_json(text)?;
+    program_from_value(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::node::ReductionOp;
+
+    fn rich_program() -> Program {
+        let mut b = ProgramBuilder::new("round\"trip");
+        let a = b.shared_array("a", 64, 8);
+        let p = b.private_array("p", 16, 4);
+        let r = b.shared_array("r", 1, 8);
+        let t = b.table(vec![3, 1, 4, 1, 5]);
+        let i = b.var();
+        let j = b.var();
+        b.slipstream(SlipstreamClause {
+            sync: SlipSyncType::LocalSync,
+            tokens: 2,
+        });
+        b.serial(|s| {
+            s.io(true, 4096);
+            s.compute(10);
+        });
+        b.parallel_with(
+            Some(SlipstreamClause {
+                sync: SlipSyncType::RuntimeSync,
+                tokens: 1,
+            }),
+            |reg| {
+                reg.par_for_reduce(
+                    Some(ScheduleSpec::dynamic(3)),
+                    i,
+                    0,
+                    64,
+                    ReductionOp::Max,
+                    r,
+                    0,
+                    |body| {
+                        body.load(a, Expr::v(i).index_into(t).rem(Expr::c(64)));
+                        body.for_loop(j, 0, 4, |inner| {
+                            inner.store(p, Expr::v(j));
+                        });
+                    },
+                );
+                reg.barrier();
+                reg.single(|s| s.io(false, 128));
+                reg.master(|m| m.compute(5));
+                reg.critical("lock", |c| c.atomic(a, Expr::ThreadId));
+                reg.sections(3, |k, s| s.compute(k as i64 + 1));
+                reg.flush();
+            },
+        );
+        b.build()
+    }
+
+    #[test]
+    fn round_trip_preserves_program() {
+        let p = rich_program();
+        let json = program_to_json(&p);
+        let q = program_from_json(&json).unwrap();
+        assert_eq!(p, q);
+        // And the re-serialization is byte-identical (canonical form).
+        assert_eq!(json, program_to_json(&q));
+    }
+
+    #[test]
+    fn round_trip_all_schedule_kinds_and_ops() {
+        for (sched, op) in [
+            (Some(ScheduleSpec::static_default()), ReductionOp::Sum),
+            (
+                Some(ScheduleSpec {
+                    kind: ScheduleKind::Static,
+                    chunk: Some(5),
+                }),
+                ReductionOp::Min,
+            ),
+            (Some(ScheduleSpec::guided()), ReductionOp::Max),
+            (Some(ScheduleSpec::affinity(2)), ReductionOp::Sum),
+            (
+                Some(ScheduleSpec {
+                    kind: ScheduleKind::Runtime,
+                    chunk: None,
+                }),
+                ReductionOp::Sum,
+            ),
+            (None, ReductionOp::Sum),
+        ] {
+            let mut b = ProgramBuilder::new("k");
+            let r = b.shared_array("r", 1, 8);
+            let i = b.var();
+            b.parallel(|reg| {
+                reg.par_for_reduce(sched, i, 0, 10, op, r, 0, |body| body.compute(1));
+            });
+            let p = b.build();
+            assert_eq!(p, program_from_json(&program_to_json(&p)).unwrap());
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("1.5").is_err());
+        assert!(parse_json("{}x").is_err());
+        assert!(program_from_json("{\"v\":99}").is_err());
+        assert!(program_from_json("{\"v\":1,\"name\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = parse_json("\"a\\n\\\"b\\\\c\\u0041\"").unwrap();
+        assert_eq!(v.as_str(), Some("a\n\"b\\cA"));
+        assert_eq!(escape_json("a\n\"b\\c"), "a\\n\\\"b\\\\c");
+    }
+
+    #[test]
+    fn expr_shapes_round_trip() {
+        let exprs = [
+            Expr::c(-7),
+            Expr::ThreadId + Expr::NumThreads,
+            (Expr::v(VarId(1)) * Expr::c(3)).rem(Expr::c(5)),
+            Expr::v(VarId(0)).min(Expr::c(9)).max(Expr::c(0)),
+            Expr::c(2).index_into(TableId(0)) / Expr::c(2) - Expr::c(1),
+        ];
+        for e in exprs {
+            let mut s = String::new();
+            emit_expr(&e, &mut s);
+            let v = parse_json(&s).unwrap();
+            assert_eq!(decode_expr(&v).unwrap(), e);
+        }
+    }
+}

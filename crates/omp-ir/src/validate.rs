@@ -125,11 +125,14 @@ impl<'p> Validator<'p> {
                 var,
                 begin,
                 end,
+                step,
                 body,
-                ..
             } => {
                 if var.0 >= self.program.num_vars {
                     self.diag(format!("for: variable v{} out of range", var.0));
+                }
+                if *step == 0 {
+                    self.diag("for: step must be positive (step 0 never advances)");
                 }
                 self.expr(begin, "for begin");
                 self.expr(end, "for end");
@@ -165,6 +168,29 @@ impl<'p> Validator<'p> {
                 }
                 self.expr(begin, "parfor begin");
                 self.expr(end, "parfor end");
+                // Worksharing loops have no explicit stride in the IR (the
+                // runtime always steps by +1), so a statically reversed
+                // bound pair is the footprint a negative-stride source loop
+                // leaves behind — and a zero-trip loop is a barrier with
+                // extra steps. Neither has a defined scheduling contract in
+                // the engine, so both are rejected here with a structured
+                // path rather than silently doing nothing (or worse,
+                // disagreeing between modes).
+                if let (Expr::Const(b0), Expr::Const(e0)) = (begin, end) {
+                    if e0 < b0 {
+                        self.diag(format!(
+                            "parfor: reversed constant bounds {b0}..{e0} \
+                             (negative-stride loops must be normalized to \
+                             ascending form before IR construction)"
+                        ));
+                    } else if e0 == b0 {
+                        self.diag(format!(
+                            "parfor: zero-trip constant bounds {b0}..{e0} \
+                             (drop the loop or widen the bounds; the engine \
+                             has no contract for empty worksharing)"
+                        ));
+                    }
+                }
                 if let Some(r) = reduction {
                     if let Some(decl) = self.array(r.target, "reduction target") {
                         if !decl.shared {
@@ -391,6 +417,77 @@ mod tests {
         b.parallel(|r| r.sections(0, |_, _| {}));
         let e = validate(&b.build()).unwrap_err();
         assert!(e.problems.iter().any(|p| p.message.contains("no sections")));
+    }
+
+    #[test]
+    fn zero_trip_parfor_is_rejected_with_path() {
+        let mut b = ProgramBuilder::new("bad");
+        let i = b.var();
+        b.parallel(|r| {
+            r.compute(1);
+            r.par_for(None, i, 5, 5, |body| body.compute(1));
+        });
+        let e = validate(&b.build()).unwrap_err();
+        let p = e
+            .problems
+            .iter()
+            .find(|p| p.message.contains("zero-trip"))
+            .unwrap();
+        assert_eq!(p.path.to_string(), "parallel[0]/parfor[1]");
+    }
+
+    #[test]
+    fn reversed_bounds_parfor_is_rejected() {
+        let mut b = ProgramBuilder::new("bad");
+        let i = b.var();
+        b.parallel(|r| {
+            r.par_for(None, i, 10, 0, |body| body.compute(1));
+        });
+        let e = validate(&b.build()).unwrap_err();
+        assert!(e
+            .problems
+            .iter()
+            .any(|p| p.message.contains("reversed constant bounds 10..0")));
+    }
+
+    #[test]
+    fn dynamic_bounds_are_not_rejected_statically() {
+        // Non-constant bounds can legitimately evaluate to zero trips at
+        // runtime (triangular inner work); only constant emptiness is a
+        // static error.
+        let mut b = ProgramBuilder::new("ok");
+        let i = b.var();
+        b.parallel(|r| {
+            r.par_for(None, i, 0, Expr::NumThreads * Expr::c(2), |body| {
+                body.compute(1)
+            });
+        });
+        validate(&b.build()).unwrap();
+    }
+
+    #[test]
+    fn zero_step_for_is_rejected() {
+        use crate::expr::VarId;
+        let p = Program {
+            name: "bad".into(),
+            arrays: vec![],
+            tables: vec![],
+            num_vars: 1,
+            body: Node::For {
+                var: VarId(0),
+                begin: Expr::c(0),
+                end: Expr::c(4),
+                step: 0,
+                body: Box::new(Node::Compute(Expr::c(1))),
+            },
+        };
+        let e = validate(&p).unwrap_err();
+        let d = e
+            .problems
+            .iter()
+            .find(|p| p.message.contains("step must be positive"))
+            .unwrap();
+        assert_eq!(d.path.to_string(), "for[0]");
     }
 
     #[test]

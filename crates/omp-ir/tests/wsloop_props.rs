@@ -1,0 +1,196 @@
+//! Property-style coverage tests for the worksharing chunk arithmetic.
+//!
+//! Every schedule's chunk decomposition must partition the iteration
+//! space: each iteration value `begin + k*step` with `k < trip_count`
+//! is visited exactly once across all threads, for uneven chunk sizes,
+//! chunk sizes larger than the trip count, and teams larger than the
+//! iteration space. The sweep is seeded (splitmix64, no `rand`) so a
+//! failure names the exact `(seed, case)` pair that reproduces it.
+
+use omp_ir::wsloop::{dynamic_next, guided_next, static_block, static_chunked, trip_count, Chunk};
+
+/// Minimal splitmix64 so this test crate stays dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Mark every iteration value a chunk covers, asserting step alignment.
+fn cover(cov: &mut [u32], begin: i64, step: u64, c: Chunk) {
+    let mut v = c.lo;
+    while v < c.hi {
+        let off = v - begin;
+        assert!(off >= 0, "chunk below begin: {c:?}");
+        assert_eq!(
+            off % step as i64,
+            0,
+            "chunk bound not step-aligned: begin={begin} step={step} {c:?}"
+        );
+        let k = (off / step as i64) as usize;
+        assert!(
+            k < cov.len(),
+            "chunk past end: begin={begin} step={step} {c:?}"
+        );
+        cov[k] += 1;
+        v += step as i64;
+    }
+}
+
+fn assert_exact_cover(cov: &[u32], what: &str) {
+    for (k, &c) in cov.iter().enumerate() {
+        assert_eq!(c, 1, "{what}: iteration {k} covered {c} times");
+    }
+}
+
+/// One random loop shape. Deliberately includes zero-trip and reversed
+/// spaces, teams larger than the trip count, and chunks larger than the
+/// trip count.
+fn random_shape(rng: &mut Rng) -> (i64, i64, u64, u64, u64) {
+    let begin = rng.below(21) as i64 - 10;
+    let end = match rng.below(8) {
+        0 => begin,                       // zero-trip
+        1 => begin - rng.below(5) as i64, // reversed (normalizes to empty)
+        _ => begin + rng.below(97) as i64 + 1,
+    };
+    let step = 1 + rng.below(7);
+    let nthreads = 1 + rng.below(9); // often > trip count
+    let chunk = 1 + rng.below(130); // often > trip count
+    (begin, end, step, nthreads, chunk)
+}
+
+#[test]
+fn static_block_partitions_every_shape() {
+    let mut rng = Rng(0xb10c);
+    for case in 0..2000u32 {
+        let (begin, end, step, nthreads, _) = random_shape(&mut rng);
+        let n = trip_count(begin, end, step) as usize;
+        let mut cov = vec![0u32; n];
+        for tid in 0..nthreads {
+            cover(
+                &mut cov,
+                begin,
+                step,
+                static_block(begin, end, step, nthreads, tid),
+            );
+        }
+        assert_exact_cover(
+            &cov,
+            &format!("static_block case {case}: {begin}..{end} step {step} t{nthreads}"),
+        );
+    }
+}
+
+#[test]
+fn static_chunked_partitions_every_shape() {
+    let mut rng = Rng(0xc4c4);
+    for case in 0..2000u32 {
+        let (begin, end, step, nthreads, chunk) = random_shape(&mut rng);
+        let n = trip_count(begin, end, step) as usize;
+        let mut cov = vec![0u32; n];
+        for tid in 0..nthreads {
+            for c in static_chunked(begin, end, step, nthreads, tid, chunk) {
+                assert!(c.hi > c.lo, "static_chunked returned an empty chunk: {c:?}");
+                cover(&mut cov, begin, step, c);
+            }
+        }
+        assert_exact_cover(
+            &cov,
+            &format!("static_chunked case {case}: {begin}..{end} step {step} t{nthreads} c{chunk}"),
+        );
+    }
+}
+
+#[test]
+fn dynamic_walk_partitions_every_shape() {
+    let mut rng = Rng(0xd1d1);
+    for case in 0..2000u32 {
+        let (begin, end, step, _, chunk) = random_shape(&mut rng);
+        let n = trip_count(begin, end, step) as usize;
+        let mut cov = vec![0u32; n];
+        let mut start = 0;
+        let mut guard = 0;
+        while let Some((c, next)) = dynamic_next(begin, end, step, start, chunk) {
+            assert!(next > start, "dynamic_next made no progress");
+            assert!(c.hi > c.lo, "dynamic_next returned an empty chunk: {c:?}");
+            cover(&mut cov, begin, step, c);
+            start = next;
+            guard += 1;
+            assert!(guard <= n + 1, "dynamic walk ran away");
+        }
+        assert_exact_cover(
+            &cov,
+            &format!("dynamic case {case}: {begin}..{end} step {step} c{chunk}"),
+        );
+    }
+}
+
+#[test]
+fn guided_walk_partitions_and_never_grows() {
+    let mut rng = Rng(0x6d6d);
+    for case in 0..2000u32 {
+        let (begin, end, step, nthreads, chunk) = random_shape(&mut rng);
+        let min_chunk = 1 + chunk % 8;
+        let n = trip_count(begin, end, step) as usize;
+        let mut cov = vec![0u32; n];
+        let mut start = 0;
+        let mut last = u64::MAX;
+        let mut guard = 0;
+        while let Some((c, next)) = guided_next(begin, end, step, start, nthreads, min_chunk) {
+            assert!(next > start, "guided_next made no progress");
+            let size = c.trip_count(step);
+            assert!(size > 0, "guided_next returned an empty chunk: {c:?}");
+            // Geometric decrease: each grant is no larger than the last
+            // (the final remainder grant can be smaller than min_chunk).
+            assert!(size <= last, "guided sizes grew: {size} after {last}");
+            last = size;
+            cover(&mut cov, begin, step, c);
+            start = next;
+            guard += 1;
+            assert!(guard <= n + 1, "guided walk ran away");
+        }
+        assert_exact_cover(
+            &cov,
+            &format!("guided case {case}: {begin}..{end} step {step} t{nthreads} m{min_chunk}"),
+        );
+    }
+}
+
+#[test]
+fn cross_schedule_totals_agree() {
+    // All decompositions of the same space must agree on the total trip
+    // count — the invariant the differential fuzzer leans on when it
+    // compares op totals across schedules.
+    let mut rng = Rng(0x7074);
+    for _ in 0..500u32 {
+        let (begin, end, step, nthreads, chunk) = random_shape(&mut rng);
+        let n = trip_count(begin, end, step);
+
+        let blocked: u64 = (0..nthreads)
+            .map(|tid| static_block(begin, end, step, nthreads, tid).trip_count(step))
+            .sum();
+        let chunked: u64 = (0..nthreads)
+            .flat_map(|tid| static_chunked(begin, end, step, nthreads, tid, chunk))
+            .map(|c| c.trip_count(step))
+            .sum();
+        let mut dynamic = 0;
+        let mut start = 0;
+        while let Some((c, next)) = dynamic_next(begin, end, step, start, chunk) {
+            dynamic += c.trip_count(step);
+            start = next;
+        }
+        assert_eq!(blocked, n);
+        assert_eq!(chunked, n);
+        assert_eq!(dynamic, n);
+    }
+}

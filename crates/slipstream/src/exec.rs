@@ -66,6 +66,62 @@ fn mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Deliberately-broken engine variants, each a realistic bug class in the
+/// slipstream runtime, selectable at run time. These exist for one
+/// purpose: the differential fuzzer's self-check, which must prove the
+/// whole detect-shrink-replay loop catches real engine bugs. Under
+/// [`EngineMutation::None`] (the default) every branch below is dead and
+/// the engine is bit-identical to an unmutated build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMutation {
+    /// No mutation: the production engine.
+    #[default]
+    None,
+    /// Broken token accounting: every second token insertion loses its
+    /// semaphore signal (as if the pair-register write were dropped).
+    /// A-streams strand behind barriers; the run either hangs into the
+    /// cycle budget or survives only through divergence recoveries.
+    TokenAccounting,
+    /// Off-by-one static chunking: the last thread's final static chunk
+    /// is shortened by one iteration, silently dropping work. Every mode
+    /// undercounts ops relative to the trace oracle.
+    ChunkOffByOne,
+    /// Off-by-one exit check in the batched native `for` loop: the
+    /// fast-path compute loop retires one extra iteration before
+    /// noticing the bound. Compute cycles overcount in every mode.
+    BatchBailOffByOne,
+}
+
+impl EngineMutation {
+    /// Stable lowercase label (CLI flags, artifact JSON).
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineMutation::None => "none",
+            EngineMutation::TokenAccounting => "token-accounting",
+            EngineMutation::ChunkOffByOne => "chunk-off-by-one",
+            EngineMutation::BatchBailOffByOne => "batch-bail-off-by-one",
+        }
+    }
+
+    /// Parse a [`label`](Self::label) back.
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "none" => Some(EngineMutation::None),
+            "token-accounting" => Some(EngineMutation::TokenAccounting),
+            "chunk-off-by-one" => Some(EngineMutation::ChunkOffByOne),
+            "batch-bail-off-by-one" => Some(EngineMutation::BatchBailOffByOne),
+            _ => None,
+        }
+    }
+
+    /// All non-`None` mutation classes (the self-check sweeps these).
+    pub const ALL_BROKEN: [EngineMutation; 3] = [
+        EngineMutation::TokenAccounting,
+        EngineMutation::ChunkOffByOne,
+        EngineMutation::BatchBailOffByOne,
+    ];
+}
+
 /// Tunable engine parameters beyond the machine model.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -108,6 +164,9 @@ pub struct EngineConfig {
     pub max_cycles: Cycle,
     /// Hard cap on scheduler events processed.
     pub max_events: u64,
+    /// Seeded engine-mutation class (fuzzer self-check only);
+    /// [`EngineMutation::None`] keeps the engine bit-identical.
+    pub mutation: EngineMutation,
 }
 
 impl EngineConfig {
@@ -130,6 +189,7 @@ impl EngineConfig {
             trace: TraceConfig::OFF,
             max_cycles: 50_000_000_000,
             max_events: 2_000_000_000,
+            mutation: EngineMutation::None,
         }
     }
 }
@@ -968,8 +1028,19 @@ impl<'p> Engine<'p> {
                         // Each thread computes its chunks independently.
                         self.busy(ci, self.cfg.static_sched_cycles, TimeClass::Scheduling);
                         let tid = self.cpus[ci].tid;
-                        let chunks =
+                        let mut chunks =
                             static_chunks(resolved, lo, hi, 1, self.layout.team_size(), tid);
+                        if self.cfg.mutation == EngineMutation::ChunkOffByOne
+                            && tid + 1 == self.layout.team_size()
+                        {
+                            // Injected bug class: the last thread's final
+                            // chunk silently loses its last iteration.
+                            if let Some(last) = chunks.last_mut() {
+                                if last.hi > last.lo {
+                                    last.hi -= 1;
+                                }
+                            }
+                        }
                         self.cpus[ci].frames.push(Frame::LoopEnd { node, stage: 0 });
                         self.cpus[ci].frames.push(Frame::ChunkIter {
                             var,
@@ -1250,6 +1321,14 @@ impl<'p> Engine<'p> {
                     // through so the livelock guard still sees it).
                     let overhead = self.cfg.machine.loop_overhead_cycles;
                     let cp = self.cp;
+                    // Injected bug class: the batched loop's exit check is
+                    // off by one, retiring one extra iteration whenever the
+                    // induction variable lands exactly on the bound.
+                    let stop_at = if self.cfg.mutation == EngineMutation::BatchBailOffByOne {
+                        end.saturating_add(1)
+                    } else {
+                        end
+                    };
                     if step > 0 {
                         match cp.ops[body.0 as usize] {
                             Op::ComputeConst(cyc) => {
@@ -1259,7 +1338,7 @@ impl<'p> Engine<'p> {
                                     self.cpus[ci].user.compute_cycles += cyc;
                                     self.busy(ci, overhead + cyc, TimeClass::Busy);
                                     cur += step as i64;
-                                    if cur >= end {
+                                    if cur >= stop_at {
                                         return;
                                     }
                                     if self.must_bail(ci) {
@@ -1282,7 +1361,7 @@ impl<'p> Engine<'p> {
                                     self.cpus[ci].user.compute_cycles += cyc;
                                     self.busy(ci, overhead + cyc, TimeClass::Busy);
                                     cur += step as i64;
-                                    if cur >= end {
+                                    if cur >= stop_at {
                                         return;
                                     }
                                     if self.must_bail(ci) {
@@ -1388,9 +1467,14 @@ impl<'p> Engine<'p> {
                 let tid = self.pairs[p].tid;
                 let seq = self.pairs[p].token_seq;
                 self.pairs[p].token_seq = seq.wrapping_add(1);
-                let fault = self
+                let mut fault = self
                     .fault_at(ci, FaultSite::TokenInsert, tid, seq)
                     .map(|e| e.kind);
+                if self.cfg.mutation == EngineMutation::TokenAccounting && seq % 2 == 1 {
+                    // Injected bug class: every second pair-register write
+                    // is dropped, exactly like a deterministic TokenLoss.
+                    fault = Some(FaultKind::TokenLoss);
+                }
                 if fault == Some(FaultKind::TokenLoss) {
                     // The pair-register write is lost: the semaphore never
                     // sees the insertion, so the A-stream may strand on an

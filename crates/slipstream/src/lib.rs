@@ -34,7 +34,7 @@ pub mod report;
 pub mod runner;
 
 pub use compile::{compile, CompiledProgram};
-pub use exec::{Engine, EngineConfig, OsNoise, RunResult};
+pub use exec::{Engine, EngineConfig, EngineMutation, OsNoise, RunResult};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultSite, PairLedger};
 pub use health::{BoundaryOutcome, FillWindow, HealthPolicy, PairHealth};
 pub use pairing::{Decision, PairState};

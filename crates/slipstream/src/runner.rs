@@ -5,7 +5,7 @@
 //! the shared-request classification (Figures 3 and 5).
 
 use crate::compile::{compile, CompiledProgram};
-use crate::exec::{Engine, EngineConfig, RunResult};
+use crate::exec::{Engine, EngineConfig, EngineMutation, RunResult};
 use crate::faults::FaultPlan;
 use crate::gate::{analyze_config, gate_program};
 use crate::health::HealthPolicy;
@@ -55,6 +55,14 @@ pub struct RunOptions {
     /// run programs with deny-severity findings; [`GateMode::Allow`]
     /// skips analysis entirely.
     pub gate: GateMode,
+    /// Simulated-cycle budget override. `None` keeps the engine's default
+    /// (effectively unbounded for kernels of sane size); `Some(n)` makes
+    /// the run fail with a `max_cycles` error once `n` cycles pass —
+    /// the hang watchdog budgeted differential runs rely on.
+    pub max_cycles: Option<Cycle>,
+    /// Seeded engine-mutation class (fuzzer self-check only). The
+    /// default, [`EngineMutation::None`], is the production engine.
+    pub mutation: EngineMutation,
 }
 
 impl RunOptions {
@@ -73,7 +81,22 @@ impl RunOptions {
             os_noise: None,
             trace: TraceConfig::OFF,
             gate: GateMode::Warn,
+            max_cycles: None,
+            mutation: EngineMutation::None,
         }
+    }
+
+    /// Cap the run at `cycles` simulated cycles (hang watchdog for
+    /// budgeted differential runs).
+    pub fn with_cycle_budget(mut self, cycles: Cycle) -> Self {
+        self.max_cycles = Some(cycles);
+        self
+    }
+
+    /// Select a seeded engine mutation (fuzzer self-check).
+    pub fn with_mutation(mut self, mutation: EngineMutation) -> Self {
+        self.mutation = mutation;
+        self
     }
 
     /// Set the safety-gate mode.
@@ -231,6 +254,10 @@ pub fn run_compiled(
     cfg.health = opts.health;
     cfg.os_noise = opts.os_noise;
     cfg.trace = opts.trace;
+    if let Some(mc) = opts.max_cycles {
+        cfg.max_cycles = mc;
+    }
+    cfg.mutation = opts.mutation;
     if let Some(sync) = opts.sync {
         // Route the synchronization choice through OMP_SLIPSTREAM, as the
         // paper's runtime does ("we changed the synchronization method as

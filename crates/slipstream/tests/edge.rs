@@ -31,15 +31,26 @@ fn all_modes(p: &omp_ir::Program, m: &MachineConfig) -> Vec<slipstream::runner::
 
 #[test]
 fn zero_trip_loops_complete() {
+    // Constant zero-trip/reversed bounds are invalid IR (`validate`
+    // rejects them), but empty iteration spaces still arise at runtime
+    // from non-constant bounds; every schedule flavour must complete
+    // them as a plain barrier.
     let mut b = ProgramBuilder::new("zt");
     let a = b.shared_array("a", 16, 8);
     let i = b.var();
     b.parallel(move |r| {
-        // Empty iteration spaces in every schedule flavour.
-        r.par_for(None, i, 10, 10, move |body| body.load(a, Expr::v(i)));
-        r.par_for(Some(ScheduleSpec::dynamic(4)), i, 5, 2, move |body| {
+        // NumThreads..NumThreads: zero trips at any team size.
+        r.par_for(None, i, Expr::NumThreads, Expr::NumThreads, move |body| {
             body.load(a, Expr::v(i))
         });
+        // Reversed at runtime: normalizes to an empty space.
+        r.par_for(
+            Some(ScheduleSpec::dynamic(4)),
+            i,
+            Expr::NumThreads + Expr::c(3),
+            Expr::NumThreads,
+            move |body| body.load(a, Expr::v(i)),
+        );
         r.par_for(None, i, 0, 4, move |body| body.load(a, Expr::v(i)));
     });
     let p = b.build();

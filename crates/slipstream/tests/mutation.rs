@@ -1,0 +1,153 @@
+//! Engine-mutation classes must be observable bugs — and `None` must be
+//! bit-inert. The differential fuzzer's self-check depends on both
+//! directions: a mutation the oracle can't see would make the self-check
+//! vacuous, and a non-inert `None` would poison every production run.
+
+use omp_ir::{trace, Expr, ProgramBuilder};
+use slipstream::runner::{run_program, RunOptions};
+use slipstream::{EngineMutation, ExecMode, MachineConfig, SlipSync};
+
+const TEAM: u64 = 4;
+
+fn machine() -> MachineConfig {
+    let mut m = MachineConfig::paper();
+    m.num_cmps = TEAM as usize;
+    m
+}
+
+/// Two static phases (>= 2 token insertions per pair) with loads, stores,
+/// and a compute-only inner loop (exercises the batched native path).
+fn victim() -> omp_ir::Program {
+    let mut b = ProgramBuilder::new("victim");
+    let a = b.shared_array("a", 64, 8);
+    let c = b.shared_array("c", 64, 8);
+    let i = b.var();
+    let j = b.var();
+    b.parallel(|r| {
+        r.par_for(None, i, 0, 37, |body| {
+            body.load(a, Expr::v(i));
+            body.for_loop(j, 0, 5, |inner| inner.compute(3));
+            body.store(c, Expr::v(i));
+        });
+        r.par_for(None, i, 0, 37, |body| {
+            body.load(c, Expr::v(i));
+            body.compute(2);
+        });
+    });
+    b.build()
+}
+
+fn opts(mode: ExecMode, sync: Option<SlipSync>, mutation: EngineMutation) -> RunOptions {
+    let mut o = RunOptions::new(mode)
+        .with_machine(machine())
+        .with_mutation(mutation)
+        .with_cycle_budget(40_000_000);
+    o.sync = sync;
+    o
+}
+
+#[test]
+fn none_mutation_matches_oracle_in_all_modes() {
+    let p = victim();
+    let oracle = trace(&p, TEAM).total;
+    for (mode, sync) in [
+        (ExecMode::Single, None),
+        (ExecMode::Double, None),
+        (ExecMode::Slipstream, Some(SlipSync::L1)),
+        (ExecMode::Slipstream, Some(SlipSync::G0)),
+    ] {
+        let s = run_program(&p, &opts(mode, sync, EngineMutation::None)).unwrap();
+        assert_eq!(s.raw.user_r.loads, oracle.loads, "{}", s.label);
+        assert_eq!(s.raw.user_r.stores, oracle.stores, "{}", s.label);
+        assert_eq!(
+            s.raw.user_r.compute_cycles, oracle.compute_cycles,
+            "{}",
+            s.label
+        );
+        assert_eq!(s.raw.recoveries, 0, "{}", s.label);
+    }
+}
+
+#[test]
+fn chunk_off_by_one_drops_work_in_every_mode() {
+    let p = victim();
+    let oracle = trace(&p, TEAM).total;
+    for (mode, sync) in [
+        (ExecMode::Single, None),
+        (ExecMode::Slipstream, Some(SlipSync::G0)),
+    ] {
+        let s = run_program(&p, &opts(mode, sync, EngineMutation::ChunkOffByOne)).unwrap();
+        assert!(
+            s.raw.user_r.loads < oracle.loads,
+            "{}: loads {} should undercount oracle {}",
+            s.label,
+            s.raw.user_r.loads,
+            oracle.loads
+        );
+    }
+}
+
+#[test]
+fn batch_bail_off_by_one_overcounts_compute() {
+    let p = victim();
+    let oracle = trace(&p, TEAM).total;
+    let s = run_program(
+        &p,
+        &opts(ExecMode::Single, None, EngineMutation::BatchBailOffByOne),
+    )
+    .unwrap();
+    assert!(
+        s.raw.user_r.compute_cycles > oracle.compute_cycles,
+        "compute {} should overcount oracle {}",
+        s.raw.user_r.compute_cycles,
+        oracle.compute_cycles
+    );
+}
+
+#[test]
+fn token_accounting_strands_or_recovers_the_a_stream() {
+    let p = victim();
+    let res = run_program(
+        &p,
+        &opts(
+            ExecMode::Slipstream,
+            Some(SlipSync::G0),
+            EngineMutation::TokenAccounting,
+        ),
+    );
+    // Every second token vanishes: either the run wedges into the cycle
+    // budget, or the watchdog pulls the A-streams through via recoveries.
+    // Both are observable failures for an expected-clean program.
+    match res {
+        Err(e) => assert!(
+            e.contains("max_cycles") || e.contains("deadlock"),
+            "unexpected error: {e}"
+        ),
+        Ok(s) => assert!(
+            s.raw.recoveries > 0,
+            "mutated run completed with no recoveries: {:?}",
+            s.raw.recoveries
+        ),
+    }
+}
+
+#[test]
+fn mutation_labels_round_trip() {
+    for m in EngineMutation::ALL_BROKEN {
+        assert_eq!(EngineMutation::from_label(m.label()), Some(m));
+    }
+    assert_eq!(
+        EngineMutation::from_label("none"),
+        Some(EngineMutation::None)
+    );
+    assert_eq!(EngineMutation::from_label("bogus"), None);
+}
+
+#[test]
+fn cycle_budget_turns_runaway_into_error() {
+    let p = victim();
+    let mut o = opts(ExecMode::Single, None, EngineMutation::None);
+    o.max_cycles = Some(10); // absurdly small: any real program exceeds it
+    let e = run_program(&p, &o).unwrap_err();
+    assert!(e.contains("max_cycles"), "unexpected error: {e}");
+}
