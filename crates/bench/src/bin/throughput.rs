@@ -6,13 +6,30 @@
 //! per second of host wall time. Writes `BENCH_throughput.json` at the
 //! repo root so the perf trajectory is tracked across PRs.
 //!
+//! Each pair is swept over the PDES worker counts (`SIM_WORKERS`-style
+//! engine threads). Rows carry the worker count and the header carries
+//! the host's core count, so trajectory scripts can tell a 1-core CI
+//! box from a 32-core workstation. `workers=1` rows hash to exactly the
+//! historical configuration string and stay comparable across PRs;
+//! `workers>1` rows extend the canonical string with `|workers=N` and
+//! form their own trajectories. The sweep also cross-checks stats
+//! fingerprints between worker counts and aborts on any divergence —
+//! a throughput number from a wrong simulation is worse than none.
+//!
 //! Environment:
 //! - `THROUGHPUT_PRESET`: `tiny` (default) or `paper` workload presets.
 //! - `THROUGHPUT_ITERS`: wall-time repetitions per pair; the best
 //!   (minimum) time is reported (default 3).
+//! - `THROUGHPUT_WORKERS`: comma-separated PDES worker counts to sweep
+//!   (default `1,4`). Values are taken literally — the oversubscription
+//!   clamp applies to pool-parallel harnesses, not to this serial
+//!   sweep, and a `workers > cores` smoke run is still a valid
+//!   determinism check.
 //! - `THROUGHPUT_OUT`: override the output path.
 
-use bench::{config_hash, small_machine, throughput_config_string, STATIC_MODES};
+use bench::{
+    config_hash, small_machine, summary_fingerprint, throughput_config_string, STATIC_MODES,
+};
 use npb_kernels::Benchmark;
 use omp_rt::RuntimeEnv;
 use slipstream::runner::{run_program, RunOptions};
@@ -21,6 +38,8 @@ use std::time::Instant;
 struct Row {
     benchmark: &'static str,
     mode: &'static str,
+    /// PDES engine worker threads the row was measured with.
+    workers: usize,
     exec_cycles: u64,
     wall_ns: u128,
     /// FNV-1a hash of the run's canonical configuration string. Rows with
@@ -40,11 +59,12 @@ impl Row {
 
     fn to_json(&self) -> String {
         format!(
-            "{{\"benchmark\":\"{}\",\"mode\":\"{}\",\"exec_cycles\":{},\
-             \"wall_ns\":{},\"cycles_per_sec\":{:.1},\
+            "{{\"benchmark\":\"{}\",\"mode\":\"{}\",\"workers\":{},\
+             \"exec_cycles\":{},\"wall_ns\":{},\"cycles_per_sec\":{:.1},\
              \"config_hash\":\"{:016x}\",\"trace\":{}}}",
             self.benchmark,
             self.mode,
+            self.workers,
             self.exec_cycles,
             self.wall_ns,
             self.cycles_per_sec(),
@@ -54,6 +74,20 @@ impl Row {
     }
 }
 
+fn worker_sweep() -> Vec<usize> {
+    let spec = std::env::var("THROUGHPUT_WORKERS").unwrap_or_else(|_| "1,4".to_string());
+    let mut sweep: Vec<usize> = spec
+        .split(',')
+        .filter_map(|v| v.trim().parse().ok())
+        .map(|w: usize| w.max(1))
+        .collect();
+    sweep.dedup();
+    if sweep.is_empty() {
+        sweep.push(1);
+    }
+    sweep
+}
+
 fn main() {
     let preset = std::env::var("THROUGHPUT_PRESET").unwrap_or_else(|_| "tiny".to_string());
     let iters: u32 = std::env::var("THROUGHPUT_ITERS")
@@ -61,6 +95,10 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(3)
         .max(1);
+    let sweep = worker_sweep();
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let machine = small_machine();
 
     let mut rows = Vec::new();
@@ -70,40 +108,59 @@ fn main() {
             _ => bm.build_tiny(),
         };
         for (label, mode, sync) in STATIC_MODES {
-            let mut o = RunOptions::new(mode).with_machine(machine.clone());
-            o.sync = sync;
-            o.env = RuntimeEnv::default();
-            let mut best = u128::MAX;
-            let mut exec_cycles = 0u64;
-            for _ in 0..iters {
-                let t0 = Instant::now();
-                let s = run_program(&program, &o).expect("simulation failed");
-                best = best.min(t0.elapsed().as_nanos().max(1));
-                exec_cycles = s.exec_cycles;
+            let mut fingerprint: Option<String> = None;
+            for &workers in &sweep {
+                let mut o = RunOptions::new(mode)
+                    .with_machine(machine.clone())
+                    .with_workers(workers);
+                o.sync = sync;
+                o.env = RuntimeEnv::default();
+                let mut best = u128::MAX;
+                let mut exec_cycles = 0u64;
+                for _ in 0..iters {
+                    let t0 = Instant::now();
+                    let s = run_program(&program, &o).expect("simulation failed");
+                    best = best.min(t0.elapsed().as_nanos().max(1));
+                    exec_cycles = s.exec_cycles;
+                    let fp = summary_fingerprint(&s);
+                    match &fingerprint {
+                        None => fingerprint = Some(fp),
+                        Some(want) => assert_eq!(
+                            want,
+                            &fp,
+                            "fingerprint divergence: {} {label} at workers={workers} \
+                             does not match the first swept worker count",
+                            bm.name()
+                        ),
+                    }
+                }
+                // workers=1 hashes to the historical canonical string so
+                // old trajectories keep matching; workers>1 rows extend it.
+                let mut canonical =
+                    throughput_config_string(&machine, &preset, bm.name(), label, false);
+                if workers > 1 {
+                    canonical.push_str(&format!("|workers={workers}"));
+                }
+                let row = Row {
+                    benchmark: bm.name(),
+                    mode: label,
+                    workers,
+                    exec_cycles,
+                    wall_ns: best,
+                    config_hash: config_hash(&canonical),
+                    trace: false,
+                };
+                println!(
+                    "{:<4} {:<8} w{:<2} {:>12} cycles {:>12.3} ms {:>14.0} cyc/s",
+                    row.benchmark,
+                    row.mode,
+                    row.workers,
+                    row.exec_cycles,
+                    row.wall_ns as f64 / 1e6,
+                    row.cycles_per_sec()
+                );
+                rows.push(row);
             }
-            let row = Row {
-                benchmark: bm.name(),
-                mode: label,
-                exec_cycles,
-                wall_ns: best,
-                config_hash: config_hash(&throughput_config_string(
-                    &machine,
-                    &preset,
-                    bm.name(),
-                    label,
-                    false,
-                )),
-                trace: false,
-            };
-            println!(
-                "{:<4} {:<8} {:>12} cycles {:>12.3} ms {:>14.0} cyc/s",
-                row.benchmark,
-                row.mode,
-                row.exec_cycles,
-                row.wall_ns as f64 / 1e6,
-                row.cycles_per_sec()
-            );
-            rows.push(row);
         }
     }
 
@@ -112,9 +169,10 @@ fn main() {
     });
     let items: Vec<String> = rows.iter().map(|r| r.to_json()).collect();
     let json = format!(
-        "{{\"preset\":\"{}\",\"iters\":{},\"rows\":[\n{}\n]}}\n",
+        "{{\"preset\":\"{}\",\"iters\":{},\"host_cores\":{},\"rows\":[\n{}\n]}}\n",
         preset,
         iters,
+        host_cores,
         items.join(",\n")
     );
     std::fs::write(&out_path, json).expect("write BENCH_throughput.json");

@@ -1,0 +1,87 @@
+//! Differential tests: the per-domain event-queue split must be
+//! observationally identical to the flat [`EventQueue`] — same pop
+//! sequence for the same schedule history, including interleaved
+//! schedule/pop traffic the way the engine actually drives it.
+
+use dsm_sim::{CpuId, Cycle, DomainQueues, EventQueue, SplitMix64};
+
+const NUM_DOMAINS: usize = 8;
+const CPUS_PER_DOMAIN: usize = 2;
+
+/// Drive both queues through the same randomized schedule/pop script and
+/// assert every pop agrees. Times are drawn from a narrow window around a
+/// moving "now" so same-time ties across domains are frequent — the case
+/// where only the global sequence stamp keeps the split deterministic.
+fn differential(seed: u64, ops: usize) {
+    let mut rng = SplitMix64::new(seed);
+    let mut flat = EventQueue::new();
+    let mut dom = DomainQueues::new(NUM_DOMAINS, CPUS_PER_DOMAIN);
+    let num_cpus = (NUM_DOMAINS * CPUS_PER_DOMAIN) as u64;
+    let mut now: Cycle = 0;
+    for _ in 0..ops {
+        if flat.is_empty() || rng.chance(0.6) {
+            let t = now + rng.below(4);
+            let cpu = CpuId(rng.below(num_cpus) as usize);
+            flat.schedule(t, cpu);
+            dom.schedule(t, cpu);
+        } else {
+            let want = flat.pop();
+            assert_eq!(dom.pop(), want, "pop diverged (seed {seed})");
+            if let Some((t, _)) = want {
+                now = t;
+            }
+        }
+        assert_eq!(dom.len(), flat.len());
+        assert_eq!(dom.peek_time(), flat.peek_time());
+    }
+    while let Some(want) = flat.pop() {
+        assert_eq!(dom.pop(), Some(want), "drain diverged (seed {seed})");
+    }
+    assert!(dom.is_empty());
+}
+
+#[test]
+fn split_matches_flat_queue_across_seeds() {
+    for seed in 0..32 {
+        differential(seed, 2000);
+    }
+}
+
+#[test]
+fn window_admission_is_consistent_with_domain_fronts() {
+    let mut rng = SplitMix64::new(99);
+    let mut dom = DomainQueues::new(NUM_DOMAINS, CPUS_PER_DOMAIN);
+    for _ in 0..500 {
+        dom.schedule(
+            rng.below(1000),
+            CpuId(rng.below((NUM_DOMAINS * CPUS_PER_DOMAIN) as u64) as usize),
+        );
+    }
+    for lookahead in [0, 1, 84, 10_000] {
+        let front = dom.peek_time().unwrap();
+        let admitted = dom.domains_within(lookahead);
+        assert!(!admitted.is_empty(), "frontier domain always admissible");
+        for d in 0..dom.num_domains() {
+            let in_window = dom
+                .domain_peek_time(d)
+                .is_some_and(|t| t <= front + lookahead);
+            assert_eq!(admitted.contains(&d), in_window);
+        }
+    }
+}
+
+#[test]
+fn single_domain_split_is_exactly_the_flat_queue() {
+    // workers=1 (or num_cmps=1) degenerates to one heap; behaviour must
+    // still match, trivially.
+    let mut flat = EventQueue::new();
+    let mut dom = DomainQueues::new(1, 16);
+    for (t, c) in [(7u64, 3usize), (7, 1), (2, 9), (7, 3)] {
+        flat.schedule(t, CpuId(c));
+        dom.schedule(t, CpuId(c));
+    }
+    while let Some(want) = flat.pop() {
+        assert_eq!(dom.pop(), Some(want));
+    }
+    assert_eq!(dom.pop(), None);
+}

@@ -28,8 +28,8 @@ use crate::health::{FillWindow, HealthPolicy};
 use crate::pairing::{Decision, PairState};
 use crate::policy::{AAction, AStreamPolicy, RecoveryPolicy};
 use dsm_sim::{
-    AccessKind, Addr, AddressMap, Barrier, CmpId, CpuId, CpuTimeline, Cycle, EventQueue, Lock,
-    MachineConfig, MemSystem, StreamRole, TimeClass,
+    AccessKind, AccessLocality, Addr, AddressMap, Barrier, CmpId, CpuId, CpuTimeline, Cycle,
+    DomainQueues, EventQueue, Lock, MachineConfig, MemSystem, StreamRole, TimeClass,
 };
 use omp_ir::expr::{EvalCtx, Expr, TableId, VarId};
 use omp_ir::node::{ArrayId, Reduction, SlipstreamClause};
@@ -167,6 +167,18 @@ pub struct EngineConfig {
     /// Seeded engine-mutation class (fuzzer self-check only);
     /// [`EngineMutation::None`] keeps the engine bit-identical.
     pub mutation: EngineMutation,
+    /// PDES worker threads. `1` (the default) runs the serial event loop
+    /// unchanged; `> 1` switches the scheduler to per-CMP time domains
+    /// ([`DomainQueues`]) with conservative lookahead windows, a scout
+    /// worker pool, and closed-form replay of constant-compute loop runs.
+    /// Results are bit-identical for every worker count.
+    pub workers: usize,
+    /// Override the conservative lookahead horizon (cycles). `None`
+    /// derives it from the machine's minimum remote-hop latency
+    /// ([`dsm_sim::lookahead_cycles`]); `Some(0)` degrades window
+    /// admission to lockstep (frontier-time events only) but must still
+    /// make progress.
+    pub lookahead: Option<Cycle>,
 }
 
 impl EngineConfig {
@@ -190,8 +202,53 @@ impl EngineConfig {
             max_cycles: 50_000_000_000,
             max_events: 2_000_000_000,
             mutation: EngineMutation::None,
+            workers: 1,
+            lookahead: None,
         }
     }
+
+    /// Set the PDES worker count (`1` = serial fast path).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+}
+
+/// Diagnostics from the PDES scheduling layer. All zeros when the run
+/// used the serial fast path (`workers == 1`). Deterministic for a given
+/// simulation input — independent of the worker count actually used —
+/// and excluded from stats fingerprints (observation-only, like traces).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PdesDiag {
+    /// Worker threads the engine ran with.
+    pub workers: usize,
+    /// Lookahead horizon in effect (cycles).
+    pub lookahead: Cycle,
+    /// Windows formed (one per scheduler pop on the parallel path).
+    pub windows: u64,
+    /// Windows whose admitted set spanned more than one time domain —
+    /// the opportunities for concurrent domain stepping.
+    pub multi_domain_windows: u64,
+    /// Largest admitted-domain count seen in any window.
+    pub peak_window_domains: usize,
+    /// Sampled windows handed to the scout worker pool.
+    pub scouted_windows: u64,
+    /// Scouted domain fronts about to run provably CPU-private work
+    /// (compute-only loop runs) — safely replayable ahead of commit.
+    pub scout_pure: u64,
+    /// Scouted fronts whose next memory access stays inside the domain
+    /// (L1/L2-bank hit, no directory or network crossing).
+    pub scout_local: u64,
+    /// Scouted fronts about to cross the directory/network boundary —
+    /// these serialize at the global frontier.
+    pub scout_boundary: u64,
+    /// Scouted fronts in runtime/protocol code (barriers, scheduling).
+    pub scout_other: u64,
+    /// Constant-compute loop runs retired in closed form.
+    pub ff_pieces: u64,
+    /// Loop iterations those runs covered (each would have been one
+    /// serial micro-step).
+    pub ff_iters: u64,
 }
 
 /// Aggregated outcome of one simulated run.
@@ -247,6 +304,9 @@ pub struct RunResult {
     /// Merged trace of the run when [`EngineConfig::trace`] was on.
     /// Observation-only: excluded from stats fingerprints by design.
     pub trace: Option<TraceData>,
+    /// PDES scheduling diagnostics (all zeros on the serial fast path).
+    /// Observation-only: excluded from stats fingerprints by design.
+    pub pdes: PdesDiag,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -406,6 +466,116 @@ impl EvalCtx for ExprView<'_> {
     }
 }
 
+/// Scheduler backend: the flat serial heap (`workers == 1`, the
+/// pre-PDES event loop byte-for-byte) or the per-CMP domain split
+/// (`workers > 1`). Both pop in identical `(time, seq, cpu)` order —
+/// [`DomainQueues`] stamps one global sequence across all domains — so
+/// the choice is invisible to execution semantics; the split
+/// additionally exposes per-domain fronts for window formation.
+enum Q {
+    Serial(EventQueue),
+    Domains(DomainQueues),
+}
+
+impl Q {
+    fn schedule(&mut self, time: Cycle, cpu: CpuId) {
+        match self {
+            Q::Serial(q) => q.schedule(time, cpu),
+            Q::Domains(q) => q.schedule(time, cpu),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(Cycle, CpuId)> {
+        match self {
+            Q::Serial(q) => q.pop(),
+            Q::Domains(q) => q.pop(),
+        }
+    }
+
+    fn peek_time(&self) -> Option<Cycle> {
+        match self {
+            Q::Serial(q) => q.peek_time(),
+            Q::Domains(q) => q.peek_time(),
+        }
+    }
+}
+
+/// What a scout finds at a domain's front: the class of work its next
+/// event will run. Indexes into the scout tally array.
+#[derive(Clone, Copy)]
+enum ScoutClass {
+    /// Compute-only loop run: provably confined to CPU-private state.
+    Pure = 0,
+    /// Next memory access resolves inside the domain (no crossing).
+    Local = 1,
+    /// Next memory access crosses the directory/network boundary.
+    Boundary = 2,
+    /// Runtime/protocol work (barriers, scheduling, pool, ...).
+    Other = 3,
+}
+
+/// Classify the work CPU `ci` will run next. Read-only — safe to call
+/// from scout worker threads sharing the engine state immutably; must
+/// not touch cache LRU or any other mutable simulation state (it uses
+/// [`MemSystem::access_locality`], the non-mutating peek).
+fn scout_classify(
+    cp: &CompiledProgram,
+    ms: &MemSystem,
+    map: &AddressMap,
+    cpus: &[CpuState],
+    nthreads: i64,
+    ci: usize,
+) -> ScoutClass {
+    let c = &cpus[ci];
+    let view = ExprView {
+        vars: &c.vars,
+        tid: c.tid as i64,
+        nthreads,
+        tables: &cp.tables,
+    };
+    let locality = |addr: Addr, kind: AccessKind| match ms.access_locality(CpuId(ci), addr, kind) {
+        AccessLocality::Local => ScoutClass::Local,
+        AccessLocality::Boundary => ScoutClass::Boundary,
+    };
+    let classify_op = |op: Op| match op {
+        Op::ComputeConst(_) | Op::ComputeDyn(_) => ScoutClass::Pure,
+        Op::LoadShared(addr) => locality(addr, AccessKind::Load),
+        Op::StoreShared(addr) => locality(addr, AccessKind::Store),
+        Op::LoadPrivate(off) => locality(map.private_base(CpuId(ci)) + off, AccessKind::Load),
+        Op::StorePrivate(off) => locality(map.private_base(CpuId(ci)) + off, AccessKind::Store),
+        Op::LoadDyn { array, index } => {
+            let idx = cp.exprs[index as usize].eval(&view);
+            locality(
+                cp.element_addr(map, CpuId(ci), array, idx),
+                AccessKind::Load,
+            )
+        }
+        Op::StoreDyn { array, index } => {
+            let idx = cp.exprs[index as usize].eval(&view);
+            locality(
+                cp.element_addr(map, CpuId(ci), array, idx),
+                AccessKind::Store,
+            )
+        }
+        _ => ScoutClass::Other,
+    };
+    match c.frames.last() {
+        Some(&Frame::For { body, cur, end, .. }) if cur < end => match cp.ops[body.0 as usize] {
+            Op::ComputeConst(_) | Op::ComputeDyn(_) => ScoutClass::Pure,
+            op => classify_op(op),
+        },
+        Some(&Frame::Seq { node, idx }) => match cp.ops[node.0 as usize] {
+            Op::Seq { first, len } if idx < len as usize => {
+                classify_op(cp.ops[cp.kids[first as usize + idx].0 as usize])
+            }
+            op if idx == 0 => classify_op(op),
+            _ => ScoutClass::Other,
+        },
+        Some(&Frame::ChunkIter { body, .. }) => classify_op(cp.ops[body.0 as usize]),
+        _ => ScoutClass::Other,
+    }
+}
+
 /// The execution engine for one run.
 pub struct Engine<'p> {
     cp: &'p CompiledProgram,
@@ -413,7 +583,7 @@ pub struct Engine<'p> {
     layout: TeamLayout,
     map: AddressMap,
     ms: MemSystem,
-    q: EventQueue,
+    q: Q,
     cpus: Vec<CpuState>,
     pairs: Vec<PairState>,
     construct_barrier: Barrier,
@@ -451,6 +621,10 @@ pub struct Engine<'p> {
     regions_dispatched: u64,
     /// CPU-domain event tracer (disabled unless `cfg.trace` is on).
     tracer: Tracer,
+    /// Lookahead horizon in effect (resolved once at build).
+    lookahead: Cycle,
+    /// PDES scheduling diagnostics (stays zeroed on the serial path).
+    pdes: PdesDiag,
 }
 
 const MASTER: usize = 0; // the master's OpenMP thread id
@@ -474,12 +648,32 @@ impl<'p> Engine<'p> {
         ms.set_trace(&cfg.trace);
         let map = AddressMap::new(&cfg.machine);
         let base_line = cp.runtime_base / map.line_bytes();
+        // workers > 1 swaps in the per-CMP domain queues (identical pop
+        // order; see `Q`) and records the run's PDES configuration. The
+        // serial path keeps the flat heap untouched.
+        let workers = cfg.workers.max(1);
+        let lookahead = cfg
+            .lookahead
+            .unwrap_or_else(|| dsm_sim::lookahead_cycles(&cfg.machine));
+        let q = if workers > 1 {
+            Q::Domains(DomainQueues::new(
+                cfg.machine.num_cmps,
+                cfg.machine.cpus_per_cmp,
+            ))
+        } else {
+            Q::Serial(EventQueue::new())
+        };
+        let pdes = PdesDiag {
+            workers,
+            lookahead: if workers > 1 { lookahead } else { 0 },
+            ..PdesDiag::default()
+        };
         let mut eng = Engine {
             cp,
             layout,
             map,
             ms,
-            q: EventQueue::new(),
+            q,
             cpus: Vec::new(),
             pairs: Vec::new(),
             construct_barrier: Barrier::new(1, 0),
@@ -507,6 +701,8 @@ impl<'p> Engine<'p> {
             breaker: TeamBreaker::new(cfg.health.breaker),
             regions_dispatched: 0,
             tracer: Tracer::new(&cfg.trace, TrackDomain::Cpu),
+            lookahead,
+            pdes,
             cfg,
         };
         eng.init();
@@ -1161,6 +1357,90 @@ impl<'p> Engine<'p> {
         false
     }
 
+    /// Closed-form replay of a constant-compute `for` run (PDES pure
+    /// prefix, `workers > 1` only). The serial batched loop retires one
+    /// iteration per `overhead + cyc` cycles and re-checks `must_bail`
+    /// between iterations; since nothing inside the run mutates shared
+    /// state, its timeline is an arithmetic progression and the first
+    /// bail point is computable without stepping. Retiring `k`
+    /// iterations as one batch is exact: the induction variable keeps
+    /// only its last write, op counts and time-class buckets are
+    /// additive, and contiguous same-class spans coalesce in the trace
+    /// log ([`sim_trace::SpanLog::note`]) — so stats, fingerprints, and
+    /// traces all match the serial loop bit for bit.
+    // The `stride == 0` arm is a semantic case split (time never
+    // advances), not a checked-division guard — `checked_div` would
+    // obscure that, so the lint is silenced rather than followed.
+    #[allow(clippy::too_many_arguments, clippy::manual_checked_ops)]
+    fn replay_const_run(
+        &mut self,
+        ci: usize,
+        var: VarId,
+        cur: i64,
+        end: i64,
+        step: u64,
+        body: NodeId,
+        stop_at: i64,
+        cyc: u64,
+        overhead: u64,
+    ) {
+        let stride = overhead + cyc;
+        let start = self.cpus[ci].timeline.now();
+        // Iterations left by the induction bound alone: values `cur`,
+        // `cur + step`, ... strictly below `stop_at`. The caller enters
+        // this arm only when `cur < end <= stop_at`, so `n >= 1`.
+        let span = (stop_at as i128) - (cur as i128);
+        let n = ((span + step as i128 - 1) / step as i128).min(u64::MAX as i128) as u64;
+        // First k (iterations retired) at which the serial loop would
+        // bail *between* iterations; MAX = runs to the induction bound.
+        let mut k_bail = u64::MAX;
+        if stride == 0 {
+            // Time never advances, so the bail predicates are constant;
+            // they are only consulted after an iteration retires.
+            if self.must_bail(ci) {
+                k_bail = 1;
+            }
+        } else {
+            let mc = self.cfg.max_cycles;
+            k_bail = k_bail.min(if start > mc {
+                1
+            } else {
+                (mc - start) / stride + 1
+            });
+            if let Some(h) = self.q.peek_time() {
+                k_bail = k_bail.min(if start > h {
+                    1
+                } else {
+                    (h - start) / stride + 1
+                });
+            }
+            if self.cfg.os_noise.is_some() {
+                let ni = self.cpus[ci].next_interrupt;
+                let k = if start >= ni {
+                    1
+                } else {
+                    (ni - start).div_ceil(stride).max(1)
+                };
+                k_bail = k_bail.min(k);
+            }
+        }
+        let k = n.min(k_bail);
+        self.cpus[ci].vars[var.0 as usize] = cur + (k as i64 - 1) * step as i64;
+        self.cpus[ci].user.compute_cycles += k * cyc;
+        self.busy(ci, k * stride, TimeClass::Busy);
+        self.pdes.ff_pieces += 1;
+        self.pdes.ff_iters += k;
+        if k < n {
+            self.cpus[ci].frames.push(Frame::For {
+                var,
+                cur: cur + k as i64 * step as i64,
+                end,
+                step,
+                body,
+            });
+        }
+    }
+
     /// A-stream shared store: convert to a read-exclusive prefetch when in
     /// the same barrier session as the R-stream and an MSHR is free;
     /// otherwise skip (paper Section 5.1).
@@ -1332,6 +1612,19 @@ impl<'p> Engine<'p> {
                     if step > 0 {
                         match cp.ops[body.0 as usize] {
                             Op::ComputeConst(cyc) => {
+                                if self.cfg.workers > 1 {
+                                    // PDES pure-prefix replay: the whole
+                                    // run below is an arithmetic
+                                    // progression in time, so the first
+                                    // bail point is computable in O(1)
+                                    // and the retired prefix commits as
+                                    // one batch — bit-identical to the
+                                    // serial loop (see DESIGN.md §13).
+                                    self.replay_const_run(
+                                        ci, var, cur, end, step, body, stop_at, cyc, overhead,
+                                    );
+                                    return;
+                                }
                                 let mut cur = cur;
                                 loop {
                                     self.cpus[ci].vars[var.0 as usize] = cur;
@@ -2898,9 +3191,112 @@ impl<'p> Engine<'p> {
 
     // -------------------------------------------------------- main loop --
 
+    /// One conservative window on the parallel path: find the domains
+    /// whose fronts lie within the lookahead horizon of the global
+    /// frontier and record the admission diagnostics. A sample of the
+    /// multi-domain windows is handed to the scout worker pool, which
+    /// classifies each admitted front's next work (CPU-private compute,
+    /// domain-local access, or a directory/network boundary crossing)
+    /// with read-only probes. The window bounds what *may* run
+    /// concurrently; commits stay in global event order.
+    fn form_window(&mut self) {
+        /// Every how-many multi-domain windows the scout pool runs (the
+        /// probes are read-only, so sampling only trades diagnostic
+        /// resolution against thread-dispatch overhead).
+        const SCOUT_SAMPLE: u64 = 64;
+        let Q::Domains(q) = &self.q else { return };
+        if q.is_empty() {
+            return;
+        }
+        // Hot path: admission is a count; the domain list is only
+        // materialized for the sampled windows below.
+        let admitted = q.count_within(self.lookahead);
+        self.pdes.windows += 1;
+        self.pdes.peak_window_domains = self.pdes.peak_window_domains.max(admitted);
+        if admitted < 2 {
+            return;
+        }
+        self.pdes.multi_domain_windows += 1;
+        if self.pdes.multi_domain_windows % SCOUT_SAMPLE != 1 {
+            return;
+        }
+        let fronts: Vec<usize> = q
+            .domains_within(self.lookahead)
+            .iter()
+            .filter_map(|&d| q.domain_front(d).map(|(_, c)| c.0))
+            .collect();
+        let tally = self.scout_window(&fronts);
+        self.pdes.scouted_windows += 1;
+        self.pdes.scout_pure += tally[ScoutClass::Pure as usize];
+        self.pdes.scout_local += tally[ScoutClass::Local as usize];
+        self.pdes.scout_boundary += tally[ScoutClass::Boundary as usize];
+        self.pdes.scout_other += tally[ScoutClass::Other as usize];
+    }
+
+    /// Classify the admitted fronts on the scout worker pool: the
+    /// read-only probes fan out across up to `workers` threads sharing
+    /// the engine state immutably. Per-class tallies are summed, so the
+    /// result is independent of thread count and OS scheduling.
+    fn scout_window(&self, fronts: &[usize]) -> [u64; 4] {
+        let cp = self.cp;
+        let ms = &self.ms;
+        let map = &self.map;
+        let cpus = &self.cpus;
+        let nthreads = self.layout.team_size() as i64;
+        // A classification probe is a few hundred nanoseconds; a scoped
+        // thread spawn is tens of microseconds. Fan out only when each
+        // helper gets enough fronts to amortize its spawn — small
+        // machines (few domains) always classify inline.
+        const SCOUT_THREAD_MIN: usize = 8;
+        let workers = if fronts.len() >= SCOUT_THREAD_MIN {
+            self.cfg.workers.min(fronts.len()).max(1)
+        } else {
+            1
+        };
+        let chunk = fronts.len().div_ceil(workers);
+        let mut tally = [0u64; 4];
+        if workers == 1 {
+            for &ci in fronts {
+                tally[scout_classify(cp, ms, map, cpus, nthreads, ci) as usize] += 1;
+            }
+            return tally;
+        }
+        std::thread::scope(|s| {
+            let handles: Vec<_> = fronts
+                .chunks(chunk)
+                .map(|part| {
+                    s.spawn(move || {
+                        let mut t = [0u64; 4];
+                        for &ci in part {
+                            t[scout_classify(cp, ms, map, cpus, nthreads, ci) as usize] += 1;
+                        }
+                        t
+                    })
+                })
+                .collect();
+            for h in handles {
+                let t = h.join().expect("scout thread panicked");
+                for (acc, v) in tally.iter_mut().zip(t) {
+                    *acc += v;
+                }
+            }
+        });
+        tally
+    }
+
     /// Run to completion. Returns the aggregated results.
     pub fn run(mut self) -> Result<RunResult, String> {
-        while let Some((t, cpu)) = self.q.pop() {
+        let parallel = matches!(self.q, Q::Domains(_));
+        loop {
+            // On the parallel path, form the conservative window before
+            // committing the frontier event: record which domains could
+            // step concurrently and scout a sample of them. Admission
+            // never reorders execution — the pop below still commits
+            // events in global `(time, seq, cpu)` order.
+            if parallel {
+                self.form_window();
+            }
+            let Some((t, cpu)) = self.q.pop() else { break };
             if self.master_done {
                 break;
             }
@@ -3069,6 +3465,7 @@ impl<'p> Engine<'p> {
             stores_skipped,
             machine,
             trace,
+            pdes: self.pdes,
         }
     }
 }

@@ -190,6 +190,7 @@ mod tests {
                 stores_skipped: 0,
                 machine: dsm_sim::MachineCounters::default(),
                 trace: None,
+                pdes: Default::default(),
             },
         }
     }

@@ -63,6 +63,16 @@ pub struct RunOptions {
     /// Seeded engine-mutation class (fuzzer self-check only). The
     /// default, [`EngineMutation::None`], is the production engine.
     pub mutation: EngineMutation,
+    /// PDES worker threads for the simulation engine. `1` (the default)
+    /// is the serial fast path; `> 1` enables the per-CMP time-domain
+    /// scheduler. Results are bit-identical at every worker count. See
+    /// [`workers_from_env`] for the `SIM_WORKERS` resolution used by
+    /// harnesses.
+    pub workers: usize,
+    /// Override the PDES lookahead horizon in cycles (`None` derives it
+    /// from the machine's minimum remote-hop latency; `Some(0)` forces
+    /// lockstep window admission). Only meaningful with `workers > 1`.
+    pub lookahead: Option<Cycle>,
 }
 
 impl RunOptions {
@@ -83,7 +93,15 @@ impl RunOptions {
             gate: GateMode::Warn,
             max_cycles: None,
             mutation: EngineMutation::None,
+            workers: 1,
+            lookahead: None,
         }
+    }
+
+    /// Set the PDES worker count (`1` = serial fast path; floored at 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
     }
 
     /// Cap the run at `cycles` simulated cycles (hang watchdog for
@@ -195,6 +213,28 @@ impl RunSummary {
     }
 }
 
+/// Resolve the `SIM_WORKERS` environment variable into an engine worker
+/// count for a harness already running `pool_workers` simulations
+/// concurrently. Unset or unparsable means `1` (the serial fast path);
+/// `0` means "use all available parallelism". The result is clamped so
+/// `pool_workers × engine workers` never oversubscribes the host
+/// ([`dsm_sim::clamp_workers`]); the clamp respects `BENCH_WORKERS`
+/// when the caller passes a bound derived from it.
+pub fn workers_from_env(pool_workers: usize) -> usize {
+    let requested: usize = std::env::var("SIM_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(1);
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    dsm_sim::clamp_workers(
+        dsm_sim::resolve_workers(requested, available),
+        pool_workers,
+        available,
+    )
+}
+
 fn mode_label(mode: ExecMode, sync: Option<SlipSync>) -> String {
     match (mode, sync) {
         (ExecMode::Slipstream, Some(s)) => format!("slip-{}", s.label()),
@@ -258,6 +298,8 @@ pub fn run_compiled(
         cfg.max_cycles = mc;
     }
     cfg.mutation = opts.mutation;
+    cfg.workers = opts.workers.max(1);
+    cfg.lookahead = opts.lookahead;
     if let Some(sync) = opts.sync {
         // Route the synchronization choice through OMP_SLIPSTREAM, as the
         // paper's runtime does ("we changed the synchronization method as
