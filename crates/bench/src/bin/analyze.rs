@@ -6,54 +6,80 @@
 //! to `$ANALYZE_OUT` when set, and exits non-zero if any program has a
 //! deny-severity finding — the contract the CI `analyze` job enforces.
 //!
+//! With `SERVE_ADDR` set, each program's report is produced by a
+//! running `serve` daemon (`analyze` job kind) instead of in-process;
+//! both paths format through [`bench::analyze_one`], so the output is
+//! byte-identical either way.
+//!
 //! Environment:
+//! * `SERVE_ADDR` — route analysis through a sim-serve daemon.
 //! * `ANALYZE_OUT` — path for the JSON report array.
 //! * `ANALYZE_THREADS` — override the modelled team size (default 16).
 //! * `ANALYZE_BUDGET` — override the node-visit budget.
 
-use bench::example_programs;
-use npb_kernels::Benchmark;
-use omp_analyze::{analyze, AnalyzeConfig};
-use omp_ir::node::{Program, ScheduleSpec};
+use bench::{analysis_corpus, analyze_one};
+use omp_analyze::AnalyzeConfig;
 
-fn env_u64(key: &str) -> Option<u64> {
-    std::env::var(key).ok().map(|v| {
-        v.parse()
-            .unwrap_or_else(|_| panic!("{key} must be an integer, got {v:?}"))
-    })
-}
-
-fn corpus() -> Vec<(String, Program)> {
-    let mut out = Vec::new();
-    for bm in Benchmark::ALL {
-        out.push((format!("{}-tiny", bm.name()), bm.build_tiny()));
-        out.push((format!("{}-paper", bm.name()), bm.build_paper(None)));
-        if bm.in_dynamic_experiment() {
-            out.push((
-                format!("{}-dyn2", bm.name()),
-                bm.build_tiny_sched(ScheduleSpec::dynamic(2)),
-            ));
-            out.push((
-                format!("{}-guided", bm.name()),
-                bm.build_tiny_sched(ScheduleSpec::guided()),
-            ));
+/// (table text, JSON item, deny count) per program, computed either
+/// in-process or by a daemon.
+fn reports(threads: Option<u64>, budget: Option<u64>) -> Vec<(String, String, u64)> {
+    let corpus = analysis_corpus();
+    if let Some(addr) = bench::env::string("SERVE_ADDR") {
+        eprintln!("analyzing through the daemon at {addr}");
+        let mut client = sim_serve::Client::connect(&addr).expect("connect to daemon");
+        let knob = |k: &str, v: Option<u64>| v.map(|n| format!(",\"{k}\":{n}")).unwrap_or_default();
+        corpus
+            .iter()
+            .map(|(label, _)| {
+                let spec = format!(
+                    "{{\"kind\":\"analyze\",\"program\":\"{label}\"{}{}}}",
+                    knob("threads", threads),
+                    knob("budget", budget),
+                );
+                let (_, payload) = client
+                    .run_to_payload(&spec, 0, None)
+                    .unwrap_or_else(|e| panic!("analyze {label}: {e}"));
+                let v = sim_trace::json::parse(&payload)
+                    .unwrap_or_else(|e| panic!("analyze {label} payload: {e}"));
+                let s = |k: &str| {
+                    v.get(k)
+                        .and_then(|x| x.as_str())
+                        .unwrap_or_else(|| panic!("analyze {label}: missing {k}"))
+                        .to_string()
+                };
+                let denies = v
+                    .get("denies")
+                    .and_then(|x| x.as_num())
+                    .map(|n| n as u64)
+                    .unwrap_or_else(|| panic!("analyze {label}: missing denies"));
+                (s("text"), s("json_item"), denies)
+            })
+            .collect()
+    } else {
+        let mut cfg = AnalyzeConfig::paper();
+        if let Some(t) = threads {
+            cfg = cfg.with_threads(t);
         }
+        if let Some(b) = budget {
+            cfg = cfg.with_budget(b);
+        }
+        corpus
+            .iter()
+            .map(|(label, program)| analyze_one(label, program, &cfg))
+            .collect()
     }
-    for p in example_programs() {
-        out.push((format!("example-{}", p.name), p));
-    }
-    out
 }
 
 fn main() {
+    let threads = bench::env::get::<u64>("ANALYZE_THREADS");
+    let budget = bench::env::get::<u64>("ANALYZE_BUDGET");
+
+    // The header reports the effective config; resolve it locally even
+    // when the reports come from a daemon.
     let mut cfg = AnalyzeConfig::paper();
-    if let Some(t) = env_u64("ANALYZE_THREADS") {
+    if let Some(t) = threads {
         cfg = cfg.with_threads(t);
     }
-    if let Some(b) = env_u64("ANALYZE_BUDGET") {
-        cfg = cfg.with_budget(b);
-    }
-
     println!(
         "slipstream-safety analysis: {} threads, {} L2 lines/node\n",
         cfg.num_threads, cfg.l2_lines
@@ -65,40 +91,13 @@ fn main() {
 
     let mut json_items = Vec::new();
     let mut total_denies = 0u64;
-    for (label, program) in corpus() {
-        let r = analyze(&program, &cfg);
-        total_denies += r.deny_count() as u64;
-        let lead = r.regions.iter().map(|g| g.lead_phases).max().unwrap_or(0);
-        let status = if r.truncated {
-            "TRUNCATED"
-        } else if r.deny_count() > 0 {
-            "DENY"
-        } else if !r.findings.is_empty() {
-            "warn"
-        } else {
-            "clean"
-        };
-        println!(
-            "{:<18} {:>7} {:>5} {:>5} {:>5} {:>6} {:>9}  {}",
-            label,
-            r.regions.len(),
-            r.deny_count(),
-            r.warn_count(),
-            r.info_count(),
-            lead,
-            r.visits,
-            status
-        );
-        for f in &r.findings {
-            println!("    {f}");
-        }
-        json_items.push(format!(
-            "{{\"program\":\"{label}\",\"report\":{}}}",
-            r.to_json()
-        ));
+    for (text, json_item, denies) in reports(threads, budget) {
+        total_denies += denies;
+        println!("{text}");
+        json_items.push(json_item);
     }
 
-    if let Ok(path) = std::env::var("ANALYZE_OUT") {
+    if let Some(path) = bench::env::string("ANALYZE_OUT") {
         std::fs::write(&path, format!("[{}]\n", json_items.join(",\n")))
             .unwrap_or_else(|e| panic!("write {path}: {e}"));
         println!("\nwrote JSON reports to {path}");

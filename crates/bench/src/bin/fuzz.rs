@@ -24,18 +24,11 @@
 //! Exit status is non-zero when any failure (or self-check problem) was
 //! found.
 
-use bench::pool;
+use bench::{env, pool};
 use omp_fuzz::{run_campaign, self_check_mutation, CampaignConfig, CampaignResult};
 use omp_ir::program_to_json;
 use slipstream::EngineMutation;
 use std::path::Path;
-
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
 
 /// Deterministic shard seeds: shard `k` of master seed `s` runs its own
 /// campaign from `s + k`, so the merged result does not depend on how
@@ -114,13 +107,13 @@ fn self_check(seed: u64, out_dir: &Path) -> bool {
 }
 
 fn main() {
-    let iters = env_u64("FUZZ_ITERS", 500);
-    let seed = env_u64("FUZZ_SEED", 1);
-    let fault_every = env_u64("FUZZ_FAULT_EVERY", 5);
-    let out_dir = std::env::var("FUZZ_OUT").unwrap_or_else(|_| "fuzz-out".into());
+    let iters = env::get_or("FUZZ_ITERS", 500);
+    let seed = env::get_or("FUZZ_SEED", 1);
+    let fault_every = env::get_or("FUZZ_FAULT_EVERY", 5);
+    let out_dir = env::string_or("FUZZ_OUT", "fuzz-out");
     let out_dir = Path::new(&out_dir);
 
-    if env_u64("FUZZ_SELFCHECK", 0) == 1 {
+    if env::get_or("FUZZ_SELFCHECK", 0) == 1 {
         if self_check(seed, out_dir) {
             println!("fuzz self-check: all mutation classes caught, minimized, and replayable");
             return;

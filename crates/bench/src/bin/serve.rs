@@ -1,0 +1,50 @@
+//! Batch simulation daemon: serve slipstream runs over the sim-serve
+//! line protocol.
+//!
+//! Starts a [`sim_serve::Server`] with the slipstream
+//! [`bench::serve::BenchRunner`] and blocks until a client sends the
+//! `shutdown` verb (or the process is killed). Clients — the
+//! `all_experiments`, `analyze`, `soak`, and `serve_batch` binaries,
+//! or anything speaking NDJSON over TCP — submit job specs and read
+//! back bit-identical result payloads, with repeated configs answered
+//! from the content-addressed result cache and warm-started sweeps
+//! forked from shared engine snapshots.
+//!
+//! Environment:
+//! * `SERVE_ADDR` — listen address (default `127.0.0.1:0`; the chosen
+//!   port is printed on startup).
+//! * `SERVE_WORKERS` — daemon worker threads (default 2, clamped by
+//!   the host like every pool consumer).
+//! * `SERVE_CACHE_CAP` — in-memory result-cache entries (default 256).
+//! * `SERVE_CACHE_DIR` — optional directory for the on-disk cache
+//!   tier; cached results then survive daemon restarts.
+
+use bench::serve::BenchRunner;
+use bench::{env, pool};
+use sim_serve::{ServeOptions, Server};
+
+fn main() {
+    let addr = env::string_or("SERVE_ADDR", "127.0.0.1:0");
+    let opts = ServeOptions {
+        // Daemon workers are the process's job-level parallelism, so
+        // they answer to the pool's worker bound (BENCH_WORKERS); the
+        // per-job PDES engine threads are clamped separately by
+        // `pool::engine_workers` inside the runner.
+        workers: env::get_or("SERVE_WORKERS", 2).clamp(1, pool::worker_bound()),
+        cache_cap: env::get_or("SERVE_CACHE_CAP", 256),
+        cache_dir: env::string("SERVE_CACHE_DIR").map(std::path::PathBuf::from),
+    };
+    let server = Server::bind(&addr, Box::new(BenchRunner::new()), opts.clone())
+        .unwrap_or_else(|e| panic!("bind {addr}: {e}"));
+    println!(
+        "sim-serve listening on {} ({} workers)",
+        server.local_addr(),
+        opts.workers
+    );
+
+    while !server.shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    println!("shutdown requested, draining");
+    server.shutdown();
+}

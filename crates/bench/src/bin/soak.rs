@@ -23,7 +23,7 @@
 //! be replayed exactly. `SOAK_SCENARIOS` overrides the scenario count
 //! (default 200); `SOAK_SEED` offsets the seed base.
 
-use bench::pool;
+use bench::{env, pool};
 use npb_kernels::Benchmark;
 use omp_ir::expr::Expr;
 use omp_ir::node::Program;
@@ -45,13 +45,6 @@ const CYCLE_BUDGET: u64 = 2_000_000_000;
 
 /// Pairs in the random-sweep machine (4 CMPs).
 const TEAM: u64 = 4;
-
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
 
 fn machine(cmps: usize) -> MachineConfig {
     let mut m = MachineConfig::paper();
@@ -270,10 +263,7 @@ fn run_scenario(s: &Scenario, programs: &[(Program, TraceSummary)]) -> Result<Ta
     // Engine workers come from SIM_WORKERS, clamped by the pool guard so
     // scenarios running on every pool worker never oversubscribe the
     // host (results are bit-identical at any worker count regardless).
-    let workers = std::env::var("SIM_WORKERS")
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .map_or(1, pool::engine_workers);
+    let workers = env::get("SIM_WORKERS").map_or(1, pool::engine_workers);
     let opts = RunOptions::new(ExecMode::Slipstream)
         .with_machine(machine(s.team as usize))
         .with_sync(s.sync)
@@ -322,11 +312,54 @@ fn run_scenario(s: &Scenario, programs: &[(Program, TraceSummary)]) -> Result<Ta
     })
 }
 
+/// `SERVE_ADDR`-gated cross-check: ship each kernel program over the
+/// wire as `program_json`, let the daemon simulate it under a seeded
+/// fault plan, and compare its result fingerprint against an identical
+/// in-process run. Exercises program serialization, the daemon's spec
+/// path, and cross-process engine determinism in one sweep.
+fn cross_check_daemon(addr: &str, seed_base: u64) {
+    eprintln!(
+        "soak: cross-checking {} kernels against the daemon at {addr}",
+        Benchmark::ALL.len()
+    );
+    let mut client = sim_serve::Client::connect(addr).expect("connect to daemon");
+    for (k, bm) in Benchmark::ALL.iter().enumerate() {
+        let program = bm.build_tiny();
+        let seed = seed_base + 0x50AC + k as u64;
+        let spec = format!(
+            "{{\"kind\":\"run\",\"program_json\":\"{}\",\"machine\":\"small\",\
+             \"mode\":\"slip-G0\",\"workers\":1,\
+             \"fault_seed\":{seed},\"fault_team\":{TEAM},\"fault_events\":4}}",
+            sim_serve::proto::esc(&omp_ir::program_to_json(&program)),
+        );
+        let (_, payload) = client
+            .run_to_payload(&spec, 0, None)
+            .unwrap_or_else(|e| panic!("daemon cross-check {}: {e}", bm.name()));
+        let row = bench::serve::SuiteRow::from_payload(&payload).expect("row payload");
+        let opts = RunOptions::new(ExecMode::Slipstream)
+            .with_machine(machine(TEAM as usize))
+            .with_sync(SlipSync::G0)
+            .with_faults(FaultPlan::random(seed, TEAM, 4))
+            .with_workers(pool::engine_workers(1));
+        let local = run_program(&program, &opts).expect("local cross-check run");
+        assert_eq!(
+            row.fingerprint,
+            bench::summary_fingerprint(&local),
+            "daemon and in-process runs diverged for {}",
+            bm.name()
+        );
+    }
+    eprintln!("soak: daemon cross-check passed");
+}
+
 fn main() {
-    let scenarios = env_u64("SOAK_SCENARIOS", 200);
-    let seed_base = env_u64("SOAK_SEED", 0);
-    let fail_file =
-        std::env::var("SOAK_FAIL_FILE").unwrap_or_else(|_| "soak-failing-seeds.txt".into());
+    let scenarios = env::get_or("SOAK_SCENARIOS", 200);
+    let seed_base = env::get_or("SOAK_SEED", 0);
+    let fail_file = env::string_or("SOAK_FAIL_FILE", "soak-failing-seeds.txt");
+
+    if let Some(addr) = env::string("SERVE_ADDR") {
+        cross_check_daemon(&addr, seed_base);
+    }
 
     // Programs and their fault-free oracles, computed once. Index 0..5
     // are the NPB kernels (tiny class); 5 is the crafted-scenario
@@ -352,7 +385,7 @@ fn main() {
     // differential fuzzer promotes only clean survivors, but the soak
     // must not silently trust a hand-edited directory.
     let mut corpus: Vec<(usize, String)> = Vec::new();
-    if let Ok(dir) = std::env::var("SOAK_CORPUS") {
+    if let Some(dir) = env::string("SOAK_CORPUS") {
         let mut paths: Vec<_> = std::fs::read_dir(&dir)
             .unwrap_or_else(|e| panic!("SOAK_CORPUS {dir}: {e}"))
             .filter_map(|entry| entry.ok().map(|e| e.path()))

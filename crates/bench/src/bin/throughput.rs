@@ -75,10 +75,8 @@ impl Row {
 }
 
 fn worker_sweep() -> Vec<usize> {
-    let spec = std::env::var("THROUGHPUT_WORKERS").unwrap_or_else(|_| "1,4".to_string());
-    let mut sweep: Vec<usize> = spec
-        .split(',')
-        .filter_map(|v| v.trim().parse().ok())
+    let mut sweep: Vec<usize> = bench::env::list_or("THROUGHPUT_WORKERS", &[1, 4])
+        .into_iter()
         .map(|w: usize| w.max(1))
         .collect();
     sweep.dedup();
@@ -89,12 +87,8 @@ fn worker_sweep() -> Vec<usize> {
 }
 
 fn main() {
-    let preset = std::env::var("THROUGHPUT_PRESET").unwrap_or_else(|_| "tiny".to_string());
-    let iters: u32 = std::env::var("THROUGHPUT_ITERS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(3)
-        .max(1);
+    let preset = bench::env::string_or("THROUGHPUT_PRESET", "tiny");
+    let iters: u32 = bench::env::get_or("THROUGHPUT_ITERS", 3).max(1);
     let sweep = worker_sweep();
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -164,9 +158,10 @@ fn main() {
         }
     }
 
-    let out_path = std::env::var("THROUGHPUT_OUT").unwrap_or_else(|_| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json").to_string()
-    });
+    let out_path = bench::env::string_or(
+        "THROUGHPUT_OUT",
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json"),
+    );
     let items: Vec<String> = rows.iter().map(|r| r.to_json()).collect();
     let json = format!(
         "{{\"preset\":\"{}\",\"iters\":{},\"host_cores\":{},\"rows\":[\n{}\n]}}\n",

@@ -21,9 +21,9 @@ use sim_trace::{analyze, chrome_trace_json, validate_chrome_trace, TraceConfig};
 use slipstream::runner::{run_program, RunOptions};
 
 fn main() {
-    let bench = std::env::var("TRACE_BENCH").unwrap_or_else(|_| "cg".to_string());
-    let mode_label = std::env::var("TRACE_MODE").unwrap_or_else(|_| "slip-G0".to_string());
-    let preset = std::env::var("TRACE_PRESET").unwrap_or_else(|_| "tiny".to_string());
+    let bench = bench::env::string_or("TRACE_BENCH", "cg");
+    let mode_label = bench::env::string_or("TRACE_MODE", "slip-G0");
+    let preset = bench::env::string_or("TRACE_PRESET", "tiny");
 
     let bm = Benchmark::ALL
         .into_iter()
@@ -60,8 +60,7 @@ fn main() {
     let json = chrome_trace_json(td);
     let report = validate_chrome_trace(&json).expect("emitted trace failed self-validation");
 
-    let out_path =
-        std::env::var("TRACE_OUT").unwrap_or_else(|_| format!("{}-{label}.trace.json", bm.name()));
+    let out_path = bench::env::string_or("TRACE_OUT", &format!("{}-{label}.trace.json", bm.name()));
     std::fs::write(&out_path, &json).expect("write trace file");
 
     println!(

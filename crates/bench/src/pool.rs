@@ -36,9 +36,7 @@ static PEAK_HELPERS: AtomicUsize = AtomicUsize::new(0);
 /// `BENCH_WORKERS`, falling back to the host's available parallelism.
 pub fn worker_bound() -> usize {
     *BOUND.get_or_init(|| {
-        std::env::var("BENCH_WORKERS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
+        crate::env::get::<usize>("BENCH_WORKERS")
             .filter(|&n| n > 0)
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
     })

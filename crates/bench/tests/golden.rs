@@ -44,7 +44,7 @@ fn current_fingerprints() -> String {
 #[test]
 fn golden_determinism_tiny_presets() {
     let actual = current_fingerprints();
-    if std::env::var("GOLDEN_BLESS").is_ok() {
+    if bench::env::flag("GOLDEN_BLESS") {
         std::fs::write(GOLDEN_PATH, &actual).expect("write golden file");
         return;
     }

@@ -164,6 +164,54 @@ impl SetAssocCache {
     pub fn occupancy(&self) -> usize {
         self.sets.iter().map(|s| s.len()).sum()
     }
+
+    /// Serialize the full cache state (geometry, LRU clock, every way in
+    /// storage order, hit/miss counters).
+    pub fn snapshot(&self, w: &mut snap::Writer) {
+        w.usize(self.ways);
+        w.u64(self.set_mask);
+        w.u64(self.lru_clock);
+        w.usize(self.sets.len());
+        for set in &self.sets {
+            w.seq(set, |w, way| {
+                w.u64(way.line.0);
+                w.bool(matches!(way.state, LineState::Modified));
+                w.u64(way.last_use);
+            });
+        }
+        w.u64(self.hits);
+        w.u64(self.misses);
+    }
+
+    /// Restore a cache written by [`SetAssocCache::snapshot`].
+    pub fn restore(r: &mut snap::Reader) -> Result<Self, snap::SnapError> {
+        let ways = r.usize()?;
+        let set_mask = r.u64()?;
+        let lru_clock = r.u64()?;
+        let num_sets = r.usize()?;
+        let mut sets = Vec::with_capacity(num_sets);
+        for _ in 0..num_sets {
+            sets.push(r.seq(|r| {
+                Ok(Way {
+                    line: LineAddr(r.u64()?),
+                    state: if r.bool()? {
+                        LineState::Modified
+                    } else {
+                        LineState::Shared
+                    },
+                    last_use: r.u64()?,
+                })
+            })?);
+        }
+        Ok(SetAssocCache {
+            sets,
+            ways,
+            set_mask,
+            lru_clock,
+            hits: r.u64()?,
+            misses: r.u64()?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -123,6 +123,19 @@ impl FillCounts {
         self.counts[kind_index(kind)].iter().sum()
     }
 
+    /// Rebuild counts from raw per-class cells in [`FILL_CLASSES`]
+    /// order — the inverse of reading every [`FillCounts::get`] cell
+    /// (used to reconstitute a daemon result payload). Slices must have
+    /// one cell per fill class.
+    pub fn from_cells(read: &[u64], readex: &[u64]) -> FillCounts {
+        assert_eq!(read.len(), FILL_CLASSES.len(), "read cell count");
+        assert_eq!(readex.len(), FILL_CLASSES.len(), "readex cell count");
+        let mut fc = FillCounts::default();
+        fc.counts[0].copy_from_slice(read);
+        fc.counts[1].copy_from_slice(readex);
+        fc
+    }
+
     /// Fraction of `kind` fills in `class` (0 when no fills).
     pub fn fraction(&self, kind: ReqKind, class: FillClass) -> f64 {
         let t = self.total(kind);
@@ -320,6 +333,80 @@ impl Classifier {
     /// signal, which wants settled verdicts anyway.
     pub fn a_tally(&self, cmp: CmpId) -> ATally {
         self.a_tallies.get(cmp.0).copied().unwrap_or_default()
+    }
+
+    /// Serialize the full classifier state. Live records are written
+    /// sorted by key — `FastMap` iteration order is not deterministic,
+    /// the snapshot must be.
+    pub fn snapshot(&self, w: &mut snap::Writer) {
+        let mut live: Vec<(u64, FillRecord)> = self.live.iter().map(|(k, v)| (*k, *v)).collect();
+        live.sort_unstable_by_key(|(k, _)| *k);
+        w.seq(&live, |w, (k, rec)| {
+            w.u64(*k);
+            w.u8(match rec.issuer {
+                StreamRole::Solo => 0,
+                StreamRole::R => 1,
+                StreamRole::A => 2,
+            });
+            w.bool(matches!(rec.kind, ReqKind::ReadEx));
+            w.u64(rec.complete);
+            w.opt(&rec.other_first_use, |w, t| w.u64(*t));
+        });
+        for row in self.counts.counts {
+            for c in row {
+                w.u64(c);
+            }
+        }
+        w.seq(&self.a_tallies, |w, t| {
+            w.u64(t.timely);
+            w.u64(t.polluted);
+            w.u64(t.total);
+        });
+        self.tracer.snapshot(w);
+    }
+
+    /// Restore a classifier written by [`Classifier::snapshot`].
+    pub fn restore(r: &mut snap::Reader) -> Result<Self, snap::SnapError> {
+        let live_entries = r.seq(|r| {
+            let k = r.u64()?;
+            let issuer = match r.u8()? {
+                0 => StreamRole::Solo,
+                1 => StreamRole::R,
+                2 => StreamRole::A,
+                _ => return Err(snap::SnapError::Corrupt { what: "StreamRole" }),
+            };
+            Ok((
+                k,
+                FillRecord {
+                    issuer,
+                    kind: if r.bool()? {
+                        ReqKind::ReadEx
+                    } else {
+                        ReqKind::Read
+                    },
+                    complete: r.u64()?,
+                    other_first_use: r.opt(|r| r.u64())?,
+                },
+            ))
+        })?;
+        let mut counts = FillCounts::default();
+        for row in &mut counts.counts {
+            for c in row.iter_mut() {
+                *c = r.u64()?;
+            }
+        }
+        Ok(Classifier {
+            live: live_entries.into_iter().collect(),
+            counts,
+            a_tallies: r.seq(|r| {
+                Ok(ATally {
+                    timely: r.u64()?,
+                    polluted: r.u64()?,
+                    total: r.u64()?,
+                })
+            })?,
+            tracer: Tracer::restore(r)?,
+        })
     }
 }
 

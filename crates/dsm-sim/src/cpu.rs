@@ -83,6 +83,24 @@ impl CpuTimeline {
     pub fn take_spans(&mut self) -> Option<(Vec<Span>, u64)> {
         self.spans.take().map(|log| log.finish())
     }
+
+    /// Serialize the full timeline state (clock, counters, span log).
+    pub fn snapshot(&self, w: &mut snap::Writer) {
+        w.u64(self.now);
+        self.stats.snapshot(w);
+        w.opt(&self.spans, |w, log| log.snapshot(w));
+    }
+
+    /// Overwrite this timeline with snapshot state. Unlike [`place_at`],
+    /// this restores mid-run state, so non-zero counters are expected.
+    ///
+    /// [`place_at`]: CpuTimeline::place_at
+    pub fn restore_into(&mut self, r: &mut snap::Reader) -> Result<(), snap::SnapError> {
+        self.now = r.u64()?;
+        self.stats = CpuStats::restore(r)?;
+        self.spans = r.opt(|r| Ok(Box::new(SpanLog::restore(r)?)))?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -182,6 +182,50 @@ impl Directory {
     pub fn tracked_lines(&self) -> usize {
         self.entries.len()
     }
+
+    /// Serialize the directory. Entries are written sorted by line address
+    /// — `FastMap` iteration order is not deterministic, the snapshot must
+    /// be.
+    pub fn snapshot(&self, w: &mut snap::Writer) {
+        let mut entries: Vec<(LineAddr, DirState)> =
+            self.entries.iter().map(|(l, s)| (*l, *s)).collect();
+        entries.sort_unstable_by_key(|(l, _)| l.0);
+        w.seq(&entries, |w, (line, state)| {
+            w.u64(line.0);
+            match state {
+                DirState::Uncached => w.u8(0),
+                DirState::Shared(mask) => {
+                    w.u8(1);
+                    w.u64(*mask);
+                }
+                DirState::Modified(owner) => {
+                    w.u8(2);
+                    w.usize(owner.0);
+                }
+            }
+        });
+        w.u64(self.invalidations_sent);
+        w.u64(self.three_hop_fetches);
+    }
+
+    /// Restore a directory written by [`Directory::snapshot`].
+    pub fn restore(r: &mut snap::Reader) -> Result<Self, snap::SnapError> {
+        let entries = r.seq(|r| {
+            let line = LineAddr(r.u64()?);
+            let state = match r.u8()? {
+                0 => DirState::Uncached,
+                1 => DirState::Shared(r.u64()?),
+                2 => DirState::Modified(CmpId(r.usize()?)),
+                _ => return Err(snap::SnapError::Corrupt { what: "DirState" }),
+            };
+            Ok((line, state))
+        })?;
+        Ok(Directory {
+            entries: entries.into_iter().collect(),
+            invalidations_sent: r.u64()?,
+            three_hop_fetches: r.u64()?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -60,6 +60,32 @@ impl EventQueue {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Export the pending events as `(time, seq, cpu)` sorted by
+    /// `(time, seq)` plus the next sequence stamp — the queue-neutral
+    /// form shared with [`DomainQueues::export`], so a snapshot taken
+    /// from either queue kind restores into either.
+    pub fn export(&self) -> (Vec<(Cycle, u64, CpuId)>, u64) {
+        let mut evs: Vec<_> = self
+            .heap
+            .iter()
+            .map(|Reverse(e)| (e.time, e.seq, e.cpu))
+            .collect();
+        evs.sort_unstable();
+        (evs, self.seq)
+    }
+
+    /// Rebuild a queue from an exported event list. Sequence stamps are
+    /// preserved, so pop order is exactly the exporter's.
+    pub fn import(events: &[(Cycle, u64, CpuId)], next_seq: u64) -> Self {
+        EventQueue {
+            heap: events
+                .iter()
+                .map(|&(time, seq, cpu)| Reverse(Ev { time, seq, cpu }))
+                .collect(),
+            seq: next_seq,
+        }
+    }
 }
 
 /// Per-CMP event queues for the conservative PDES layer (`crate::pdes`).
@@ -194,6 +220,40 @@ impl DomainQueues {
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
+
+    /// Export the pending events in the queue-neutral form shared with
+    /// [`EventQueue::export`]: `(time, seq, cpu)` sorted by `(time, seq)`
+    /// plus the next global sequence stamp. The domain partition is
+    /// deliberately *not* part of the export — a snapshot restores into
+    /// any worker-count's queue layout.
+    pub fn export(&self) -> (Vec<(Cycle, u64, CpuId)>, u64) {
+        let mut evs: Vec<_> = self
+            .heaps
+            .iter()
+            .flat_map(|h| h.iter().map(|Reverse(e)| (e.time, e.seq, e.cpu)))
+            .collect();
+        evs.sort_unstable();
+        (evs, self.seq)
+    }
+
+    /// Rebuild domain queues from an exported event list, re-partitioning
+    /// by this instance's domain layout. Global sequence stamps are
+    /// preserved, so merged pop order is exactly the exporter's.
+    pub fn import(
+        events: &[(Cycle, u64, CpuId)],
+        next_seq: u64,
+        num_domains: usize,
+        cpus_per_domain: usize,
+    ) -> Self {
+        let mut q = DomainQueues::new(num_domains, cpus_per_domain);
+        for &(time, seq, cpu) in events {
+            let d = q.domain_of(cpu);
+            q.heaps[d].push(Reverse(Ev { time, seq, cpu }));
+            q.len += 1;
+        }
+        q.seq = next_seq;
+        q
+    }
 }
 
 /// A serially reusable hardware resource (bus, NI port, memory controller).
@@ -301,6 +361,25 @@ impl Resource {
     /// window).
     pub fn free_at(&self) -> Cycle {
         self.windows.back().map_or(0, |&(_, e)| e)
+    }
+
+    /// Serialize the reserved windows and counters.
+    pub fn snapshot(&self, w: &mut snap::Writer) {
+        w.deque(&self.windows, |w, &(s, e)| {
+            w.u64(s);
+            w.u64(e);
+        });
+        w.u64(self.contention_cycles);
+        w.u64(self.transactions);
+    }
+
+    /// Restore a resource written by [`Resource::snapshot`].
+    pub fn restore(r: &mut snap::Reader) -> Result<Self, snap::SnapError> {
+        Ok(Resource {
+            windows: r.deque(|r| Ok((r.u64()?, r.u64()?)))?,
+            contention_cycles: r.u64()?,
+            transactions: r.u64()?,
+        })
     }
 }
 

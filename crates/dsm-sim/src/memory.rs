@@ -51,6 +51,20 @@ impl MemoryControllers {
     pub fn bus_contention(&self) -> u64 {
         self.bus.iter().map(|r| r.contention_cycles).sum()
     }
+
+    /// Serialize the mutable controller/bus state. Derived latencies are
+    /// rebuilt from config on restore, so only the resources are written.
+    pub fn snapshot(&self, w: &mut snap::Writer) {
+        w.seq(&self.mem, |w, r| r.snapshot(w));
+        w.seq(&self.bus, |w, r| r.snapshot(w));
+    }
+
+    /// Overwrite this instance's controller/bus state from a snapshot.
+    pub fn restore_into(&mut self, r: &mut snap::Reader) -> Result<(), snap::SnapError> {
+        self.mem = r.seq(Resource::restore)?;
+        self.bus = r.seq(Resource::restore)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

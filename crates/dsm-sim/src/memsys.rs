@@ -695,6 +695,70 @@ impl MemSystem {
         self.net.total_messages()
     }
 
+    /// Serialize the mutable memory-system state. Config-derived fields
+    /// (address map, latencies) are rebuilt by [`MemSystem::new`] on
+    /// restore, so only caches, directories, resources, MSHRs, roles, the
+    /// classifier, and tracers are written. MSHR maps are written sorted
+    /// by line address for determinism.
+    pub fn snapshot(&self, w: &mut snap::Writer) {
+        w.seq(&self.l1, |w, c| c.snapshot(w));
+        w.seq(&self.l2, |w, c| c.snapshot(w));
+        w.seq(&self.dirs, |w, d| d.snapshot(w));
+        self.net.snapshot(w);
+        self.mem.snapshot(w);
+        w.usize(self.mshr.len());
+        for table in &self.mshr {
+            let mut entries: Vec<(u64, Cycle)> = table.iter().map(|(l, t)| (l.0, *t)).collect();
+            entries.sort_unstable();
+            w.seq(&entries, |w, &(l, t)| {
+                w.u64(l);
+                w.u64(t);
+            });
+        }
+        w.seq(&self.roles, |w, role| {
+            w.u8(match role {
+                StreamRole::Solo => 0,
+                StreamRole::R => 1,
+                StreamRole::A => 2,
+            });
+        });
+        w.bool(self.self_invalidation);
+        self.classifier.snapshot(w);
+        self.tracer.snapshot(w);
+        w.u64(self.l2_evictions);
+        w.u64(self.l2_invalidations);
+    }
+
+    /// Overwrite this (freshly built) memory system's mutable state from a
+    /// snapshot written by [`MemSystem::snapshot`] of a system with the
+    /// same machine configuration.
+    pub fn restore_into(&mut self, r: &mut snap::Reader) -> Result<(), snap::SnapError> {
+        self.l1 = r.seq(SetAssocCache::restore)?;
+        self.l2 = r.seq(SetAssocCache::restore)?;
+        self.dirs = r.seq(Directory::restore)?;
+        self.net.restore_into(r)?;
+        self.mem.restore_into(r)?;
+        let num_tables = r.usize()?;
+        let mut mshr = Vec::with_capacity(num_tables);
+        for _ in 0..num_tables {
+            let entries = r.seq(|r| Ok((LineAddr(r.u64()?), r.u64()?)))?;
+            mshr.push(entries.into_iter().collect());
+        }
+        self.mshr = mshr;
+        self.roles = r.seq(|r| match r.u8()? {
+            0 => Ok(StreamRole::Solo),
+            1 => Ok(StreamRole::R),
+            2 => Ok(StreamRole::A),
+            _ => Err(snap::SnapError::Corrupt { what: "StreamRole" }),
+        })?;
+        self.self_invalidation = r.bool()?;
+        self.classifier = Classifier::restore(r)?;
+        self.tracer = Tracer::restore(r)?;
+        self.l2_evictions = r.u64()?;
+        self.l2_invalidations = r.u64()?;
+        Ok(())
+    }
+
     /// Snapshot of machine-wide counters (diagnostics / reports).
     pub fn machine_counters(&self) -> MachineCounters {
         MachineCounters {

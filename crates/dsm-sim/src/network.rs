@@ -76,6 +76,20 @@ impl Network {
     pub fn total_messages(&self) -> u64 {
         self.ni_out.iter().map(|r| r.transactions).sum()
     }
+
+    /// Serialize the mutable port state. Derived latencies are rebuilt
+    /// from config on restore, so only the resources are written.
+    pub fn snapshot(&self, w: &mut snap::Writer) {
+        w.seq(&self.ni_out, |w, r| r.snapshot(w));
+        w.seq(&self.ni_in, |w, r| r.snapshot(w));
+    }
+
+    /// Overwrite this network's port state from a snapshot.
+    pub fn restore_into(&mut self, r: &mut snap::Reader) -> Result<(), snap::SnapError> {
+        self.ni_out = r.seq(Resource::restore)?;
+        self.ni_in = r.seq(Resource::restore)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -145,6 +145,22 @@ impl TimeBreakdown {
             *a += *b;
         }
     }
+
+    /// Serialize the per-class cycle array.
+    pub fn snapshot(&self, w: &mut snap::Writer) {
+        for c in self.cycles {
+            w.u64(c);
+        }
+    }
+
+    /// Restore a breakdown written by [`TimeBreakdown::snapshot`].
+    pub fn restore(r: &mut snap::Reader) -> Result<Self, snap::SnapError> {
+        let mut cycles = [0u64; TIME_CLASSES.len()];
+        for c in &mut cycles {
+            *c = r.u64()?;
+        }
+        Ok(TimeBreakdown { cycles })
+    }
 }
 
 /// Per-CPU counters.
@@ -180,6 +196,48 @@ pub struct CpuStats {
     /// 1 if this CPU's pair was demoted to single-stream mode after
     /// exhausting its recovery budget, else 0.
     pub demotions: u64,
+}
+
+impl CpuStats {
+    /// Serialize all counters in declaration order.
+    pub fn snapshot(&self, w: &mut snap::Writer) {
+        self.time.snapshot(w);
+        for v in [
+            self.loads,
+            self.stores,
+            self.l1_hits,
+            self.l2_hits,
+            self.l2_misses,
+            self.stores_converted,
+            self.stores_skipped,
+            self.barriers,
+            self.recoveries,
+            self.watchdog_recoveries,
+            self.faults_injected,
+            self.demotions,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    /// Restore counters written by [`CpuStats::snapshot`].
+    pub fn restore(r: &mut snap::Reader) -> Result<Self, snap::SnapError> {
+        Ok(CpuStats {
+            time: TimeBreakdown::restore(r)?,
+            loads: r.u64()?,
+            stores: r.u64()?,
+            l1_hits: r.u64()?,
+            l2_hits: r.u64()?,
+            l2_misses: r.u64()?,
+            stores_converted: r.u64()?,
+            stores_skipped: r.u64()?,
+            barriers: r.u64()?,
+            recoveries: r.u64()?,
+            watchdog_recoveries: r.u64()?,
+            faults_injected: r.u64()?,
+            demotions: r.u64()?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -83,6 +83,26 @@ impl Barrier {
     pub fn arrived(&self) -> usize {
         self.arrived
     }
+
+    /// Serialize the full barrier state (participants, arrivals, waiters).
+    pub fn snapshot(&self, w: &mut snap::Writer) {
+        w.usize(self.total);
+        w.usize(self.arrived);
+        w.u64(self.generation);
+        w.seq(&self.waiters, |w, c| w.usize(c.0));
+        w.u64(self.addr);
+    }
+
+    /// Restore a barrier written by [`Barrier::snapshot`].
+    pub fn restore(r: &mut snap::Reader) -> Result<Self, snap::SnapError> {
+        Ok(Barrier {
+            total: r.usize()?,
+            arrived: r.usize()?,
+            generation: r.u64()?,
+            waiters: r.seq(|r| Ok(CpuId(r.usize()?)))?,
+            addr: r.u64()?,
+        })
+    }
 }
 
 /// A FIFO queueing lock.
@@ -139,6 +159,24 @@ impl Lock {
     /// Processors queued behind the holder.
     pub fn queue_len(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Serialize the full lock state (holder, FIFO queue, counters).
+    pub fn snapshot(&self, w: &mut snap::Writer) {
+        w.opt(&self.holder, |w, c| w.usize(c.0));
+        w.deque(&self.queue, |w, c| w.usize(c.0));
+        w.u64(self.addr);
+        w.u64(self.acquisitions);
+    }
+
+    /// Restore a lock written by [`Lock::snapshot`].
+    pub fn restore(r: &mut snap::Reader) -> Result<Self, snap::SnapError> {
+        Ok(Lock {
+            holder: r.opt(|r| Ok(CpuId(r.usize()?)))?,
+            queue: r.deque(|r| Ok(CpuId(r.usize()?)))?,
+            addr: r.u64()?,
+            acquisitions: r.u64()?,
+        })
     }
 }
 
@@ -225,6 +263,26 @@ impl Semaphore {
     /// Parked processors.
     pub fn queue_len(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Serialize the full semaphore state (count, parked queue, counters).
+    pub fn snapshot(&self, w: &mut snap::Writer) {
+        w.u64(self.count);
+        w.deque(&self.queue, |w, c| w.usize(c.0));
+        w.u64(self.addr);
+        w.u64(self.inserted);
+        w.u64(self.consumed);
+    }
+
+    /// Restore a semaphore written by [`Semaphore::snapshot`].
+    pub fn restore(r: &mut snap::Reader) -> Result<Self, snap::SnapError> {
+        Ok(Semaphore {
+            count: r.u64()?,
+            queue: r.deque(|r| Ok(CpuId(r.usize()?)))?,
+            addr: r.u64()?,
+            inserted: r.u64()?,
+            consumed: r.u64()?,
+        })
     }
 }
 

@@ -97,6 +97,24 @@ impl ConstructArena {
     pub fn total_steals(&self) -> u64 {
         self.affinity_loops.iter().map(|a| a.steals).sum()
     }
+
+    /// Serialize the arena (all construct instances touched so far).
+    pub fn snapshot(&self, w: &mut snap::Writer) {
+        w.seq(&self.singles, |w, s| w.bool(s.claimed));
+        w.seq(&self.sections, |w, s| w.usize(s.next));
+        w.seq(&self.dyn_loops, |w, d| d.snapshot(w));
+        w.seq(&self.affinity_loops, |w, a| a.snapshot(w));
+    }
+
+    /// Restore an arena written by [`ConstructArena::snapshot`].
+    pub fn restore(r: &mut snap::Reader) -> Result<Self, snap::SnapError> {
+        Ok(ConstructArena {
+            singles: r.seq(|r| Ok(SingleState { claimed: r.bool()? }))?,
+            sections: r.seq(|r| Ok(SectionsState { next: r.usize()? }))?,
+            dyn_loops: r.seq(DynLoopState::restore)?,
+            affinity_loops: r.seq(AffinityState::restore)?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -121,6 +121,20 @@ impl DynLoopState {
     pub fn position(&self) -> u64 {
         self.next_iter
     }
+
+    /// Serialize this loop counter.
+    pub fn snapshot(&self, w: &mut snap::Writer) {
+        w.u64(self.next_iter);
+        w.u64(self.grabs);
+    }
+
+    /// Restore a loop counter written by [`DynLoopState::snapshot`].
+    pub fn restore(r: &mut snap::Reader) -> Result<Self, snap::SnapError> {
+        Ok(DynLoopState {
+            next_iter: r.u64()?,
+            grabs: r.u64()?,
+        })
+    }
 }
 
 /// Shared state of one affinity-scheduled loop (the extension the paper
@@ -218,6 +232,25 @@ impl AffinityState {
             chunk: to_values(lo, vend),
             victim: victim as u64,
             stolen: true,
+        })
+    }
+
+    /// Serialize the per-thread ranges and counters.
+    pub fn snapshot(&self, w: &mut snap::Writer) {
+        w.seq(&self.per_thread, |w, &(next, end)| {
+            w.u64(next);
+            w.u64(end);
+        });
+        w.u64(self.grabs);
+        w.u64(self.steals);
+    }
+
+    /// Restore state written by [`AffinityState::snapshot`].
+    pub fn restore(r: &mut snap::Reader) -> Result<Self, snap::SnapError> {
+        Ok(AffinityState {
+            per_thread: r.seq(|r| Ok((r.u64()?, r.u64()?)))?,
+            grabs: r.u64()?,
+            steals: r.u64()?,
         })
     }
 }

@@ -312,6 +312,40 @@ impl TeamBreaker {
         }
         self.state
     }
+
+    /// Serialize the breaker's dynamic state (config is rebuilt from the
+    /// run options on restore).
+    pub fn snapshot(&self, w: &mut snap::Writer) {
+        w.u8(match self.state {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        });
+        w.u32(self.hold_left);
+        w.u32(self.consecutive_trips);
+        w.u64(self.trips);
+        w.u64(self.reclosures);
+    }
+
+    /// Overwrite this breaker's dynamic state from a snapshot written by
+    /// [`TeamBreaker::snapshot`] (keeping this instance's config).
+    pub fn restore_into(&mut self, r: &mut snap::Reader) -> Result<(), snap::SnapError> {
+        self.state = match r.u8()? {
+            0 => BreakerState::Closed,
+            1 => BreakerState::Open,
+            2 => BreakerState::HalfOpen,
+            _ => {
+                return Err(snap::SnapError::Corrupt {
+                    what: "BreakerState",
+                })
+            }
+        };
+        self.hold_left = r.u32()?;
+        self.consecutive_trips = r.u32()?;
+        self.trips = r.u64()?;
+        self.reclosures = r.u64()?;
+        Ok(())
+    }
 }
 
 /// Helper: processor `local` of a CMP under a layout (avoids needing the

@@ -1,0 +1,156 @@
+//! Content-addressed result cache.
+//!
+//! Results are keyed by the *canonical config string* the embedder
+//! derives from a job spec (field order, defaults, and formatting are
+//! the embedder's responsibility — two specs that mean the same
+//! simulation must canonicalize to the same string). The cache stores
+//! payloads verbatim, so a hit is byte-identical to the run that
+//! populated it.
+//!
+//! Two tiers: a bounded in-memory LRU map, and an optional on-disk
+//! store (one file per key, named by the FNV-1a hash of the key) that
+//! survives daemon restarts. Disk entries record the full key on their
+//! first line so a hash collision reads as a miss, never as a wrong
+//! result.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Hash a canonical config string to its content address.
+pub fn key_hash(key: &str) -> u64 {
+    snap::fnv1a(key.as_bytes())
+}
+
+/// In-memory LRU over an optional on-disk store. Not internally
+/// synchronized — the daemon holds it inside its state mutex.
+pub struct ResultCache {
+    cap: usize,
+    map: HashMap<String, (u64, Arc<String>)>,
+    tick: u64,
+    dir: Option<PathBuf>,
+}
+
+impl ResultCache {
+    /// A cache holding at most `cap` payloads in memory (0 disables the
+    /// memory tier), spilling to `dir` when given.
+    pub fn new(cap: usize, dir: Option<PathBuf>) -> ResultCache {
+        if let Some(d) = &dir {
+            // Best-effort: a cache dir that cannot be created simply
+            // means every cross-restart lookup misses.
+            let _ = fs::create_dir_all(d);
+        }
+        ResultCache {
+            cap,
+            map: HashMap::new(),
+            tick: 0,
+            dir,
+        }
+    }
+
+    fn disk_path(&self, key: &str) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{:016x}.json", key_hash(key))))
+    }
+
+    /// Look up a payload, promoting it to most-recently-used.
+    pub fn get(&mut self, key: &str) -> Option<Arc<String>> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((used, payload)) = self.map.get_mut(key) {
+            *used = tick;
+            return Some(payload.clone());
+        }
+        let path = self.disk_path(key)?;
+        let text = fs::read_to_string(path).ok()?;
+        let (stored_key, payload) = text.split_once('\n')?;
+        if stored_key != key {
+            return None; // hash collision — treat as a miss
+        }
+        let payload = Arc::new(payload.to_string());
+        self.insert_mem(key.to_string(), payload.clone());
+        Some(payload)
+    }
+
+    /// Store a payload under `key` in both tiers.
+    pub fn put(&mut self, key: String, payload: Arc<String>) {
+        if let Some(path) = self.disk_path(&key) {
+            let _ = fs::write(path, format!("{key}\n{payload}"));
+        }
+        self.insert_mem(key, payload);
+    }
+
+    fn insert_mem(&mut self, key: String, payload: Arc<String>) {
+        if self.cap == 0 {
+            return;
+        }
+        self.tick += 1;
+        self.map.insert(key, (self.tick, payload));
+        while self.map.len() > self.cap {
+            let oldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, (used, _))| *used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty map");
+            self.map.remove(&oldest);
+        }
+    }
+
+    /// Number of payloads in the memory tier.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the memory tier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arc(s: &str) -> Arc<String> {
+        Arc::new(s.to_string())
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = ResultCache::new(2, None);
+        c.put("a".into(), arc("1"));
+        c.put("b".into(), arc("2"));
+        assert!(c.get("a").is_some()); // a is now fresher than b
+        c.put("c".into(), arc("3"));
+        assert_eq!(c.len(), 2);
+        assert!(c.get("b").is_none(), "b was least recently used");
+        assert!(c.get("a").is_some());
+        assert!(c.get("c").is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_memory_tier() {
+        let mut c = ResultCache::new(0, None);
+        c.put("a".into(), arc("1"));
+        assert!(c.is_empty());
+        assert!(c.get("a").is_none());
+    }
+
+    #[test]
+    fn disk_tier_survives_a_new_cache_instance() {
+        let dir = std::env::temp_dir().join(format!("sim-serve-cache-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let mut c = ResultCache::new(4, Some(dir.clone()));
+            c.put("k1".into(), arc("{\"v\":1}\nwith\nnewlines"));
+        }
+        let mut c = ResultCache::new(4, Some(dir.clone()));
+        let hit = c.get("k1").expect("disk hit");
+        assert_eq!(hit.as_str(), "{\"v\":1}\nwith\nnewlines");
+        assert!(c.get("k2").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,238 @@
+//! Thin blocking client for the line protocol.
+//!
+//! One request line out, one response line back, per call. The client
+//! is deliberately dumb: it does not retry, pool connections, or
+//! interpret payloads — payload text is handed back exactly as the
+//! daemon stored it.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use sim_trace::json::{parse, JsonValue};
+
+use crate::proto::{field_bool, field_str, field_u64};
+use crate::server::JobId;
+
+/// Acknowledgement of a `submit`.
+#[derive(Clone, Debug)]
+pub struct SubmitAck {
+    /// Job id to poll; for a coalesced submit, the primary job's id.
+    pub id: JobId,
+    /// The result was served from the cache without running anything.
+    pub cached: bool,
+    /// The submit attached to an identical in-flight job.
+    pub coalesced: bool,
+}
+
+/// Terminal outcome of a job.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// The job id.
+    pub id: JobId,
+    /// Terminal state name: `done`, `failed`, `cancelled`, `timed_out`.
+    pub state: String,
+    /// The payload, byte-identical to what the runner produced
+    /// (present when `state == "done"`).
+    pub payload: Option<String>,
+    /// The error message (present for `failed` and some `timed_out`).
+    pub error: Option<String>,
+    /// The payload came from the result cache.
+    pub cached: bool,
+}
+
+/// Daemon counters from the `stats` verb.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeStats {
+    /// Jobs submitted (including cache hits and coalesced submits).
+    pub submitted: u64,
+    /// Jobs that ran to completion.
+    pub completed: u64,
+    /// Jobs that failed or panicked.
+    pub failed: u64,
+    /// Jobs cancelled before completion.
+    pub cancelled: u64,
+    /// Jobs whose deadline passed before completion.
+    pub timed_out: u64,
+    /// Submissions answered from the result cache.
+    pub cache_hits: u64,
+    /// Submissions that had to execute.
+    pub cache_misses: u64,
+    /// Submissions that attached to an identical in-flight job.
+    pub coalesced: u64,
+    /// Jobs currently waiting in the queue.
+    pub queue_depth: u64,
+    /// Jobs currently executing.
+    pub running: u64,
+    /// Worker threads serving the queue.
+    pub workers: u64,
+    /// Payloads in the in-memory cache tier.
+    pub cache_len: u64,
+}
+
+/// A blocking connection to a `sim-serve` daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a daemon at `addr` (e.g. `"127.0.0.1:4999"`).
+    pub fn connect(addr: &str) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        // One small request line per round trip: Nagle + delayed ACK
+        // would add ~40-200ms to every call.
+        stream
+            .set_nodelay(true)
+            .map_err(|e| format!("set_nodelay: {e}"))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("clone stream: {e}"))?,
+        );
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    fn call(&mut self, request: &str) -> Result<JsonValue, String> {
+        // Single write per request: two small writes would hand Nagle a
+        // partial segment to sit on.
+        let mut line = String::with_capacity(request.len() + 1);
+        line.push_str(request);
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| format!("receive: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".into());
+        }
+        let v = parse(line.trim()).map_err(|e| format!("bad response: {e}"))?;
+        if field_bool(&v, "ok") != Some(true) {
+            return Err(field_str(&v, "error")
+                .unwrap_or("unknown error")
+                .to_string());
+        }
+        Ok(v)
+    }
+
+    /// Submit a job spec (a JSON object as text). Higher `priority`
+    /// runs first; `timeout_ms` bounds queue wait plus execution.
+    pub fn submit(
+        &mut self,
+        spec_json: &str,
+        priority: i64,
+        timeout_ms: Option<u64>,
+    ) -> Result<SubmitAck, String> {
+        let timeout = match timeout_ms {
+            Some(ms) => format!(",\"timeout_ms\":{ms}"),
+            None => String::new(),
+        };
+        let v = self.call(&format!(
+            "{{\"op\":\"submit\",\"priority\":{priority}{timeout},\"spec\":{spec_json}}}"
+        ))?;
+        Ok(SubmitAck {
+            id: field_u64(&v, "id").ok_or("submit ack missing id")?,
+            cached: field_bool(&v, "cached").unwrap_or(false),
+            coalesced: field_bool(&v, "coalesced").unwrap_or(false),
+        })
+    }
+
+    /// Current state name of a job, without waiting.
+    pub fn status(&mut self, id: JobId) -> Result<String, String> {
+        let v = self.call(&format!("{{\"op\":\"status\",\"id\":{id}}}"))?;
+        Ok(field_str(&v, "state").unwrap_or("unknown").to_string())
+    }
+
+    /// Block until the job reaches a terminal state and return it.
+    pub fn result(&mut self, id: JobId) -> Result<JobOutcome, String> {
+        let v = self.call(&format!("{{\"op\":\"result\",\"id\":{id},\"wait\":true}}"))?;
+        Ok(JobOutcome {
+            id,
+            state: field_str(&v, "state").unwrap_or("unknown").to_string(),
+            payload: field_str(&v, "payload").map(|s| s.to_string()),
+            error: field_str(&v, "error").map(|s| s.to_string()),
+            cached: field_bool(&v, "cached").unwrap_or(false),
+        })
+    }
+
+    /// Submit and wait; error unless the job completes with a payload.
+    pub fn run_to_payload(
+        &mut self,
+        spec_json: &str,
+        priority: i64,
+        timeout_ms: Option<u64>,
+    ) -> Result<(SubmitAck, String), String> {
+        let ack = self.submit(spec_json, priority, timeout_ms)?;
+        let outcome = self.result(ack.id)?;
+        match (outcome.state.as_str(), outcome.payload) {
+            ("done", Some(p)) => Ok((ack, p)),
+            (state, _) => Err(format!(
+                "job {} ended {state}{}",
+                ack.id,
+                outcome.error.map(|e| format!(": {e}")).unwrap_or_default()
+            )),
+        }
+    }
+
+    /// Cancel a job. Returns true when the job was still live.
+    pub fn cancel(&mut self, id: JobId) -> Result<bool, String> {
+        let v = self.call(&format!("{{\"op\":\"cancel\",\"id\":{id}}}"))?;
+        Ok(field_bool(&v, "cancelled").unwrap_or(false))
+    }
+
+    /// Fetch daemon counters, plus the raw response line for logging.
+    pub fn stats(&mut self) -> Result<(ServeStats, String), String> {
+        let v = self.call("{\"op\":\"stats\"}")?;
+        let g = |k: &str| field_u64(&v, k).unwrap_or(0);
+        let stats = ServeStats {
+            submitted: g("submitted"),
+            completed: g("completed"),
+            failed: g("failed"),
+            cancelled: g("cancelled"),
+            timed_out: g("timed_out"),
+            cache_hits: g("cache_hits"),
+            cache_misses: g("cache_misses"),
+            coalesced: g("coalesced"),
+            queue_depth: g("queue_depth"),
+            running: g("running"),
+            workers: g("workers"),
+            cache_len: g("cache_len"),
+        };
+        let mut line = String::from("{");
+        let mut first = true;
+        for (k, val) in [
+            ("submitted", stats.submitted),
+            ("completed", stats.completed),
+            ("failed", stats.failed),
+            ("cancelled", stats.cancelled),
+            ("timed_out", stats.timed_out),
+            ("cache_hits", stats.cache_hits),
+            ("cache_misses", stats.cache_misses),
+            ("coalesced", stats.coalesced),
+            ("queue_depth", stats.queue_depth),
+            ("running", stats.running),
+            ("workers", stats.workers),
+            ("cache_len", stats.cache_len),
+        ] {
+            if !first {
+                line.push(',');
+            }
+            first = false;
+            line.push_str(&format!("\"{k}\":{val}"));
+        }
+        line.push('}');
+        Ok((stats, line))
+    }
+
+    /// Ask the daemon to stop accepting work and shut down.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        self.call("{\"op\":\"shutdown\"}").map(|_| ())
+    }
+}

@@ -1,0 +1,38 @@
+//! Batch simulation daemon.
+//!
+//! A deterministic simulator spends most of a sweep re-deriving answers
+//! it has already computed: the same (kernel, mode, workers, fault
+//! seed) tuple is requested by `all_experiments`, by `analyze`, by a
+//! soak shard, and by a developer at a prompt — four cold runs of one
+//! bit-reproducible result. `sim-serve` turns the simulator into a
+//! long-lived service so that work is shared:
+//!
+//! - **Line protocol** ([`server`], [`client`], [`proto`]): one JSON
+//!   object per line over TCP (`submit` / `status` / `result` /
+//!   `cancel` / `stats` / `shutdown`). The format reuses the
+//!   workspace's dependency-free JSON parser from `sim-trace`.
+//! - **Job queue** ([`server`]): higher `priority` first, FIFO within a
+//!   priority level; per-job timeouts; panic isolation per job;
+//!   duplicate in-flight submissions coalesce onto one execution.
+//! - **Result cache** ([`cache`]): content-addressed by the canonical
+//!   config string the embedder derives from a job spec. A hit returns
+//!   the stored payload *verbatim* — byte-identical to the run that
+//!   populated it — from an in-memory LRU backed by an optional
+//!   on-disk store.
+//!
+//! The crate is simulation-agnostic: the embedder implements
+//! [`JobRunner`] (derive a canonical cache key from a spec; run a spec
+//! to a payload string). The `bench` crate's `serve` binary wires this
+//! to the slipstream engine, including snapshot warm-starts.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use cache::ResultCache;
+pub use client::{Client, JobOutcome, ServeStats, SubmitAck};
+pub use server::{JobControl, JobId, JobRunner, JobState, ServeOptions, Server};

@@ -1,0 +1,53 @@
+//! Line-protocol helpers.
+//!
+//! The wire format is newline-delimited JSON: one request object per
+//! line in, one response object per line out. Requests carry an `"op"`
+//! field naming the verb; responses always carry `"ok"` (and, when
+//! `false`, an `"error"` string). Result payloads travel as JSON
+//! *strings* (the embedder's payload text, escaped), so the bytes a
+//! client receives are exactly the bytes the runner produced — the
+//! property the content-addressed cache is built on.
+
+use sim_trace::json::JsonValue;
+
+/// Escape a string for embedding in a JSON document.
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// String field lookup on a parsed request object.
+pub fn field_str<'a>(v: &'a JsonValue, key: &str) -> Option<&'a str> {
+    v.get(key).and_then(|x| x.as_str())
+}
+
+/// Unsigned-integer field lookup on a parsed request object.
+pub fn field_u64(v: &JsonValue, key: &str) -> Option<u64> {
+    v.get(key).and_then(|x| x.as_num()).map(|n| n as u64)
+}
+
+/// Signed-integer field lookup on a parsed request object.
+pub fn field_i64(v: &JsonValue, key: &str) -> Option<i64> {
+    v.get(key).and_then(|x| x.as_num()).map(|n| n as i64)
+}
+
+/// Boolean field lookup on a parsed request object.
+pub fn field_bool(v: &JsonValue, key: &str) -> Option<bool> {
+    v.get(key).and_then(|x| x.as_bool())
+}
+
+/// The uniform failure response.
+pub fn err_line(msg: &str) -> String {
+    format!("{{\"ok\":false,\"error\":\"{}\"}}", esc(msg))
+}

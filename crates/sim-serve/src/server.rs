@@ -1,0 +1,646 @@
+//! The daemon: job queue, worker pool, and the TCP accept loop.
+//!
+//! All shared state lives behind one mutex with two condition
+//! variables: `work_cv` wakes workers when a job is queued, `done_cv`
+//! wakes result-waiters when any job reaches a terminal state. Worker
+//! threads run jobs with per-job panic isolation; connection handler
+//! threads speak the line protocol and never hold the state lock
+//! across a blocking wait except through the condvars.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sim_trace::json::{parse, JsonValue};
+
+use crate::cache::ResultCache;
+use crate::proto::{err_line, esc, field_i64, field_str, field_u64};
+
+/// Identifies a submitted job for `status` / `result` / `cancel`.
+pub type JobId = u64;
+
+/// Cooperative cancellation and deadline signal handed to a running
+/// job. Long-running runners should poll [`JobControl::should_stop`]
+/// at convenient boundaries (e.g. between simulation slices) and bail
+/// early; the daemon discards the result of a job whose control was
+/// tripped either way.
+pub struct JobControl {
+    cancel: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl JobControl {
+    fn new(timeout_ms: Option<u64>) -> JobControl {
+        JobControl {
+            cancel: AtomicBool::new(false),
+            deadline: timeout_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
+        }
+    }
+
+    /// True once the job has been cancelled or its deadline has passed.
+    pub fn should_stop(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed) || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// True once the job has been explicitly cancelled.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+}
+
+/// What the daemon serves. Implemented by the embedder (`bench`'s
+/// `serve` binary wires this to the slipstream engine).
+pub trait JobRunner: Send + Sync + 'static {
+    /// Derive the *canonical config string* for a spec — the cache key.
+    /// Two specs describing the same simulation must canonicalize
+    /// identically (fixed field order, defaults filled in). Return
+    /// `Ok(None)` to mark the spec uncacheable, `Err` to reject a
+    /// malformed spec at submit time.
+    fn config_key(&self, spec: &JsonValue) -> Result<Option<String>, String>;
+
+    /// Execute the spec and return the result payload as JSON text.
+    /// The daemon stores and serves the returned string *verbatim*, so
+    /// equal work must produce byte-equal payloads.
+    fn run(&self, spec: &JsonValue, ctl: &JobControl) -> Result<String, String>;
+}
+
+impl<T: JobRunner> JobRunner for Arc<T> {
+    fn config_key(&self, spec: &JsonValue) -> Result<Option<String>, String> {
+        (**self).config_key(spec)
+    }
+    fn run(&self, spec: &JsonValue, ctl: &JobControl) -> Result<String, String> {
+        (**self).run(spec, ctl)
+    }
+}
+
+/// Lifecycle of a job. `Done`, `Failed`, `Cancelled`, and `TimedOut`
+/// are terminal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the priority queue.
+    Queued,
+    /// Claimed by a worker and executing.
+    Running,
+    /// Completed; the payload is available.
+    Done,
+    /// The runner returned an error or panicked.
+    Failed,
+    /// Cancelled before completion.
+    Cancelled,
+    /// Its deadline passed before completion.
+    TimedOut,
+}
+
+impl JobState {
+    /// Wire name of the state.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+            JobState::TimedOut => "timed_out",
+        }
+    }
+
+    fn is_terminal(self) -> bool {
+        !matches!(self, JobState::Queued | JobState::Running)
+    }
+}
+
+struct Job {
+    spec: JsonValue,
+    key: Option<String>,
+    state: JobState,
+    payload: Option<Arc<String>>,
+    error: Option<String>,
+    cached: bool,
+    ctl: Arc<JobControl>,
+}
+
+/// Max-heap entry: higher priority first, FIFO (lower sequence number)
+/// within a priority level.
+#[derive(PartialEq, Eq)]
+struct QueueEntry {
+    priority: i64,
+    seq: u64,
+    id: JobId,
+}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &QueueEntry) -> std::cmp::Ordering {
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &QueueEntry) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    cancelled: u64,
+    timed_out: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    coalesced: u64,
+}
+
+struct State {
+    jobs: HashMap<JobId, Job>,
+    queue: BinaryHeap<QueueEntry>,
+    /// key -> id of the queued/running job computing it; duplicate
+    /// submissions attach to this id instead of re-executing.
+    inflight: HashMap<String, JobId>,
+    cache: ResultCache,
+    next_id: JobId,
+    next_seq: u64,
+    counters: Counters,
+    shutting_down: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    runner: Box<dyn JobRunner>,
+    workers: usize,
+}
+
+/// Daemon configuration. Environment-variable parsing belongs to the
+/// embedder; the daemon takes resolved values.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Concurrent job executions.
+    pub workers: usize,
+    /// In-memory result-cache capacity (payload count; 0 disables).
+    pub cache_cap: usize,
+    /// On-disk result-cache directory (None disables the disk tier).
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            workers: 2,
+            cache_cap: 256,
+            cache_dir: None,
+        }
+    }
+}
+
+/// A running daemon: worker pool plus TCP accept loop. Dropping the
+/// handle does *not* stop the daemon; call [`Server::shutdown`].
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start serving `runner`.
+    pub fn bind(
+        addr: &str,
+        runner: Box<dyn JobRunner>,
+        opts: ServeOptions,
+    ) -> Result<Server, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| format!("local_addr: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("set_nonblocking: {e}"))?;
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                jobs: HashMap::new(),
+                queue: BinaryHeap::new(),
+                inflight: HashMap::new(),
+                cache: ResultCache::new(opts.cache_cap, opts.cache_dir),
+                next_id: 1,
+                next_seq: 0,
+                counters: Counters::default(),
+                shutting_down: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            runner,
+            workers: opts.workers.max(1),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+        for w in 0..inner.workers {
+            let inner = inner.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{w}"))
+                    .spawn(move || worker_loop(&inner))
+                    .map_err(|e| format!("spawn worker: {e}"))?,
+            );
+        }
+        {
+            let inner = inner.clone();
+            let stop = stop.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-accept".into())
+                    .spawn(move || accept_loop(listener, &inner, &stop))
+                    .map_err(|e| format!("spawn accept loop: {e}"))?,
+            );
+        }
+        Ok(Server {
+            inner,
+            addr: local,
+            stop,
+            threads,
+        })
+    }
+
+    /// The bound address (resolves the port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting work, wait for running jobs and the accept loop
+    /// to finish, and tear the daemon down.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            st.shutting_down = true;
+            self.inner.work_cv.notify_all();
+            self.inner.done_cv.notify_all();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// True once a client has issued the `shutdown` verb.
+    pub fn shutdown_requested(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        // Claim the highest-priority queued job, retiring queue entries
+        // whose job was cancelled or timed out while waiting.
+        let (id, spec, ctl) = {
+            let mut st = inner.state.lock().unwrap();
+            'claim: loop {
+                if st.shutting_down {
+                    return;
+                }
+                while let Some(entry) = st.queue.pop() {
+                    let id = entry.id;
+                    let job = st.jobs.get_mut(&id).expect("queued job exists");
+                    if job.state != JobState::Queued {
+                        continue; // cancelled while queued
+                    }
+                    if job.ctl.should_stop() {
+                        job.state = JobState::TimedOut;
+                        job.error = Some("timed out while queued".into());
+                        st.counters.timed_out += 1;
+                        retire(&mut st, id);
+                        inner.done_cv.notify_all();
+                        continue;
+                    }
+                    job.state = JobState::Running;
+                    break 'claim (id, job.spec.clone(), job.ctl.clone());
+                }
+                st = inner.work_cv.wait(st).unwrap();
+            }
+        };
+
+        // Run outside the lock, with per-job panic isolation.
+        let outcome = catch_unwind(AssertUnwindSafe(|| inner.runner.run(&spec, &ctl)));
+
+        let mut st = inner.state.lock().unwrap();
+        let timed_out = ctl.deadline.is_some_and(|d| Instant::now() >= d);
+        let job = st.jobs.get_mut(&id).expect("running job exists");
+        if job.state == JobState::Running {
+            let (state, payload, error) = match outcome {
+                Err(_) => (JobState::Failed, None, Some("job panicked".to_string())),
+                Ok(Err(e)) if ctl.cancelled() => (JobState::Cancelled, None, Some(e)),
+                Ok(Err(e)) if timed_out => (JobState::TimedOut, None, Some(e)),
+                Ok(Err(e)) => (JobState::Failed, None, Some(e)),
+                Ok(Ok(_)) if ctl.cancelled() => (JobState::Cancelled, None, None),
+                Ok(Ok(_)) if timed_out => (JobState::TimedOut, None, None),
+                Ok(Ok(payload)) => (JobState::Done, Some(Arc::new(payload)), None),
+            };
+            job.state = state;
+            job.payload = payload.clone();
+            job.error = error;
+            let key = job.key.clone();
+            match state {
+                JobState::Done => st.counters.completed += 1,
+                JobState::Failed => st.counters.failed += 1,
+                JobState::Cancelled => st.counters.cancelled += 1,
+                JobState::TimedOut => st.counters.timed_out += 1,
+                JobState::Queued | JobState::Running => unreachable!(),
+            }
+            if let (JobState::Done, Some(key), Some(payload)) = (state, key, payload) {
+                st.cache.put(key, payload);
+            }
+        }
+        retire(&mut st, id);
+        inner.done_cv.notify_all();
+    }
+}
+
+/// Drop the job's in-flight claim so future submissions of the same key
+/// re-execute (or hit the cache).
+fn retire(st: &mut State, id: JobId) {
+    let key = st.jobs.get(&id).and_then(|j| j.key.clone());
+    if let Some(k) = key {
+        if st.inflight.get(&k) == Some(&id) {
+            st.inflight.remove(&k);
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: &Arc<Inner>, stop: &Arc<AtomicBool>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let inner = inner.clone();
+                let stop = stop.clone();
+                let _ = std::thread::Builder::new()
+                    .name("serve-conn".into())
+                    .spawn(move || {
+                        let _ = handle_connection(stream, &inner, &stop);
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    inner: &Arc<Inner>,
+    stop: &Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    // One small response line per request: without TCP_NODELAY (and
+    // with the line and its terminator written separately) Nagle plus
+    // delayed ACK would add ~40-200ms to every round trip.
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client hung up
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut response = match parse(line.trim()) {
+            Ok(req) => dispatch(&req, inner, stop),
+            Err(e) => err_line(&format!("bad request: {e}")),
+        };
+        response.push('\n');
+        writer.write_all(response.as_bytes())?;
+        writer.flush()?;
+    }
+}
+
+fn dispatch(req: &JsonValue, inner: &Arc<Inner>, stop: &Arc<AtomicBool>) -> String {
+    match field_str(req, "op") {
+        Some("submit") => op_submit(req, inner),
+        Some("status") => op_status(req, inner),
+        Some("result") => op_result(req, inner),
+        Some("cancel") => op_cancel(req, inner),
+        Some("stats") => op_stats(inner),
+        Some("shutdown") => {
+            stop.store(true, Ordering::SeqCst);
+            let mut st = inner.state.lock().unwrap();
+            st.shutting_down = true;
+            inner.work_cv.notify_all();
+            inner.done_cv.notify_all();
+            "{\"ok\":true}".to_string()
+        }
+        Some(other) => err_line(&format!("unknown op {other:?}")),
+        None => err_line("missing op field"),
+    }
+}
+
+fn op_submit(req: &JsonValue, inner: &Arc<Inner>) -> String {
+    let Some(spec) = req.get("spec") else {
+        return err_line("submit: missing spec field");
+    };
+    let priority = field_i64(req, "priority").unwrap_or(0);
+    let timeout_ms = field_u64(req, "timeout_ms");
+    let key = match inner.runner.config_key(spec) {
+        Ok(k) => k,
+        Err(e) => return err_line(&format!("submit: {e}")),
+    };
+
+    let mut st = inner.state.lock().unwrap();
+    if st.shutting_down {
+        return err_line("server is shutting down");
+    }
+    st.counters.submitted += 1;
+    let id = st.next_id;
+    st.next_id += 1;
+
+    if let Some(k) = &key {
+        if let Some(payload) = st.cache.get(k) {
+            st.counters.cache_hits += 1;
+            st.jobs.insert(
+                id,
+                Job {
+                    spec: spec.clone(),
+                    key: key.clone(),
+                    state: JobState::Done,
+                    payload: Some(payload),
+                    error: None,
+                    cached: true,
+                    ctl: Arc::new(JobControl::new(None)),
+                },
+            );
+            inner.done_cv.notify_all();
+            return format!("{{\"ok\":true,\"id\":{id},\"cached\":true,\"coalesced\":false}}");
+        }
+        if let Some(&primary) = st.inflight.get(k) {
+            st.counters.coalesced += 1;
+            // The duplicate attaches to the primary's id; the fresh id
+            // allocated above is simply never used.
+            return format!("{{\"ok\":true,\"id\":{primary},\"cached\":false,\"coalesced\":true}}");
+        }
+        st.counters.cache_misses += 1;
+        st.inflight.insert(k.clone(), id);
+    }
+
+    let seq = st.next_seq;
+    st.next_seq += 1;
+    st.jobs.insert(
+        id,
+        Job {
+            spec: spec.clone(),
+            key,
+            state: JobState::Queued,
+            payload: None,
+            error: None,
+            cached: false,
+            ctl: Arc::new(JobControl::new(timeout_ms)),
+        },
+    );
+    st.queue.push(QueueEntry { priority, seq, id });
+    inner.work_cv.notify_one();
+    format!("{{\"ok\":true,\"id\":{id},\"cached\":false,\"coalesced\":false}}")
+}
+
+fn job_response(id: JobId, job: &Job, include_payload: bool) -> String {
+    let mut out = format!(
+        "{{\"ok\":true,\"id\":{id},\"state\":\"{}\",\"cached\":{}",
+        job.state.name(),
+        job.cached
+    );
+    if let Some(e) = &job.error {
+        out.push_str(&format!(",\"error\":\"{}\"", esc(e)));
+    }
+    if include_payload {
+        if let Some(p) = &job.payload {
+            out.push_str(&format!(",\"payload\":\"{}\"", esc(p)));
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn op_status(req: &JsonValue, inner: &Arc<Inner>) -> String {
+    let Some(id) = field_u64(req, "id") else {
+        return err_line("status: missing id field");
+    };
+    let st = inner.state.lock().unwrap();
+    match st.jobs.get(&id) {
+        Some(job) => job_response(id, job, false),
+        None => err_line(&format!("unknown job id {id}")),
+    }
+}
+
+fn op_result(req: &JsonValue, inner: &Arc<Inner>) -> String {
+    let Some(id) = field_u64(req, "id") else {
+        return err_line("result: missing id field");
+    };
+    let wait = crate::proto::field_bool(req, "wait").unwrap_or(true);
+    let mut st = inner.state.lock().unwrap();
+    loop {
+        let Some(job) = st.jobs.get_mut(&id) else {
+            return err_line(&format!("unknown job id {id}"));
+        };
+        // A queued job whose deadline lapses with every worker busy
+        // would otherwise wait forever; the waiter trips it.
+        if !job.state.is_terminal() && job.ctl.should_stop() {
+            let was_queued = job.state == JobState::Queued;
+            if was_queued {
+                job.state = JobState::TimedOut;
+                job.error = Some("timed out while queued".into());
+                st.counters.timed_out += 1;
+                retire(&mut st, id);
+                inner.done_cv.notify_all();
+                continue;
+            }
+        }
+        let job = st.jobs.get(&id).expect("checked above");
+        if job.state.is_terminal() {
+            return job_response(id, job, true);
+        }
+        if !wait {
+            return job_response(id, job, false);
+        }
+        if st.shutting_down {
+            return err_line("server is shutting down");
+        }
+        let (guard, _) = inner
+            .done_cv
+            .wait_timeout(st, Duration::from_millis(100))
+            .unwrap();
+        st = guard;
+    }
+}
+
+fn op_cancel(req: &JsonValue, inner: &Arc<Inner>) -> String {
+    let Some(id) = field_u64(req, "id") else {
+        return err_line("cancel: missing id field");
+    };
+    let mut st = inner.state.lock().unwrap();
+    let Some(job) = st.jobs.get_mut(&id) else {
+        return err_line(&format!("unknown job id {id}"));
+    };
+    if job.state.is_terminal() {
+        return format!("{{\"ok\":true,\"id\":{id},\"cancelled\":false}}");
+    }
+    job.ctl.cancel.store(true, Ordering::Relaxed);
+    if job.state == JobState::Queued {
+        // The worker's lazy pop skips it; mark it now.
+        job.state = JobState::Cancelled;
+        st.counters.cancelled += 1;
+        retire(&mut st, id);
+    }
+    // A running job stays Running until its worker observes the flag
+    // and returns; the worker then records Cancelled.
+    inner.done_cv.notify_all();
+    format!("{{\"ok\":true,\"id\":{id},\"cancelled\":true}}")
+}
+
+fn op_stats(inner: &Arc<Inner>) -> String {
+    let st = inner.state.lock().unwrap();
+    let running = st
+        .jobs
+        .values()
+        .filter(|j| j.state == JobState::Running)
+        .count();
+    let queued = st
+        .jobs
+        .values()
+        .filter(|j| j.state == JobState::Queued)
+        .count();
+    let c = &st.counters;
+    format!(
+        "{{\"ok\":true,\"submitted\":{},\"completed\":{},\"failed\":{},\"cancelled\":{},\
+         \"timed_out\":{},\"cache_hits\":{},\"cache_misses\":{},\"coalesced\":{},\
+         \"queue_depth\":{},\"running\":{},\"workers\":{},\"cache_len\":{}}}",
+        c.submitted,
+        c.completed,
+        c.failed,
+        c.cancelled,
+        c.timed_out,
+        c.cache_hits,
+        c.cache_misses,
+        c.coalesced,
+        queued,
+        running,
+        inner.workers,
+        st.cache.len(),
+    )
+}

@@ -1,0 +1,341 @@
+//! End-to-end daemon tests over loopback TCP with a toy runner.
+//!
+//! The toy runner doubles a number; what is under test is everything
+//! around it — cache byte-identity, single-field-change misses,
+//! duplicate-submit coalescing, priority/FIFO ordering, cancellation,
+//! timeouts, panic isolation, and the disk cache tier.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use sim_serve::server::{JobControl, JobRunner, Server};
+use sim_serve::{Client, ServeOptions};
+use sim_trace::json::JsonValue;
+
+/// Doubles `spec.x`. Cache key covers every spec field; `spec.tag`
+/// changes the key without changing the payload. A `spec.gate` makes
+/// the run block until released (for queue-ordering and coalescing
+/// tests); `spec.spin` makes it poll `ctl.should_stop()` (for
+/// cancellation and timeout tests); `spec.panic` panics.
+struct ToyRunner {
+    runs: AtomicU64,
+    order: Mutex<Vec<u64>>,
+    gate: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl ToyRunner {
+    fn new() -> (Arc<ToyRunner>, Arc<(Mutex<bool>, Condvar)>) {
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let r = Arc::new(ToyRunner {
+            runs: AtomicU64::new(0),
+            order: Mutex::new(Vec::new()),
+            gate: gate.clone(),
+        });
+        (r, gate)
+    }
+}
+
+fn open_gate(gate: &(Mutex<bool>, Condvar)) {
+    *gate.0.lock().unwrap() = true;
+    gate.1.notify_all();
+}
+
+fn num(spec: &JsonValue, key: &str) -> Option<u64> {
+    spec.get(key).and_then(|v| v.as_num()).map(|n| n as u64)
+}
+
+impl JobRunner for ToyRunner {
+    fn config_key(&self, spec: &JsonValue) -> Result<Option<String>, String> {
+        let x = num(spec, "x").ok_or("spec needs a numeric x")?;
+        let tag = spec
+            .get("tag")
+            .and_then(|v| v.as_str())
+            .unwrap_or("default");
+        if spec.get("uncacheable").is_some() {
+            return Ok(None);
+        }
+        Ok(Some(format!(
+            "toy|x={x}|tag={tag}|gate={}|spin={}|panic={}",
+            spec.get("gate").is_some(),
+            spec.get("spin").is_some(),
+            spec.get("panic").is_some(),
+        )))
+    }
+
+    fn run(&self, spec: &JsonValue, ctl: &JobControl) -> Result<String, String> {
+        let x = num(spec, "x").ok_or("spec needs a numeric x")?;
+        if spec.get("panic").is_some() {
+            panic!("toy panic");
+        }
+        if spec.get("gate").is_some() {
+            let (lock, cv) = &*self.gate;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        }
+        if spec.get("spin").is_some() {
+            while !ctl.should_stop() {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            return Err("stopped".into());
+        }
+        self.runs.fetch_add(1, Ordering::SeqCst);
+        self.order.lock().unwrap().push(x);
+        Ok(format!("{{\"doubled\":{}}}", x * 2))
+    }
+}
+
+type Gate = Arc<(Mutex<bool>, Condvar)>;
+
+fn serve(workers: usize) -> (Server, Arc<ToyRunner>, Gate, String) {
+    let (runner, gate) = ToyRunner::new();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Box::new(runner.clone()),
+        ServeOptions {
+            workers,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().to_string();
+    (server, runner, gate, addr)
+}
+
+#[test]
+fn cache_hit_returns_byte_identical_payload_without_rerunning() {
+    let (server, runner, _gate, addr) = serve(2);
+    let mut c = Client::connect(&addr).unwrap();
+    let (ack1, p1) = c.run_to_payload("{\"x\":21}", 0, None).unwrap();
+    assert!(!ack1.cached);
+    assert_eq!(p1, "{\"doubled\":42}");
+    let (ack2, p2) = c.run_to_payload("{\"x\":21}", 0, None).unwrap();
+    assert!(ack2.cached, "second submit must hit the cache");
+    assert_eq!(p1, p2, "cached payload must be byte-identical");
+    assert_eq!(runner.runs.load(Ordering::SeqCst), 1, "only one execution");
+    let (stats, _) = c.stats().unwrap();
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 1);
+    server.shutdown();
+}
+
+#[test]
+fn any_single_field_change_is_a_cache_miss() {
+    let (server, runner, _gate, addr) = serve(2);
+    let mut c = Client::connect(&addr).unwrap();
+    c.run_to_payload("{\"x\":3}", 0, None).unwrap();
+    // Different value and different tag (same value) both miss.
+    c.run_to_payload("{\"x\":4}", 0, None).unwrap();
+    c.run_to_payload("{\"x\":3,\"tag\":\"other\"}", 0, None)
+        .unwrap();
+    assert_eq!(runner.runs.load(Ordering::SeqCst), 3);
+    // The original is still cached.
+    let (ack, _) = c.run_to_payload("{\"x\":3}", 0, None).unwrap();
+    assert!(ack.cached);
+    server.shutdown();
+}
+
+#[test]
+fn uncacheable_specs_always_run() {
+    let (server, runner, _gate, addr) = serve(1);
+    let mut c = Client::connect(&addr).unwrap();
+    c.run_to_payload("{\"x\":5,\"uncacheable\":true}", 0, None)
+        .unwrap();
+    let (ack, _) = c
+        .run_to_payload("{\"x\":5,\"uncacheable\":true}", 0, None)
+        .unwrap();
+    assert!(!ack.cached && !ack.coalesced);
+    assert_eq!(runner.runs.load(Ordering::SeqCst), 2);
+    server.shutdown();
+}
+
+#[test]
+fn duplicate_inflight_submits_coalesce_onto_one_execution() {
+    let (server, runner, gate, addr) = serve(2);
+    let mut c = Client::connect(&addr).unwrap();
+    let ack1 = c.submit("{\"x\":7,\"gate\":true}", 0, None).unwrap();
+    assert!(!ack1.coalesced);
+    let ack2 = c.submit("{\"x\":7,\"gate\":true}", 0, None).unwrap();
+    assert!(ack2.coalesced, "identical in-flight submit must coalesce");
+    assert_eq!(ack1.id, ack2.id, "coalesced submit shares the primary id");
+    open_gate(&gate);
+    let o1 = c.result(ack1.id).unwrap();
+    let o2 = c.result(ack2.id).unwrap();
+    assert_eq!(o1.state, "done");
+    assert_eq!(o1.payload, o2.payload);
+    assert_eq!(runner.runs.load(Ordering::SeqCst), 1, "one execution total");
+    let (stats, _) = c.stats().unwrap();
+    assert_eq!(stats.coalesced, 1);
+    server.shutdown();
+}
+
+#[test]
+fn higher_priority_jobs_run_first_fifo_within_a_level() {
+    // One worker, blocked on a gated job while we stack the queue.
+    let (server, _runner, gate, addr) = serve(1);
+    let mut c = Client::connect(&addr).unwrap();
+    let blocker = c.submit("{\"x\":1,\"gate\":true}", 0, None).unwrap();
+    // Wait until the blocker is actually running so the rest queue up.
+    while c.status(blocker.id).unwrap() != "running" {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let low_a = c.submit("{\"x\":10}", 1, None).unwrap();
+    let low_b = c.submit("{\"x\":11}", 1, None).unwrap();
+    let high = c.submit("{\"x\":20}", 5, None).unwrap();
+    open_gate(&gate);
+    for id in [blocker.id, low_a.id, low_b.id, high.id] {
+        assert_eq!(c.result(id).unwrap().state, "done");
+    }
+    let order = _runner.order.lock().unwrap().clone();
+    assert_eq!(
+        order,
+        vec![1, 20, 10, 11],
+        "priority first, then FIFO within the level"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn cancel_of_a_queued_job_prevents_execution() {
+    let (server, runner, gate, addr) = serve(1);
+    let mut c = Client::connect(&addr).unwrap();
+    let blocker = c.submit("{\"x\":1,\"gate\":true}", 0, None).unwrap();
+    while c.status(blocker.id).unwrap() != "running" {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let doomed = c.submit("{\"x\":2}", 0, None).unwrap();
+    assert!(c.cancel(doomed.id).unwrap());
+    open_gate(&gate);
+    assert_eq!(c.result(blocker.id).unwrap().state, "done");
+    assert_eq!(c.result(doomed.id).unwrap().state, "cancelled");
+    assert_eq!(
+        runner.order.lock().unwrap().as_slice(),
+        &[1],
+        "the cancelled job must never run"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn running_job_observes_cancellation_through_job_control() {
+    let (server, _runner, _gate, addr) = serve(1);
+    let mut c = Client::connect(&addr).unwrap();
+    let spinner = c.submit("{\"x\":1,\"spin\":true}", 0, None).unwrap();
+    while c.status(spinner.id).unwrap() != "running" {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(c.cancel(spinner.id).unwrap());
+    let out = c.result(spinner.id).unwrap();
+    assert_eq!(out.state, "cancelled");
+    server.shutdown();
+}
+
+#[test]
+fn per_job_timeout_trips_a_running_job() {
+    let (server, _runner, _gate, addr) = serve(1);
+    let mut c = Client::connect(&addr).unwrap();
+    let spinner = c.submit("{\"x\":1,\"spin\":true}", 0, Some(80)).unwrap();
+    let out = c.result(spinner.id).unwrap();
+    assert_eq!(out.state, "timed_out");
+    server.shutdown();
+}
+
+#[test]
+fn a_panicking_job_fails_without_taking_the_daemon_down() {
+    let (server, _runner, _gate, addr) = serve(1);
+    let mut c = Client::connect(&addr).unwrap();
+    let bad = c.submit("{\"x\":1,\"panic\":true}", 0, None).unwrap();
+    let out = c.result(bad.id).unwrap();
+    assert_eq!(out.state, "failed");
+    assert!(out.error.unwrap().contains("panicked"));
+    // The worker survived the panic and serves the next job.
+    let (_, p) = c.run_to_payload("{\"x\":6}", 0, None).unwrap();
+    assert_eq!(p, "{\"doubled\":12}");
+    server.shutdown();
+}
+
+#[test]
+fn disk_cache_survives_a_daemon_restart() {
+    let dir = std::env::temp_dir().join(format!("sim-serve-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let first;
+    {
+        let (runner, _gate) = ToyRunner::new();
+        let server = Server::bind(
+            "127.0.0.1:0",
+            Box::new(runner),
+            ServeOptions {
+                workers: 1,
+                cache_cap: 8,
+                cache_dir: Some(dir.clone()),
+            },
+        )
+        .unwrap();
+        let mut c = Client::connect(&server.local_addr().to_string()).unwrap();
+        first = c.run_to_payload("{\"x\":9}", 0, None).unwrap().1;
+        server.shutdown();
+    }
+    let (runner, _gate) = ToyRunner::new();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Box::new(runner.clone()),
+        ServeOptions {
+            workers: 1,
+            cache_cap: 8,
+            cache_dir: Some(dir.clone()),
+        },
+    )
+    .unwrap();
+    let mut c = Client::connect(&server.local_addr().to_string()).unwrap();
+    let (ack, payload) = c.run_to_payload("{\"x\":9}", 0, None).unwrap();
+    assert!(ack.cached, "restarted daemon must hit the disk tier");
+    assert_eq!(payload, first, "disk-tier payload must be byte-identical");
+    assert_eq!(runner.runs.load(Ordering::SeqCst), 0);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_requests_get_error_responses_not_disconnects() {
+    let (server, _runner, _gate, addr) = serve(1);
+    use std::io::{BufRead, BufReader, Write};
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    for bad in [
+        "this is not json",
+        "{\"op\":\"frobnicate\"}",
+        "{\"no_op\":1}",
+        "{\"op\":\"submit\"}",
+        "{\"op\":\"result\",\"id\":999}",
+    ] {
+        stream.write_all(bad.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(
+            line.starts_with("{\"ok\":false"),
+            "expected error for {bad:?}, got {line:?}"
+        );
+    }
+    // The connection still works after every error.
+    let mut c = Client::connect(&addr).unwrap();
+    assert_eq!(
+        c.run_to_payload("{\"x\":8}", 0, None).unwrap().1,
+        "{\"doubled\":16}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_verb_rejects_new_submissions() {
+    let (server, _runner, _gate, addr) = serve(1);
+    let mut c = Client::connect(&addr).unwrap();
+    c.shutdown().unwrap();
+    assert!(server.shutdown_requested());
+    let err = c.submit("{\"x\":1}", 0, None).unwrap_err();
+    assert!(err.contains("shutting down"), "got: {err}");
+    server.shutdown();
+}

@@ -330,6 +330,59 @@ impl PairHealth {
     pub fn counts_as_unhealthy(&self) -> bool {
         matches!(self.state, HealthState::Suspect | HealthState::Demoted)
     }
+
+    /// Serialize the full controller state (the policy is part of the run
+    /// options and rebuilt on restore).
+    pub fn snapshot(&self, w: &mut snap::Writer) {
+        w.u8(self.state.ordinal() as u8);
+        w.u64(self.ewma_milli);
+        w.u64(self.repromotions);
+        w.bool(self.permanent);
+        for &r in &self.residency {
+            w.u64(r);
+        }
+        w.u64(self.last_recoveries);
+        w.u32(self.clean_regions);
+        w.u32(self.cooldown_left);
+        w.u64(self.last_fills.polluted);
+        w.u64(self.last_fills.total);
+    }
+
+    /// Restore controller state written by [`PairHealth::snapshot`].
+    pub fn restore(r: &mut snap::Reader) -> Result<Self, snap::SnapError> {
+        let state = match r.u8()? {
+            0 => HealthState::Healthy,
+            1 => HealthState::Suspect,
+            2 => HealthState::Demoted,
+            3 => HealthState::Probation,
+            _ => {
+                return Err(snap::SnapError::Corrupt {
+                    what: "HealthState",
+                })
+            }
+        };
+        let ewma_milli = r.u64()?;
+        let repromotions = r.u64()?;
+        let permanent = r.bool()?;
+        let mut residency = [0u64; 4];
+        for slot in &mut residency {
+            *slot = r.u64()?;
+        }
+        Ok(PairHealth {
+            state,
+            ewma_milli,
+            repromotions,
+            permanent,
+            residency,
+            last_recoveries: r.u64()?,
+            clean_regions: r.u32()?,
+            cooldown_left: r.u32()?,
+            last_fills: FillWindow {
+                polluted: r.u64()?,
+                total: r.u64()?,
+            },
+        })
+    }
 }
 
 #[cfg(test)]

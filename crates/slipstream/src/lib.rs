@@ -34,12 +34,17 @@ pub mod report;
 pub mod runner;
 
 pub use compile::{compile, CompiledProgram};
-pub use exec::{Engine, EngineConfig, EngineMutation, OsNoise, PdesDiag, RunResult};
+pub use exec::{
+    Engine, EngineConfig, EngineMutation, OsNoise, PdesDiag, RunResult, SNAPSHOT_VERSION,
+};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultSite, PairLedger};
 pub use health::{BoundaryOutcome, FillWindow, HealthPolicy, PairHealth};
 pub use pairing::{Decision, PairState};
 pub use policy::{AAction, AStreamPolicy, RecoveryPolicy};
-pub use runner::{run_program, workers_from_env, RunOptions, RunSummary};
+pub use runner::{
+    checkpoint_compiled, checkpoint_program, resume_compiled, resume_program, run_program,
+    workers_from_env, Checkpoint, RunOptions, RunSummary,
+};
 
 // Safety-gate vocabulary (the analyzer entry point itself stays at
 // `omp_analyze::analyze` to avoid clashing with the trace analytics

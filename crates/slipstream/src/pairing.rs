@@ -53,6 +53,39 @@ impl Decision {
             Decision::End => "end",
         }
     }
+
+    /// Serialize one decision.
+    pub fn snapshot(&self, w: &mut snap::Writer) {
+        match self {
+            Decision::Chunk(c) => {
+                w.u8(0);
+                w.i64(c.lo);
+                w.i64(c.hi);
+            }
+            Decision::Section(s) => {
+                w.u8(1);
+                w.usize(*s);
+            }
+            Decision::IoDone => w.u8(2),
+            Decision::RegionGo => w.u8(3),
+            Decision::End => w.u8(4),
+        }
+    }
+
+    /// Restore a decision written by [`Decision::snapshot`].
+    pub fn restore(r: &mut snap::Reader) -> Result<Self, snap::SnapError> {
+        Ok(match r.u8()? {
+            0 => Decision::Chunk(Chunk {
+                lo: r.i64()?,
+                hi: r.i64()?,
+            }),
+            1 => Decision::Section(r.usize()?),
+            2 => Decision::IoDone,
+            3 => Decision::RegionGo,
+            4 => Decision::End,
+            _ => return Err(snap::SnapError::Corrupt { what: "Decision" }),
+        })
+    }
 }
 
 /// State of one A–R pair.
@@ -224,6 +257,64 @@ impl PairState {
     /// longer follow its R-stream.
     pub fn take_decision(&mut self) -> Option<Decision> {
         self.decisions.pop_front()
+    }
+
+    /// Serialize the pair's mutable state. Identity fields (tid, cpus,
+    /// addresses) are layout-derived and rebuilt by engine construction,
+    /// so they are not written.
+    pub fn snapshot(&self, w: &mut snap::Writer) {
+        w.bool(self.sync.global);
+        w.u64(self.sync.tokens);
+        self.tokens.snapshot(w);
+        self.sched_sem.snapshot(w);
+        w.deque(&self.decisions, |w, d| d.snapshot(w));
+        w.u64(self.r_epoch);
+        w.u64(self.a_epoch);
+        w.bool(self.diverged);
+        w.u64(self.recoveries);
+        w.u64(self.episode_recoveries);
+        w.u64(self.watchdog_recoveries);
+        w.u64(self.timeout_recoveries);
+        w.u32(self.wait_timeouts);
+        w.bool(self.timeout_pending);
+        w.u64(self.faults_injected);
+        w.bool(self.mode.is_demoted());
+        self.health.snapshot(w);
+        w.opt(&self.demoted_at, |w, &c| w.u64(c));
+        w.u64(self.token_seq);
+        w.u64(self.publish_seq);
+    }
+
+    /// Overwrite this pair's mutable state from a snapshot written by
+    /// [`PairState::snapshot`] (keeping identity fields).
+    pub fn restore_into(&mut self, r: &mut snap::Reader) -> Result<(), snap::SnapError> {
+        self.sync = SlipSync {
+            global: r.bool()?,
+            tokens: r.u64()?,
+        };
+        self.tokens = dsm_sim::Semaphore::restore(r)?;
+        self.sched_sem = dsm_sim::Semaphore::restore(r)?;
+        self.decisions = r.deque(Decision::restore)?;
+        self.r_epoch = r.u64()?;
+        self.a_epoch = r.u64()?;
+        self.diverged = r.bool()?;
+        self.recoveries = r.u64()?;
+        self.episode_recoveries = r.u64()?;
+        self.watchdog_recoveries = r.u64()?;
+        self.timeout_recoveries = r.u64()?;
+        self.wait_timeouts = r.u32()?;
+        self.timeout_pending = r.bool()?;
+        self.faults_injected = r.u64()?;
+        self.mode = if r.bool()? {
+            PairMode::DegradedSingle
+        } else {
+            PairMode::Slipstream
+        };
+        self.health = PairHealth::restore(r)?;
+        self.demoted_at = r.opt(|r| r.u64())?;
+        self.token_seq = r.u64()?;
+        self.publish_seq = r.u64()?;
+        Ok(())
     }
 }
 

@@ -279,12 +279,9 @@ pub fn run_program(program: &Program, opts: &RunOptions) -> Result<RunSummary, S
     Ok(summary)
 }
 
-/// Run an already-compiled program (reuse across modes).
-pub fn run_compiled(
-    cp: &CompiledProgram,
-    name: String,
-    opts: &RunOptions,
-) -> Result<RunSummary, String> {
+/// Build the engine configuration `run_compiled` and the checkpoint
+/// entry points share for a set of run options.
+fn engine_config(opts: &RunOptions) -> EngineConfig {
     let mut cfg = EngineConfig::new(opts.machine.clone(), opts.mode);
     cfg.env = opts.env.clone();
     cfg.policy = opts.policy;
@@ -314,10 +311,11 @@ pub fn run_compiled(
             tokens: sync.tokens,
         });
     }
-    let label = mode_label(opts.mode, opts.sync);
-    let engine = Engine::new(cp, cfg);
-    let raw = engine.run()?;
-    Ok(RunSummary {
+    cfg
+}
+
+fn summarize(name: String, label: String, raw: RunResult) -> RunSummary {
+    RunSummary {
         name,
         label,
         exec_cycles: raw.exec_cycles,
@@ -326,7 +324,95 @@ pub fn run_compiled(
         fills: raw.fill_counts,
         raw,
         analysis: None,
+    }
+}
+
+/// Run an already-compiled program (reuse across modes).
+pub fn run_compiled(
+    cp: &CompiledProgram,
+    name: String,
+    opts: &RunOptions,
+) -> Result<RunSummary, String> {
+    let label = mode_label(opts.mode, opts.sync);
+    let engine = Engine::new(cp, engine_config(opts));
+    let raw = engine.run()?;
+    Ok(summarize(name, label, raw))
+}
+
+/// A serialized engine checkpoint (see [`checkpoint_compiled`]).
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// The versioned, checksummed snapshot payload.
+    pub bytes: Vec<u8>,
+    /// True when the program finished before the checkpoint cycle — the
+    /// snapshot then captures the completed run and resuming returns its
+    /// results immediately.
+    pub finished: bool,
+}
+
+/// Run `cp` until the next pending event would land at or after
+/// `at_cycle`, then capture an engine snapshot at that boundary. A sweep
+/// of configurations sharing a warmup prefix can fork each member from
+/// the snapshot via [`resume_compiled`] instead of re-simulating the
+/// prefix; the continuation is bit-identical to an uninterrupted run.
+pub fn checkpoint_compiled(
+    cp: &CompiledProgram,
+    opts: &RunOptions,
+    at_cycle: Cycle,
+) -> Result<Checkpoint, String> {
+    let mut engine = Engine::new(cp, engine_config(opts));
+    let finished = engine.run_until(at_cycle)?;
+    Ok(Checkpoint {
+        bytes: engine.snapshot(),
+        finished,
     })
+}
+
+/// Restore an engine from `snapshot` under `opts` and run it to
+/// completion. The options must describe the same simulation the
+/// snapshot was taken from, except for the PDES worker count/lookahead,
+/// the cycle/event budgets, and the fault plan — the latter only while
+/// no fault of the snapshotting plan had fired before the checkpoint
+/// (so a fault-free warmup forks into differently-faulted
+/// continuations).
+pub fn resume_compiled(
+    cp: &CompiledProgram,
+    name: String,
+    opts: &RunOptions,
+    snapshot: &[u8],
+) -> Result<RunSummary, String> {
+    let label = mode_label(opts.mode, opts.sync);
+    let mut engine = Engine::restore(cp, engine_config(opts), snapshot)?;
+    engine.run_until(Cycle::MAX)?;
+    let raw = engine.finish_run()?;
+    Ok(summarize(name, label, raw))
+}
+
+/// [`checkpoint_compiled`] for an uncompiled program: gate, compile,
+/// run to the checkpoint boundary, snapshot.
+pub fn checkpoint_program(
+    program: &Program,
+    opts: &RunOptions,
+    at_cycle: Cycle,
+) -> Result<Checkpoint, String> {
+    let acfg = analyze_config(&opts.machine, &opts.policy, opts.sync);
+    gate_program(program, opts.gate, &acfg)?;
+    let map = AddressMap::new(&opts.machine);
+    let cp = compile(program, &map).map_err(|e| e.to_string())?;
+    checkpoint_compiled(&cp, opts, at_cycle)
+}
+
+/// [`resume_compiled`] for an uncompiled program. The program must be
+/// the one the snapshot was taken from (the snapshot's identity check
+/// enforces this).
+pub fn resume_program(
+    program: &Program,
+    opts: &RunOptions,
+    snapshot: &[u8],
+) -> Result<RunSummary, String> {
+    let map = AddressMap::new(&opts.machine);
+    let cp = compile(program, &map).map_err(|e| e.to_string())?;
+    resume_compiled(&cp, program.name.clone(), opts, snapshot)
 }
 
 /// Run the three-way comparison of the paper's Figure 2 for one program:
