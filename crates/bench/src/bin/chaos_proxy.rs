@@ -1,0 +1,67 @@
+//! Standalone deterministic chaos proxy for the sim-serve protocol.
+//!
+//! Sits between a client and a daemon and injects transport faults —
+//! resets, garbage lines, truncations, split writes, latency — on a
+//! schedule that is a pure function of `CHAOS_SEED`, so any failure a
+//! chaos run uncovers is replayable from its seed. Used by the CI
+//! `chaos-smoke` job and handy for soaking a daemon by hand:
+//!
+//! ```text
+//! SERVE_ADDR=127.0.0.1:4999 cargo run --release --bin serve &
+//! CHAOS_UPSTREAM=127.0.0.1:4999 CHAOS_LISTEN=127.0.0.1:5999 \
+//!     CHAOS_SEED=42 cargo run --release --bin chaos_proxy &
+//! SERVE_ADDR=127.0.0.1:5999 cargo run --release --bin serve_batch
+//! ```
+//!
+//! Environment:
+//! * `CHAOS_UPSTREAM` — daemon address to forward to (required).
+//! * `CHAOS_LISTEN` — listen address (default `127.0.0.1:0`; the
+//!   chosen port is printed on startup).
+//! * `CHAOS_SEED` — fault-schedule seed (default 1).
+//! * `CHAOS_PROFILE` — `calm` or `storm` (default `storm`).
+//! * `CHAOS_SECS` — exit after this many seconds, printing fault
+//!   counters (default: run until killed).
+
+use bench::env;
+use sim_serve::chaos::{ChaosConfig, ChaosProxy};
+
+fn main() {
+    let upstream = env::string("CHAOS_UPSTREAM")
+        .unwrap_or_else(|| panic!("CHAOS_UPSTREAM must name the daemon address"));
+    let listen = env::string_or("CHAOS_LISTEN", "127.0.0.1:0");
+    let seed: u64 = env::get_or("CHAOS_SEED", 1);
+    let profile = env::string_or("CHAOS_PROFILE", "storm");
+    let cfg = match profile.as_str() {
+        "calm" => ChaosConfig::calm(seed),
+        "storm" => ChaosConfig::storm(seed),
+        other => panic!("CHAOS_PROFILE={other:?} (want calm or storm)"),
+    };
+    let proxy =
+        ChaosProxy::bind(&listen, &upstream, cfg).unwrap_or_else(|e| panic!("chaos proxy: {e}"));
+    println!(
+        "chaos proxy listening on {} -> {upstream} (profile {profile}, seed {seed:#x})",
+        proxy.local_addr()
+    );
+
+    match env::get::<u64>("CHAOS_SECS") {
+        Some(secs) => {
+            std::thread::sleep(std::time::Duration::from_secs(secs));
+            let c = proxy.counters();
+            use std::sync::atomic::Ordering::Relaxed;
+            println!(
+                "chaos proxy: {} connections, {} resets, {} garbage, {} truncates, \
+                 {} splits, {} delays",
+                c.connections.load(Relaxed),
+                c.resets.load(Relaxed),
+                c.garbage.load(Relaxed),
+                c.truncates.load(Relaxed),
+                c.splits.load(Relaxed),
+                c.delays.load(Relaxed),
+            );
+            proxy.stop();
+        }
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+    }
+}

@@ -51,6 +51,11 @@ pub fn flag(name: &str) -> bool {
     std::env::var_os(name).is_some()
 }
 
+/// Read `name` as a filesystem path (empty counts as unset).
+pub fn path(name: &str) -> Option<std::path::PathBuf> {
+    string(name).map(std::path::PathBuf::from)
+}
+
 /// Read `name` as a comma-separated list. Unset or empty returns the
 /// default; any malformed element panics with a uniform message.
 pub fn list_or<T>(name: &str, default: &[T]) -> Vec<T>

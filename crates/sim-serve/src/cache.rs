@@ -9,14 +9,27 @@
 //!
 //! Two tiers: a bounded in-memory LRU map, and an optional on-disk
 //! store (one file per key, named by the FNV-1a hash of the key) that
-//! survives daemon restarts. Disk entries record the full key on their
-//! first line so a hash collision reads as a miss, never as a wrong
-//! result.
+//! survives daemon restarts. The disk tier is **crash-safe**:
+//!
+//! - entries are written to a temp file and published with an atomic
+//!   `rename`, so a crash mid-write can never leave a half-written
+//!   entry under a live name;
+//! - each entry is a sealed `snap` envelope (magic, version, length,
+//!   FNV-1a checksum) wrapping the full key plus the payload, so a torn
+//!   or corrupt file — however it got there — fails validation and
+//!   reads as a *miss*, never as a wrong payload that would poison a
+//!   byte-parity check;
+//! - the full key is stored inside the envelope and compared on read,
+//!   so a hash collision also reads as a miss.
 
 use std::collections::HashMap;
 use std::fs;
 use std::path::PathBuf;
 use std::sync::Arc;
+
+/// Disk-entry format version; bump on any layout change so stale
+/// entries from an older daemon read as misses instead of misparsing.
+pub const CACHE_VERSION: u32 = 1;
 
 /// Hash a canonical config string to its content address.
 pub fn key_hash(key: &str) -> u64 {
@@ -52,7 +65,7 @@ impl ResultCache {
     fn disk_path(&self, key: &str) -> Option<PathBuf> {
         self.dir
             .as_ref()
-            .map(|d| d.join(format!("{:016x}.json", key_hash(key))))
+            .map(|d| d.join(format!("{:016x}.snap", key_hash(key))))
     }
 
     /// Look up a payload, promoting it to most-recently-used.
@@ -64,20 +77,39 @@ impl ResultCache {
             return Some(payload.clone());
         }
         let path = self.disk_path(key)?;
-        let text = fs::read_to_string(path).ok()?;
-        let (stored_key, payload) = text.split_once('\n')?;
+        let bytes = fs::read(path).ok()?;
+        // Any defect — torn write that dodged the rename, bit rot,
+        // stale format — fails the envelope and reads as a miss.
+        let payload = snap::open(&bytes, CACHE_VERSION).ok()?;
+        let mut r = snap::Reader::new(payload);
+        let stored_key = r.string().ok()?;
+        let payload = r.string().ok()?;
+        r.expect_end().ok()?;
         if stored_key != key {
             return None; // hash collision — treat as a miss
         }
-        let payload = Arc::new(payload.to_string());
+        let payload = Arc::new(payload);
         self.insert_mem(key.to_string(), payload.clone());
         Some(payload)
     }
 
-    /// Store a payload under `key` in both tiers.
+    /// Store a payload under `key` in both tiers. The disk write is
+    /// temp-file + atomic rename; a crash at any point leaves either
+    /// the old entry or the new one, never a torn hybrid.
     pub fn put(&mut self, key: String, payload: Arc<String>) {
         if let Some(path) = self.disk_path(&key) {
-            let _ = fs::write(path, format!("{key}\n{payload}"));
+            let mut w = snap::Writer::new();
+            w.str(&key);
+            w.str(&payload);
+            let sealed = snap::seal(CACHE_VERSION, &w.into_bytes());
+            let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+            // Best-effort, like the rest of the disk tier: a failed
+            // write means a future miss, not a failed job.
+            if fs::write(&tmp, sealed).is_ok() {
+                let _ = fs::rename(&tmp, &path);
+            } else {
+                let _ = fs::remove_file(&tmp);
+            }
         }
         self.insert_mem(key, payload);
     }
@@ -151,6 +183,55 @@ mod tests {
         let hit = c.get("k1").expect("disk hit");
         assert_eq!(hit.as_str(), "{\"v\":1}\nwith\nnewlines");
         assert!(c.get("k2").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_disk_entries_read_as_misses_at_every_truncation() {
+        let dir = std::env::temp_dir().join(format!("sim-serve-torn-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut c = ResultCache::new(0, Some(dir.clone()));
+        c.put("k".into(), arc("payload bytes"));
+        let path = dir.join(format!("{:016x}.snap", key_hash("k")));
+        let full = fs::read(&path).unwrap();
+        assert!(
+            ResultCache::new(0, Some(dir.clone())).get("k").is_some(),
+            "intact entry must hit"
+        );
+        for cut in 0..full.len() {
+            fs::write(&path, &full[..cut]).unwrap();
+            let mut fresh = ResultCache::new(0, Some(dir.clone()));
+            assert!(
+                fresh.get("k").is_none(),
+                "cut at {cut} must miss, not panic"
+            );
+        }
+        // Arbitrary corruption (bit flip) also misses.
+        let mut flipped = full.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        fs::write(&path, &flipped).unwrap();
+        assert!(ResultCache::new(0, Some(dir.clone())).get("k").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_tmp_files_left_behind_after_put() {
+        let dir = std::env::temp_dir().join(format!("sim-serve-tmp-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut c = ResultCache::new(2, Some(dir.clone()));
+        for i in 0..8 {
+            c.put(format!("k{i}"), arc("v"));
+        }
+        let stray: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x != "snap"))
+            .collect();
+        assert!(
+            stray.is_empty(),
+            "tmp files must be renamed away: {stray:?}"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 }

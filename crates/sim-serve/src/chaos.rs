@@ -1,0 +1,482 @@
+//! Deterministic chaos proxy for the line protocol.
+//!
+//! A TCP forwarder that sits between a client and the daemon and
+//! injects transport faults — connection resets, partial writes,
+//! garbage lines, truncated lines, latency — on a schedule derived
+//! *purely* from a seed. The same seed produces the same fault schedule
+//! on every run, so a chaos campaign that finds a bug is replayable
+//! from its seed alone.
+//!
+//! ## Determinism model
+//!
+//! The proxy never consults a clock or an OS random source to decide
+//! *what* to inject. Each forwarded line is an **event**, identified by
+//! `(connection index, direction, event index)`; the action for an
+//! event is a pure function of that triple and the seed
+//! ([`ChaosConfig::action`]), computed by hashing the triple through
+//! SplitMix64. Connections are numbered in accept order, so a client
+//! that opens connections sequentially (every harness in this repo
+//! does) sees an identical fault schedule on every run with the same
+//! seed. What *timing* the faults produce still depends on the host;
+//! determinism is of the schedule, not the wall clock — which is
+//! exactly what replayability needs, since the protocol's correctness
+//! contract is timing-independent.
+//!
+//! ## Fault vocabulary
+//!
+//! - [`FaultAction::Reset`] — both sockets are shut down mid-line: the
+//!   client sees a dropped connection, the daemon sees EOF.
+//! - [`FaultAction::Garbage`] — a line of non-JSON bytes is injected
+//!   before the real line, exercising the peer's parse-error path.
+//! - [`FaultAction::Truncate`] — the line's tail (including its
+//!   newline) is dropped, so it merges with the next line on the peer.
+//! - [`FaultAction::Split`] — the line is written in two halves with a
+//!   flush and a tiny pause between, exercising partial-read handling.
+//! - [`FaultAction::Delay`] — the line is forwarded after a bounded
+//!   sleep, exercising client read deadlines.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// SplitMix64 step: the workspace's standard small deterministic RNG.
+pub fn splitmix64(state: &mut u64) {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+}
+
+/// SplitMix64 output function over a state word.
+pub fn splitmix64_mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Direction of a forwarded line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// Request bytes, client → daemon.
+    ClientToServer,
+    /// Response bytes, daemon → client.
+    ServerToClient,
+}
+
+/// What to do with one forwarded line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Forward unchanged.
+    Forward,
+    /// Shut the connection down without forwarding.
+    Reset,
+    /// Inject a garbage line, then forward the real line.
+    Garbage,
+    /// Forward only the first half of the line, without its newline.
+    Truncate,
+    /// Forward in two flushed halves with a short pause between.
+    Split,
+    /// Sleep for the given milliseconds, then forward.
+    Delay(u64),
+}
+
+/// Fault rates (per-mille per event) and the schedule seed.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosConfig {
+    /// Schedule seed: same seed, same fault schedule.
+    pub seed: u64,
+    /// Connection resets per 1000 events.
+    pub reset_per_mille: u32,
+    /// Garbage-line injections per 1000 events.
+    pub garbage_per_mille: u32,
+    /// Line truncations per 1000 events.
+    pub truncate_per_mille: u32,
+    /// Partial (split) writes per 1000 events.
+    pub split_per_mille: u32,
+    /// Latency injections per 1000 events.
+    pub delay_per_mille: u32,
+    /// Upper bound on injected latency, milliseconds.
+    pub max_delay_ms: u64,
+}
+
+impl ChaosConfig {
+    /// Mild chaos: mostly delays and splits, occasional resets.
+    pub fn calm(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            reset_per_mille: 20,
+            garbage_per_mille: 20,
+            truncate_per_mille: 10,
+            split_per_mille: 100,
+            delay_per_mille: 100,
+            max_delay_ms: 5,
+        }
+    }
+
+    /// Aggressive chaos: every fault class frequent. Roughly one event
+    /// in three is faulted.
+    pub fn storm(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            reset_per_mille: 60,
+            garbage_per_mille: 80,
+            truncate_per_mille: 60,
+            split_per_mille: 100,
+            delay_per_mille: 60,
+            max_delay_ms: 10,
+        }
+    }
+
+    /// The action for event `idx` of direction `dir` on connection
+    /// `conn` — a pure function of `(self, conn, dir, idx)`.
+    pub fn action(&self, conn: u64, dir: Dir, idx: u64) -> FaultAction {
+        // Derive an independent state word per event by walking the
+        // SplitMix64 sequence from a triple-specific offset; mixing
+        // decorrelates neighbouring triples.
+        let dir_bit = match dir {
+            Dir::ClientToServer => 0u64,
+            Dir::ServerToClient => 1u64,
+        };
+        let mut state = self
+            .seed
+            .wrapping_add(conn.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(dir_bit.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add(idx.wrapping_mul(0x94D0_49BB_1331_11EB));
+        splitmix64(&mut state);
+        let draw = splitmix64_mix(state) % 1000;
+        // Fixed check order; bands are disjoint so the per-mille rates
+        // compose additively (their sum should stay under 1000).
+        let mut floor = 0u64;
+        for (rate, act) in [
+            (self.reset_per_mille, FaultAction::Reset),
+            (self.garbage_per_mille, FaultAction::Garbage),
+            (self.truncate_per_mille, FaultAction::Truncate),
+            (self.split_per_mille, FaultAction::Split),
+        ] {
+            if draw < floor + rate as u64 {
+                return act;
+            }
+            floor += rate as u64;
+        }
+        if draw < floor + self.delay_per_mille as u64 {
+            let ms = splitmix64_mix(state.wrapping_add(1)) % self.max_delay_ms.max(1);
+            return FaultAction::Delay(ms + 1);
+        }
+        FaultAction::Forward
+    }
+}
+
+/// Counts of injected faults, for reporting and for asserting that a
+/// campaign actually exercised every fault class.
+#[derive(Debug, Default)]
+pub struct ChaosCounters {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Resets injected.
+    pub resets: AtomicU64,
+    /// Garbage lines injected.
+    pub garbage: AtomicU64,
+    /// Lines truncated.
+    pub truncates: AtomicU64,
+    /// Split writes performed.
+    pub splits: AtomicU64,
+    /// Delays injected.
+    pub delays: AtomicU64,
+}
+
+impl ChaosCounters {
+    /// Total faults injected across all classes.
+    pub fn total_faults(&self) -> u64 {
+        self.resets.load(Ordering::Relaxed)
+            + self.garbage.load(Ordering::Relaxed)
+            + self.truncates.load(Ordering::Relaxed)
+            + self.splits.load(Ordering::Relaxed)
+            + self.delays.load(Ordering::Relaxed)
+    }
+}
+
+/// A running chaos proxy. Dropping the handle does not stop it; call
+/// [`ChaosProxy::stop`].
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    counters: Arc<ChaosCounters>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Listen on `listen` (e.g. `"127.0.0.1:0"`) and forward every
+    /// connection to `upstream` with faults injected per `cfg`.
+    pub fn bind(listen: &str, upstream: &str, cfg: ChaosConfig) -> Result<ChaosProxy, String> {
+        let listener =
+            TcpListener::bind(listen).map_err(|e| format!("chaos bind {listen}: {e}"))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("chaos local_addr: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("chaos set_nonblocking: {e}"))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(ChaosCounters::default());
+        let upstream = upstream.to_string();
+        let accept_thread = {
+            let stop = stop.clone();
+            let counters = counters.clone();
+            std::thread::Builder::new()
+                .name("chaos-accept".into())
+                .spawn(move || accept_loop(listener, &upstream, cfg, &stop, &counters))
+                .map_err(|e| format!("chaos spawn: {e}"))?
+        };
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            counters,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The proxy's bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Fault counters.
+    pub fn counters(&self) -> &ChaosCounters {
+        &self.counters
+    }
+
+    /// Stop accepting connections and join the accept loop. In-flight
+    /// forwarder threads die when their sockets close.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    upstream: &str,
+    cfg: ChaosConfig,
+    stop: &Arc<AtomicBool>,
+    counters: &Arc<ChaosCounters>,
+) {
+    let mut conn_index = 0u64;
+    loop {
+        match listener.accept() {
+            Ok((client, _)) => {
+                let conn = conn_index;
+                conn_index += 1;
+                counters.connections.fetch_add(1, Ordering::Relaxed);
+                match TcpStream::connect(upstream) {
+                    Ok(server) => {
+                        let _ = client.set_nodelay(true);
+                        let _ = server.set_nodelay(true);
+                        spawn_forwarder(
+                            client.try_clone(),
+                            server.try_clone(),
+                            cfg,
+                            conn,
+                            Dir::ClientToServer,
+                            counters.clone(),
+                        );
+                        spawn_forwarder(
+                            Ok(server),
+                            Ok(client),
+                            cfg,
+                            conn,
+                            Dir::ServerToClient,
+                            counters.clone(),
+                        );
+                    }
+                    Err(_) => {
+                        // Upstream down (e.g. daemon mid-restart): the
+                        // client sees an immediate close and retries.
+                        let _ = client.shutdown(Shutdown::Both);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+fn spawn_forwarder(
+    from: std::io::Result<TcpStream>,
+    to: std::io::Result<TcpStream>,
+    cfg: ChaosConfig,
+    conn: u64,
+    dir: Dir,
+    counters: Arc<ChaosCounters>,
+) {
+    let (Ok(from), Ok(to)) = (from, to) else {
+        return;
+    };
+    let _ = std::thread::Builder::new()
+        .name(format!("chaos-fwd-{conn}"))
+        .spawn(move || forward(from, to, cfg, conn, dir, &counters));
+}
+
+/// Cap on a single buffered line; protocol lines are far smaller, and a
+/// run-away peer should not make the proxy balloon.
+const MAX_LINE: usize = 1 << 22;
+
+fn forward(
+    from: TcpStream,
+    mut to: TcpStream,
+    cfg: ChaosConfig,
+    conn: u64,
+    dir: Dir,
+    counters: &ChaosCounters,
+) {
+    let raw_from = match from.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(from);
+    let mut line: Vec<u8> = Vec::new();
+    let mut idx = 0u64;
+    loop {
+        line.clear();
+        match read_capped_line(&mut reader, &mut line) {
+            Ok(0) | Err(_) => {
+                // Upstream EOF or error: propagate the close.
+                let _ = to.shutdown(Shutdown::Both);
+                return;
+            }
+            Ok(_) => {}
+        }
+        let action = cfg.action(conn, dir, idx);
+        idx += 1;
+        let ok = match action {
+            FaultAction::Forward => to.write_all(&line).is_ok(),
+            FaultAction::Reset => {
+                counters.resets.fetch_add(1, Ordering::Relaxed);
+                let _ = to.shutdown(Shutdown::Both);
+                let _ = raw_from.shutdown(Shutdown::Both);
+                return;
+            }
+            FaultAction::Garbage => {
+                counters.garbage.fetch_add(1, Ordering::Relaxed);
+                to.write_all(b"\x01!chaos-garbage!!\n").is_ok() && to.write_all(&line).is_ok()
+            }
+            FaultAction::Truncate => {
+                counters.truncates.fetch_add(1, Ordering::Relaxed);
+                to.write_all(&line[..line.len() / 2]).is_ok()
+            }
+            FaultAction::Split => {
+                counters.splits.fetch_add(1, Ordering::Relaxed);
+                let mid = line.len() / 2;
+                to.write_all(&line[..mid]).is_ok() && to.flush().is_ok() && {
+                    std::thread::sleep(Duration::from_millis(1));
+                    to.write_all(&line[mid..]).is_ok()
+                }
+            }
+            FaultAction::Delay(ms) => {
+                counters.delays.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(ms));
+                to.write_all(&line).is_ok()
+            }
+        };
+        if !ok || to.flush().is_err() {
+            let _ = raw_from.shutdown(Shutdown::Both);
+            return;
+        }
+    }
+}
+
+/// `read_until(b'\n')` with a size cap; oversized lines are forwarded
+/// in capped chunks (they count as one event each).
+fn read_capped_line(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut Vec<u8>,
+) -> std::io::Result<usize> {
+    let mut total = 0;
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(total);
+        }
+        let take = match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => i + 1,
+            None => buf.len(),
+        };
+        let take = take.min(MAX_LINE - line.len());
+        let done = buf[..take].last() == Some(&b'\n');
+        line.extend_from_slice(&buf[..take]);
+        reader.consume(take);
+        total += take;
+        if done || line.len() >= MAX_LINE {
+            return Ok(total);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_a_pure_function_of_seed_and_triple() {
+        let a = ChaosConfig::storm(42);
+        let b = ChaosConfig::storm(42);
+        for conn in 0..4 {
+            for dir in [Dir::ClientToServer, Dir::ServerToClient] {
+                for idx in 0..256 {
+                    assert_eq!(a.action(conn, dir, idx), b.action(conn, dir, idx));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge_and_all_classes_occur() {
+        let a = ChaosConfig::storm(1);
+        let b = ChaosConfig::storm(2);
+        let mut diverged = false;
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..4096 {
+            let act = a.action(0, Dir::ClientToServer, idx);
+            seen.insert(std::mem::discriminant(&act));
+            if act != b.action(0, Dir::ClientToServer, idx) {
+                diverged = true;
+            }
+        }
+        assert!(diverged, "seeds 1 and 2 must produce different schedules");
+        assert!(
+            seen.len() >= 5,
+            "storm must exercise every fault class: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn zero_rates_never_fault() {
+        let cfg = ChaosConfig {
+            seed: 7,
+            reset_per_mille: 0,
+            garbage_per_mille: 0,
+            truncate_per_mille: 0,
+            split_per_mille: 0,
+            delay_per_mille: 0,
+            max_delay_ms: 0,
+        };
+        for idx in 0..1000 {
+            assert_eq!(
+                cfg.action(3, Dir::ServerToClient, idx),
+                FaultAction::Forward
+            );
+        }
+    }
+}

@@ -1,15 +1,37 @@
-//! Thin blocking client for the line protocol.
+//! Resilient blocking client for the line protocol.
 //!
-//! One request line out, one response line back, per call. The client
-//! is deliberately dumb: it does not retry, pool connections, or
-//! interpret payloads — payload text is handed back exactly as the
-//! daemon stored it.
+//! One request line out, one response line back, per call — but unlike
+//! the protocol it speaks, the client assumes the transport is hostile:
+//! every socket has read/write deadlines, a dropped or garbled
+//! connection is rebuilt transparently, failed requests are resent with
+//! seeded jittered exponential backoff, and structured `busy`
+//! rejections honor the daemon's `retry_after_ms` hint.
+//!
+//! ## Why resending is safe
+//!
+//! A retried `submit` whose first ack was lost lands on the daemon's
+//! result cache (the work finished) or coalesces onto the still-running
+//! job (it did not), so cacheable work is never executed twice and the
+//! returned payload is byte-identical either way. `status`, `result`,
+//! `cancel`, `stats`, and `shutdown` are idempotent by construction.
+//! The one caveat: an *uncacheable* spec (one whose `config_key` is
+//! `None`) may re-execute on a resent submit — payloads are
+//! deterministic, so the bytes still match, but side effects and run
+//! counters see the extra execution.
+//!
+//! Any response that cannot be parsed, and any `bad request` rejection,
+//! makes the client drop the connection before retrying: a corrupted
+//! line means request/response pairing on that connection can no longer
+//! be trusted, and resynchronizing on a fresh connection is the only
+//! safe move.
 
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use sim_trace::json::{parse, JsonValue};
 
+use crate::chaos::splitmix64_mix;
 use crate::proto::{field_bool, field_str, field_u64};
 use crate::server::JobId;
 
@@ -29,7 +51,8 @@ pub struct SubmitAck {
 pub struct JobOutcome {
     /// The job id.
     pub id: JobId,
-    /// Terminal state name: `done`, `failed`, `cancelled`, `timed_out`.
+    /// Terminal state name: `done`, `failed`, `cancelled`, `timed_out`,
+    /// `shed`.
     pub state: String,
     /// The payload, byte-identical to what the runner produced
     /// (present when `state == "done"`).
@@ -53,73 +76,261 @@ pub struct ServeStats {
     pub cancelled: u64,
     /// Jobs whose deadline passed before completion.
     pub timed_out: u64,
+    /// Queued jobs evicted to make room for higher-priority work.
+    pub shed: u64,
+    /// Submits rejected with a structured `busy` response.
+    pub busy_rejected: u64,
     /// Submissions answered from the result cache.
     pub cache_hits: u64,
     /// Submissions that had to execute.
     pub cache_misses: u64,
     /// Submissions that attached to an identical in-flight job.
     pub coalesced: u64,
+    /// Jobs restored from the journal at startup.
+    pub replayed: u64,
+    /// Journal appends that failed (should be zero).
+    pub journal_errors: u64,
+    /// Records appended to the journal by this incarnation.
+    pub journal_appends: u64,
     /// Jobs currently waiting in the queue.
     pub queue_depth: u64,
+    /// Configured queue bound (0 = unbounded).
+    pub queue_cap: u64,
     /// Jobs currently executing.
     pub running: u64,
     /// Worker threads serving the queue.
     pub workers: u64,
     /// Payloads in the in-memory cache tier.
     pub cache_len: u64,
+    /// The daemon is draining: running jobs finish, submits bounce.
+    pub draining: bool,
 }
 
-/// A blocking connection to a `sim-serve` daemon.
-pub struct Client {
+/// Retry, deadline, and backoff knobs for [`Client`]. All durations
+/// are generous defaults tuned for a daemon on the same host; tests
+/// that want fail-fast behavior shrink them.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Deadline for establishing a TCP connection.
+    pub connect_timeout: Duration,
+    /// Read/write deadline on an established connection. Result waits
+    /// stay under it by long-polling in bounded slices.
+    pub io_timeout: Duration,
+    /// Transport-failure retries per request (connect errors, resets,
+    /// truncated or garbled responses) before giving up.
+    pub max_attempts: u32,
+    /// First backoff delay; doubles per attempt (with jitter).
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Structured-`busy` retries per request. Counted separately from
+    /// transport failures: a loaded-but-honest daemon should not eat
+    /// the budget reserved for a broken network.
+    pub busy_attempts: u32,
+    /// Seed for the jitter stream, so a test run's retry timing is
+    /// reproducible.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            connect_timeout: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(5),
+            max_attempts: 8,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_secs(1),
+            busy_attempts: 64,
+            seed: 0x5eed_0fc0_ffee,
+        }
+    }
+}
+
+struct Conn {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
 }
 
+/// A blocking connection to a `sim-serve` daemon that survives the
+/// daemon restarting, the connection resetting, and responses arriving
+/// torn or garbled. See the module docs for the resend-safety argument.
+pub struct Client {
+    addr: String,
+    policy: RetryPolicy,
+    rng: u64,
+    conn: Option<Conn>,
+}
+
 impl Client {
-    /// Connect to a daemon at `addr` (e.g. `"127.0.0.1:4999"`).
+    /// Connect to a daemon at `addr` (e.g. `"127.0.0.1:4999"`) with the
+    /// default [`RetryPolicy`]. Fails fast when nothing is listening.
     pub fn connect(addr: &str) -> Result<Client, String> {
-        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-        // One small request line per round trip: Nagle + delayed ACK
-        // would add ~40-200ms to every call.
-        stream
-            .set_nodelay(true)
-            .map_err(|e| format!("set_nodelay: {e}"))?;
-        let reader = BufReader::new(
-            stream
-                .try_clone()
-                .map_err(|e| format!("clone stream: {e}"))?,
-        );
-        Ok(Client {
-            reader,
-            writer: stream,
-        })
+        Client::connect_with(addr, RetryPolicy::default())
     }
 
-    fn call(&mut self, request: &str) -> Result<JsonValue, String> {
+    /// [`Client::connect`] with explicit retry/deadline knobs.
+    pub fn connect_with(addr: &str, policy: RetryPolicy) -> Result<Client, String> {
+        let mut client = Client {
+            addr: addr.to_string(),
+            policy,
+            rng: splitmix64_mix(policy.seed ^ 0x9e37_79b9_7f4a_7c15),
+            conn: None,
+        };
+        client.conn = Some(client.dial()?);
+        Ok(client)
+    }
+
+    fn dial(&self) -> Result<Conn, String> {
+        let addrs: Vec<_> = self
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| format!("resolve {}: {e}", self.addr))?
+            .collect();
+        let mut last = format!("resolve {}: no addresses", self.addr);
+        for sa in addrs {
+            match TcpStream::connect_timeout(&sa, self.policy.connect_timeout) {
+                Ok(stream) => {
+                    // One small request line per round trip: Nagle +
+                    // delayed ACK would add ~40-200ms to every call.
+                    stream
+                        .set_nodelay(true)
+                        .map_err(|e| format!("set_nodelay: {e}"))?;
+                    stream
+                        .set_read_timeout(Some(self.policy.io_timeout))
+                        .map_err(|e| format!("set_read_timeout: {e}"))?;
+                    stream
+                        .set_write_timeout(Some(self.policy.io_timeout))
+                        .map_err(|e| format!("set_write_timeout: {e}"))?;
+                    let reader = BufReader::new(
+                        stream
+                            .try_clone()
+                            .map_err(|e| format!("clone stream: {e}"))?,
+                    );
+                    return Ok(Conn {
+                        reader,
+                        writer: stream,
+                    });
+                }
+                Err(e) => last = format!("connect {sa}: {e}"),
+            }
+        }
+        Err(last)
+    }
+
+    /// Next jittered backoff delay for `attempt` (0-based): the
+    /// classic halved-then-randomized exponential, from a seeded
+    /// SplitMix64 stream so test timing is reproducible.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let base = self.policy.backoff_base.as_millis() as u64;
+        let cap = self.policy.backoff_cap.as_millis() as u64;
+        let full = base.saturating_mul(1u64 << attempt.min(20)).min(cap).max(1);
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let draw = splitmix64_mix(self.rng);
+        Duration::from_millis(full / 2 + draw % (full / 2 + 1))
+    }
+
+    /// One request/response exchange on the current connection.
+    fn exchange(conn: &mut Conn, request: &str) -> Result<JsonValue, String> {
         // Single write per request: two small writes would hand Nagle a
         // partial segment to sit on.
         let mut line = String::with_capacity(request.len() + 1);
         line.push_str(request);
         line.push('\n');
-        self.writer
+        conn.writer
             .write_all(line.as_bytes())
-            .and_then(|()| self.writer.flush())
+            .and_then(|()| conn.writer.flush())
             .map_err(|e| format!("send: {e}"))?;
         let mut line = String::new();
-        let n = self
+        let n = conn
             .reader
             .read_line(&mut line)
             .map_err(|e| format!("receive: {e}"))?;
         if n == 0 {
             return Err("server closed the connection".into());
         }
-        let v = parse(line.trim()).map_err(|e| format!("bad response: {e}"))?;
-        if field_bool(&v, "ok") != Some(true) {
-            return Err(field_str(&v, "error")
-                .unwrap_or("unknown error")
-                .to_string());
+        parse(line.trim()).map_err(|e| format!("bad response: {e}"))
+    }
+
+    /// Issue a request, retrying transport failures (with reconnect and
+    /// backoff) and `busy` rejections (honoring the daemon's hint).
+    /// Only a definitive application-level error comes back as `Err`
+    /// without exhausting a retry budget.
+    fn call(&mut self, request: &str) -> Result<JsonValue, String> {
+        let mut transport_failures = 0u32;
+        let mut busy_rejections = 0u32;
+        let mut last;
+        loop {
+            if self.conn.is_none() {
+                match self.dial() {
+                    Ok(c) => self.conn = Some(c),
+                    Err(e) => {
+                        last = e;
+                        transport_failures += 1;
+                        if transport_failures >= self.policy.max_attempts {
+                            return Err(format!(
+                                "request failed after {transport_failures} attempts: {last}"
+                            ));
+                        }
+                        let delay = self.backoff(transport_failures);
+                        std::thread::sleep(delay);
+                        continue;
+                    }
+                }
+            }
+            let conn = self.conn.as_mut().expect("dialed above");
+            match Self::exchange(conn, request) {
+                Ok(v) => {
+                    if field_bool(&v, "ok") == Some(true) {
+                        return Ok(v);
+                    }
+                    let error = field_str(&v, "error")
+                        .unwrap_or("unknown error")
+                        .to_string();
+                    if field_bool(&v, "busy") == Some(true) {
+                        busy_rejections += 1;
+                        if busy_rejections >= self.policy.busy_attempts {
+                            return Err(format!(
+                                "still busy after {busy_rejections} attempts: {error}"
+                            ));
+                        }
+                        let hint = field_u64(&v, "retry_after_ms").unwrap_or(50);
+                        let jitter = self.backoff(0);
+                        std::thread::sleep(Duration::from_millis(hint) + jitter);
+                        continue;
+                    }
+                    if error.starts_with("bad request") {
+                        // The daemon rejected a line we did not send as
+                        // written — transport corruption. The response
+                        // stream may now be misaligned with our
+                        // requests; resynchronize on a new connection.
+                        self.conn = None;
+                        last = error;
+                        transport_failures += 1;
+                        if transport_failures >= self.policy.max_attempts {
+                            return Err(format!(
+                                "request failed after {transport_failures} attempts: {last}"
+                            ));
+                        }
+                        let delay = self.backoff(transport_failures);
+                        std::thread::sleep(delay);
+                        continue;
+                    }
+                    return Err(error);
+                }
+                Err(e) => {
+                    self.conn = None;
+                    last = e;
+                    transport_failures += 1;
+                    if transport_failures >= self.policy.max_attempts {
+                        return Err(format!(
+                            "request failed after {transport_failures} attempts: {last}"
+                        ));
+                    }
+                    let delay = self.backoff(transport_failures);
+                    std::thread::sleep(delay);
+                }
+            }
         }
-        Ok(v)
     }
 
     /// Submit a job spec (a JSON object as text). Higher `priority`
@@ -151,15 +362,30 @@ impl Client {
     }
 
     /// Block until the job reaches a terminal state and return it.
+    ///
+    /// Implemented as a long-poll loop: each round trip asks the daemon
+    /// to wait a bounded slice (comfortably under the socket read
+    /// deadline) and returns the current state, so a job that runs for
+    /// minutes never trips the transport timeout and a daemon restart
+    /// mid-wait is survived by the next poll.
     pub fn result(&mut self, id: JobId) -> Result<JobOutcome, String> {
-        let v = self.call(&format!("{{\"op\":\"result\",\"id\":{id},\"wait\":true}}"))?;
-        Ok(JobOutcome {
-            id,
-            state: field_str(&v, "state").unwrap_or("unknown").to_string(),
-            payload: field_str(&v, "payload").map(|s| s.to_string()),
-            error: field_str(&v, "error").map(|s| s.to_string()),
-            cached: field_bool(&v, "cached").unwrap_or(false),
-        })
+        let slice_ms = (self.policy.io_timeout.as_millis() as u64 / 2).clamp(50, 2000);
+        loop {
+            let v = self.call(&format!(
+                "{{\"op\":\"result\",\"id\":{id},\"wait\":true,\"wait_ms\":{slice_ms}}}"
+            ))?;
+            let state = field_str(&v, "state").unwrap_or("unknown").to_string();
+            if matches!(state.as_str(), "queued" | "running") {
+                continue;
+            }
+            return Ok(JobOutcome {
+                id,
+                state,
+                payload: field_str(&v, "payload").map(|s| s.to_string()),
+                error: field_str(&v, "error").map(|s| s.to_string()),
+                cached: field_bool(&v, "cached").unwrap_or(false),
+            });
+        }
     }
 
     /// Submit and wait; error unless the job completes with a payload.
@@ -197,13 +423,20 @@ impl Client {
             failed: g("failed"),
             cancelled: g("cancelled"),
             timed_out: g("timed_out"),
+            shed: g("shed"),
+            busy_rejected: g("busy_rejected"),
             cache_hits: g("cache_hits"),
             cache_misses: g("cache_misses"),
             coalesced: g("coalesced"),
+            replayed: g("replayed"),
+            journal_errors: g("journal_errors"),
+            journal_appends: g("journal_appends"),
             queue_depth: g("queue_depth"),
+            queue_cap: g("queue_cap"),
             running: g("running"),
             workers: g("workers"),
             cache_len: g("cache_len"),
+            draining: field_bool(&v, "draining").unwrap_or(false),
         };
         let mut line = String::from("{");
         let mut first = true;
@@ -213,13 +446,20 @@ impl Client {
             ("failed", stats.failed),
             ("cancelled", stats.cancelled),
             ("timed_out", stats.timed_out),
+            ("shed", stats.shed),
+            ("busy_rejected", stats.busy_rejected),
             ("cache_hits", stats.cache_hits),
             ("cache_misses", stats.cache_misses),
             ("coalesced", stats.coalesced),
+            ("replayed", stats.replayed),
+            ("journal_errors", stats.journal_errors),
+            ("journal_appends", stats.journal_appends),
             ("queue_depth", stats.queue_depth),
+            ("queue_cap", stats.queue_cap),
             ("running", stats.running),
             ("workers", stats.workers),
             ("cache_len", stats.cache_len),
+            ("draining", stats.draining as u64),
         ] {
             if !first {
                 line.push(',');
@@ -229,6 +469,12 @@ impl Client {
         }
         line.push('}');
         Ok((stats, line))
+    }
+
+    /// Ask the daemon to stop claiming new jobs and finish the running
+    /// ones; queued jobs stay journaled for the next incarnation.
+    pub fn drain(&mut self) -> Result<(), String> {
+        self.call("{\"op\":\"drain\"}").map(|_| ())
     }
 
     /// Ask the daemon to stop accepting work and shut down.

@@ -24,15 +24,37 @@
 //! [`JobRunner`] (derive a canonical cache key from a spec; run a spec
 //! to a payload string). The `bench` crate's `serve` binary wires this
 //! to the slipstream engine, including snapshot warm-starts.
+//!
+//! ## Crash safety and chaos
+//!
+//! The daemon is built to preserve byte-parity under failure:
+//!
+//! - **Write-ahead journal** ([`wal`]): with [`ServeOptions::journal`]
+//!   set, accepted jobs are journaled before their ack and replayed on
+//!   restart, so `kill -9` mid-batch loses no acknowledged work.
+//! - **Resilient client** ([`client`]): socket deadlines, transparent
+//!   reconnect, seeded jittered exponential backoff, and idempotent
+//!   resends keyed by the daemon's cache/coalescing.
+//! - **Backpressure** ([`server`]): bounded queue with priority
+//!   shedding and structured `busy` + `retry_after_ms` rejections,
+//!   per-connection live-job limits, and a graceful `drain` verb.
+//! - **Deterministic chaos proxy** ([`chaos`]): a seeded TCP proxy that
+//!   resets, garbles, truncates, splits, and delays traffic on a
+//!   schedule that is a pure function of its seed, for reproducible
+//!   fault-injection soaks.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod proto;
 pub mod server;
+pub mod wal;
 
 pub use cache::ResultCache;
-pub use client::{Client, JobOutcome, ServeStats, SubmitAck};
+pub use chaos::{ChaosConfig, ChaosCounters, ChaosProxy, Dir, FaultAction};
+pub use client::{Client, JobOutcome, RetryPolicy, ServeStats, SubmitAck};
 pub use server::{JobControl, JobId, JobRunner, JobState, ServeOptions, Server};
+pub use wal::{Replay, ReplayJob, Wal, WalRecord};

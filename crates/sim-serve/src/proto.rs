@@ -51,3 +51,86 @@ pub fn field_bool(v: &JsonValue, key: &str) -> Option<bool> {
 pub fn err_line(msg: &str) -> String {
     format!("{{\"ok\":false,\"error\":\"{}\"}}", esc(msg))
 }
+
+/// The structured backpressure rejection: `"busy":true` marks the
+/// request as safe to retry, `"retry_after_ms"` is the daemon's hint
+/// for how long to back off first.
+pub fn busy_line(msg: &str, retry_after_ms: u64) -> String {
+    format!(
+        "{{\"ok\":false,\"busy\":true,\"retry_after_ms\":{retry_after_ms},\"error\":\"{}\"}}",
+        esc(msg)
+    )
+}
+
+/// Render a parsed [`JsonValue`] back to JSON text.
+///
+/// Used to journal job specs: the wire carries the spec as a JSON
+/// subtree of the request, and the journal needs it back as standalone
+/// text. Integers render without a fractional part so a spec
+/// round-trips through parse → render → parse unchanged.
+pub fn render(v: &JsonValue) -> String {
+    let mut out = String::new();
+    render_into(v, &mut out);
+    out
+}
+
+fn render_into(v: &JsonValue, out: &mut String) {
+    match v {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                out.push_str(&format!("{}", *n as i64));
+            } else {
+                out.push_str(&format!("{n}"));
+            }
+        }
+        JsonValue::Str(s) => {
+            out.push('"');
+            out.push_str(&esc(s));
+            out.push('"');
+        }
+        JsonValue::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_into(item, out);
+            }
+            out.push(']');
+        }
+        JsonValue::Obj(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(&esc(k));
+                out.push_str("\":");
+                render_into(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_round_trips_a_spec() {
+        let src = "{\"kind\":\"run\",\"bench\":\"cg\",\"workers\":4,\"trace\":false,\
+                   \"note\":\"a \\\"quoted\\\" name\",\"list\":[1,-2,0.5],\"nul\":null}";
+        let v = sim_trace::json::parse(src).unwrap();
+        let rendered = render(&v);
+        assert_eq!(sim_trace::json::parse(&rendered).unwrap(), v);
+        // Idempotent once canonicalized.
+        assert_eq!(
+            render(&sim_trace::json::parse(&rendered).unwrap()),
+            rendered
+        );
+    }
+}

@@ -6,6 +6,30 @@
 //! threads run jobs with per-job panic isolation; connection handler
 //! threads speak the line protocol and never hold the state lock
 //! across a blocking wait except through the condvars.
+//!
+//! ## Crash safety
+//!
+//! With [`ServeOptions::journal`] set, every accepted job is recorded
+//! in a write-ahead journal ([`crate::wal`]) *before* its submit is
+//! acknowledged, and every terminal transition is journaled after it.
+//! On startup the journal is replayed: still-pending jobs re-enter the
+//! queue at their original priority and submit order, completed jobs
+//! are restored from the result cache when possible and re-executed
+//! otherwise (payloads are deterministic, so re-execution returns the
+//! same bytes), and the journal is compacted to just the live set. A
+//! `kill -9` therefore loses no acknowledged work.
+//!
+//! ## Backpressure
+//!
+//! With [`ServeOptions::max_queue`] set, a submit that would overflow
+//! the queue either sheds the lowest-priority queued job (when the
+//! newcomer outranks it — the shed job terminates in
+//! [`JobState::Shed`]) or is rejected with a structured `busy` response
+//! carrying a `retry_after_ms` hint. [`ServeOptions::max_live_per_conn`]
+//! bounds how many unfinished jobs one connection may have in flight.
+//! The `drain` verb stops job intake and new claims: running jobs
+//! finish, queued jobs stay journaled for the next incarnation, and the
+//! embedder exits once [`Server::drained`] reports true.
 
 use std::collections::{BinaryHeap, HashMap};
 use std::io::{BufRead, BufReader, Write};
@@ -20,7 +44,8 @@ use std::time::{Duration, Instant};
 use sim_trace::json::{parse, JsonValue};
 
 use crate::cache::ResultCache;
-use crate::proto::{err_line, esc, field_i64, field_str, field_u64};
+use crate::proto::{busy_line, err_line, esc, field_i64, field_str, field_u64, render};
+use crate::wal::{Wal, WalRecord};
 
 /// Identifies a submitted job for `status` / `result` / `cancel`.
 pub type JobId = u64;
@@ -79,8 +104,8 @@ impl<T: JobRunner> JobRunner for Arc<T> {
     }
 }
 
-/// Lifecycle of a job. `Done`, `Failed`, `Cancelled`, and `TimedOut`
-/// are terminal.
+/// Lifecycle of a job. `Done`, `Failed`, `Cancelled`, `TimedOut`, and
+/// `Shed` are terminal.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum JobState {
     /// Waiting in the priority queue.
@@ -95,6 +120,8 @@ pub enum JobState {
     Cancelled,
     /// Its deadline passed before completion.
     TimedOut,
+    /// Evicted from a full queue to make room for higher-priority work.
+    Shed,
 }
 
 impl JobState {
@@ -107,6 +134,7 @@ impl JobState {
             JobState::Failed => "failed",
             JobState::Cancelled => "cancelled",
             JobState::TimedOut => "timed_out",
+            JobState::Shed => "shed",
         }
     }
 
@@ -118,6 +146,9 @@ impl JobState {
 struct Job {
     spec: JsonValue,
     key: Option<String>,
+    priority: i64,
+    seq: u64,
+    timeout_ms: Option<u64>,
     state: JobState,
     payload: Option<Arc<String>>,
     error: Option<String>,
@@ -155,22 +186,74 @@ struct Counters {
     failed: u64,
     cancelled: u64,
     timed_out: u64,
+    shed: u64,
+    busy_rejected: u64,
     cache_hits: u64,
     cache_misses: u64,
     coalesced: u64,
+    replayed: u64,
+    journal_errors: u64,
 }
 
 struct State {
     jobs: HashMap<JobId, Job>,
     queue: BinaryHeap<QueueEntry>,
+    /// Live queued jobs — `queue.len()` over-counts because entries of
+    /// cancelled/shed jobs are retired lazily at claim time.
+    queued_count: usize,
     /// key -> id of the queued/running job computing it; duplicate
     /// submissions attach to this id instead of re-executing.
     inflight: HashMap<String, JobId>,
     cache: ResultCache,
+    wal: Option<Wal>,
     next_id: JobId,
     next_seq: u64,
     counters: Counters,
     shutting_down: bool,
+    draining: bool,
+}
+
+impl State {
+    /// Append to the journal, if one is configured. Completion records
+    /// are best-effort (the state transition already happened); submit
+    /// records are required and checked by the caller.
+    fn journal(&mut self, rec: &WalRecord) -> Result<(), String> {
+        if let Some(wal) = &mut self.wal {
+            if let Err(e) = wal.append(rec) {
+                self.counters.journal_errors += 1;
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Move a non-terminal job to a terminal state, with all the
+    /// bookkeeping: counters, live-queue count, in-flight retirement,
+    /// and the journal record.
+    fn finish(&mut self, id: JobId, state: JobState, error: Option<String>) {
+        debug_assert!(state.is_terminal());
+        let Some(job) = self.jobs.get_mut(&id) else {
+            return;
+        };
+        if job.state.is_terminal() {
+            return;
+        }
+        if job.state == JobState::Queued {
+            self.queued_count = self.queued_count.saturating_sub(1);
+        }
+        job.state = state;
+        job.error = error.clone();
+        match state {
+            JobState::Done => self.counters.completed += 1,
+            JobState::Failed => self.counters.failed += 1,
+            JobState::Cancelled => self.counters.cancelled += 1,
+            JobState::TimedOut => self.counters.timed_out += 1,
+            JobState::Shed => self.counters.shed += 1,
+            JobState::Queued | JobState::Running => unreachable!("terminal states only"),
+        }
+        retire(self, id);
+        let _ = self.journal(&WalRecord::Complete { id, state, error });
+    }
 }
 
 struct Inner {
@@ -179,6 +262,8 @@ struct Inner {
     done_cv: Condvar,
     runner: Box<dyn JobRunner>,
     workers: usize,
+    max_queue: usize,
+    max_live_per_conn: usize,
 }
 
 /// Daemon configuration. Environment-variable parsing belongs to the
@@ -191,6 +276,18 @@ pub struct ServeOptions {
     pub cache_cap: usize,
     /// On-disk result-cache directory (None disables the disk tier).
     pub cache_dir: Option<PathBuf>,
+    /// Write-ahead job journal path (None disables crash recovery).
+    pub journal: Option<PathBuf>,
+    /// `sync_data` every journal append (power-loss durability; a
+    /// plain write already survives process crashes).
+    pub journal_sync: bool,
+    /// Max live queued jobs; 0 is unbounded. Overflow sheds the
+    /// lowest-priority queued job when the newcomer outranks it, and
+    /// rejects with a structured `busy` response otherwise.
+    pub max_queue: usize,
+    /// Max unfinished jobs one connection may have submitted; 0 is
+    /// unbounded. Overflow rejects with `busy`.
+    pub max_live_per_conn: usize,
 }
 
 impl Default for ServeOptions {
@@ -199,6 +296,10 @@ impl Default for ServeOptions {
             workers: 2,
             cache_cap: 256,
             cache_dir: None,
+            journal: None,
+            journal_sync: false,
+            max_queue: 0,
+            max_live_per_conn: 0,
         }
     }
 }
@@ -214,6 +315,8 @@ pub struct Server {
 
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start serving `runner`.
+    /// With a journal configured, replays and compacts it first; jobs
+    /// accepted by a previous incarnation re-enter the queue here.
     pub fn bind(
         addr: &str,
         runner: Box<dyn JobRunner>,
@@ -226,21 +329,61 @@ impl Server {
         listener
             .set_nonblocking(true)
             .map_err(|e| format!("set_nonblocking: {e}"))?;
+
+        let mut state = State {
+            jobs: HashMap::new(),
+            queue: BinaryHeap::new(),
+            queued_count: 0,
+            inflight: HashMap::new(),
+            cache: ResultCache::new(opts.cache_cap, opts.cache_dir.clone()),
+            wal: None,
+            next_id: 1,
+            next_seq: 0,
+            counters: Counters::default(),
+            shutting_down: false,
+            draining: false,
+        };
+        if let Some(path) = &opts.journal {
+            let (mut wal, rep) = Wal::open(path, opts.journal_sync)?;
+            state.next_id = rep.next_id;
+            state.next_seq = rep.next_seq;
+            restore_replayed_jobs(&mut state, rep.jobs);
+            // Compact to the live set: a floor for id allocation plus
+            // one submit record per still-pending job. Terminal history
+            // is dropped — completed payloads live in the result cache.
+            let mut records = vec![WalRecord::Meta {
+                next_id: state.next_id,
+                next_seq: state.next_seq,
+            }];
+            let mut pending: Vec<(JobId, &Job)> = state
+                .jobs
+                .iter()
+                .filter(|(_, j)| j.state == JobState::Queued)
+                .map(|(id, j)| (*id, j))
+                .collect();
+            pending.sort_by_key(|(_, j)| j.seq);
+            for (id, job) in pending {
+                records.push(WalRecord::Submit {
+                    id,
+                    priority: job.priority,
+                    seq: job.seq,
+                    timeout_ms: job.timeout_ms,
+                    key: job.key.clone(),
+                    spec_json: render(&job.spec),
+                });
+            }
+            wal.compact(&records)?;
+            state.wal = Some(wal);
+        }
+
         let inner = Arc::new(Inner {
-            state: Mutex::new(State {
-                jobs: HashMap::new(),
-                queue: BinaryHeap::new(),
-                inflight: HashMap::new(),
-                cache: ResultCache::new(opts.cache_cap, opts.cache_dir),
-                next_id: 1,
-                next_seq: 0,
-                counters: Counters::default(),
-                shutting_down: false,
-            }),
+            state: Mutex::new(state),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             runner,
             workers: opts.workers.max(1),
+            max_queue: opts.max_queue,
+            max_live_per_conn: opts.max_live_per_conn,
         });
         let stop = Arc::new(AtomicBool::new(false));
         let mut threads = Vec::new();
@@ -295,6 +438,100 @@ impl Server {
     pub fn shutdown_requested(&self) -> bool {
         self.stop.load(Ordering::SeqCst)
     }
+
+    /// True once a client has issued the `drain` verb.
+    pub fn drain_requested(&self) -> bool {
+        self.inner.state.lock().unwrap().draining
+    }
+
+    /// True once a requested drain has finished: no job is running.
+    /// Queued jobs remain journaled for the next incarnation.
+    pub fn drained(&self) -> bool {
+        let st = self.inner.state.lock().unwrap();
+        st.draining && !st.jobs.values().any(|j| j.state == JobState::Running)
+    }
+}
+
+/// Rebuild in-memory job state from replayed journal records.
+fn restore_replayed_jobs(state: &mut State, jobs: Vec<crate::wal::ReplayJob>) {
+    for rj in jobs {
+        state.counters.replayed += 1;
+        let spec = match parse(&rj.spec_json) {
+            Ok(v) => v,
+            Err(e) => {
+                // A journaled spec that no longer parses (it was
+                // rendered by us, so this means corruption that dodged
+                // the checksum) fails the job rather than the daemon.
+                state.jobs.insert(
+                    rj.id,
+                    Job {
+                        spec: JsonValue::Null,
+                        key: rj.key,
+                        priority: rj.priority,
+                        seq: rj.seq,
+                        timeout_ms: rj.timeout_ms,
+                        state: JobState::Failed,
+                        payload: None,
+                        error: Some(format!("journaled spec unparsable: {e}")),
+                        cached: false,
+                        ctl: Arc::new(JobControl::new(None)),
+                    },
+                );
+                continue;
+            }
+        };
+        let (state_now, payload, error, cached) = match &rj.terminal {
+            Some((JobState::Done, _)) => {
+                // Completed before the crash: serve the cached payload
+                // if the disk tier still has it, re-execute otherwise —
+                // payloads are deterministic, so both return the bytes
+                // an uninterrupted run would have.
+                let hit = rj.key.as_deref().and_then(|k| state.cache.get(k));
+                match hit {
+                    Some(p) => (JobState::Done, Some(p), None, true),
+                    None => (JobState::Queued, None, None, false),
+                }
+            }
+            Some((s, err)) => (*s, None, err.clone(), false),
+            None if rj.cancel_requested => (
+                JobState::Cancelled,
+                None,
+                Some("cancelled before restart".to_string()),
+                false,
+            ),
+            None => (JobState::Queued, None, None, false),
+        };
+        let job = Job {
+            spec,
+            key: rj.key.clone(),
+            priority: rj.priority,
+            seq: rj.seq,
+            timeout_ms: rj.timeout_ms,
+            state: state_now,
+            payload,
+            error,
+            cached,
+            // Deadlines are re-armed from restart: the journal stores
+            // the relative budget, not an absolute instant.
+            ctl: Arc::new(JobControl::new(if state_now == JobState::Queued {
+                rj.timeout_ms
+            } else {
+                None
+            })),
+        };
+        if state_now == JobState::Queued {
+            state.queue.push(QueueEntry {
+                priority: rj.priority,
+                seq: rj.seq,
+                id: rj.id,
+            });
+            state.queued_count += 1;
+            if let Some(k) = &rj.key {
+                state.inflight.entry(k.clone()).or_insert(rj.id);
+            }
+        }
+        state.jobs.insert(rj.id, job);
+    }
 }
 
 fn worker_loop(inner: &Inner) {
@@ -304,25 +541,33 @@ fn worker_loop(inner: &Inner) {
         let (id, spec, ctl) = {
             let mut st = inner.state.lock().unwrap();
             'claim: loop {
-                if st.shutting_down {
+                if st.shutting_down || st.draining {
                     return;
                 }
                 while let Some(entry) = st.queue.pop() {
                     let id = entry.id;
-                    let job = st.jobs.get_mut(&id).expect("queued job exists");
+                    // A missing job for a queued entry means state was
+                    // corrupted by a bug elsewhere; skip the entry
+                    // rather than poisoning the mutex for every client.
+                    let Some(job) = st.jobs.get_mut(&id) else {
+                        continue;
+                    };
                     if job.state != JobState::Queued {
-                        continue; // cancelled while queued
+                        continue; // cancelled/shed while queued
                     }
                     if job.ctl.should_stop() {
-                        job.state = JobState::TimedOut;
-                        job.error = Some("timed out while queued".into());
-                        st.counters.timed_out += 1;
-                        retire(&mut st, id);
+                        st.finish(
+                            id,
+                            JobState::TimedOut,
+                            Some("timed out while queued".into()),
+                        );
                         inner.done_cv.notify_all();
                         continue;
                     }
                     job.state = JobState::Running;
-                    break 'claim (id, job.spec.clone(), job.ctl.clone());
+                    let claimed = (id, job.spec.clone(), job.ctl.clone());
+                    st.queued_count = st.queued_count.saturating_sub(1);
+                    break 'claim claimed;
                 }
                 st = inner.work_cv.wait(st).unwrap();
             }
@@ -333,7 +578,12 @@ fn worker_loop(inner: &Inner) {
 
         let mut st = inner.state.lock().unwrap();
         let timed_out = ctl.deadline.is_some_and(|d| Instant::now() >= d);
-        let job = st.jobs.get_mut(&id).expect("running job exists");
+        let Some(job) = st.jobs.get_mut(&id) else {
+            // Same defensive stance as the claim path.
+            retire(&mut st, id);
+            inner.done_cv.notify_all();
+            continue;
+        };
         if job.state == JobState::Running {
             let (state, payload, error) = match outcome {
                 Err(_) => (JobState::Failed, None, Some("job panicked".to_string())),
@@ -344,22 +594,15 @@ fn worker_loop(inner: &Inner) {
                 Ok(Ok(_)) if timed_out => (JobState::TimedOut, None, None),
                 Ok(Ok(payload)) => (JobState::Done, Some(Arc::new(payload)), None),
             };
-            job.state = state;
             job.payload = payload.clone();
-            job.error = error;
             let key = job.key.clone();
-            match state {
-                JobState::Done => st.counters.completed += 1,
-                JobState::Failed => st.counters.failed += 1,
-                JobState::Cancelled => st.counters.cancelled += 1,
-                JobState::TimedOut => st.counters.timed_out += 1,
-                JobState::Queued | JobState::Running => unreachable!(),
-            }
+            st.finish(id, state, error);
             if let (JobState::Done, Some(key), Some(payload)) = (state, key, payload) {
                 st.cache.put(key, payload);
             }
+        } else {
+            retire(&mut st, id);
         }
-        retire(&mut st, id);
         inner.done_cv.notify_all();
     }
 }
@@ -403,6 +646,13 @@ fn accept_loop(listener: TcpListener, inner: &Arc<Inner>, stop: &Arc<AtomicBool>
     }
 }
 
+/// Per-connection request context: the jobs this connection put into
+/// the queue, for the live-per-connection bound.
+#[derive(Default)]
+struct ConnCtx {
+    submitted: Vec<JobId>,
+}
+
 fn handle_connection(
     stream: TcpStream,
     inner: &Arc<Inner>,
@@ -415,6 +665,7 @@ fn handle_connection(
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     let mut line = String::new();
+    let mut ctx = ConnCtx::default();
     loop {
         line.clear();
         if reader.read_line(&mut line)? == 0 {
@@ -424,7 +675,7 @@ fn handle_connection(
             continue;
         }
         let mut response = match parse(line.trim()) {
-            Ok(req) => dispatch(&req, inner, stop),
+            Ok(req) => dispatch(&req, inner, stop, &mut ctx),
             Err(e) => err_line(&format!("bad request: {e}")),
         };
         response.push('\n');
@@ -433,13 +684,33 @@ fn handle_connection(
     }
 }
 
-fn dispatch(req: &JsonValue, inner: &Arc<Inner>, stop: &Arc<AtomicBool>) -> String {
+fn dispatch(
+    req: &JsonValue,
+    inner: &Arc<Inner>,
+    stop: &Arc<AtomicBool>,
+    ctx: &mut ConnCtx,
+) -> String {
     match field_str(req, "op") {
-        Some("submit") => op_submit(req, inner),
+        Some("submit") => op_submit(req, inner, ctx),
         Some("status") => op_status(req, inner),
         Some("result") => op_result(req, inner),
         Some("cancel") => op_cancel(req, inner),
         Some("stats") => op_stats(inner),
+        Some("drain") => {
+            let mut st = inner.state.lock().unwrap();
+            st.draining = true;
+            inner.work_cv.notify_all();
+            inner.done_cv.notify_all();
+            let running = st
+                .jobs
+                .values()
+                .filter(|j| j.state == JobState::Running)
+                .count();
+            format!(
+                "{{\"ok\":true,\"draining\":true,\"running\":{running},\"queued\":{}}}",
+                st.queued_count
+            )
+        }
         Some("shutdown") => {
             stop.store(true, Ordering::SeqCst);
             let mut st = inner.state.lock().unwrap();
@@ -453,7 +724,13 @@ fn dispatch(req: &JsonValue, inner: &Arc<Inner>, stop: &Arc<AtomicBool>) -> Stri
     }
 }
 
-fn op_submit(req: &JsonValue, inner: &Arc<Inner>) -> String {
+/// Backoff hint for busy rejections: scale with how many queue slots
+/// each worker has to clear before new work runs.
+fn retry_after_ms(st: &State, workers: usize) -> u64 {
+    (25 * (st.queued_count as u64 / workers.max(1) as u64 + 1)).clamp(25, 2000)
+}
+
+fn op_submit(req: &JsonValue, inner: &Arc<Inner>, ctx: &mut ConnCtx) -> String {
     let Some(spec) = req.get("spec") else {
         return err_line("submit: missing spec field");
     };
@@ -468,18 +745,49 @@ fn op_submit(req: &JsonValue, inner: &Arc<Inner>) -> String {
     if st.shutting_down {
         return err_line("server is shutting down");
     }
+    if st.draining {
+        return busy_line(
+            "draining: not accepting new jobs",
+            retry_after_ms(&st, inner.workers),
+        );
+    }
     st.counters.submitted += 1;
-    let id = st.next_id;
-    st.next_id += 1;
 
     if let Some(k) = &key {
         if let Some(payload) = st.cache.get(k) {
             st.counters.cache_hits += 1;
+            let id = st.next_id;
+            st.next_id += 1;
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            // Even a cache-served id must survive kill -9: clients hold
+            // the id across a daemon restart and poll it there. Journal
+            // the submit and its immediate completion; if a crash lands
+            // between the two, replay re-enqueues and deterministic
+            // re-execution returns the same bytes.
+            if let Err(e) = st.journal(&WalRecord::Submit {
+                id,
+                priority,
+                seq,
+                timeout_ms: None,
+                key: key.clone(),
+                spec_json: render(spec),
+            }) {
+                return err_line(&format!("journal append failed: {e}"));
+            }
+            let _ = st.journal(&WalRecord::Complete {
+                id,
+                state: JobState::Done,
+                error: None,
+            });
             st.jobs.insert(
                 id,
                 Job {
                     spec: spec.clone(),
                     key: key.clone(),
+                    priority,
+                    seq,
+                    timeout_ms: None,
                     state: JobState::Done,
                     payload: Some(payload),
                     error: None,
@@ -492,21 +800,93 @@ fn op_submit(req: &JsonValue, inner: &Arc<Inner>) -> String {
         }
         if let Some(&primary) = st.inflight.get(k) {
             st.counters.coalesced += 1;
-            // The duplicate attaches to the primary's id; the fresh id
-            // allocated above is simply never used.
+            // The duplicate attaches to the primary's id — this is also
+            // what makes a client's submit retry after a lost ack
+            // idempotent: the retry lands here (or on the cache above)
+            // instead of executing the work twice.
             return format!("{{\"ok\":true,\"id\":{primary},\"cached\":false,\"coalesced\":true}}");
         }
+    }
+
+    // Backpressure gates, cheapest first: the per-connection bound,
+    // then the global queue bound with priority shedding.
+    if inner.max_live_per_conn > 0 {
+        ctx.submitted
+            .retain(|id| st.jobs.get(id).is_some_and(|j| !j.state.is_terminal()));
+        if ctx.submitted.len() >= inner.max_live_per_conn {
+            st.counters.busy_rejected += 1;
+            let hint = retry_after_ms(&st, inner.workers);
+            return busy_line(
+                &format!(
+                    "connection has {} unfinished jobs (limit {})",
+                    ctx.submitted.len(),
+                    inner.max_live_per_conn
+                ),
+                hint,
+            );
+        }
+    }
+    if inner.max_queue > 0 && st.queued_count >= inner.max_queue {
+        // Shed the lowest-priority queued job if the newcomer outranks
+        // it (newest-first within the lowest level, preserving FIFO
+        // fairness among survivors); otherwise reject with a hint.
+        let victim = st
+            .jobs
+            .iter()
+            .filter(|(_, j)| j.state == JobState::Queued)
+            .min_by_key(|(_, j)| (j.priority, std::cmp::Reverse(j.seq)))
+            .map(|(id, j)| (*id, j.priority));
+        match victim {
+            Some((vid, vprio)) if vprio < priority => {
+                st.finish(
+                    vid,
+                    JobState::Shed,
+                    Some("shed: queue full, preempted by higher-priority work".into()),
+                );
+                inner.done_cv.notify_all();
+            }
+            _ => {
+                st.counters.busy_rejected += 1;
+                let hint = retry_after_ms(&st, inner.workers);
+                return busy_line(&format!("queue full ({} jobs)", st.queued_count), hint);
+            }
+        }
+    }
+
+    let id = st.next_id;
+    st.next_id += 1;
+    let seq = st.next_seq;
+    st.next_seq += 1;
+    if let Some(k) = &key {
         st.counters.cache_misses += 1;
         st.inflight.insert(k.clone(), id);
     }
-
-    let seq = st.next_seq;
-    st.next_seq += 1;
+    // Journal before acknowledging: an acked job must survive kill -9.
+    if let Err(e) = st.journal(&WalRecord::Submit {
+        id,
+        priority,
+        seq,
+        timeout_ms,
+        key: key.clone(),
+        spec_json: render(spec),
+    }) {
+        // The job never entered the map; drop its in-flight claim
+        // directly so later submissions of the key are not orphaned.
+        if let Some(k) = &key {
+            if st.inflight.get(k) == Some(&id) {
+                st.inflight.remove(k);
+            }
+        }
+        return err_line(&format!("journal append failed: {e}"));
+    }
     st.jobs.insert(
         id,
         Job {
             spec: spec.clone(),
             key,
+            priority,
+            seq,
+            timeout_ms,
             state: JobState::Queued,
             payload: None,
             error: None,
@@ -515,6 +895,8 @@ fn op_submit(req: &JsonValue, inner: &Arc<Inner>) -> String {
         },
     );
     st.queue.push(QueueEntry { priority, seq, id });
+    st.queued_count += 1;
+    ctx.submitted.push(id);
     inner.work_cv.notify_one();
     format!("{{\"ok\":true,\"id\":{id},\"cached\":false,\"coalesced\":false}}")
 }
@@ -553,30 +935,40 @@ fn op_result(req: &JsonValue, inner: &Arc<Inner>) -> String {
         return err_line("result: missing id field");
     };
     let wait = crate::proto::field_bool(req, "wait").unwrap_or(true);
+    // A bounded wait lets clients with read deadlines long-poll: the
+    // server answers with the current (possibly non-terminal) state
+    // when the slice expires, and the client polls again.
+    let wait_deadline =
+        field_u64(req, "wait_ms").map(|ms| Instant::now() + Duration::from_millis(ms));
     let mut st = inner.state.lock().unwrap();
     loop {
-        let Some(job) = st.jobs.get_mut(&id) else {
+        let Some(job) = st.jobs.get(&id) else {
             return err_line(&format!("unknown job id {id}"));
         };
         // A queued job whose deadline lapses with every worker busy
         // would otherwise wait forever; the waiter trips it.
-        if !job.state.is_terminal() && job.ctl.should_stop() {
-            let was_queued = job.state == JobState::Queued;
-            if was_queued {
-                job.state = JobState::TimedOut;
-                job.error = Some("timed out while queued".into());
-                st.counters.timed_out += 1;
-                retire(&mut st, id);
-                inner.done_cv.notify_all();
-                continue;
-            }
+        if job.state == JobState::Queued && job.ctl.should_stop() {
+            st.finish(
+                id,
+                JobState::TimedOut,
+                Some("timed out while queued".into()),
+            );
+            inner.done_cv.notify_all();
+            continue;
         }
-        let job = st.jobs.get(&id).expect("checked above");
+        let Some(job) = st.jobs.get(&id) else {
+            return err_line(&format!("unknown job id {id}"));
+        };
         if job.state.is_terminal() {
             return job_response(id, job, true);
         }
         if !wait {
             return job_response(id, job, false);
+        }
+        if let Some(d) = wait_deadline {
+            if Instant::now() >= d {
+                return job_response(id, job, false);
+            }
         }
         if st.shutting_down {
             return err_line("server is shutting down");
@@ -603,12 +995,13 @@ fn op_cancel(req: &JsonValue, inner: &Arc<Inner>) -> String {
     job.ctl.cancel.store(true, Ordering::Relaxed);
     if job.state == JobState::Queued {
         // The worker's lazy pop skips it; mark it now.
-        job.state = JobState::Cancelled;
-        st.counters.cancelled += 1;
-        retire(&mut st, id);
+        st.finish(id, JobState::Cancelled, None);
+    } else {
+        // A running job stays Running until its worker observes the
+        // flag and returns; journal the intent so the cancel survives
+        // a crash before that happens.
+        let _ = st.journal(&WalRecord::CancelIntent { id });
     }
-    // A running job stays Running until its worker observes the flag
-    // and returns; the worker then records Cancelled.
     inner.done_cv.notify_all();
     format!("{{\"ok\":true,\"id\":{id},\"cancelled\":true}}")
 }
@@ -620,27 +1013,31 @@ fn op_stats(inner: &Arc<Inner>) -> String {
         .values()
         .filter(|j| j.state == JobState::Running)
         .count();
-    let queued = st
-        .jobs
-        .values()
-        .filter(|j| j.state == JobState::Queued)
-        .count();
     let c = &st.counters;
     format!(
         "{{\"ok\":true,\"submitted\":{},\"completed\":{},\"failed\":{},\"cancelled\":{},\
-         \"timed_out\":{},\"cache_hits\":{},\"cache_misses\":{},\"coalesced\":{},\
-         \"queue_depth\":{},\"running\":{},\"workers\":{},\"cache_len\":{}}}",
+         \"timed_out\":{},\"shed\":{},\"busy_rejected\":{},\"cache_hits\":{},\
+         \"cache_misses\":{},\"coalesced\":{},\"replayed\":{},\"journal_errors\":{},\
+         \"journal_appends\":{},\"queue_depth\":{},\"queue_cap\":{},\"running\":{},\
+         \"workers\":{},\"cache_len\":{},\"draining\":{}}}",
         c.submitted,
         c.completed,
         c.failed,
         c.cancelled,
         c.timed_out,
+        c.shed,
+        c.busy_rejected,
         c.cache_hits,
         c.cache_misses,
         c.coalesced,
-        queued,
+        c.replayed,
+        c.journal_errors,
+        st.wal.as_ref().map_or(0, |w| w.appended()),
+        st.queued_count,
+        inner.max_queue,
         running,
         inner.workers,
         st.cache.len(),
+        st.draining,
     )
 }

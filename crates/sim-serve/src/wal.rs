@@ -1,0 +1,517 @@
+//! Durable write-ahead job journal.
+//!
+//! The daemon's queue lives in memory; without a journal a `kill -9`
+//! loses every accepted-but-unfinished job. The WAL records the three
+//! events that matter for recovery — a job was **accepted**
+//! ([`WalRecord::Submit`]), a job reached a **terminal state**
+//! ([`WalRecord::Complete`]), and a **cancel was requested** for a
+//! running job ([`WalRecord::CancelIntent`]) — so a restarted daemon
+//! can rebuild exactly the set of jobs it still owes work for.
+//!
+//! ## On-disk format
+//!
+//! The journal is a flat file of concatenated `snap` envelopes, one per
+//! record: `magic | version | len | fnv1a | payload`, with the payload
+//! encoded by [`snap::Writer`] (a record-type tag byte followed by the
+//! record's fields in declaration order). The envelope does all the
+//! heavy lifting for crash safety:
+//!
+//! - records are **self-delimiting** (the envelope carries its length),
+//!   so no separate index is needed;
+//! - a record torn by a crash mid-`write` fails the length or checksum
+//!   test and [`replay`] stops there — the torn tail is discarded on
+//!   the next compaction, never misparsed;
+//! - a version bump invalidates old journals loudly instead of letting
+//!   them deserialize under a different layout.
+//!
+//! Records are appended with a single `write_all` *before* the submit
+//! is acknowledged, so an acked job is always recoverable after a
+//! process crash (the OS page cache survives `kill -9`). Against power
+//! loss, [`Wal::open`] takes a `sync` flag that additionally
+//! `sync_data`s every append.
+//!
+//! ## Replay semantics
+//!
+//! [`replay`] folds the record stream into one [`ReplayJob`] per
+//! submitted id:
+//!
+//! - the **first terminal [`WalRecord::Complete`] wins** — a
+//!   [`WalRecord::CancelIntent`] (or a second `Complete`) logged after
+//!   a job completed is ignored, so the `cancel`-after-`complete` race
+//!   is resolved identically no matter how the records interleave;
+//! - a `CancelIntent` on a still-pending job marks it
+//!   `cancel_requested`, so a cancel issued against a running job is
+//!   honoured across a restart instead of resurrecting the job;
+//! - `next_id` / `next_seq` are recovered as maxima over everything
+//!   seen (including a [`WalRecord::Meta`] floor written by
+//!   compaction), so restarted daemons never reuse a journaled id.
+//!
+//! The server applies its own policy on top (see `Server::bind`):
+//! pending jobs re-enter the queue at their original priority and
+//! submit order, completed jobs are restored from the result cache when
+//! possible and re-enqueued otherwise — re-execution is safe because
+//! job payloads are deterministic, which is the crate's byte-parity
+//! contract.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::server::JobState;
+
+/// Journal format version, gating [`snap::open_prefix`] on every record.
+pub const WAL_VERSION: u32 = 1;
+
+const TAG_META: u8 = 0;
+const TAG_SUBMIT: u8 = 1;
+const TAG_COMPLETE: u8 = 2;
+const TAG_CANCEL: u8 = 3;
+
+/// One journal record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalRecord {
+    /// Floor for id/seq allocation, written by compaction so dropped
+    /// history can never lead to id reuse.
+    Meta {
+        /// Next job id a restarted daemon may allocate.
+        next_id: u64,
+        /// Next queue sequence number.
+        next_seq: u64,
+    },
+    /// A job was accepted into the queue. Written before the submit is
+    /// acknowledged.
+    Submit {
+        /// The job id the ack will carry.
+        id: u64,
+        /// Queue priority (higher first).
+        priority: i64,
+        /// FIFO sequence within a priority level.
+        seq: u64,
+        /// Per-job timeout, if any (re-armed from zero on replay).
+        timeout_ms: Option<u64>,
+        /// Canonical cache key (None for uncacheable specs).
+        key: Option<String>,
+        /// The spec, serialized back to JSON text.
+        spec_json: String,
+    },
+    /// A job reached a terminal state.
+    Complete {
+        /// The job id.
+        id: u64,
+        /// The terminal state (must satisfy `JobState::is_terminal`).
+        state: JobState,
+        /// The error message, for failure-shaped terminals.
+        error: Option<String>,
+    },
+    /// A cancel was requested for a job that was already running; the
+    /// terminal `Complete` follows when the worker observes the flag.
+    CancelIntent {
+        /// The job id.
+        id: u64,
+    },
+}
+
+fn state_code(state: JobState) -> u8 {
+    match state {
+        JobState::Done => 0,
+        JobState::Failed => 1,
+        JobState::Cancelled => 2,
+        JobState::TimedOut => 3,
+        JobState::Shed => 4,
+        // Non-terminal states are never journaled as completions.
+        JobState::Queued | JobState::Running => u8::MAX,
+    }
+}
+
+fn state_from_code(code: u8) -> Result<JobState, snap::SnapError> {
+    Ok(match code {
+        0 => JobState::Done,
+        1 => JobState::Failed,
+        2 => JobState::Cancelled,
+        3 => JobState::TimedOut,
+        4 => JobState::Shed,
+        _ => return Err(snap::SnapError::Corrupt { what: "job state" }),
+    })
+}
+
+impl WalRecord {
+    /// Encode the record as one sealed envelope.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = snap::Writer::new();
+        match self {
+            WalRecord::Meta { next_id, next_seq } => {
+                w.u8(TAG_META);
+                w.u64(*next_id);
+                w.u64(*next_seq);
+            }
+            WalRecord::Submit {
+                id,
+                priority,
+                seq,
+                timeout_ms,
+                key,
+                spec_json,
+            } => {
+                w.u8(TAG_SUBMIT);
+                w.u64(*id);
+                w.i64(*priority);
+                w.u64(*seq);
+                w.opt(timeout_ms, |w, v| w.u64(*v));
+                w.opt(key, |w, v| w.str(v));
+                w.str(spec_json);
+            }
+            WalRecord::Complete { id, state, error } => {
+                w.u8(TAG_COMPLETE);
+                w.u64(*id);
+                w.u8(state_code(*state));
+                w.opt(error, |w, v| w.str(v));
+            }
+            WalRecord::CancelIntent { id } => {
+                w.u8(TAG_CANCEL);
+                w.u64(*id);
+            }
+        }
+        snap::seal(WAL_VERSION, &w.into_bytes())
+    }
+
+    fn decode(payload: &[u8]) -> Result<WalRecord, snap::SnapError> {
+        let mut r = snap::Reader::new(payload);
+        let rec = match r.u8()? {
+            TAG_META => WalRecord::Meta {
+                next_id: r.u64()?,
+                next_seq: r.u64()?,
+            },
+            TAG_SUBMIT => WalRecord::Submit {
+                id: r.u64()?,
+                priority: r.i64()?,
+                seq: r.u64()?,
+                timeout_ms: r.opt(|r| r.u64())?,
+                key: r.opt(|r| r.string())?,
+                spec_json: r.string()?,
+            },
+            TAG_COMPLETE => WalRecord::Complete {
+                id: r.u64()?,
+                state: state_from_code(r.u8()?)?,
+                error: r.opt(|r| r.string())?,
+            },
+            TAG_CANCEL => WalRecord::CancelIntent { id: r.u64()? },
+            _ => return Err(snap::SnapError::Corrupt { what: "record tag" }),
+        };
+        r.expect_end()?;
+        Ok(rec)
+    }
+}
+
+/// One submitted job as reconstructed by [`replay`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplayJob {
+    /// The journaled job id.
+    pub id: u64,
+    /// Queue priority.
+    pub priority: i64,
+    /// FIFO sequence.
+    pub seq: u64,
+    /// Per-job timeout (relative; re-armed on restore).
+    pub timeout_ms: Option<u64>,
+    /// Canonical cache key.
+    pub key: Option<String>,
+    /// The job spec as JSON text.
+    pub spec_json: String,
+    /// First journaled terminal state, with its error.
+    pub terminal: Option<(JobState, Option<String>)>,
+    /// A cancel was requested before any terminal record.
+    pub cancel_requested: bool,
+}
+
+/// The fold of a journal's record stream.
+#[derive(Clone, Debug, Default)]
+pub struct Replay {
+    /// Jobs in submit order.
+    pub jobs: Vec<ReplayJob>,
+    /// Max job id seen plus one (at least 1).
+    pub next_id: u64,
+    /// Max queue sequence seen plus one.
+    pub next_seq: u64,
+    /// A torn or corrupt tail was found and discarded.
+    pub torn: bool,
+    /// Bytes of tail discarded as torn.
+    pub torn_bytes: usize,
+    /// Whole records successfully applied.
+    pub records: u64,
+}
+
+/// Fold a journal byte stream into its [`Replay`]. Stops cleanly at the
+/// first defective record: everything before it is applied, everything
+/// from it on is reported as the torn tail.
+pub fn replay(bytes: &[u8]) -> Replay {
+    let mut out = Replay {
+        next_id: 1,
+        ..Replay::default()
+    };
+    let mut index: HashMap<u64, usize> = HashMap::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let rec = match snap::open_prefix(&bytes[pos..], WAL_VERSION) {
+            Ok((payload, used)) => match WalRecord::decode(payload) {
+                Ok(rec) => {
+                    pos += used;
+                    rec
+                }
+                Err(_) => break,
+            },
+            Err(_) => break,
+        };
+        out.records += 1;
+        match rec {
+            WalRecord::Meta { next_id, next_seq } => {
+                out.next_id = out.next_id.max(next_id);
+                out.next_seq = out.next_seq.max(next_seq);
+            }
+            WalRecord::Submit {
+                id,
+                priority,
+                seq,
+                timeout_ms,
+                key,
+                spec_json,
+            } => {
+                out.next_id = out.next_id.max(id + 1);
+                out.next_seq = out.next_seq.max(seq + 1);
+                // A duplicate submit id (should not happen) keeps the
+                // first record rather than silently forking the job.
+                if let std::collections::hash_map::Entry::Vacant(e) = index.entry(id) {
+                    e.insert(out.jobs.len());
+                    out.jobs.push(ReplayJob {
+                        id,
+                        priority,
+                        seq,
+                        timeout_ms,
+                        key,
+                        spec_json,
+                        terminal: None,
+                        cancel_requested: false,
+                    });
+                }
+            }
+            WalRecord::Complete { id, state, error } => {
+                if let Some(&i) = index.get(&id) {
+                    let job = &mut out.jobs[i];
+                    // First terminal record wins; a cancel (or second
+                    // completion) after the fact is a no-op.
+                    if job.terminal.is_none() {
+                        job.terminal = Some((state, error));
+                    }
+                }
+            }
+            WalRecord::CancelIntent { id } => {
+                if let Some(&i) = index.get(&id) {
+                    let job = &mut out.jobs[i];
+                    if job.terminal.is_none() {
+                        job.cancel_requested = true;
+                    }
+                }
+            }
+        }
+    }
+    if pos < bytes.len() {
+        out.torn = true;
+        out.torn_bytes = bytes.len() - pos;
+    }
+    out
+}
+
+/// An open journal: an append handle plus the path for compaction.
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    sync: bool,
+    appended: u64,
+}
+
+impl Wal {
+    /// Open (creating if absent) the journal at `path`, replay its
+    /// contents, and position for appending. With `sync`, every append
+    /// is additionally `sync_data`ed for power-loss durability; without
+    /// it a plain `write` still survives any process crash.
+    pub fn open(path: &Path, sync: bool) -> Result<(Wal, Replay), String> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("journal dir {}: {e}", parent.display()))?;
+            }
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(path)
+            .map_err(|e| format!("journal {}: {e}", path.display()))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| format!("journal read {}: {e}", path.display()))?;
+        let rep = replay(&bytes);
+        if rep.torn {
+            // Drop the torn tail now: appends land at EOF, and a record
+            // appended after unreadable bytes would be unreachable on
+            // the next replay.
+            file.set_len((bytes.len() - rep.torn_bytes) as u64)
+                .map_err(|e| format!("journal truncate {}: {e}", path.display()))?;
+        }
+        Ok((
+            Wal {
+                file,
+                path: path.to_path_buf(),
+                sync,
+                appended: 0,
+            },
+            rep,
+        ))
+    }
+
+    /// Append one record durably (single `write_all`, plus `sync_data`
+    /// when the journal was opened with `sync`). Must complete before
+    /// the effect it records is acknowledged to a client.
+    pub fn append(&mut self, rec: &WalRecord) -> Result<(), String> {
+        self.file
+            .write_all(&rec.encode())
+            .map_err(|e| format!("journal append {}: {e}", self.path.display()))?;
+        if self.sync {
+            self.file
+                .sync_data()
+                .map_err(|e| format!("journal sync {}: {e}", self.path.display()))?;
+        }
+        self.appended += 1;
+        Ok(())
+    }
+
+    /// Records appended through this handle (not counting replayed
+    /// history).
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Atomically replace the journal's contents with `records` (via
+    /// temp file + rename) and reopen for appending. Called once at
+    /// startup to drop finished history and any torn tail.
+    pub fn compact(&mut self, records: &[WalRecord]) -> Result<(), String> {
+        let tmp = self
+            .path
+            .with_extension(format!("tmp.{}", std::process::id()));
+        {
+            let mut out = File::create(&tmp).map_err(|e| format!("journal tmp: {e}"))?;
+            for rec in records {
+                out.write_all(&rec.encode())
+                    .map_err(|e| format!("journal compact write: {e}"))?;
+            }
+            out.sync_data()
+                .map_err(|e| format!("journal compact sync: {e}"))?;
+        }
+        std::fs::rename(&tmp, &self.path).map_err(|e| format!("journal compact rename: {e}"))?;
+        self.file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| format!("journal reopen {}: {e}", self.path.display()))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn submit(id: u64, seq: u64) -> WalRecord {
+        WalRecord::Submit {
+            id,
+            priority: 0,
+            seq,
+            timeout_ms: None,
+            key: Some(format!("k{id}")),
+            spec_json: format!("{{\"x\":{id}}}"),
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_the_envelope() {
+        for rec in [
+            WalRecord::Meta {
+                next_id: 7,
+                next_seq: 3,
+            },
+            WalRecord::Submit {
+                id: 4,
+                priority: -2,
+                seq: 9,
+                timeout_ms: Some(250),
+                key: None,
+                spec_json: "{\"bench\":\"cg\"}".into(),
+            },
+            WalRecord::Complete {
+                id: 4,
+                state: JobState::Failed,
+                error: Some("boom".into()),
+            },
+            WalRecord::CancelIntent { id: 4 },
+        ] {
+            let bytes = rec.encode();
+            let (payload, used) = snap::open_prefix(&bytes, WAL_VERSION).unwrap();
+            assert_eq!(used, bytes.len());
+            assert_eq!(WalRecord::decode(payload).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn replay_of_an_empty_stream_is_empty() {
+        let rep = replay(&[]);
+        assert!(rep.jobs.is_empty());
+        assert_eq!(rep.next_id, 1);
+        assert_eq!(rep.next_seq, 0);
+        assert!(!rep.torn);
+    }
+
+    #[test]
+    fn first_terminal_record_wins_over_later_cancel() {
+        let mut bytes = Vec::new();
+        bytes.extend(submit(1, 0).encode());
+        bytes.extend(
+            WalRecord::Complete {
+                id: 1,
+                state: JobState::Done,
+                error: None,
+            }
+            .encode(),
+        );
+        bytes.extend(WalRecord::CancelIntent { id: 1 }.encode());
+        let rep = replay(&bytes);
+        assert_eq!(rep.jobs.len(), 1);
+        assert_eq!(rep.jobs[0].terminal, Some((JobState::Done, None)));
+        assert!(
+            !rep.jobs[0].cancel_requested,
+            "cancel after complete must be a no-op"
+        );
+    }
+
+    #[test]
+    fn cancel_before_terminal_marks_the_job() {
+        let mut bytes = Vec::new();
+        bytes.extend(submit(1, 0).encode());
+        bytes.extend(WalRecord::CancelIntent { id: 1 }.encode());
+        let rep = replay(&bytes);
+        assert!(rep.jobs[0].cancel_requested);
+        assert!(rep.jobs[0].terminal.is_none());
+    }
+
+    #[test]
+    fn meta_floors_id_allocation() {
+        let mut bytes = WalRecord::Meta {
+            next_id: 100,
+            next_seq: 40,
+        }
+        .encode();
+        bytes.extend(submit(3, 1).encode());
+        let rep = replay(&bytes);
+        assert_eq!(rep.next_id, 100);
+        assert_eq!(rep.next_seq, 40);
+    }
+}

@@ -1,0 +1,247 @@
+//! Chaos soak suite: seeded fault-injection campaigns through the
+//! chaos proxy, with and without daemon crash/restart cycles.
+//!
+//! Every case drives real TCP traffic through a [`ChaosProxy`] whose
+//! fault schedule is a pure function of the case's seed, so a failure
+//! is replayable by rerunning with the printed seed. The correctness
+//! bar is the crate's byte-parity contract: whatever the transport
+//! does, a batch must complete with every payload byte-identical to an
+//! undisturbed run, no job lost and no job executed twice (for
+//! cacheable specs).
+//!
+//! Knobs: `CHAOS_CASES` overrides the campaign size (default 200);
+//! `CHAOS_DIR`, when set, receives a `failing-seed.txt` artifact before
+//! any panic, so CI can upload the repro.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sim_serve::chaos::{ChaosConfig, ChaosProxy};
+use sim_serve::server::{JobControl, JobRunner, Server};
+use sim_serve::{Client, RetryPolicy, ServeOptions};
+use sim_trace::json::JsonValue;
+
+/// Doubles `spec.x`, optionally sleeping `spec.sleep_ms` first so jobs
+/// can be caught mid-flight by a crash.
+struct ChaosRunner {
+    runs: AtomicU64,
+}
+
+fn num(spec: &JsonValue, key: &str) -> Option<u64> {
+    spec.get(key).and_then(|v| v.as_num()).map(|n| n as u64)
+}
+
+impl JobRunner for ChaosRunner {
+    fn config_key(&self, spec: &JsonValue) -> Result<Option<String>, String> {
+        let x = num(spec, "x").ok_or("spec needs a numeric x")?;
+        Ok(Some(format!(
+            "chaos|x={x}|sleep={}",
+            num(spec, "sleep_ms").unwrap_or(0)
+        )))
+    }
+
+    fn run(&self, spec: &JsonValue, _ctl: &JobControl) -> Result<String, String> {
+        let x = num(spec, "x").ok_or("spec needs a numeric x")?;
+        if let Some(ms) = num(spec, "sleep_ms") {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        self.runs.fetch_add(1, Ordering::SeqCst);
+        Ok(format!("{{\"doubled\":{}}}", x * 2))
+    }
+}
+
+fn cases() -> u64 {
+    std::env::var("CHAOS_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200)
+}
+
+/// Record the failing seed for CI artifact upload, then panic.
+fn fail_with_seed(seed: u64, context: &str) -> ! {
+    if let Ok(dir) = std::env::var("CHAOS_DIR") {
+        let _ = std::fs::create_dir_all(&dir);
+        let _ = std::fs::write(
+            std::path::Path::new(&dir).join("failing-seed.txt"),
+            format!("seed={seed:#x}\ncontext={context}\n"),
+        );
+    }
+    panic!("chaos case failed (seed {seed:#x}): {context}");
+}
+
+fn chaos_client(addr: &str, seed: u64) -> Result<Client, String> {
+    Client::connect_with(
+        addr,
+        RetryPolicy {
+            connect_timeout: Duration::from_secs(2),
+            // Short enough that a truncated response stalls the case
+            // for a fraction of a second, long enough that an honest
+            // slow response never trips it.
+            io_timeout: Duration::from_millis(250),
+            max_attempts: 16,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(50),
+            busy_attempts: 64,
+            seed,
+        },
+    )
+}
+
+#[test]
+fn seeded_chaos_campaign_preserves_byte_parity_with_no_lost_or_duplicate_jobs() {
+    let runner = Arc::new(ChaosRunner {
+        runs: AtomicU64::new(0),
+    });
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Box::new(runner.clone()),
+        ServeOptions {
+            workers: 2,
+            cache_cap: 8192, // every case's key stays resident
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let upstream = server.local_addr().to_string();
+
+    let n = cases();
+    let mut faults_injected = 0u64;
+    for case in 0..n {
+        let seed = 0xC0FF_EE00u64 + case;
+        let proxy = match ChaosProxy::bind("127.0.0.1:0", &upstream, ChaosConfig::storm(seed)) {
+            Ok(p) => p,
+            Err(e) => fail_with_seed(seed, &format!("proxy bind: {e}")),
+        };
+        let addr = proxy.local_addr().to_string();
+        let mut c = match chaos_client(&addr, seed) {
+            Ok(c) => c,
+            Err(e) => fail_with_seed(seed, &format!("connect: {e}")),
+        };
+        let expected = format!("{{\"doubled\":{}}}", case * 2);
+        match c.run_to_payload(&format!("{{\"x\":{case}}}"), 0, None) {
+            Ok((_, payload)) => {
+                if payload != expected {
+                    fail_with_seed(
+                        seed,
+                        &format!("parity divergence: got {payload:?}, want {expected:?}"),
+                    );
+                }
+            }
+            Err(e) => fail_with_seed(seed, &format!("batch lost a job: {e}")),
+        }
+        faults_injected += proxy.counters().total_faults();
+        proxy.stop();
+    }
+
+    // Zero lost (every case produced its payload, checked above) and
+    // zero duplicated: each distinct spec executed exactly once even
+    // though submits were retried through resets and garbage.
+    assert_eq!(
+        runner.runs.load(Ordering::SeqCst),
+        n,
+        "each case's job must execute exactly once"
+    );
+    assert!(
+        faults_injected > 0,
+        "the campaign must actually have injected faults"
+    );
+    println!("chaos campaign: {n} cases, {faults_injected} faults injected, 0 divergences");
+    server.shutdown();
+}
+
+#[test]
+fn batches_survive_daemon_crash_restart_cycles_under_chaos() {
+    let seed = 0xDEAD_BEEFu64;
+    let dir = std::env::temp_dir().join(format!("sim-serve-chaos-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = ServeOptions {
+        workers: 2,
+        cache_cap: 64,
+        cache_dir: Some(dir.join("cache")),
+        journal: Some(dir.join("jobs.wal")),
+        ..ServeOptions::default()
+    };
+    let jobs: Vec<(String, String)> = (0..10u64)
+        .map(|x| {
+            (
+                format!("{{\"x\":{x},\"sleep_ms\":20}}"),
+                format!("{{\"doubled\":{}}}", x * 2),
+            )
+        })
+        .collect();
+
+    for cycle in 0..3u64 {
+        // Incarnation A: accept the whole batch through chaos, then
+        // vanish without teardown while jobs are still in flight.
+        let mut ids = Vec::new();
+        {
+            let runner = Arc::new(ChaosRunner {
+                runs: AtomicU64::new(0),
+            });
+            let server = Server::bind("127.0.0.1:0", Box::new(runner), opts.clone()).unwrap();
+            let upstream = server.local_addr().to_string();
+            let proxy = ChaosProxy::bind(
+                "127.0.0.1:0",
+                &upstream,
+                ChaosConfig::storm(seed + cycle * 2),
+            )
+            .unwrap();
+            let mut c = chaos_client(&proxy.local_addr().to_string(), seed + cycle).unwrap();
+            for (spec, _) in &jobs {
+                match c.submit(spec, 0, None) {
+                    Ok(ack) => ids.push(ack.id),
+                    Err(e) => fail_with_seed(seed + cycle, &format!("submit: {e}")),
+                }
+            }
+            std::mem::forget(server); // crash mid-batch
+            proxy.stop();
+        }
+        // Incarnation B: same journal and cache, fresh port, fresh
+        // chaos. Every acknowledged job must reach `done` under its
+        // original id with the exact payload an undisturbed run gives.
+        let runner = Arc::new(ChaosRunner {
+            runs: AtomicU64::new(0),
+        });
+        let server = Server::bind("127.0.0.1:0", Box::new(runner), opts.clone()).unwrap();
+        let upstream = server.local_addr().to_string();
+        let proxy = ChaosProxy::bind(
+            "127.0.0.1:0",
+            &upstream,
+            ChaosConfig::calm(seed + cycle * 2 + 1),
+        )
+        .unwrap();
+        let mut c = chaos_client(&proxy.local_addr().to_string(), seed + cycle + 100).unwrap();
+        for (id, (spec, expected)) in ids.iter().zip(&jobs) {
+            let outcome = match c.result(*id) {
+                Ok(o) => o,
+                Err(e) => fail_with_seed(seed + cycle, &format!("cycle {cycle} job {id}: {e}")),
+            };
+            if outcome.state != "done" || outcome.payload.as_deref() != Some(expected.as_str()) {
+                fail_with_seed(
+                    seed + cycle,
+                    &format!(
+                        "cycle {cycle} job {id} (spec {spec}): state {} payload {:?}, want done {expected:?}",
+                        outcome.state, outcome.payload
+                    ),
+                );
+            }
+        }
+        // Resubmitting the batch hits the cache byte-identically.
+        for (spec, expected) in &jobs {
+            match c.run_to_payload(spec, 0, None) {
+                Ok((_, payload)) if payload == *expected => {}
+                Ok((_, payload)) => fail_with_seed(
+                    seed + cycle,
+                    &format!("resubmit divergence: got {payload:?}, want {expected:?}"),
+                ),
+                Err(e) => fail_with_seed(seed + cycle, &format!("resubmit: {e}")),
+            }
+        }
+        proxy.stop();
+        server.shutdown();
+        // The journal is compacted each restart; leftover state in
+        // `dir` is exactly what the next cycle should recover from.
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -270,6 +270,7 @@ fn disk_cache_survives_a_daemon_restart() {
                 workers: 1,
                 cache_cap: 8,
                 cache_dir: Some(dir.clone()),
+                ..ServeOptions::default()
             },
         )
         .unwrap();
@@ -285,6 +286,7 @@ fn disk_cache_survives_a_daemon_restart() {
             workers: 1,
             cache_cap: 8,
             cache_dir: Some(dir.clone()),
+            ..ServeOptions::default()
         },
     )
     .unwrap();
@@ -338,4 +340,311 @@ fn shutdown_verb_rejects_new_submissions() {
     let err = c.submit("{\"x\":1}", 0, None).unwrap_err();
     assert!(err.contains("shutting down"), "got: {err}");
     server.shutdown();
+}
+
+/// Bind with explicit options, on an OS-assigned port.
+fn serve_opts(opts: ServeOptions) -> (Server, Arc<ToyRunner>, Gate, String) {
+    let (runner, gate) = ToyRunner::new();
+    let server = Server::bind("127.0.0.1:0", Box::new(runner.clone()), opts).expect("bind");
+    let addr = server.local_addr().to_string();
+    (server, runner, gate, addr)
+}
+
+/// One raw request/response exchange, bypassing the client's retry
+/// machinery so rejection lines can be inspected verbatim.
+fn raw_call(addr: &str, request: &str) -> sim_trace::json::JsonValue {
+    use std::io::{BufRead, BufReader, Write};
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    stream.write_all(request.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    sim_trace::json::parse(line.trim()).unwrap()
+}
+
+/// A client that gives up quickly instead of honoring long busy loops,
+/// for tests that assert on rejections.
+fn impatient(addr: &str) -> Client {
+    Client::connect_with(
+        addr,
+        sim_serve::RetryPolicy {
+            busy_attempts: 2,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(5),
+            ..sim_serve::RetryPolicy::default()
+        },
+    )
+    .unwrap()
+}
+
+fn wait_until(mut cond: impl FnMut() -> bool, what: &str) {
+    for _ in 0..500 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+#[test]
+fn bounded_queue_rejects_submits_with_busy_and_retry_hint() {
+    let (server, _runner, gate, addr) = serve_opts(ServeOptions {
+        workers: 1,
+        max_queue: 1,
+        ..ServeOptions::default()
+    });
+    let mut c = Client::connect(&addr).unwrap();
+    c.submit("{\"x\":1,\"gate\":1}", 0, None).unwrap();
+    {
+        let mut probe = Client::connect(&addr).unwrap();
+        wait_until(
+            || probe.stats().unwrap().0.running == 1,
+            "gated job to start running",
+        );
+    }
+    c.submit("{\"x\":2}", 0, None).unwrap(); // fills the one queue slot
+    let v = raw_call(
+        &addr,
+        "{\"op\":\"submit\",\"priority\":0,\"spec\":{\"x\":3}}",
+    );
+    assert_eq!(v.get("ok").and_then(|b| b.as_bool()), Some(false));
+    assert_eq!(v.get("busy").and_then(|b| b.as_bool()), Some(true));
+    let hint = v
+        .get("retry_after_ms")
+        .and_then(|n| n.as_num())
+        .expect("busy rejection carries a retry hint") as u64;
+    assert!(hint >= 25, "hint should be a real backoff: {hint}");
+    open_gate(&gate);
+    let (stats, _) = c.stats().unwrap();
+    assert!(stats.busy_rejected >= 1);
+    assert_eq!(stats.queue_cap, 1);
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_sheds_lowest_priority_for_higher_priority_work() {
+    let (server, runner, gate, addr) = serve_opts(ServeOptions {
+        workers: 1,
+        max_queue: 2,
+        ..ServeOptions::default()
+    });
+    let mut c = Client::connect(&addr).unwrap();
+    c.submit("{\"x\":1,\"gate\":1}", 0, None).unwrap();
+    {
+        let mut probe = Client::connect(&addr).unwrap();
+        wait_until(
+            || probe.stats().unwrap().0.running == 1,
+            "gated job to start running",
+        );
+    }
+    let mid = c.submit("{\"x\":2}", 1, None).unwrap();
+    let low = c.submit("{\"x\":3}", 0, None).unwrap();
+    // Queue is full; a higher-priority submit evicts the lowest.
+    let high = c.submit("{\"x\":4}", 5, None).unwrap();
+    assert_eq!(c.status(low.id).unwrap(), "shed");
+    let outcome = c.result(low.id).unwrap();
+    assert_eq!(outcome.state, "shed");
+    assert!(outcome.error.unwrap().contains("shed"));
+    open_gate(&gate);
+    assert_eq!(c.result(mid.id).unwrap().state, "done");
+    assert_eq!(c.result(high.id).unwrap().state, "done");
+    // The survivors ran in priority order after the gated job.
+    assert_eq!(runner.order.lock().unwrap().as_slice(), &[1, 4, 2]);
+    let (stats, _) = c.stats().unwrap();
+    assert_eq!(stats.shed, 1);
+    // A same-priority submit against a full queue is rejected, not shed.
+    server.shutdown();
+}
+
+#[test]
+fn per_connection_live_limit_bounces_excess_submits() {
+    let (server, _runner, gate, addr) = serve_opts(ServeOptions {
+        workers: 1,
+        max_live_per_conn: 2,
+        ..ServeOptions::default()
+    });
+    let mut a = impatient(&addr);
+    a.submit("{\"x\":1,\"gate\":1}", 0, None).unwrap();
+    {
+        let mut probe = Client::connect(&addr).unwrap();
+        wait_until(
+            || probe.stats().unwrap().0.running == 1,
+            "gated job to start running",
+        );
+    }
+    a.submit("{\"x\":2}", 0, None).unwrap();
+    let err = a.submit("{\"x\":3}", 0, None).unwrap_err();
+    assert!(err.contains("unfinished jobs"), "got: {err}");
+    // Another connection has its own budget.
+    let mut b = Client::connect(&addr).unwrap();
+    let ok = b.submit("{\"x\":4}", 0, None).unwrap();
+    open_gate(&gate);
+    b.result(ok.id).unwrap();
+    // Once its jobs finish, the first connection can submit again.
+    wait_until(
+        || b.stats().unwrap().0.completed == 3,
+        "all live jobs to finish",
+    );
+    assert!(a.submit("{\"x\":5}", 0, None).is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn drain_finishes_running_work_and_bounces_new_submits() {
+    let (server, _runner, gate, addr) = serve_opts(ServeOptions {
+        workers: 1,
+        ..ServeOptions::default()
+    });
+    let mut c = impatient(&addr);
+    let running = c.submit("{\"x\":1,\"gate\":1}", 0, None).unwrap();
+    {
+        let mut probe = Client::connect(&addr).unwrap();
+        wait_until(
+            || probe.stats().unwrap().0.running == 1,
+            "gated job to start running",
+        );
+    }
+    let queued = c.submit("{\"x\":2}", 0, None).unwrap();
+    c.drain().unwrap();
+    assert!(server.drain_requested());
+    assert!(!server.drained(), "a job is still running");
+    let err = c.submit("{\"x\":3}", 0, None).unwrap_err();
+    assert!(err.contains("draining"), "got: {err}");
+    open_gate(&gate);
+    assert_eq!(c.result(running.id).unwrap().state, "done");
+    wait_until(|| server.drained(), "drain to complete");
+    // The queued job was never claimed; it waits for the next
+    // incarnation (or its journal replay).
+    assert_eq!(c.status(queued.id).unwrap(), "queued");
+    let (stats, _) = c.stats().unwrap();
+    assert!(stats.draining);
+    server.shutdown();
+}
+
+fn crash_dirs(tag: &str) -> (std::path::PathBuf, ServeOptions) {
+    let dir = std::env::temp_dir().join(format!("sim-serve-crash-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = ServeOptions {
+        workers: 1,
+        cache_cap: 16,
+        cache_dir: Some(dir.join("cache")),
+        journal: Some(dir.join("jobs.wal")),
+        ..ServeOptions::default()
+    };
+    (dir, opts)
+}
+
+#[test]
+fn journal_replays_pending_jobs_after_an_abrupt_restart() {
+    let (dir, opts) = crash_dirs("pending");
+    let (id_a, id_b, id_c);
+    {
+        let (runner, _gate_never_opened) = ToyRunner::new();
+        let server = Server::bind("127.0.0.1:0", Box::new(runner), opts.clone()).unwrap();
+        let addr = server.local_addr().to_string();
+        let mut c = Client::connect(&addr).unwrap();
+        id_a = c.submit("{\"x\":5,\"gate\":1}", 0, None).unwrap().id;
+        wait_until(
+            || c.stats().unwrap().0.running == 1,
+            "gated job to start running",
+        );
+        id_b = c.submit("{\"x\":6}", 0, None).unwrap().id;
+        id_c = c.submit("{\"x\":7}", 2, None).unwrap().id;
+        // Crash: the daemon vanishes without any orderly teardown. The
+        // leaked worker stays blocked on the never-opened gate, so this
+        // incarnation can never finish or journal anything further.
+        std::mem::forget(server);
+    }
+    let (runner2, gate2) = ToyRunner::new();
+    let server = Server::bind("127.0.0.1:0", Box::new(runner2.clone()), opts).unwrap();
+    let mut c = Client::connect(&server.local_addr().to_string()).unwrap();
+    open_gate(&gate2);
+    // All three acknowledged jobs survive, under their original ids —
+    // including the one that was mid-execution when the daemon died.
+    for (id, expect) in [
+        (id_a, "{\"doubled\":10}"),
+        (id_b, "{\"doubled\":12}"),
+        (id_c, "{\"doubled\":14}"),
+    ] {
+        let outcome = c.result(id).unwrap();
+        assert_eq!(outcome.state, "done", "job {id}");
+        assert_eq!(outcome.payload.as_deref(), Some(expect), "job {id}");
+    }
+    // The higher-priority replayed job ran before the lower ones.
+    let order = runner2.order.lock().unwrap().clone();
+    assert_eq!(order.len(), 3, "each replayed job runs exactly once");
+    assert!(
+        order.iter().position(|&x| x == 7) < order.iter().position(|&x| x == 6),
+        "replay preserves priority order: {order:?}"
+    );
+    let (stats, _) = c.stats().unwrap();
+    assert_eq!(stats.replayed, 3);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn journal_restores_completed_jobs_from_the_cache_after_restart() {
+    let (dir, opts) = crash_dirs("done");
+    let (id, first);
+    {
+        let (runner, _gate) = ToyRunner::new();
+        let server = Server::bind("127.0.0.1:0", Box::new(runner), opts.clone()).unwrap();
+        let mut c = Client::connect(&server.local_addr().to_string()).unwrap();
+        let (ack, payload) = c.run_to_payload("{\"x\":9}", 0, None).unwrap();
+        id = ack.id;
+        first = payload;
+        std::mem::forget(server); // crash after completion
+    }
+    let (runner2, _gate2) = ToyRunner::new();
+    let server = Server::bind("127.0.0.1:0", Box::new(runner2.clone()), opts).unwrap();
+    let mut c = Client::connect(&server.local_addr().to_string()).unwrap();
+    let outcome = c.result(id).unwrap();
+    assert_eq!(outcome.state, "done");
+    assert!(outcome.cached, "payload must come from the disk cache");
+    assert_eq!(outcome.payload.as_deref(), Some(first.as_str()));
+    assert_eq!(
+        runner2.runs.load(Ordering::SeqCst),
+        0,
+        "a completed job must not re-execute"
+    );
+    // A fresh submit of the same spec is a byte-identical cache hit.
+    let (ack2, p2) = c.run_to_payload("{\"x\":9}", 0, None).unwrap();
+    assert!(ack2.cached);
+    assert_eq!(p2, first);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancel_of_a_running_job_survives_a_restart() {
+    let (dir, opts) = crash_dirs("cancel");
+    let id;
+    {
+        let (runner, _gate) = ToyRunner::new();
+        let server = Server::bind("127.0.0.1:0", Box::new(runner), opts.clone()).unwrap();
+        let mut c = Client::connect(&server.local_addr().to_string()).unwrap();
+        id = c.submit("{\"x\":3,\"gate\":1}", 0, None).unwrap().id;
+        wait_until(
+            || c.stats().unwrap().0.running == 1,
+            "gated job to start running",
+        );
+        // Cancel while running: the journal records the intent even
+        // though the worker (blocked on the gate) never observes it.
+        assert!(c.cancel(id).unwrap());
+        std::mem::forget(server);
+    }
+    let (runner2, _gate2) = ToyRunner::new();
+    let server = Server::bind("127.0.0.1:0", Box::new(runner2.clone()), opts).unwrap();
+    let mut c = Client::connect(&server.local_addr().to_string()).unwrap();
+    let outcome = c.result(id).unwrap();
+    assert_eq!(
+        outcome.state, "cancelled",
+        "a journaled cancel intent must not resurrect the job"
+    );
+    assert_eq!(runner2.runs.load(Ordering::SeqCst), 0);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,208 @@
+//! Journal-file tests: replay over real files, torn tails at every
+//! byte offset, append-after-recovery, and compaction.
+
+use std::path::PathBuf;
+
+use sim_serve::server::JobState;
+use sim_serve::wal::{replay, Wal, WalRecord};
+
+fn tmp_journal(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sim-serve-wal-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir.join("jobs.wal")
+}
+
+fn submit(id: u64, seq: u64) -> WalRecord {
+    WalRecord::Submit {
+        id,
+        priority: (id % 3) as i64,
+        seq,
+        timeout_ms: if id.is_multiple_of(2) {
+            Some(500)
+        } else {
+            None
+        },
+        key: Some(format!("key-{id}")),
+        spec_json: format!("{{\"x\":{id},\"bench\":\"cg\"}}"),
+    }
+}
+
+#[test]
+fn open_on_a_fresh_path_is_an_empty_journal() {
+    let path = tmp_journal("fresh");
+    let (wal, rep) = Wal::open(&path, false).unwrap();
+    assert!(rep.jobs.is_empty());
+    assert_eq!(rep.next_id, 1);
+    assert_eq!(rep.next_seq, 0);
+    assert!(!rep.torn);
+    assert_eq!(wal.appended(), 0);
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}
+
+#[test]
+fn append_then_reopen_round_trips_every_record_type() {
+    let path = tmp_journal("roundtrip");
+    {
+        let (mut wal, _) = Wal::open(&path, true).unwrap();
+        wal.append(&submit(1, 0)).unwrap();
+        wal.append(&submit(2, 1)).unwrap();
+        wal.append(&WalRecord::CancelIntent { id: 2 }).unwrap();
+        wal.append(&WalRecord::Complete {
+            id: 1,
+            state: JobState::Done,
+            error: None,
+        })
+        .unwrap();
+        assert_eq!(wal.appended(), 4);
+    }
+    let (_, rep) = Wal::open(&path, false).unwrap();
+    assert_eq!(rep.records, 4);
+    assert_eq!(rep.jobs.len(), 2);
+    assert_eq!(rep.jobs[0].terminal, Some((JobState::Done, None)));
+    assert!(!rep.jobs[0].cancel_requested);
+    assert!(rep.jobs[1].terminal.is_none());
+    assert!(rep.jobs[1].cancel_requested, "cancel on pending job sticks");
+    assert_eq!(rep.next_id, 3);
+    assert_eq!(rep.next_seq, 2);
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}
+
+#[test]
+fn truncation_at_every_byte_offset_recovers_whole_records_only() {
+    let records = [
+        submit(1, 0),
+        WalRecord::Complete {
+            id: 1,
+            state: JobState::Done,
+            error: None,
+        },
+        submit(2, 1),
+    ];
+    let mut full = Vec::new();
+    let mut boundaries = vec![0usize];
+    for rec in &records {
+        full.extend(rec.encode());
+        boundaries.push(full.len());
+    }
+    for cut in 0..=full.len() {
+        let rep = replay(&full[..cut]);
+        let whole = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count();
+        assert_eq!(
+            rep.records, whole as u64,
+            "cut at byte {cut}: exactly the whole records before the cut apply"
+        );
+        assert_eq!(rep.torn, !boundaries.contains(&cut), "cut at byte {cut}");
+        // Whatever the cut, replay never panics and never invents jobs.
+        assert!(rep.jobs.len() <= 2);
+        if whole >= 2 {
+            assert_eq!(rep.jobs[0].terminal, Some((JobState::Done, None)));
+        }
+    }
+}
+
+#[test]
+fn append_after_opening_a_torn_journal_is_replayable() {
+    let path = tmp_journal("torn-append");
+    {
+        let (mut wal, _) = Wal::open(&path, false).unwrap();
+        wal.append(&submit(1, 0)).unwrap();
+        wal.append(&submit(2, 1)).unwrap();
+    }
+    // Tear the final record mid-envelope, as a crash mid-write would.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+    let (mut wal, rep) = Wal::open(&path, false).unwrap();
+    assert!(rep.torn);
+    assert_eq!(rep.jobs.len(), 1, "only the whole record survives");
+    wal.append(&WalRecord::Complete {
+        id: 1,
+        state: JobState::Failed,
+        error: Some("post-recovery".into()),
+    })
+    .unwrap();
+    // The torn tail was truncated at open, so the new record is
+    // reachable on the next replay.
+    let (_, rep) = Wal::open(&path, false).unwrap();
+    assert!(!rep.torn);
+    assert_eq!(rep.records, 2);
+    assert_eq!(
+        rep.jobs[0].terminal,
+        Some((JobState::Failed, Some("post-recovery".into())))
+    );
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}
+
+#[test]
+fn garbage_prefix_discards_the_whole_stream_without_panicking() {
+    let mut bytes = b"not a journal at all\n".to_vec();
+    bytes.extend(submit(1, 0).encode());
+    let rep = replay(&bytes);
+    assert_eq!(rep.records, 0);
+    assert!(rep.torn);
+    assert_eq!(rep.torn_bytes, bytes.len());
+}
+
+#[test]
+fn compaction_drops_history_and_keeps_the_id_floor() {
+    let path = tmp_journal("compact");
+    let (mut wal, _) = Wal::open(&path, false).unwrap();
+    for i in 1..=5u64 {
+        wal.append(&submit(i, i - 1)).unwrap();
+    }
+    for i in 1..=4u64 {
+        wal.append(&WalRecord::Complete {
+            id: i,
+            state: JobState::Done,
+            error: None,
+        })
+        .unwrap();
+    }
+    // Compact to the live set: the id floor plus the one pending job.
+    wal.compact(&[
+        WalRecord::Meta {
+            next_id: 6,
+            next_seq: 5,
+        },
+        submit(5, 4),
+    ])
+    .unwrap();
+    // The handle stays usable for appends after compaction.
+    wal.append(&WalRecord::Complete {
+        id: 5,
+        state: JobState::Cancelled,
+        error: None,
+    })
+    .unwrap();
+    let (_, rep) = Wal::open(&path, false).unwrap();
+    assert_eq!(rep.records, 3);
+    assert_eq!(rep.jobs.len(), 1);
+    assert_eq!(rep.jobs[0].id, 5);
+    assert_eq!(rep.jobs[0].terminal, Some((JobState::Cancelled, None)));
+    assert_eq!(rep.next_id, 6, "meta floor survives compaction");
+    assert_eq!(rep.next_seq, 5);
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}
+
+#[test]
+fn cancel_after_complete_is_resolved_identically_across_restarts() {
+    let path = tmp_journal("cancel-order");
+    {
+        let (mut wal, _) = Wal::open(&path, false).unwrap();
+        wal.append(&submit(1, 0)).unwrap();
+        wal.append(&WalRecord::Complete {
+            id: 1,
+            state: JobState::Done,
+            error: None,
+        })
+        .unwrap();
+        wal.append(&WalRecord::CancelIntent { id: 1 }).unwrap();
+    }
+    // However many times the journal is reopened, the first terminal
+    // record wins and the late cancel stays a no-op.
+    for _ in 0..3 {
+        let (_, rep) = Wal::open(&path, false).unwrap();
+        assert_eq!(rep.jobs[0].terminal, Some((JobState::Done, None)));
+        assert!(!rep.jobs[0].cancel_requested);
+    }
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}
