@@ -50,6 +50,10 @@ struct Row {
     /// false here; the field exists so traced one-off numbers can never
     /// masquerade as baseline throughput).
     trace: bool,
+    /// Whether memoized phase replay was enabled. Memo-on rows measure
+    /// the replay speedup; their stats fingerprints are cross-checked
+    /// against the memo-off rows before any number is written.
+    memo: bool,
 }
 
 impl Row {
@@ -61,7 +65,7 @@ impl Row {
         format!(
             "{{\"benchmark\":\"{}\",\"mode\":\"{}\",\"workers\":{},\
              \"exec_cycles\":{},\"wall_ns\":{},\"cycles_per_sec\":{:.1},\
-             \"config_hash\":\"{:016x}\",\"trace\":{}}}",
+             \"config_hash\":\"{:016x}\",\"trace\":{},\"memo\":{}}}",
             self.benchmark,
             self.mode,
             self.workers,
@@ -70,6 +74,7 @@ impl Row {
             self.cycles_per_sec(),
             self.config_hash,
             self.trace,
+            self.memo,
         )
     }
 }
@@ -102,58 +107,72 @@ fn main() {
             _ => bm.build_tiny(),
         };
         for (label, mode, sync) in STATIC_MODES {
+            // One fingerprint per benchmark/mode pair, shared across the
+            // whole workers × memo sweep: a memo-on row that diverges from
+            // the memo-off baseline aborts the tracker before any number
+            // is written.
             let mut fingerprint: Option<String> = None;
-            for &workers in &sweep {
-                let mut o = RunOptions::new(mode)
-                    .with_machine(machine.clone())
-                    .with_workers(workers);
-                o.sync = sync;
-                o.env = RuntimeEnv::default();
-                let mut best = u128::MAX;
-                let mut exec_cycles = 0u64;
-                for _ in 0..iters {
-                    let t0 = Instant::now();
-                    let s = run_program(&program, &o).expect("simulation failed");
-                    best = best.min(t0.elapsed().as_nanos().max(1));
-                    exec_cycles = s.exec_cycles;
-                    let fp = summary_fingerprint(&s);
-                    match &fingerprint {
-                        None => fingerprint = Some(fp),
-                        Some(want) => assert_eq!(
-                            want,
-                            &fp,
-                            "fingerprint divergence: {} {label} at workers={workers} \
-                             does not match the first swept worker count",
-                            bm.name()
-                        ),
+            for memo in [false, true] {
+                for &workers in &sweep {
+                    let mut o = RunOptions::new(mode)
+                        .with_machine(machine.clone())
+                        .with_workers(workers)
+                        .with_memo(memo);
+                    o.sync = sync;
+                    o.env = RuntimeEnv::default();
+                    let mut best = u128::MAX;
+                    let mut exec_cycles = 0u64;
+                    for _ in 0..iters {
+                        let t0 = Instant::now();
+                        let s = run_program(&program, &o).expect("simulation failed");
+                        best = best.min(t0.elapsed().as_nanos().max(1));
+                        exec_cycles = s.exec_cycles;
+                        let fp = summary_fingerprint(&s);
+                        match &fingerprint {
+                            None => fingerprint = Some(fp),
+                            Some(want) => assert_eq!(
+                                want,
+                                &fp,
+                                "fingerprint divergence: {} {label} at \
+                                 workers={workers} memo={memo} does not match \
+                                 the memo-off baseline",
+                                bm.name()
+                            ),
+                        }
                     }
+                    // workers=1 memo-off hashes to the historical canonical
+                    // string so old trajectories keep matching; other rows
+                    // extend it.
+                    let mut canonical =
+                        throughput_config_string(&machine, &preset, bm.name(), label, false);
+                    if workers > 1 {
+                        canonical.push_str(&format!("|workers={workers}"));
+                    }
+                    if memo {
+                        canonical.push_str("|memo=on");
+                    }
+                    let row = Row {
+                        benchmark: bm.name(),
+                        mode: label,
+                        workers,
+                        exec_cycles,
+                        wall_ns: best,
+                        config_hash: config_hash(&canonical),
+                        trace: false,
+                        memo,
+                    };
+                    println!(
+                        "{:<4} {:<8} w{:<2} memo={:<5} {:>12} cycles {:>12.3} ms {:>14.0} cyc/s",
+                        row.benchmark,
+                        row.mode,
+                        row.workers,
+                        row.memo,
+                        row.exec_cycles,
+                        row.wall_ns as f64 / 1e6,
+                        row.cycles_per_sec()
+                    );
+                    rows.push(row);
                 }
-                // workers=1 hashes to the historical canonical string so
-                // old trajectories keep matching; workers>1 rows extend it.
-                let mut canonical =
-                    throughput_config_string(&machine, &preset, bm.name(), label, false);
-                if workers > 1 {
-                    canonical.push_str(&format!("|workers={workers}"));
-                }
-                let row = Row {
-                    benchmark: bm.name(),
-                    mode: label,
-                    workers,
-                    exec_cycles,
-                    wall_ns: best,
-                    config_hash: config_hash(&canonical),
-                    trace: false,
-                };
-                println!(
-                    "{:<4} {:<8} w{:<2} {:>12} cycles {:>12.3} ms {:>14.0} cyc/s",
-                    row.benchmark,
-                    row.mode,
-                    row.workers,
-                    row.exec_cycles,
-                    row.wall_ns as f64 / 1e6,
-                    row.cycles_per_sec()
-                );
-                rows.push(row);
             }
         }
     }

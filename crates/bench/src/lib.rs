@@ -352,69 +352,12 @@ pub fn best_slip_gain(rows: &[RunSummary]) -> f64 {
     best_base as f64 / best_slip as f64 - 1.0
 }
 
-/// Canonical fingerprint of everything a run reports, used by the
-/// golden-determinism regression test. Two runs are bit-identical iff
-/// their fingerprints are equal: the string covers the execution time,
-/// both time breakdowns, per-CPU cache/sync counters, user-level op
-/// totals for both streams, the fill classification, scheduler and
-/// resilience counters, and the machine-wide traffic counters.
+/// Canonical fingerprint of everything a run reports — the workspace-wide
+/// bit-identity contract now lives in [`slipstream::stats_fingerprint`]
+/// (the fuzzer needs it without depending on this crate); this re-export
+/// keeps the historical bench-side name working.
 pub fn summary_fingerprint(s: &RunSummary) -> String {
-    use dsm_sim::{ReqKind, FILL_CLASSES, TIME_CLASSES};
-    let mut v: Vec<u64> = vec![s.exec_cycles];
-    for c in TIME_CLASSES {
-        v.push(s.r_breakdown.get(c));
-    }
-    for c in TIME_CLASSES {
-        v.push(s.a_breakdown.get(c));
-    }
-    for kind in [ReqKind::Read, ReqKind::ReadEx] {
-        for c in FILL_CLASSES {
-            v.push(s.fills.get(kind, c));
-        }
-    }
-    let r = &s.raw;
-    for u in [&r.user_r, &r.user_a] {
-        v.extend([
-            u.loads,
-            u.stores,
-            u.atomics,
-            u.compute_cycles,
-            u.io_in,
-            u.io_out,
-        ]);
-    }
-    let (mut l1, mut l2h, mut l2m, mut bars, mut lds, mut sts) = (0, 0, 0, 0, 0, 0);
-    for c in &r.cpu_stats {
-        l1 += c.l1_hits;
-        l2h += c.l2_hits;
-        l2m += c.l2_misses;
-        bars += c.barriers;
-        lds += c.loads;
-        sts += c.stores;
-    }
-    v.extend([l1, l2h, l2m, bars, lds, sts]);
-    v.extend([
-        r.sched_grabs,
-        r.sched_steals,
-        r.recoveries,
-        r.watchdog_recoveries,
-        r.demotions,
-        r.stores_converted,
-        r.stores_skipped,
-    ]);
-    let m = &r.machine;
-    v.extend([
-        m.network_messages,
-        m.network_contention,
-        m.memory_contention,
-        m.bus_contention,
-        m.l2_evictions,
-        m.l2_invalidations,
-        m.three_hop_fetches,
-        m.invalidations_sent,
-    ]);
-    let parts: Vec<String> = v.iter().map(|x| x.to_string()).collect();
-    parts.join(" ")
+    slipstream::stats_fingerprint(s)
 }
 
 /// FNV-1a hash of a canonical configuration string, used to stamp

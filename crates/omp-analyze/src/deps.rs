@@ -1,0 +1,502 @@
+//! Closed-form access-index sets and dependence tests.
+//!
+//! The certification pass (see [`crate::cert`]) summarizes what every
+//! executor reads and writes per (barrier phase, array) as an
+//! [`IndexSet`]: an arithmetic progression in closed form when the index
+//! expression is affine in the worksharing variable (computed with the
+//! engine's own `omp_ir::wsloop` chunk arithmetic), an explicit point set
+//! when table lookups or nested loops make the indices irregular, or an
+//! interval over-approximation when the schedule is dynamic-family or an
+//! enumeration budget is exceeded.
+//!
+//! Two sets are then compared with the classic dependence tests:
+//!
+//! * **GCD test** — progressions `{b1 + i·s1}` and `{b2 + j·s2}` can only
+//!   meet when `gcd(s1, s2)` divides `b2 − b1`.
+//! * **Banerjee-style bounds test** — sets whose `[min, max]` ranges do
+//!   not overlap are independent.
+//! * **Exact CRT refinement** — when both tests pass for two
+//!   progressions, the smallest common element is computed with the
+//!   extended Euclidean algorithm and checked against both ranges, so
+//!   affine/affine queries are *exact*, not just conservative.
+//!
+//! Interval sets answer conservatively (overlap ⇒ may intersect), which
+//! can only demote a certificate, never wrongly license one.
+
+use omp_ir::expr::{BinOp, Expr, SimpleCtx, VarId};
+
+/// A set of element indices one executor touches in one array during one
+/// barrier phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexSet {
+    /// No elements.
+    Empty,
+    /// Arithmetic progression `{base + i·stride | 0 ≤ i < count}` with
+    /// `stride ≥ 1` (a single element is `count == 1`).
+    Affine {
+        /// First element.
+        base: i64,
+        /// Distance between consecutive elements (≥ 1 when `count > 1`).
+        stride: i64,
+        /// Number of elements (≥ 1).
+        count: u64,
+    },
+    /// Explicit sorted, deduplicated element list.
+    Points(Vec<i64>),
+    /// Over-approximation: every element in `[lo, hi]` may be touched.
+    Interval {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+}
+
+impl IndexSet {
+    /// Build a progression, normalizing degenerate shapes.
+    pub fn affine(base: i64, stride: i64, count: u64) -> IndexSet {
+        if count == 0 {
+            IndexSet::Empty
+        } else if count == 1 || stride == 0 {
+            IndexSet::Affine {
+                base,
+                stride: 1,
+                count: 1,
+            }
+        } else if stride < 0 {
+            // Normalize to ascending order.
+            let span = (stride as i128) * (count as i128 - 1);
+            IndexSet::Affine {
+                base: (base as i128 + span) as i64,
+                stride: -stride,
+                count,
+            }
+        } else {
+            IndexSet::Affine {
+                base,
+                stride,
+                count,
+            }
+        }
+    }
+
+    /// Build from an unsorted point list.
+    pub fn points(mut v: Vec<i64>) -> IndexSet {
+        v.sort_unstable();
+        v.dedup();
+        if v.is_empty() {
+            IndexSet::Empty
+        } else {
+            IndexSet::Points(v)
+        }
+    }
+
+    /// Smallest element, if any.
+    pub fn min(&self) -> Option<i64> {
+        match self {
+            IndexSet::Empty => None,
+            IndexSet::Affine { base, .. } => Some(*base),
+            IndexSet::Points(v) => v.first().copied(),
+            IndexSet::Interval { lo, .. } => Some(*lo),
+        }
+    }
+
+    /// Largest element, if any.
+    pub fn max(&self) -> Option<i64> {
+        match self {
+            IndexSet::Empty => None,
+            IndexSet::Affine {
+                base,
+                stride,
+                count,
+            } => Some((*base as i128 + *stride as i128 * (*count as i128 - 1)) as i64),
+            IndexSet::Points(v) => v.last().copied(),
+            IndexSet::Interval { hi, .. } => Some(*hi),
+        }
+    }
+
+    /// Number of elements (interval sets count every element in range).
+    pub fn len(&self) -> u64 {
+        match self {
+            IndexSet::Empty => 0,
+            IndexSet::Affine { count, .. } => *count,
+            IndexSet::Points(v) => v.len() as u64,
+            IndexSet::Interval { lo, hi } => (*hi as i128 - *lo as i128 + 1).max(0) as u64,
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when the set is exact (not an interval over-approximation).
+    pub fn is_exact(&self) -> bool {
+        !matches!(self, IndexSet::Interval { .. })
+    }
+
+    /// Membership test (exact for exact sets, conservative for intervals).
+    pub fn contains(&self, x: i64) -> bool {
+        match self {
+            IndexSet::Empty => false,
+            IndexSet::Affine {
+                base,
+                stride,
+                count,
+            } => {
+                let d = x as i128 - *base as i128;
+                d >= 0 && d % (*stride as i128) == 0 && (d / *stride as i128) < *count as i128
+            }
+            IndexSet::Points(v) => v.binary_search(&x).is_ok(),
+            IndexSet::Interval { lo, hi } => (*lo..=*hi).contains(&x),
+        }
+    }
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Extended Euclid: returns `(g, x)` with `g = gcd(a, b)` and
+/// `a·x ≡ g (mod b)` (for `a, b > 0`).
+fn egcd(a: i128, b: i128) -> (i128, i128, i128) {
+    if b == 0 {
+        (a, 1, 0)
+    } else {
+        let (g, x, y) = egcd(b, a % b);
+        (g, y, x - (a / b) * y)
+    }
+}
+
+/// Exact intersection test for two arithmetic progressions: solves
+/// `b1 + i·s1 = b2 + j·s2` with the GCD test, then the CRT, then checks
+/// the smallest solution against both ranges (Banerjee-style bounds).
+fn affine_affine(b1: i64, s1: i64, n1: u64, b2: i64, s2: i64, n2: u64) -> bool {
+    let (b1, s1, n1) = (b1 as i128, s1 as i128, n1 as i128);
+    let (b2, s2, n2) = (b2 as i128, s2 as i128, n2 as i128);
+    let hi1 = b1 + s1 * (n1 - 1);
+    let hi2 = b2 + s2 * (n2 - 1);
+    // Bounds (Banerjee) test: disjoint ranges cannot meet.
+    let lo = b1.max(b2);
+    let hi = hi1.min(hi2);
+    if lo > hi {
+        return false;
+    }
+    // GCD test: gcd(s1, s2) must divide the base difference.
+    let g = gcd(s1, s2);
+    if (b2 - b1) % g != 0 {
+        return false;
+    }
+    // Exact refinement: x ≡ b1 (mod s1), x ≡ b2 (mod s2) has solutions
+    // x ≡ x0 (mod l), l = lcm(s1, s2). Find the smallest x ≥ lo and check
+    // x ≤ hi.
+    let (_, inv, _) = egcd(s1 / g, s2 / g);
+    let l = s1 / g * s2;
+    // x0 = b1 + s1 * ((b2 - b1) / g * inv mod (s2/g))
+    let m = s2 / g;
+    let t = ((b2 - b1) / g % m * (inv % m)) % m;
+    let t = (t + m) % m;
+    let x0 = b1 + s1 * t;
+    // Smallest solution ≥ lo.
+    let x = if x0 >= lo {
+        x0 - (x0 - lo) / l * l
+    } else {
+        x0 + (lo - x0 + l - 1) / l * l
+    };
+    x <= hi
+}
+
+fn points_points(a: &[i64], b: &[i64]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// May two index sets share an element? Exact for exact-set pairs,
+/// conservative (range overlap) when either side is an interval.
+pub fn may_intersect(a: &IndexSet, b: &IndexSet) -> bool {
+    use IndexSet::*;
+    match (a, b) {
+        (Empty, _) | (_, Empty) => false,
+        (
+            Affine {
+                base: b1,
+                stride: s1,
+                count: n1,
+            },
+            Affine {
+                base: b2,
+                stride: s2,
+                count: n2,
+            },
+        ) => affine_affine(*b1, *s1, *n1, *b2, *s2, *n2),
+        (Affine { .. }, Points(v)) | (Points(v), Affine { .. }) => {
+            let aff = if matches!(a, Affine { .. }) { a } else { b };
+            v.iter().any(|&x| aff.contains(x))
+        }
+        (Points(x), Points(y)) => points_points(x, y),
+        // Interval on either side: bounds test only.
+        _ => {
+            let (Some(lo1), Some(hi1)) = (a.min(), a.max()) else {
+                return false;
+            };
+            let (Some(lo2), Some(hi2)) = (b.min(), b.max()) else {
+                return false;
+            };
+            lo1.max(lo2) <= hi1.min(hi2)
+        }
+    }
+}
+
+/// Decompose `e` as `a·var + b` where `a` and `b` are independent of
+/// `var` (they may read other context state, which `ctx` supplies).
+/// Returns `None` when `e` is not affine in `var` — a multiplication of
+/// two var-dependent factors, or `var` under div/mod/min/max/table.
+/// Wrapping add/sub/mul distribute over the IR's wrapping evaluation
+/// semantics, so the decomposition is exact where it succeeds.
+pub fn linear_in(e: &Expr, var: VarId, ctx: &SimpleCtx) -> Option<(i64, i64)> {
+    if !e.references_var(var) {
+        return Some((0, e.eval(ctx)));
+    }
+    match e {
+        Expr::Var(w) if *w == var => Some((1, 0)),
+        Expr::Bin(op, x, y) => {
+            let (a1, b1) = linear_in(x, var, ctx)?;
+            let (a2, b2) = linear_in(y, var, ctx)?;
+            match op {
+                BinOp::Add => Some((a1.wrapping_add(a2), b1.wrapping_add(b2))),
+                BinOp::Sub => Some((a1.wrapping_sub(a2), b1.wrapping_sub(b2))),
+                BinOp::Mul => {
+                    // Only const × linear stays linear.
+                    if a1 == 0 {
+                        Some((b1.wrapping_mul(a2), b1.wrapping_mul(b2)))
+                    } else if a2 == 0 {
+                        Some((a1.wrapping_mul(b2), b1.wrapping_mul(b2)))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Accumulates one executor's indices into one array during one phase.
+/// Concrete points accumulate until `cap` is hit, after which the
+/// builder degrades to a min/max interval (`exact` turns false); affine
+/// closed forms are stored as-is and never count against the cap.
+#[derive(Debug)]
+pub struct SetBuilder {
+    sets: Vec<IndexSet>,
+    points: Vec<i64>,
+    range: Option<(i64, i64)>,
+    cap: usize,
+    exact: bool,
+}
+
+impl SetBuilder {
+    /// New builder with a concrete-point budget.
+    pub fn new(cap: usize) -> SetBuilder {
+        SetBuilder {
+            sets: Vec::new(),
+            points: Vec::new(),
+            range: None,
+            cap,
+            exact: true,
+        }
+    }
+
+    /// Record one concrete element index.
+    pub fn add_point(&mut self, x: i64) {
+        if self.exact && self.points.len() < self.cap {
+            self.points.push(x);
+        } else {
+            self.degrade();
+            let (lo, hi) = self.range.get_or_insert((x, x));
+            *lo = (*lo).min(x);
+            *hi = (*hi).max(x);
+        }
+    }
+
+    /// Record a whole closed-form set.
+    pub fn add_set(&mut self, s: IndexSet) {
+        if s.is_empty() {
+            return;
+        }
+        if !s.is_exact() {
+            self.exact = false;
+        }
+        self.sets.push(s);
+    }
+
+    fn degrade(&mut self) {
+        if self.exact {
+            self.exact = false;
+            let mut range = self.range;
+            for &x in &self.points {
+                let (lo, hi) = range.get_or_insert((x, x));
+                *lo = (*lo).min(x);
+                *hi = (*hi).max(x);
+            }
+            self.points.clear();
+            self.range = range;
+        }
+    }
+
+    /// True while no concrete-point overflow has occurred and no interval
+    /// set was added.
+    pub fn is_exact(&self) -> bool {
+        self.exact
+    }
+
+    /// Finish: the list of disjoint-testable sets this executor produced.
+    pub fn finish(mut self) -> (Vec<IndexSet>, bool) {
+        if !self.points.is_empty() {
+            let pts = std::mem::take(&mut self.points);
+            self.sets.push(IndexSet::points(pts));
+        }
+        if let Some((lo, hi)) = self.range {
+            self.sets.push(IndexSet::Interval { lo, hi });
+        }
+        (self.sets, self.exact)
+    }
+}
+
+/// Any-pair intersection test over two set lists.
+pub fn lists_intersect(a: &[IndexSet], b: &[IndexSet]) -> bool {
+    a.iter().any(|x| b.iter().any(|y| may_intersect(x, y)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omp_ir::expr::Expr;
+
+    #[test]
+    fn affine_normalizes() {
+        assert_eq!(IndexSet::affine(0, 4, 0), IndexSet::Empty);
+        assert_eq!(
+            IndexSet::affine(7, -3, 3),
+            IndexSet::Affine {
+                base: 1,
+                stride: 3,
+                count: 3
+            }
+        );
+        let single = IndexSet::affine(5, 0, 1);
+        assert_eq!(single.min(), Some(5));
+        assert_eq!(single.max(), Some(5));
+    }
+
+    #[test]
+    fn gcd_test_separates_interleaved_strides() {
+        // Evens vs odds: gcd(2,2)=2 does not divide 1.
+        let evens = IndexSet::affine(0, 2, 100);
+        let odds = IndexSet::affine(1, 2, 100);
+        assert!(!may_intersect(&evens, &odds));
+        assert!(may_intersect(&evens, &IndexSet::affine(0, 2, 100)));
+    }
+
+    #[test]
+    fn bounds_test_separates_disjoint_blocks() {
+        // Two static chunks of the same loop: [0,16) and [16,32).
+        let a = IndexSet::affine(0, 1, 16);
+        let b = IndexSet::affine(16, 1, 16);
+        assert!(!may_intersect(&a, &b));
+        assert!(may_intersect(&a, &IndexSet::affine(15, 1, 16)));
+    }
+
+    #[test]
+    fn crt_refinement_is_exact_where_gcd_and_bounds_pass() {
+        // {0,6,12,...} vs {3,7,11,...}: gcd(6,4)=2 divides 3-0=3? No → no
+        // intersection via GCD. Use strides 6 and 4, bases 0 and 2:
+        // gcd=2 divides 2, ranges overlap, smallest common is 6·x ≡ 2
+        // (mod 4) → x=1 → 6? 6 mod 4 = 2 ✓ so 6 is common.
+        let a = IndexSet::affine(0, 6, 10);
+        let b = IndexSet::affine(2, 4, 10);
+        assert!(may_intersect(&a, &b));
+        // Same congruences but ranges trimmed so the first common element
+        // (6) is excluded from `b`'s range: b covers only {2} .. no wait,
+        // count 1 means {2}; 2 is not a multiple of 6.
+        let b_short = IndexSet::affine(2, 4, 1);
+        assert!(!may_intersect(&a, &b_short));
+    }
+
+    #[test]
+    fn points_and_intervals() {
+        let p1 = IndexSet::points(vec![3, 9, 1]);
+        let p2 = IndexSet::points(vec![2, 9]);
+        assert!(may_intersect(&p1, &p2));
+        assert!(!may_intersect(&p1, &IndexSet::points(vec![0, 2, 4])));
+        let aff = IndexSet::affine(0, 3, 4); // {0,3,6,9}
+        assert!(may_intersect(&aff, &p1));
+        assert!(!may_intersect(&aff, &IndexSet::points(vec![1, 2, 4])));
+        let iv = IndexSet::Interval { lo: 10, hi: 20 };
+        assert!(!may_intersect(&iv, &aff));
+        assert!(may_intersect(&iv, &IndexSet::affine(0, 5, 3))); // max 10
+        assert!(!iv.is_exact());
+    }
+
+    #[test]
+    fn linear_decomposition() {
+        let v = VarId(0);
+        let ctx = SimpleCtx::new(2, 3, 8);
+        // 4*i + 2
+        let e = Expr::v(v) * 4 + 2;
+        assert_eq!(linear_in(&e, v, &ctx), Some((4, 2)));
+        // tid-dependent offset folds through the context.
+        let e2 = Expr::v(v) + Expr::ThreadId;
+        assert_eq!(linear_in(&e2, v, &ctx), Some((1, 3)));
+        // i*i is not linear.
+        let e3 = Expr::v(v) * Expr::v(v);
+        assert_eq!(linear_in(&e3, v, &ctx), None);
+        // i under mod is not linear.
+        let e4 = Expr::v(v).rem(Expr::c(4));
+        assert_eq!(linear_in(&e4, v, &ctx), None);
+        // independent of var.
+        let e5 = Expr::NumThreads * 2;
+        assert_eq!(linear_in(&e5, v, &ctx), Some((0, 16)));
+    }
+
+    #[test]
+    fn set_builder_degrades_to_interval_past_cap() {
+        let mut b = SetBuilder::new(4);
+        for x in [5, 1, 9, 3] {
+            b.add_point(x);
+        }
+        assert!(b.is_exact());
+        b.add_point(100);
+        assert!(!b.is_exact());
+        let (sets, exact) = b.finish();
+        assert!(!exact);
+        assert_eq!(sets, vec![IndexSet::Interval { lo: 1, hi: 100 }]);
+    }
+
+    #[test]
+    fn set_builder_exact_finish() {
+        let mut b = SetBuilder::new(16);
+        b.add_point(3);
+        b.add_point(1);
+        b.add_point(3);
+        b.add_set(IndexSet::affine(10, 2, 3));
+        let (sets, exact) = b.finish();
+        assert!(exact);
+        assert!(sets.contains(&IndexSet::Points(vec![1, 3])));
+        assert!(lists_intersect(&sets, &[IndexSet::points(vec![12])]));
+        assert!(!lists_intersect(&sets, &[IndexSet::points(vec![13])]));
+    }
+}

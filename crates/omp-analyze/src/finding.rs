@@ -120,6 +120,37 @@ pub struct Finding {
     pub message: String,
 }
 
+impl Finding {
+    /// Stable FNV-1a fingerprint of the finding's identity: hazard,
+    /// severity, anchor paths, and region/phase coordinates. The free-text
+    /// message is deliberately excluded so wording changes never reshuffle
+    /// fingerprints tracked across runs.
+    pub fn fingerprint(&self) -> u64 {
+        let related = self
+            .related
+            .as_ref()
+            .map(|r| r.to_string())
+            .unwrap_or_else(|| "-".into());
+        let region = self
+            .region
+            .map(|r| r.to_string())
+            .unwrap_or_else(|| "-".into());
+        let phase = self
+            .phase
+            .map(|p| p.to_string())
+            .unwrap_or_else(|| "-".into());
+        crate::fnv1a64(
+            format!(
+                "finding|{}|{}|{}|{related}|{region}|{phase}",
+                self.hazard.key(),
+                self.severity.as_str(),
+                self.path,
+            )
+            .as_bytes(),
+        )
+    }
+}
+
 impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[{}] {} at {}", self.severity, self.hazard, self.path)?;

@@ -33,14 +33,27 @@
 
 #![warn(missing_docs)]
 
+pub mod cert;
+pub mod deps;
 pub mod finding;
 pub mod report;
 mod walk;
 
+pub use cert::{guard_checksum, PhaseCertificate, PhaseClass, ReplayLoop};
 pub use finding::{Finding, Hazard, Severity};
 pub use report::{AnalysisReport, Equivalence, RegionReport, SkipSet};
 
 use omp_ir::node::{Program, SlipSyncType};
+
+/// FNV-1a 64-bit hash — the repo-wide stable fingerprint function.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// Which constructs the A-stream skips or executes — mirrors
 /// `slipstream`'s per-construct A-stream policy so the analyzer models
@@ -195,18 +208,23 @@ pub fn analyze(program: &Program, cfg: &AnalyzeConfig) -> AnalysisReport {
             l2_lines: cfg.l2_lines,
             findings,
             regions: Vec::new(),
+            certificates: Vec::new(),
+            replay_loops: Vec::new(),
             suppressed: 0,
             truncated: false,
             visits: 0,
         };
     }
     let out = walk::walk(program, cfg);
+    let certs = cert::certify(program, cfg);
     AnalysisReport {
         program: program.name.clone(),
         num_threads: cfg.num_threads,
         l2_lines: cfg.l2_lines,
         findings: out.findings,
         regions: out.regions,
+        certificates: certs.certificates,
+        replay_loops: certs.replay_loops,
         suppressed: out.suppressed,
         truncated: out.truncated,
         visits: out.visits,

@@ -197,3 +197,200 @@ fn mutations_are_flagged_at_paper_scale_too() {
         "cg paper racing-store",
     );
 }
+
+// ---------------------------------------------------------------------------
+// Purity-breaking mutations: each must demote a phase inside the kernel's
+// licensed replay loop out of `Pure`/`ReplaySafe` (or poison the loop
+// bounds) and revoke the loop's memoized-replay license. The runtime-guard
+// side of the trip-count mutation — a stale license applied to a
+// recompiled loop — is exercised end-to-end in
+// `crates/slipstream/tests/memo.rs`.
+
+use omp_analyze::PhaseClass;
+
+/// Append `inj` to the body of the first serial `for` inside the first
+/// parallel region — the loop every clean kernel gets licensed on.
+fn mutate_loop(p: &Program, build: impl FnOnce(ArrayId, VarId) -> Node) -> Program {
+    let mut m = p.clone();
+    let var = VarId(m.num_vars);
+    m.num_vars += 1;
+    let inj = build(first_shared(p), var);
+    assert!(
+        inject_into_loop(&mut m.body, &inj),
+        "kernel has a serial loop inside a parallel region"
+    );
+    omp_ir::validate(&m).expect("mutant stays structurally valid");
+    m
+}
+
+fn inject_into_loop(n: &mut Node, inj: &Node) -> bool {
+    fn into_for(n: &mut Node, inj: &Node) -> bool {
+        match n {
+            Node::Seq(v) => v.iter_mut().any(|c| into_for(c, inj)),
+            Node::For { body, .. } => {
+                let orig = std::mem::replace(body.as_mut(), Node::nop());
+                **body = Node::Seq(vec![orig, inj.clone()]);
+                true
+            }
+            _ => false,
+        }
+    }
+    match n {
+        Node::Seq(v) => v.iter_mut().any(|c| inject_into_loop(c, inj)),
+        Node::For { body, .. } => inject_into_loop(body, inj),
+        Node::Parallel { body, .. } => into_for(body, inj),
+        _ => false,
+    }
+}
+
+/// Make the first serial loop's trip count ThreadId-dependent.
+fn poison_trip_count(p: &Program) -> Program {
+    fn poison(n: &mut Node) -> bool {
+        fn in_region(n: &mut Node) -> bool {
+            match n {
+                Node::Seq(v) => v.iter_mut().any(in_region),
+                Node::For { end, .. } => {
+                    let orig = std::mem::replace(end, Expr::c(0));
+                    *end = Expr::Bin(
+                        omp_ir::expr::BinOp::Add,
+                        Box::new(Expr::ThreadId),
+                        Box::new(orig),
+                    );
+                    true
+                }
+                _ => false,
+            }
+        }
+        match n {
+            Node::Seq(v) => v.iter_mut().any(poison),
+            Node::For { body, .. } => poison(body),
+            Node::Parallel { body, .. } => in_region(body),
+            _ => false,
+        }
+    }
+    let mut m = p.clone();
+    assert!(poison(&mut m.body), "kernel has a serial loop to poison");
+    omp_ir::validate(&m).expect("mutant stays structurally valid");
+    m
+}
+
+fn licensed_loops(p: &Program) -> usize {
+    analyze(p, &cfg()).replay_loops.len()
+}
+
+#[test]
+fn clean_kernels_license_exactly_one_replay_loop() {
+    for bm in Benchmark::ALL {
+        assert_eq!(
+            licensed_loops(&bm.build_tiny()),
+            1,
+            "{} should license its iteration loop",
+            bm.name()
+        );
+    }
+}
+
+#[test]
+fn hidden_cross_phase_store_demotes_and_revokes_license() {
+    // All executors of a worksharing phase store the same element: the
+    // dependence test finds unprotected overlapping writes, the phase
+    // goes Opaque, and the loop loses its replay license.
+    for bm in Benchmark::ALL {
+        let p = mutate_loop(&bm.build_tiny(), |arr, var| Node::ParFor {
+            sched: None,
+            var,
+            begin: Expr::c(0),
+            end: Expr::c(64),
+            body: Box::new(Node::Store {
+                array: arr,
+                index: Expr::c(0),
+            }),
+            reduction: None,
+            nowait: false,
+        });
+        let r = analyze(&p, &cfg());
+        assert!(
+            r.certificates.iter().any(|c| c.class == PhaseClass::Opaque
+                && c.reasons.iter().any(|m| m.contains("overlapping"))),
+            "{}: expected an opaque phase:\n{}",
+            bm.name(),
+            r.render_text()
+        );
+        assert!(
+            r.replay_loops.is_empty(),
+            "{}: license must be revoked:\n{}",
+            bm.name(),
+            r.render_text()
+        );
+    }
+}
+
+#[test]
+fn thread_dependent_trip_count_revokes_license() {
+    // A ThreadId-dependent serial-loop bound desynchronizes the team
+    // (flagged as unbalanced sync) and the certifier must refuse the
+    // license independently — the certified bounds no longer exist.
+    for bm in Benchmark::ALL {
+        let p = poison_trip_count(&bm.build_tiny());
+        let r = analyze(&p, &cfg());
+        assert!(
+            r.replay_loops.is_empty(),
+            "{}: license must be revoked:\n{}",
+            bm.name(),
+            r.render_text()
+        );
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| f.hazard == Hazard::UnbalancedSync),
+            "{}: unbalanced sync expected:\n{}",
+            bm.name(),
+            r.render_text()
+        );
+    }
+}
+
+#[test]
+fn critical_section_store_demotes_without_deny() {
+    // A critical-protected store is race-free (no deny finding) but its
+    // writer order is arrival-time-dependent, so the phase must go
+    // Opaque and the license must be revoked.
+    for bm in Benchmark::ALL {
+        let p = mutate_loop(&bm.build_tiny(), |arr, var| Node::ParFor {
+            sched: None,
+            var,
+            begin: Expr::c(0),
+            end: Expr::c(64),
+            body: Box::new(Node::Critical {
+                name: "memo-mutant".into(),
+                body: Box::new(Node::Store {
+                    array: arr,
+                    index: Expr::c(0),
+                }),
+            }),
+            reduction: None,
+            nowait: false,
+        });
+        let r = analyze(&p, &cfg());
+        assert!(
+            r.certificates.iter().any(|c| c.class == PhaseClass::Opaque
+                && c.reasons.iter().any(|m| m.contains("critical"))),
+            "{}: expected an opaque phase:\n{}",
+            bm.name(),
+            r.render_text()
+        );
+        assert!(
+            r.replay_loops.is_empty(),
+            "{}: license must be revoked:\n{}",
+            bm.name(),
+            r.render_text()
+        );
+        assert_eq!(
+            r.deny_count(),
+            0,
+            "{}: critical store must not deny:\n{}",
+            bm.name(),
+            r.render_text()
+        );
+    }
+}

@@ -28,6 +28,7 @@ pub mod exec;
 pub mod faults;
 pub mod gate;
 pub mod health;
+pub mod memo;
 pub mod pairing;
 pub mod policy;
 pub mod report;
@@ -39,8 +40,10 @@ pub use exec::{
 };
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultSite, PairLedger};
 pub use health::{BoundaryOutcome, FillWindow, HealthPolicy, PairHealth};
+pub use memo::{build_plan, MemoDiag, MemoLoop, MemoPlan};
 pub use pairing::{Decision, PairState};
 pub use policy::{AAction, AStreamPolicy, RecoveryPolicy};
+pub use report::stats_fingerprint;
 pub use runner::{
     checkpoint_compiled, checkpoint_program, resume_compiled, resume_program, run_program,
     workers_from_env, Checkpoint, RunOptions, RunSummary,

@@ -73,6 +73,14 @@ pub struct RunOptions {
     /// from the machine's minimum remote-hop latency; `Some(0)` forces
     /// lockstep window admission). Only meaningful with `workers > 1`.
     pub lookahead: Option<Cycle>,
+    /// Memoized phase replay (default off). When on, replay-loop licenses
+    /// from the `omp-analyze` certification pass are compiled into a
+    /// [`crate::MemoPlan`] and the engine bulk-jumps converged iterations
+    /// of certified loops. Results are bit-identical to a memo-off run;
+    /// the engine arms the plan only for deterministic single/double runs
+    /// (no faults, mutation, noise, or tracing) and falls back to full
+    /// execution whenever the runtime guard contradicts a certificate.
+    pub memo: bool,
 }
 
 impl RunOptions {
@@ -95,6 +103,7 @@ impl RunOptions {
             mutation: EngineMutation::None,
             workers: 1,
             lookahead: None,
+            memo: false,
         }
     }
 
@@ -174,6 +183,12 @@ impl RunOptions {
     /// Enable the OS-interference model.
     pub fn with_os_noise(mut self, noise: crate::exec::OsNoise) -> Self {
         self.os_noise = Some(noise);
+        self
+    }
+
+    /// Enable memoized phase replay (certified-loop bulk jumps).
+    pub fn with_memo(mut self, on: bool) -> Self {
+        self.memo = on;
         self
     }
 }
@@ -274,7 +289,22 @@ pub fn run_program(program: &Program, opts: &RunOptions) -> Result<RunSummary, S
     let analysis = gate_program(program, opts.gate, &acfg)?;
     let map = AddressMap::new(&opts.machine);
     let cp = compile(program, &map).map_err(|e| e.to_string())?;
-    let mut summary = run_compiled(&cp, program.name.clone(), opts)?;
+    // Memoized replay needs the certification pass's replay-loop licenses;
+    // when the gate skipped analysis ([`GateMode::Allow`]), run it here
+    // just for the plan.
+    let memo = if opts.memo {
+        match &analysis {
+            Some(report) => crate::memo::build_plan(report, &cp),
+            None => crate::memo::build_plan(&omp_analyze::analyze(program, &acfg), &cp),
+        }
+    } else {
+        crate::MemoPlan::default()
+    };
+    let label = mode_label(opts.mode, opts.sync);
+    let mut cfg = engine_config(opts);
+    cfg.memo = memo;
+    let raw = Engine::new(&cp, cfg).run()?;
+    let mut summary = summarize(program.name.clone(), label, raw);
     summary.analysis = analysis;
     Ok(summary)
 }
